@@ -1,0 +1,82 @@
+// Command p4test compiles a P4 program through the reference front and
+// mid end, optionally emitting the program after every pass that changed
+// it (the instrumentation Gauntlet's translation validation consumes,
+// §5.2) and optionally running translation validation across the
+// snapshots.
+//
+// Usage:
+//
+//	p4test [-dump] [-validate] [-tofino] program.p4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gauntlet/internal/compiler"
+	"gauntlet/internal/p4/parser"
+	"gauntlet/internal/p4/types"
+	"gauntlet/internal/target/tofino"
+	"gauntlet/internal/validate"
+)
+
+func main() {
+	dump := flag.Bool("dump", false, "print the program after every pass that changed it")
+	doValidate := flag.Bool("validate", false, "translation-validate consecutive snapshots")
+	useTofino := flag.Bool("tofino", false, "append the Tofino back-end passes")
+	maxConflicts := flag.Int("max-conflicts", 200000, "solver conflict budget per equivalence query")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: p4test [-dump] [-validate] program.p4")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := parser.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if err := types.Check(prog); err != nil {
+		fatal(err)
+	}
+
+	passes := compiler.DefaultPasses()
+	if *useTofino {
+		passes = append(passes, tofino.BackendPasses()...)
+	}
+	res, err := compiler.New(passes...).Compile(prog)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4test: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("compiled: %d passes changed the program\n", len(res.Snapshots)-1)
+	if *dump {
+		for _, s := range res.Snapshots {
+			fmt.Printf("// ======== after %s (hash %016x) ========\n%s\n", s.Pass, s.Hash, s.Text)
+		}
+	}
+	if *doValidate {
+		verdicts, err := validate.Snapshots(res, validate.Options{MaxConflicts: *maxConflicts})
+		if err != nil {
+			fatal(err)
+		}
+		fails := validate.Failures(verdicts)
+		for _, v := range verdicts {
+			fmt.Println(" ", v)
+		}
+		if len(fails) > 0 {
+			fmt.Printf("MISCOMPILATION: %d failing pass transitions\n", len(fails))
+			os.Exit(1)
+		}
+		fmt.Println("all passes preserve semantics")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "p4test: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,16 @@
+// Package gauntlet reproduces "Gauntlet: Finding Bugs in Compilers for
+// Programmable Packet Processing" (Ruffy, Wang, Sivaraman — OSDI 2020) as
+// a self-contained Go library: a P4₁₆-subset toolchain (parser, type
+// checker, nanopass compiler, interpreter), a QF_BV SMT solver, the
+// paper's three bug-finding techniques (random program generation,
+// translation validation, symbolic-execution test generation), two target
+// simulators (BMv2 and a black-box Tofino stand-in), and a seeded-defect
+// registry reproducing the paper's 78-bug evaluation.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and substitutions, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmark harness in bench_test.go regenerates every table
+// and figure:
+//
+//	go test -bench=. -benchmem .
+package gauntlet

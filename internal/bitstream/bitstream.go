@@ -1,0 +1,82 @@
+// Package bitstream provides bit-granular readers and writers over byte
+// buffers. The target simulators use it to extract header fields from
+// incoming packets (parser) and serialize headers back to bytes (deparser),
+// with arbitrary bit alignment, most-significant bit first — the network
+// order P4 targets use.
+package bitstream
+
+import "fmt"
+
+// Reader reads bit fields from a byte buffer, MSB first.
+type Reader struct {
+	data []byte
+	pos  int // bit cursor
+}
+
+// NewReader creates a reader over data.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return len(r.data)*8 - r.pos }
+
+// Pos returns the current bit cursor.
+func (r *Reader) Pos() int { return r.pos }
+
+// ReadBits reads n bits (0 < n <= 64) and returns them right-aligned.
+// It reports an error if fewer than n bits remain (the "packet too short"
+// condition, which parsers treat as a transition to reject).
+func (r *Reader) ReadBits(n int) (uint64, error) {
+	if n <= 0 || n > 64 {
+		return 0, fmt.Errorf("bitstream: read width %d out of range [1,64]", n)
+	}
+	if r.Remaining() < n {
+		return 0, fmt.Errorf("bitstream: short read: need %d bits, have %d", n, r.Remaining())
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		byteIdx := r.pos >> 3
+		bitIdx := 7 - (r.pos & 7)
+		bit := (r.data[byteIdx] >> uint(bitIdx)) & 1
+		v = v<<1 | uint64(bit)
+		r.pos++
+	}
+	return v, nil
+}
+
+// Writer appends bit fields to a growing byte buffer, MSB first.
+type Writer struct {
+	data []byte
+	pos  int // bit cursor
+}
+
+// NewWriter creates an empty writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// Len returns the number of bits written.
+func (w *Writer) Len() int { return w.pos }
+
+// WriteBits appends the low n bits of v (0 < n <= 64), MSB first.
+func (w *Writer) WriteBits(v uint64, n int) error {
+	if n <= 0 || n > 64 {
+		return fmt.Errorf("bitstream: write width %d out of range [1,64]", n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		if w.pos&7 == 0 {
+			w.data = append(w.data, 0)
+		}
+		bit := byte(v>>uint(i)) & 1
+		byteIdx := w.pos >> 3
+		bitIdx := 7 - (w.pos & 7)
+		w.data[byteIdx] |= bit << uint(bitIdx)
+		w.pos++
+	}
+	return nil
+}
+
+// Bytes returns the written bytes. The final partial byte, if any, is
+// zero-padded on the right (standard deparser behaviour).
+func (w *Writer) Bytes() []byte {
+	out := make([]byte, len(w.data))
+	copy(out, w.data)
+	return out
+}

@@ -1,0 +1,127 @@
+package bitstream_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gauntlet/internal/bitstream"
+)
+
+func TestReadWriteBasics(t *testing.T) {
+	w := bitstream.NewWriter()
+	if err := w.WriteBits(0b101, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBits(0xAB, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBits(0x3FF, 13); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", w.Len())
+	}
+	r := bitstream.NewReader(w.Bytes())
+	for _, tc := range []struct {
+		n    int
+		want uint64
+	}{{3, 0b101}, {8, 0xAB}, {13, 0x3FF}} {
+		got, err := r.ReadBits(tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("ReadBits(%d) = %#x, want %#x", tc.n, got, tc.want)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestMSBFirstLayout(t *testing.T) {
+	// A single 16-bit field 0x0800 must serialize as bytes 08 00 —
+	// network order.
+	w := bitstream.NewWriter()
+	_ = w.WriteBits(0x0800, 16)
+	got := w.Bytes()
+	if len(got) != 2 || got[0] != 0x08 || got[1] != 0x00 {
+		t.Fatalf("bytes = %x, want 0800", got)
+	}
+}
+
+func TestShortRead(t *testing.T) {
+	r := bitstream.NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(9); err == nil {
+		t.Fatal("reading 9 bits from 1 byte must fail")
+	}
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatalf("8-bit read should still work: %v", err)
+	}
+	if _, err := r.ReadBits(1); err == nil {
+		t.Fatal("reading past the end must fail")
+	}
+}
+
+func TestWidthValidation(t *testing.T) {
+	w := bitstream.NewWriter()
+	if err := w.WriteBits(0, 0); err == nil {
+		t.Error("width 0 write accepted")
+	}
+	if err := w.WriteBits(0, 65); err == nil {
+		t.Error("width 65 write accepted")
+	}
+	r := bitstream.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if _, err := r.ReadBits(0); err == nil {
+		t.Error("width 0 read accepted")
+	}
+	if _, err := r.ReadBits(65); err == nil {
+		t.Error("width 65 read accepted")
+	}
+}
+
+// TestRoundTripProperty: writing any sequence of (value, width) fields and
+// reading them back yields the masked originals.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(vals []uint64, widths []uint8) bool {
+		w := bitstream.NewWriter()
+		n := len(vals)
+		if len(widths) < n {
+			n = len(widths)
+		}
+		var want []uint64
+		var ws []int
+		for i := 0; i < n; i++ {
+			width := int(widths[i])%64 + 1
+			if err := w.WriteBits(vals[i], width); err != nil {
+				return false
+			}
+			mask := ^uint64(0)
+			if width < 64 {
+				mask = (1 << uint(width)) - 1
+			}
+			want = append(want, vals[i]&mask)
+			ws = append(ws, width)
+		}
+		r := bitstream.NewReader(w.Bytes())
+		for i := 0; i < n; i++ {
+			got, err := r.ReadBits(ws[i])
+			if err != nil || got != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesPadding(t *testing.T) {
+	w := bitstream.NewWriter()
+	_ = w.WriteBits(0b1, 1)
+	got := w.Bytes()
+	if len(got) != 1 || got[0] != 0x80 {
+		t.Fatalf("1-bit write = %x, want 80 (MSB-aligned, zero-padded)", got)
+	}
+}

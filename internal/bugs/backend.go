@@ -1,0 +1,195 @@
+package bugs
+
+import (
+	"fmt"
+
+	"gauntlet/internal/p4/ast"
+)
+
+// backendBugs defines the back-end population of Tables 2 and 3: BMv2
+// (4 filed = 2 crash + 2 semantic, all confirmed and fixed) and the
+// black-box Tofino compiler (25 crash + 10 semantic filed; 20 + 8
+// confirmed; 4 + 0 fixed — §7.1 notes the slower fix cadence of the
+// proprietary compiler). All 32 confirmed back-end bugs are the Table 3
+// "Back End" row.
+func backendBugs() []*Bug {
+	var out []*Bug
+
+	// --- BMv2: the reference switch gets light testing (§7.1 "we did not
+	// extensively test BMv2").
+	out = append(out,
+		&Bug{
+			ID: "BMV2-C-01", Platform: BMv2, Kind: Crash,
+			Pass: "BMv2Lowering", RootCause: "backend", Status: Fixed,
+			Description: "simple-switch lowering aborts on switch statements",
+			Trigger:     hasSwitch,
+			PanicMsg:    "assertion failed: bmv2 lowering cannot encode switch",
+			Witness:     witnessFor("switch"),
+		},
+		&Bug{
+			ID: "BMV2-C-02", Platform: BMv2, Kind: Crash,
+			Pass: "BMv2Lowering", RootCause: "backend", Status: Fixed,
+			Description: "JSON generation aborts on tables with 3+ actions",
+			Trigger:     hasTableWithActions(3),
+			PanicMsg:    "assertion failed: bmv2 action id out of range",
+			Witness:     witnessFor("table-multi-action"),
+		},
+		&Bug{
+			ID: "BMV2-S-01", Platform: BMv2, Kind: Semantic,
+			Pass: "BMv2Lowering", RootCause: "backend", Status: Fixed,
+			Description: "setValid lost during JSON lowering",
+			Trigger:     hasValidityCall("setValid"),
+			Mutate:      mutDropValidityCall,
+			Witness:     witnessFor("set-valid-cond"),
+		},
+		&Bug{
+			ID: "BMV2-S-02", Platform: BMv2, Kind: Semantic,
+			Pass: "BMv2Lowering", RootCause: "backend", Status: Fixed,
+			Description: "conditional sense inverted in generated JSON",
+			Trigger:     always,
+			Mutate:      mutNegateFirstIf,
+			Witness:     witnessFor("if-else"),
+		},
+	)
+
+	// --- Tofino crashes: 20 confirmed across the proprietary back-end
+	// passes ("the Tofino back end is more complex than BMv2 as it
+	// compiles for a high-speed hardware target", §7.1).
+	tofinoCrashes := []struct {
+		pass, family string
+		trig         func(*ast.Program) bool
+		fixed        bool
+	}{
+		{"TofinoPredication", "predication-shape", hasTableWithActions(2), true},
+		{"TofinoPredication", "if-else", always, true},
+		{"TofinoPredication", "exit-action", hasExitInAction, false},
+		{"TofinoPredication", "mux", hasMux, false},
+		{"TofinoPredication", "switch", hasSwitch, false},
+		{"TofinoPredication", "logical-ops", hasBinOp(ast.OpLOr), false},
+		{"TofinoCopyPropagation", "copy-prop-chain", always, true},
+		{"TofinoCopyPropagation", "slice-read", hasSliceExpr, false},
+		{"TofinoCopyPropagation", "sat-add", hasBinOp(ast.OpSatAdd), false},
+		{"TofinoCopyPropagation", "wide-arith", hasWidthOver(8), false},
+		{"TofinoSimplifyDefUse", "dead-store-chain", always, true},
+		{"TofinoSimplifyDefUse", "slice-assign", hasSliceAssign, false},
+		{"TofinoSimplifyDefUse", "uninit-local", hasUninitLocal, false},
+		{"TofinoSimplifyDefUse", "func-inout-return", hasFunctionWithInOutReturn, false},
+		{"TofinoDeadCode", "set-invalid", hasValidityCall("setInvalid"), false},
+		{"TofinoDeadCode", "exit-action", hasExitInAction, false},
+		{"TofinoDeadCode", "is-valid", hasValidityCall("isValid"), false},
+		{"TofinoTypeChecking", "concat", hasBinOp(ast.OpConcat), false},
+		{"TofinoTypeChecking", "cast-bool", hasCastBool, false},
+		{"TofinoTypeChecking", "table-multi-key", hasTableWithKeys(2), false},
+	}
+	for i, f := range tofinoCrashes {
+		st := Confirmed
+		if f.fixed {
+			st = Fixed
+		}
+		out = append(out, &Bug{
+			ID: fmt.Sprintf("TOF-C-%02d", i+1), Platform: Tofino, Kind: Crash,
+			Pass: f.pass, RootCause: "backend", Status: st,
+			Description: f.pass + " crash on " + f.family,
+			Trigger:     f.trig,
+			PanicMsg:    "assertion failed: " + f.pass + " table placement on " + f.family,
+			Witness:     witnessFor(f.family),
+		})
+	}
+	// 5 filed-but-unconfirmed Tofino crash reports (no bug-tracker
+	// access; repeated triggers until new releases, §7.3).
+	for i := 0; i < 5; i++ {
+		out = append(out, &Bug{
+			ID: fmt.Sprintf("TOF-C-%02d", 21+i), Platform: Tofino, Kind: Crash,
+			Pass: "TofinoPredication", RootCause: "backend", Status: Filed,
+			DupOf:       "TOF-C-01",
+			Description: "re-filed crash awaiting the next compiler release",
+			Trigger:     hasTableWithActions(2),
+			PanicMsg:    "assertion failed: TofinoPredication table placement on predication-shape",
+			Witness:     witnessFor("predication-shape"),
+		})
+	}
+
+	// --- Tofino semantic bugs: 8 confirmed, none fixed within the
+	// campaign window (targeted for the next release, §7.1).
+	tofinoSemantic := []struct {
+		pass, family, desc string
+		trig               func(*ast.Program) bool
+		mut                func(*ast.Program)
+	}{
+		{"TofinoPredication", "predication-shape",
+			"predicated assignment loses its guard in the hardware encoding",
+			hasPredicatedAssign, mutUnguardPredication},
+		{"TofinoPredication", "if-else",
+			"branch sense inverted while straight-lining",
+			always, mutNegateFirstIf},
+		{"TofinoPredication", "sat-add",
+			"saturating add lowered to wrapping ALU op",
+			hasBinOp(ast.OpSatAdd), mutBinOp(ast.OpSatAdd, ast.OpAdd)},
+		{"TofinoCopyPropagation", "copy-prop-chain",
+			"stale operand bus value propagated",
+			always, mutSwapAdjacentAssigns},
+		{"TofinoCopyPropagation", "fold-chain",
+			"immediate operand corrupted during allocation",
+			always, mutLiteralOffByOne},
+		{"TofinoSimplifyDefUse", "action-dir-params",
+			"slice copy-out eliminated as dead",
+			hasSliceAssign, mutDropSliceAssign},
+		{"TofinoSimplifyDefUse", "func-inout-return",
+			"inout write-back eliminated as dead",
+			hasCopyOutAssign, mutDropCopyOut},
+		{"TofinoDeadCode", "set-valid-cond",
+			"validity update eliminated by dead-code removal",
+			hasValidityCall("setValid"), mutDropValidityCall},
+	}
+	for i, f := range tofinoSemantic {
+		out = append(out, &Bug{
+			ID: fmt.Sprintf("TOF-S-%02d", i+1), Platform: Tofino, Kind: Semantic,
+			Pass: f.pass, RootCause: "backend", Status: Confirmed,
+			Description: f.desc, Trigger: f.trig, Mutate: f.mut,
+			Witness: witnessFor(f.family),
+		})
+	}
+	// --- Invalid transformations: 4 tracked-but-uncounted bugs whose
+	// symptom is emitted P4 that no longer parses or re-checks (§7.2:
+	// "we identified 4 such bugs of invalid intermediate P4; these 4
+	// bugs are not included in our count of 78. All were fixed.").
+	invalidXforms := []struct {
+		id, pass, family, desc string
+		mut                    func(*ast.Program)
+	}{
+		{"P4C-X-01", "UniqueNames", "dead-store-chain",
+			"local renamed to a reserved word during uniquification",
+			mutRenameToKeyword("apply")},
+		{"P4C-X-02", "SimplifyDefUse", "dead-store-chain",
+			"declaration duplicated while rebuilding a block",
+			mutDuplicateDecl},
+		{"P4C-X-03", "ConstantFolding", "const-assign",
+			"folded literal emitted at the wrong width",
+			mutWidenLiteral},
+		{"P4C-X-04", "Predication", "predication-shape",
+			"predicate temporary emitted with a keyword name",
+			mutRenameToKeyword("exit")},
+	}
+	for _, f := range invalidXforms {
+		out = append(out, &Bug{
+			ID: f.id, Platform: P4C, Kind: InvalidXform,
+			Pass: f.pass, RootCause: "emit/reparse", Status: Fixed,
+			Description: f.desc, Trigger: hasUninitLocalOrAny, Mutate: f.mut,
+			Witness: witnessFor(f.family),
+		})
+	}
+
+	// 2 filed-but-unconfirmed Tofino semantic reports.
+	for i := 0; i < 2; i++ {
+		out = append(out, &Bug{
+			ID: fmt.Sprintf("TOF-S-%02d", 9+i), Platform: Tofino, Kind: Semantic,
+			Pass: "TofinoPredication", RootCause: "backend", Status: Filed,
+			DupOf:       "TOF-S-01",
+			Description: "re-filed miscompilation awaiting the next compiler release",
+			Trigger:     hasPredicatedAssign,
+			Mutate:      mutUnguardPredication,
+			Witness:     witnessFor("predication-shape"),
+		})
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+// Package bugs is the seeded-defect registry standing in for the 4 months
+// of real compiler history the paper mined. It defines the 91 filed / 78
+// confirmed / 44 fixed bugs of Table 2 — each as a concrete faulty
+// behaviour (an assertion panic or a semantics-changing mutation) wired
+// into a specific pass of a specific platform, with the paper's location
+// (Table 3), root-cause (§7.2) and merge-history (§7.1) metadata.
+//
+// Activating a bug instruments the pass pipeline; Gauntlet then hunts it
+// with the technique matching the platform: crash capture and translation
+// validation for the open P4C/BMv2 side, symbolic-execution packet tests
+// for the black-box Tofino side.
+package bugs
+
+import (
+	"fmt"
+
+	"gauntlet/internal/compiler"
+	"gauntlet/internal/p4/ast"
+)
+
+// Kind classifies a bug as in the paper: crash (abnormal termination) or
+// semantic (miscompilation).
+type Kind int
+
+// Bug kinds. InvalidXform marks defects whose symptom is an emitted
+// program that no longer parses or type-checks — the paper tracked 4 such
+// bugs but did not count them in the 78 (§7.2 "invalid transformations").
+const (
+	Crash Kind = iota
+	Semantic
+	InvalidXform
+)
+
+// String renders the kind.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Semantic:
+		return "semantic"
+	default:
+		return "invalid-transform"
+	}
+}
+
+// Platform is where the bug lives (Table 2's columns).
+type Platform int
+
+// Platforms.
+const (
+	P4C Platform = iota
+	BMv2
+	Tofino
+)
+
+// String renders the platform.
+func (p Platform) String() string {
+	switch p {
+	case P4C:
+		return "P4C"
+	case BMv2:
+		return "BMv2"
+	default:
+		return "Tofino"
+	}
+}
+
+// Status is the bug's lifecycle state (Table 2's rows). Fixed implies
+// Confirmed implies Filed.
+type Status int
+
+// Statuses.
+const (
+	Filed Status = iota
+	Confirmed
+	Fixed
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case Filed:
+		return "filed"
+	case Confirmed:
+		return "confirmed"
+	default:
+		return "fixed"
+	}
+}
+
+// Bug is one seeded defect.
+type Bug struct {
+	// ID is the registry key, e.g. "P4C-C-03".
+	ID       string
+	Platform Platform
+	Kind     Kind
+	// Pass names the pass the defect patches (Tofino back-end passes
+	// carry the "Tofino" prefix).
+	Pass string
+	// RootCause buckets the defect for the §7.2 analysis:
+	// "type checker", "copy-in/copy-out", "predication", "visitor",
+	// "folding", "def-use", "side-effect ordering", "backend".
+	RootCause string
+	Status    Status
+	// MergeWeek is non-zero when the defect models a regression merged
+	// during the campaign (§7.1: 16 of 46 P4C bugs).
+	MergeWeek int
+	// SpecChange marks bugs whose report led to a P4 specification
+	// change (6 across the campaign).
+	SpecChange bool
+	// Derivative marks bugs found via handcrafted programs seeded by
+	// earlier Gauntlet reports rather than directly by generation (§7.1).
+	Derivative bool
+	// DupOf points at the confirmed bug this filed-only report
+	// duplicates ("" for original reports).
+	DupOf       string
+	Description string
+
+	// Trigger reports whether a program tickles the defect.
+	Trigger func(*ast.Program) bool
+	// PanicMsg is the crash fingerprint (Crash bugs).
+	PanicMsg string
+	// Mutate corrupts the pass output (Semantic bugs); it runs only when
+	// Trigger holds and must change observable semantics on the witness.
+	Mutate func(*ast.Program)
+	// Witness is a handwritten program guaranteed to trigger the defect.
+	Witness string
+}
+
+// buggyPass wraps a reference pass with a seeded defect.
+type buggyPass struct {
+	inner compiler.Pass
+	name  string
+	bug   *Bug
+}
+
+// Name preserves the wrapped pass's name: the defect hides inside it.
+func (p buggyPass) Name() string { return p.name }
+
+// Run executes the reference pass, then the defect. Crash triggers fire
+// on the pass *input* (real passes crash while consuming a construct,
+// possibly transforming it away); semantic mutations pattern-match the
+// pass *output*.
+func (p buggyPass) Run(prog *ast.Program) (*ast.Program, error) {
+	if p.bug.Kind == Crash && (p.bug.Trigger == nil || p.bug.Trigger(prog)) {
+		panic(p.bug.PanicMsg)
+	}
+	out, err := p.inner.Run(prog)
+	if err != nil {
+		return out, err
+	}
+	if (p.bug.Kind == Semantic || p.bug.Kind == InvalidXform) &&
+		(p.bug.Trigger == nil || p.bug.Trigger(out)) {
+		p.bug.Mutate(out)
+	}
+	return out, nil
+}
+
+// Instrument wires active bugs into a pass pipeline by name. Bugs whose
+// pass is absent are ignored (e.g. Tofino back-end bugs in a P4C-only
+// pipeline).
+func Instrument(passes []compiler.Pass, active []*Bug) []compiler.Pass {
+	out := make([]compiler.Pass, len(passes))
+	for i, p := range passes {
+		out[i] = p
+		for _, b := range active {
+			if b.Pass == p.Name() {
+				out[i] = buggyPass{inner: out[i], name: p.Name(), bug: b}
+			}
+		}
+	}
+	return out
+}
+
+// Registry is the full bug population.
+type Registry struct {
+	Bugs []*Bug
+	byID map[string]*Bug
+}
+
+// ByID looks a bug up.
+func (r *Registry) ByID(id string) *Bug { return r.byID[id] }
+
+// Select filters bugs by predicate.
+func (r *Registry) Select(f func(*Bug) bool) []*Bug {
+	var out []*Bug
+	for _, b := range r.Bugs {
+		if f(b) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Confirmed returns the confirmed crash and semantic bugs: the paper's
+// 78. Invalid-transformation bugs are tracked but not counted (§7.2).
+func (r *Registry) Confirmed() []*Bug {
+	return r.Select(func(b *Bug) bool {
+		return b.Status >= Confirmed && b.Kind != InvalidXform
+	})
+}
+
+// InvalidTransforms returns the tracked-but-uncounted emit bugs.
+func (r *Registry) InvalidTransforms() []*Bug {
+	return r.Select(func(b *Bug) bool { return b.Kind == InvalidXform })
+}
+
+// Load builds the registry. It panics on malformed definitions (checked
+// by tests).
+func Load() *Registry {
+	r := &Registry{byID: map[string]*Bug{}}
+	add := func(bs []*Bug) {
+		for _, b := range bs {
+			if _, dup := r.byID[b.ID]; dup {
+				panic("bugs: duplicate ID " + b.ID)
+			}
+			r.byID[b.ID] = b
+			r.Bugs = append(r.Bugs, b)
+		}
+	}
+	add(p4cBugs())
+	add(backendBugs())
+	return r
+}
+
+// CountTable2 returns the Table 2 cells: filed/confirmed/fixed ×
+// crash/semantic × platform.
+func (r *Registry) CountTable2() map[string]int {
+	c := map[string]int{}
+	for _, b := range r.Bugs {
+		if b.Kind == InvalidXform {
+			continue
+		}
+		key := func(st string) string {
+			return fmt.Sprintf("%s/%s/%s", b.Kind, st, b.Platform)
+		}
+		c[key("filed")]++
+		if b.Status >= Confirmed {
+			c[key("confirmed")]++
+		}
+		if b.Status >= Fixed {
+			c[key("fixed")]++
+		}
+	}
+	return c
+}

@@ -1,0 +1,104 @@
+package bugs_test
+
+import (
+	"testing"
+
+	"gauntlet/internal/bugs"
+	"gauntlet/internal/compiler"
+	"gauntlet/internal/p4/parser"
+	"gauntlet/internal/p4/types"
+)
+
+// TestRegistryWellFormed checks structural invariants of every entry.
+func TestRegistryWellFormed(t *testing.T) {
+	reg := bugs.Load()
+	if len(reg.Bugs) != 95 {
+		t.Fatalf("total registry entries = %d, want 95 (91 filed + 4 invalid transforms)", len(reg.Bugs))
+	}
+	if got := len(reg.InvalidTransforms()); got != 4 {
+		t.Fatalf("invalid-transform bugs = %d, want 4 (§7.2)", got)
+	}
+	knownPasses := map[string]bool{"BMv2Lowering": true}
+	for _, p := range compiler.DefaultPasses() {
+		knownPasses[p.Name()] = true
+		knownPasses["Tofino"+p.Name()] = true
+	}
+	for _, b := range reg.Bugs {
+		if b.ID == "" || b.Description == "" || b.Witness == "" {
+			t.Errorf("%s: incomplete metadata", b.ID)
+		}
+		if !knownPasses[b.Pass] {
+			t.Errorf("%s: unknown pass %q", b.ID, b.Pass)
+		}
+		switch b.Kind {
+		case bugs.Crash:
+			if b.PanicMsg == "" {
+				t.Errorf("%s: crash bug without panic fingerprint", b.ID)
+			}
+		case bugs.Semantic, bugs.InvalidXform:
+			if b.Mutate == nil {
+				t.Errorf("%s: %s bug without mutator", b.ID, b.Kind)
+			}
+		}
+		if b.DupOf != "" {
+			if b.Status != bugs.Filed {
+				t.Errorf("%s: duplicate with status %v", b.ID, b.Status)
+			}
+			if reg.ByID(b.DupOf) == nil {
+				t.Errorf("%s: DupOf %q does not exist", b.ID, b.DupOf)
+			}
+		}
+	}
+}
+
+// TestWitnessesParseAndTrigger checks every witness is well-formed and
+// tickles its own trigger predicate on the raw program (crash bugs) —
+// semantic triggers fire on pass output and are covered by the campaign.
+func TestWitnessesParseAndTrigger(t *testing.T) {
+	reg := bugs.Load()
+	for _, b := range reg.Bugs {
+		prog, err := parser.Parse(b.Witness)
+		if err != nil {
+			t.Errorf("%s: witness does not parse: %v", b.ID, err)
+			continue
+		}
+		if err := types.Check(prog); err != nil {
+			t.Errorf("%s: witness does not type-check: %v", b.ID, err)
+			continue
+		}
+		if b.Kind == bugs.Crash && b.Trigger != nil && !b.Trigger(prog) {
+			t.Errorf("%s: witness does not satisfy its own trigger", b.ID)
+		}
+	}
+}
+
+// TestInstrumentTargetsPass checks instrumentation only wraps the named
+// pass and leaves the rest of the pipeline untouched.
+func TestInstrumentTargetsPass(t *testing.T) {
+	reg := bugs.Load()
+	b := reg.ByID("P4C-C-01")
+	pl := bugs.Instrument(compiler.DefaultPasses(), []*bugs.Bug{b})
+	if len(pl) != len(compiler.DefaultPasses()) {
+		t.Fatal("instrumentation changed pipeline length")
+	}
+	for i, p := range pl {
+		ref := compiler.DefaultPasses()[i]
+		if p.Name() != ref.Name() {
+			t.Errorf("pass %d renamed to %s", i, p.Name())
+		}
+	}
+}
+
+// TestTable3Locations checks the confirmed bugs land in the paper's
+// front/mid/back split.
+func TestTable3Locations(t *testing.T) {
+	reg := bugs.Load()
+	loc := map[compiler.Location]int{}
+	for _, b := range reg.Confirmed() {
+		loc[compiler.LocationOf(b.Pass)]++
+	}
+	if loc[compiler.FrontEnd] != 33 || loc[compiler.MidEnd] != 13 || loc[compiler.BackEnd] != 32 {
+		t.Errorf("locations front/mid/back = %d/%d/%d, want 33/13/32",
+			loc[compiler.FrontEnd], loc[compiler.MidEnd], loc[compiler.BackEnd])
+	}
+}

@@ -1,0 +1,420 @@
+package bugs
+
+import (
+	"strings"
+
+	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/p4/printer"
+)
+
+// Mutators corrupt a pass's output program in place. Each models a class
+// of real P4C defects (§7.2): dropped assignments, statements moved across
+// exits, unguarded predication, wrong folding, stale copy propagation.
+
+// mutateFirstStmt finds the first statement satisfying pred in any
+// executable body and applies f to the containing statement list,
+// returning the replacement list.
+func mutateFirstStmt(prog *ast.Program, pred func(ast.Stmt) bool,
+	f func(stmts []ast.Stmt, i int) []ast.Stmt) bool {
+
+	done := false
+	var walkBlock func(b *ast.BlockStmt)
+	var walkStmt func(s ast.Stmt)
+	walkStmt = func(s ast.Stmt) {
+		if done || s == nil {
+			return
+		}
+		switch s := s.(type) {
+		case *ast.IfStmt:
+			walkBlock(s.Then)
+			walkStmt(s.Else)
+		case *ast.BlockStmt:
+			walkBlock(s)
+		case *ast.SwitchStmt:
+			for i := range s.Cases {
+				walkBlock(s.Cases[i].Body)
+			}
+		}
+	}
+	walkBlock = func(b *ast.BlockStmt) {
+		if b == nil || done {
+			return
+		}
+		for i, s := range b.Stmts {
+			if pred(s) {
+				b.Stmts = f(b.Stmts, i)
+				done = true
+				return
+			}
+		}
+		for _, s := range b.Stmts {
+			walkStmt(s)
+			if done {
+				return
+			}
+		}
+	}
+	for _, d := range prog.Decls {
+		if done {
+			break
+		}
+		switch d := d.(type) {
+		case *ast.ControlDecl:
+			// The apply block first: after inlining, action declarations
+			// may be dead copies whose mutation would be unobservable.
+			walkBlock(d.Apply)
+			for _, l := range d.Locals {
+				if done {
+					break
+				}
+				switch l := l.(type) {
+				case *ast.ActionDecl:
+					walkBlock(l.Body)
+				case *ast.FunctionDecl:
+					walkBlock(l.Body)
+				}
+			}
+		case *ast.FunctionDecl:
+			walkBlock(d.Body)
+		case *ast.ActionDecl:
+			walkBlock(d.Body)
+		}
+	}
+	return done
+}
+
+func removeAt(stmts []ast.Stmt, i int) []ast.Stmt {
+	return append(stmts[:i:i], stmts[i+1:]...)
+}
+
+// mutDropSliceAssign deletes the first assignment whose target is a bit
+// slice — the Fig. 5d defect ("the compiler assumed that the entire
+// variable would be assigned and removed the assignment").
+func mutDropSliceAssign(prog *ast.Program) {
+	mutateFirstStmt(prog, func(s ast.Stmt) bool {
+		a, ok := s.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		_, slice := a.LHS.(*ast.SliceExpr)
+		return slice
+	}, removeAt)
+}
+
+// mutDropCopyOut deletes the first copy-out-shaped assignment
+// "lv = tmp_*" produced by the inliner.
+func mutDropCopyOut(prog *ast.Program) {
+	mutateFirstStmt(prog, func(s ast.Stmt) bool {
+		a, ok := s.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		id, ok := a.RHS.(*ast.Ident)
+		return ok && strings.HasPrefix(id.Name, "tmp_")
+	}, removeAt)
+}
+
+// mutExitBeforeCopyOut hoists the re-raised exit check above the
+// preceding copy-out assignments — the Fig. 5f defect (statements moved
+// after exit "because the assumption was that exit ignores
+// copy-in/copy-out").
+func mutExitBeforeCopyOut(prog *ast.Program) {
+	mutateFirstStmt(prog, func(s ast.Stmt) bool {
+		iff, ok := s.(*ast.IfStmt)
+		if !ok || len(iff.Then.Stmts) != 1 {
+			return false
+		}
+		if _, isExit := iff.Then.Stmts[0].(*ast.ExitStmt); !isExit {
+			return false
+		}
+		id, ok := iff.Cond.(*ast.Ident)
+		return ok && strings.HasPrefix(id.Name, "tmp_exited")
+	}, func(stmts []ast.Stmt, i int) []ast.Stmt {
+		// Move the exit check before every preceding copy-out assignment.
+		j := i
+		for j > 0 {
+			if a, ok := stmts[j-1].(*ast.AssignStmt); ok {
+				if id, ok := a.RHS.(*ast.Ident); ok && strings.HasPrefix(id.Name, "tmp_") {
+					j--
+					continue
+				}
+			}
+			break
+		}
+		if j == i {
+			return stmts
+		}
+		moved := stmts[i]
+		copy(stmts[j+1:i+1], stmts[j:i])
+		stmts[j] = moved
+		return stmts
+	})
+}
+
+// mutUnguardPredicationNth rewrites the nth "x = pred ? e : x" into the
+// unconditional "x = e" — the broken Predication improvement (§7.2).
+// n = 1 unguards the then-branch assignment; n = 2 the else-branch one
+// (the "else predicate after then writes" regression shape).
+func mutUnguardPredicationNth(n int) func(*ast.Program) {
+	return func(prog *ast.Program) {
+		seen := 0
+		mutateFirstStmt(prog, func(s ast.Stmt) bool {
+			a, ok := s.(*ast.AssignStmt)
+			if !ok {
+				return false
+			}
+			m, ok := a.RHS.(*ast.MuxExpr)
+			if !ok {
+				return false
+			}
+			if printer.PrintExpr(m.Else) != printer.PrintExpr(a.LHS) {
+				return false
+			}
+			seen++
+			return seen == n
+		}, func(stmts []ast.Stmt, i int) []ast.Stmt {
+			a := stmts[i].(*ast.AssignStmt)
+			a.RHS = a.RHS.(*ast.MuxExpr).Then
+			return stmts
+		})
+	}
+}
+
+// mutUnguardPredication is the n=1 instance.
+func mutUnguardPredication(prog *ast.Program) { mutUnguardPredicationNth(1)(prog) }
+
+// mutNegateFirstIf negates the first if condition in an executable body.
+func mutNegateFirstIf(prog *ast.Program) {
+	mutateFirstStmt(prog, func(s ast.Stmt) bool {
+		_, ok := s.(*ast.IfStmt)
+		return ok
+	}, func(stmts []ast.Stmt, i int) []ast.Stmt {
+		iff := stmts[i].(*ast.IfStmt)
+		iff.Cond = &ast.UnaryExpr{Op: ast.OpLNot, X: iff.Cond}
+		return stmts
+	})
+}
+
+// mutBinOp replaces the first occurrence of one binary operator with
+// another (saturating-to-wrapping folds, shift-direction slips).
+func mutBinOp(from, to ast.BinaryOp) func(*ast.Program) {
+	return func(prog *ast.Program) {
+		done := false
+		rw := func(e ast.Expr) ast.Expr {
+			if done {
+				return e
+			}
+			if b, ok := e.(*ast.BinaryExpr); ok && b.Op == from {
+				done = true
+				b.Op = to
+			}
+			return e
+		}
+		for _, d := range prog.Decls {
+			if done {
+				return
+			}
+			switch d := d.(type) {
+			case *ast.ControlDecl:
+				ast.RewriteControl(d, nil, rw)
+			case *ast.FunctionDecl:
+				d.Body = ast.RewriteBlock(d.Body, nil, rw)
+			case *ast.ActionDecl:
+				d.Body = ast.RewriteBlock(d.Body, nil, rw)
+			}
+		}
+	}
+}
+
+// mutLiteralOffByOne adds one to the first sized literal appearing on an
+// assignment right-hand side.
+func mutLiteralOffByOne(prog *ast.Program) {
+	mutateFirstStmt(prog, func(s ast.Stmt) bool {
+		a, ok := s.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		found := false
+		ast.Inspect(a.RHS, func(e ast.Expr) bool {
+			if l, ok := e.(*ast.IntLit); ok && l.Width > 0 {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}, func(stmts []ast.Stmt, i int) []ast.Stmt {
+		a := stmts[i].(*ast.AssignStmt)
+		done := false
+		a.RHS = ast.RewriteExpr(a.RHS, func(e ast.Expr) ast.Expr {
+			if done {
+				return e
+			}
+			if l, ok := e.(*ast.IntLit); ok && l.Width > 0 {
+				done = true
+				return ast.Num(l.Width, l.Val+1)
+			}
+			return e
+		})
+		return stmts
+	})
+}
+
+// mutDropValidityCall removes the first setValid/setInvalid call — the
+// Fig. 5e family (validity state lost by an optimization).
+func mutDropValidityCall(prog *ast.Program) {
+	mutateFirstStmt(prog, func(s ast.Stmt) bool {
+		c, ok := s.(*ast.CallStmt)
+		if !ok {
+			return false
+		}
+		m, ok := c.Call.Func.(*ast.MemberExpr)
+		return ok && (m.Member == "setValid" || m.Member == "setInvalid")
+	}, removeAt)
+}
+
+// mutDropFirstAssignTo removes the first whole-variable assignment whose
+// target root matches the prefix (def-use over-cleaning, Fig. 5a family).
+func mutDropFirstAssignTo(rootPrefix string) func(*ast.Program) {
+	return func(prog *ast.Program) {
+		mutateFirstStmt(prog, func(s ast.Stmt) bool {
+			a, ok := s.(*ast.AssignStmt)
+			if !ok {
+				return false
+			}
+			root := ast.RootIdent(a.LHS)
+			return root != nil && strings.HasPrefix(root.Name, rootPrefix)
+		}, removeAt)
+	}
+}
+
+// mutZeroSliceAssign replaces the RHS of the first slice assignment with
+// zero (wrong strength reduction around slices, the Fig. 5c family).
+func mutZeroSliceAssign(prog *ast.Program) {
+	mutateFirstStmt(prog, func(s ast.Stmt) bool {
+		a, ok := s.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		_, slice := a.LHS.(*ast.SliceExpr)
+		return slice
+	}, func(stmts []ast.Stmt, i int) []ast.Stmt {
+		a := stmts[i].(*ast.AssignStmt)
+		sl := a.LHS.(*ast.SliceExpr)
+		a.RHS = ast.Num(sl.Hi-sl.Lo+1, 0)
+		return stmts
+	})
+}
+
+// mutRenameToKeyword renames the first block-local declaration to a
+// reserved word: the printed program no longer parses — the "invalid
+// transformation" symptom (§7.2: emitted intermediate P4 that fails to
+// reparse).
+func mutRenameToKeyword(keyword string) func(*ast.Program) {
+	return func(prog *ast.Program) {
+		mutateFirstStmt(prog, func(s ast.Stmt) bool {
+			_, ok := s.(*ast.VarDeclStmt)
+			return ok
+		}, func(stmts []ast.Stmt, i int) []ast.Stmt {
+			d := stmts[i].(*ast.VarDeclStmt)
+			old := d.Name
+			d.Name = keyword
+			for _, rest := range stmts[i+1:] {
+				ast.InspectStmt(rest, nil, func(e ast.Expr) bool {
+					if id, ok := e.(*ast.Ident); ok && id.Name == old {
+						id.Name = keyword
+					}
+					return true
+				})
+			}
+			return stmts
+		})
+	}
+}
+
+// mutDropSemicolonStmt duplicates a declaration, producing a duplicate-name
+// emit that fails re-checking (another invalid-transformation flavor).
+func mutDuplicateDecl(prog *ast.Program) {
+	mutateFirstStmt(prog, func(s ast.Stmt) bool {
+		_, ok := s.(*ast.VarDeclStmt)
+		return ok
+	}, func(stmts []ast.Stmt, i int) []ast.Stmt {
+		d := stmts[i].(*ast.VarDeclStmt)
+		dup := &ast.VarDeclStmt{Name: d.Name, Type: ast.CloneType(d.Type), Init: ast.CloneExpr(d.Init)}
+		out := append(stmts[:i+1:i+1], dup)
+		return append(out, stmts[i+1:]...)
+	})
+}
+
+// mutWidenLiteral re-sizes the first sized literal on an assignment RHS to
+// a wider width: the emitted program fails re-type-checking.
+func mutWidenLiteral(prog *ast.Program) {
+	mutateFirstStmt(prog, func(s ast.Stmt) bool {
+		a, ok := s.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		l, isLit := a.RHS.(*ast.IntLit)
+		return isLit && l.Width > 0 && l.Width < 60
+	}, func(stmts []ast.Stmt, i int) []ast.Stmt {
+		a := stmts[i].(*ast.AssignStmt)
+		l := a.RHS.(*ast.IntLit)
+		a.RHS = &ast.IntLit{Width: l.Width + 4, Val: l.Val}
+		return stmts
+	})
+}
+
+// mutSwapAdjacentAssigns swaps the first pair of adjacent assignments
+// sharing a root variable (side-effect-ordering defects).
+func mutSwapAdjacentAssigns(prog *ast.Program) {
+	swapped := false
+	var walk func(b *ast.BlockStmt)
+	walk = func(b *ast.BlockStmt) {
+		if b == nil || swapped {
+			return
+		}
+		for i := 0; i+1 < len(b.Stmts); i++ {
+			a1, ok1 := b.Stmts[i].(*ast.AssignStmt)
+			a2, ok2 := b.Stmts[i+1].(*ast.AssignStmt)
+			if !ok1 || !ok2 {
+				continue
+			}
+			// Only a genuine read-after-write (or write-after-write to
+			// the same storage) makes the swap observable.
+			lhs1 := printer.PrintExpr(a1.LHS)
+			dependent := strings.Contains(printer.PrintExpr(a2.RHS), lhs1) ||
+				printer.PrintExpr(a2.LHS) == lhs1
+			if dependent {
+				b.Stmts[i], b.Stmts[i+1] = b.Stmts[i+1], b.Stmts[i]
+				swapped = true
+				return
+			}
+		}
+		for _, s := range b.Stmts {
+			switch s := s.(type) {
+			case *ast.IfStmt:
+				walk(s.Then)
+				if blk, ok := s.Else.(*ast.BlockStmt); ok {
+					walk(blk)
+				}
+			case *ast.BlockStmt:
+				walk(s)
+			}
+			if swapped {
+				return
+			}
+		}
+	}
+	for _, c := range prog.Controls() {
+		for _, a := range c.Actions() {
+			walk(a.Body)
+			if swapped {
+				return
+			}
+		}
+		walk(c.Apply)
+		if swapped {
+			return
+		}
+	}
+}

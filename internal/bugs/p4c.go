@@ -1,0 +1,253 @@
+package bugs
+
+import (
+	"fmt"
+
+	"gauntlet/internal/p4/ast"
+)
+
+// p4cBugs defines the P4C population of Table 2: 26 crash + 26 semantic
+// filed; 25 + 21 confirmed; 21 + 15 fixed. Locations split front 33 /
+// mid 13 for the confirmed 46 (Table 3). 18 of the 25 confirmed crashes
+// live in the type checker and at least 8 of the 21 confirmed semantic
+// bugs are copy-in/copy-out defects (§7.2); 16 of the confirmed 46 carry
+// a merge week (§7.1); 6 led to specification changes; 5 are derivative
+// handcrafted reports.
+func p4cBugs() []*Bug {
+	var out []*Bug
+	nc, ns := 0, 0
+	id := func(kind Kind) string {
+		if kind == Crash {
+			nc++
+			return fmt.Sprintf("P4C-C-%02d", nc)
+		}
+		ns++
+		return fmt.Sprintf("P4C-S-%02d", ns)
+	}
+
+	// --- Crash bugs: 18 type-checker assertion violations (§7.2 "crashes
+	// in the type checker"), each fired by a distinct language construct.
+	tcFamilies := []struct {
+		family string
+		trig   func(*ast.Program) bool
+		week   int
+		spec   bool
+		deriv  bool
+		fixed  bool
+	}{
+		{"shl-nonconst", hasNonConstShift, 0, true, false, true}, // Fig. 5b; 2 spec updates
+		{"shr-nonconst", hasNonConstShift, 0, false, false, true},
+		{"concat", hasBinOp(ast.OpConcat), 2, false, false, true},
+		{"mux", hasMux, 0, false, false, true},
+		{"slice-read", hasSliceExpr, 0, false, false, true},
+		{"slice-assign", hasSliceAssign, 3, false, false, true},
+		{"sat-add", hasBinOp(ast.OpSatAdd), 0, false, false, true},
+		{"sat-sub", hasBinOp(ast.OpSatSub), 0, false, false, true},
+		{"cast-bool", hasCastBool, 5, false, false, true},
+		{"is-valid", hasValidityCall("isValid"), 0, false, false, true},
+		{"set-valid", hasValidityCall("setValid"), 0, true, true, true}, // validity spec clarifications
+		{"set-invalid", hasValidityCall("setInvalid"), 0, false, true, true},
+		{"switch", hasSwitch, 6, false, false, true},
+		{"exit-action", hasExitInAction, 0, false, false, true},
+		{"action-dir-params", hasActionWithDirParams, 0, false, false, true},
+		{"func-inout-return", hasFunctionWithInOutReturn, 0, false, false, true},
+		{"table-multi-key", hasTableWithKeys(2), 8, false, false, false},
+		{"wide-arith", hasWidthOver(8), 0, false, true, false},
+	}
+	for _, f := range tcFamilies {
+		st := Confirmed
+		if f.fixed {
+			st = Fixed
+		}
+		out = append(out, &Bug{
+			ID: id(Crash), Platform: P4C, Kind: Crash,
+			Pass: "TypeChecking", RootCause: "type checker", Status: st,
+			MergeWeek: f.week, SpecChange: f.spec, Derivative: f.deriv,
+			Description: "type checker assertion violation on " + f.family,
+			Trigger:     f.trig,
+			PanicMsg:    "assertion failed: typeMap invariant violated on " + f.family,
+			Witness:     witnessFor(f.family),
+		})
+	}
+
+	// --- Crash bugs: 5 more front-end passes, 2 mid-end (snowball
+	// effects of missed transformations, §7.2).
+	otherCrashes := []struct {
+		pass, family, cause string
+		trig                func(*ast.Program) bool
+		week                int
+		fixed               bool
+	}{
+		{"SideEffectOrdering", "mux", "side-effect ordering", hasMux, 0, true},
+		{"SideEffectOrdering", "logical-ops", "side-effect ordering", hasBinOp(ast.OpLAnd), 9, true},
+		{"InlineFunctions", "func-inout-return", "visitor", hasFunctionWithInOutReturn, 0, true},
+		{"RemoveActionParameters", "exit-action", "copy-in/copy-out", hasExitInAction, 0, false},
+		{"SimplifyDefUse", "dead-store-chain", "def-use", hasSliceAssign, 11, false},
+		{"StrengthReduction", "fold-chain", "folding", hasBinOp(ast.OpMul), 0, true},
+		{"Predication", "predication-shape", "predication", hasTableWithActions(2), 13, true}, // merge regression
+	}
+	for _, f := range otherCrashes {
+		st := Confirmed
+		if f.fixed {
+			st = Fixed
+		}
+		out = append(out, &Bug{
+			ID: id(Crash), Platform: P4C, Kind: Crash,
+			Pass: f.pass, RootCause: f.cause, Status: st, MergeWeek: f.week,
+			Description: f.pass + " crash on " + f.family,
+			Trigger:     f.trig,
+			PanicMsg:    "assertion failed: " + f.pass + " precondition violated on " + f.family,
+			Witness:     witnessFor(f.family),
+		})
+	}
+
+	// One filed-but-unconfirmed crash report (a duplicate of the first
+	// type-checker bug): filed 26, confirmed 25.
+	out = append(out, &Bug{
+		ID: id(Crash), Platform: P4C, Kind: Crash,
+		Pass: "TypeChecking", RootCause: "type checker", Status: Filed,
+		DupOf:       "P4C-C-01",
+		Description: "duplicate report of the shift-width crash",
+		Trigger:     hasNonConstShift,
+		PanicMsg:    "assertion failed: typeMap invariant violated on shl-nonconst",
+		Witness:     witnessFor("shl-nonconst"),
+	})
+
+	// --- Semantic bugs: front end (10 confirmed). The copy-in/copy-out
+	// cluster (≥8 of 21, §7.2) spans SideEffectOrdering, InlineFunctions
+	// and RemoveActionParameters.
+	frontSemantic := []struct {
+		pass, family, cause, desc string
+		trig                      func(*ast.Program) bool
+		mut                       func(*ast.Program)
+		week                      int
+		spec                      bool
+		deriv                     bool
+		fixed                     bool
+	}{
+		{"SideEffectOrdering", "dead-store-chain", "copy-in/copy-out",
+			"argument evaluation reordered across overlapping writes",
+			always, mutSwapAdjacentAssigns, 0, false, false, true},
+		{"SideEffectOrdering", "fold-chain", "copy-in/copy-out",
+			"hoisted temporary initialized with the wrong literal",
+			always, mutLiteralOffByOne, 10, false, false, true},
+		{"SideEffectOrdering", "if-else", "copy-in/copy-out",
+			"short-circuit guard inverted while hoisting",
+			always, mutNegateFirstIf, 0, false, true, true},
+		{"InlineFunctions", "func-inout-return", "copy-in/copy-out",
+			"inout copy-out dropped when the callee returns early",
+			hasFunctionWithInOutReturn, mutDropCopyOut, 0, false, false, true},
+		{"InlineFunctions", "func-inout-return", "copy-in/copy-out",
+			"return-value temporary never written back",
+			hasFunctionWithInOutReturn, mutDropFirstAssignTo("tmp_ret"), 0, false, false, true},
+		{"RemoveActionParameters", "exit-action", "copy-in/copy-out",
+			"statement moved after exit: copy-out skipped (Fig. 5f)",
+			hasExitInAction, mutExitBeforeCopyOut, 0, true, false, true},
+		{"RemoveActionParameters", "action-dir-params", "copy-in/copy-out",
+			"disjoint slice assignment deleted (Fig. 5d)",
+			hasSliceAssign, mutDropSliceAssign, 0, false, false, true},
+		{"RemoveActionParameters", "action-dir-params", "copy-in/copy-out",
+			"slice copy-out dropped for inout action parameter",
+			hasActionWithDirParams, mutDropCopyOut, 7, false, false, true},
+		{"SimplifyDefUse", "func-inout-return", "def-use",
+			"caller-scope variables removed after return (Fig. 5a)",
+			hasFunctionWithInOutReturn, mutDropFirstAssignTo("hdr"), 0, true, false, true},
+		{"SimplifyDefUse", "slice-assign", "def-use",
+			"partial write treated as a full definition",
+			hasSliceAssign, mutDropSliceAssign, 12, false, false, true},
+	}
+	for _, f := range frontSemantic {
+		st := Confirmed
+		if f.fixed {
+			st = Fixed
+		}
+		out = append(out, &Bug{
+			ID: id(Semantic), Platform: P4C, Kind: Semantic,
+			Pass: f.pass, RootCause: f.cause, Status: st, MergeWeek: f.week,
+			SpecChange: f.spec, Derivative: f.deriv,
+			Description: f.desc, Trigger: f.trig, Mutate: f.mut,
+			Witness: witnessFor(f.family),
+		})
+	}
+
+	// --- Semantic bugs: mid end (11 confirmed), including the
+	// Predication merge regressions (§7.2 "consequences of compiler
+	// changes": 3 semantic + the crash above).
+	midSemantic := []struct {
+		pass, family, cause, desc string
+		trig                      func(*ast.Program) bool
+		mut                       func(*ast.Program)
+		week                      int
+		spec                      bool
+		deriv                     bool
+		fixed                     bool
+	}{
+		{"ConstantFolding", "sat-add", "folding",
+			"saturating add folded with wrapping semantics",
+			hasBinOp(ast.OpSatAdd), mutBinOp(ast.OpSatAdd, ast.OpAdd), 0, false, false, true},
+		{"ConstantFolding", "sat-sub", "folding",
+			"saturating subtract folded with wrapping semantics",
+			hasBinOp(ast.OpSatSub), mutBinOp(ast.OpSatSub, ast.OpSub), 0, false, false, true},
+		{"ConstantFolding", "shr-nonconst", "folding",
+			"right shift folded as left shift",
+			hasBinOp(ast.OpShr), mutBinOp(ast.OpShr, ast.OpShl), 14, false, false, true},
+		{"StrengthReduction", "wide-arith", "folding",
+			"multiplication reduced to addition",
+			hasBinOp(ast.OpMul), mutBinOp(ast.OpMul, ast.OpAdd), 0, false, false, true},
+		{"StrengthReduction", "slice-assign", "folding",
+			"slice strength reduction computes the wrong bits (Fig. 5c class)",
+			hasSliceAssign, mutZeroSliceAssign, 0, true, false, true},
+		{"Predication", "predication-shape", "predication",
+			"predicated assignment loses its guard",
+			hasPredicatedAssign, mutUnguardPredication, 13, false, false, true},
+		{"Predication", "predication-shape", "predication",
+			"else-branch predicate computed after then-branch writes",
+			hasPredicatedAssign, mutUnguardPredicationNth(2), 13, false, false, true},
+		{"Predication", "predication-shape", "predication",
+			"nested predicate constant corrupted",
+			hasPredicatedAssign, mutLiteralOffByOne, 13, false, false, true},
+		{"CopyPropagation", "copy-prop-chain", "def-use",
+			"stale copy propagated across a redefinition",
+			always, mutSwapAdjacentAssigns, 0, false, false, true},
+		{"CopyPropagation", "copy-prop-chain", "def-use",
+			"copy fact survives a partial write",
+			hasSliceAssign, mutDropSliceAssign, 15, false, false, true},
+		{"DeadCode", "set-invalid", "header validity",
+			"validity update removed as dead (Fig. 5e class)",
+			hasValidityCall("setInvalid"), mutDropValidityCall, 0, true, true, false},
+	}
+	for i, f := range midSemantic {
+		st := Confirmed
+		if f.fixed {
+			st = Fixed
+		}
+		// Fixed semantic bugs: 15 of 21. Front contributes 10; cap the
+		// mid-end fixes at 5.
+		if i >= 5 {
+			st = Confirmed
+		}
+		out = append(out, &Bug{
+			ID: id(Semantic), Platform: P4C, Kind: Semantic,
+			Pass: f.pass, RootCause: f.cause, Status: st, MergeWeek: f.week,
+			SpecChange: f.spec, Derivative: f.deriv,
+			Description: f.desc, Trigger: f.trig, Mutate: f.mut,
+			Witness: witnessFor(f.family),
+		})
+	}
+
+	// Five filed-but-unconfirmed semantic reports (duplicates): filed 26,
+	// confirmed 21.
+	dups := []string{"P4C-S-16", "P4C-S-17", "P4C-S-18", "P4C-S-16", "P4C-S-17"}
+	for i := 0; i < 5; i++ {
+		out = append(out, &Bug{
+			ID: id(Semantic), Platform: P4C, Kind: Semantic,
+			Pass: "Predication", RootCause: "predication", Status: Filed,
+			DupOf:       dups[i],
+			Description: "duplicate report from a P4 programmer (§7.2: later reports were considered duplicates of ours)",
+			Trigger:     hasPredicatedAssign,
+			Mutate:      mutUnguardPredication,
+			Witness:     witnessFor("predication-shape"),
+		})
+	}
+	return out
+}

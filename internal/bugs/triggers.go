@@ -1,0 +1,369 @@
+package bugs
+
+import (
+	"strings"
+
+	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/p4/printer"
+)
+
+// scanExprs walks every expression in every executable body.
+func scanExprs(prog *ast.Program, f func(ast.Expr) bool) bool {
+	found := false
+	visit := func(e ast.Expr) bool {
+		if f(e) {
+			found = true
+			return false
+		}
+		return true
+	}
+	scanStmts(prog, func(s ast.Stmt) bool {
+		ast.InspectStmt(s, nil, visit)
+		return found
+	})
+	return found
+}
+
+// scanStmts walks every top-level statement of every body; stop when f
+// returns true.
+func scanStmts(prog *ast.Program, f func(ast.Stmt) bool) bool {
+	done := false
+	walk := func(b *ast.BlockStmt) {
+		if b == nil || done {
+			return
+		}
+		ast.InspectStmt(b, func(s ast.Stmt) bool {
+			if f(s) {
+				done = true
+			}
+			return !done
+		}, nil)
+	}
+	for _, d := range prog.Decls {
+		switch d := d.(type) {
+		case *ast.ControlDecl:
+			for _, l := range d.Locals {
+				switch l := l.(type) {
+				case *ast.ActionDecl:
+					walk(l.Body)
+				case *ast.FunctionDecl:
+					walk(l.Body)
+				}
+			}
+			walk(d.Apply)
+		case *ast.FunctionDecl:
+			walk(d.Body)
+		case *ast.ActionDecl:
+			walk(d.Body)
+		case *ast.ParserDecl:
+			for i := range d.States {
+				walk(&ast.BlockStmt{Stmts: d.States[i].Stmts})
+			}
+		}
+	}
+	return done
+}
+
+// hasBinOp triggers on a binary operator anywhere in the program.
+func hasBinOp(op ast.BinaryOp) func(*ast.Program) bool {
+	return func(p *ast.Program) bool {
+		return scanExprs(p, func(e ast.Expr) bool {
+			b, ok := e.(*ast.BinaryExpr)
+			return ok && b.Op == op
+		})
+	}
+}
+
+// hasNonConstShift triggers on a shift whose amount is not a literal —
+// the Fig. 5b family (shifts of statically unknown shape).
+func hasNonConstShift(p *ast.Program) bool {
+	return scanExprs(p, func(e ast.Expr) bool {
+		b, ok := e.(*ast.BinaryExpr)
+		if !ok || (b.Op != ast.OpShl && b.Op != ast.OpShr) {
+			return false
+		}
+		_, lit := b.Y.(*ast.IntLit)
+		return !lit
+	})
+}
+
+// hasMux triggers on a conditional expression.
+func hasMux(p *ast.Program) bool {
+	return scanExprs(p, func(e ast.Expr) bool {
+		_, ok := e.(*ast.MuxExpr)
+		return ok
+	})
+}
+
+// hasSliceExpr triggers on a bit slice read.
+func hasSliceExpr(p *ast.Program) bool {
+	return scanExprs(p, func(e ast.Expr) bool {
+		_, ok := e.(*ast.SliceExpr)
+		return ok
+	})
+}
+
+// hasSliceAssign triggers on a slice used as an assignment target — the
+// Fig. 5d family.
+func hasSliceAssign(p *ast.Program) bool {
+	return scanStmts(p, func(s ast.Stmt) bool {
+		a, ok := s.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		_, slice := a.LHS.(*ast.SliceExpr)
+		return slice
+	})
+}
+
+// hasCastBool triggers on bool↔bit casts.
+func hasCastBool(p *ast.Program) bool {
+	return scanExprs(p, func(e ast.Expr) bool {
+		c, ok := e.(*ast.CastExpr)
+		if !ok {
+			return false
+		}
+		if _, toBool := c.To.(*ast.BoolType); toBool {
+			return true
+		}
+		// bit cast of a boolean operand.
+		switch c.X.(type) {
+		case *ast.BoolLit:
+			return true
+		case *ast.BinaryExpr:
+			b := c.X.(*ast.BinaryExpr)
+			return b.Op.IsComparison() || b.Op.IsLogical()
+		}
+		return false
+	})
+}
+
+// hasValidityCall triggers on the named header validity method.
+func hasValidityCall(method string) func(*ast.Program) bool {
+	return func(p *ast.Program) bool {
+		return scanExprs(p, func(e ast.Expr) bool {
+			c, ok := e.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			m, ok := c.Func.(*ast.MemberExpr)
+			return ok && m.Member == method
+		})
+	}
+}
+
+// hasExitInAction triggers on an exit statement inside an action body —
+// the Fig. 5f family.
+func hasExitInAction(p *ast.Program) bool {
+	for _, c := range p.Controls() {
+		for _, a := range c.Actions() {
+			found := false
+			ast.InspectStmt(a.Body, func(s ast.Stmt) bool {
+				if _, ok := s.(*ast.ExitStmt); ok {
+					found = true
+				}
+				return !found
+			}, nil)
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasSwitch triggers on a switch statement.
+func hasSwitch(p *ast.Program) bool {
+	return scanStmts(p, func(s ast.Stmt) bool {
+		_, ok := s.(*ast.SwitchStmt)
+		return ok
+	})
+}
+
+// hasFunctionWithInOutReturn triggers on the Fig. 5a shape: a function
+// with an inout parameter containing a return statement.
+func hasFunctionWithInOutReturn(p *ast.Program) bool {
+	check := func(f *ast.FunctionDecl) bool {
+		hasInOut := false
+		for _, prm := range f.Params {
+			if prm.Dir == ast.DirInOut {
+				hasInOut = true
+			}
+		}
+		if !hasInOut {
+			return false
+		}
+		found := false
+		ast.InspectStmt(f.Body, func(s ast.Stmt) bool {
+			if _, ok := s.(*ast.ReturnStmt); ok {
+				found = true
+			}
+			return !found
+		}, nil)
+		return found
+	}
+	for _, d := range p.Decls {
+		switch d := d.(type) {
+		case *ast.FunctionDecl:
+			if check(d) {
+				return true
+			}
+		case *ast.ControlDecl:
+			for _, l := range d.Locals {
+				if f, ok := l.(*ast.FunctionDecl); ok && check(f) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// hasActionWithDirParams triggers on direct-call actions with inout/out
+// parameters.
+func hasActionWithDirParams(p *ast.Program) bool {
+	for _, c := range p.Controls() {
+		for _, a := range c.Actions() {
+			for _, prm := range a.Params {
+				if prm.Dir == ast.DirInOut || prm.Dir == ast.DirOut {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// hasTableWithKeys triggers on a table with at least n keys.
+func hasTableWithKeys(n int) func(*ast.Program) bool {
+	return func(p *ast.Program) bool {
+		for _, c := range p.Controls() {
+			for _, t := range c.Tables() {
+				if len(t.Keys) >= n {
+					return true
+				}
+			}
+		}
+		return false
+	}
+}
+
+// hasTableWithActions triggers on a table listing at least n actions.
+func hasTableWithActions(n int) func(*ast.Program) bool {
+	return func(p *ast.Program) bool {
+		for _, c := range p.Controls() {
+			for _, t := range c.Tables() {
+				if len(t.Actions) >= n {
+					return true
+				}
+			}
+		}
+		return false
+	}
+}
+
+// hasWidthOver triggers on any bit type wider than w.
+func hasWidthOver(w int) func(*ast.Program) bool {
+	return func(p *ast.Program) bool {
+		found := false
+		var checkType func(t ast.Type)
+		checkType = func(t ast.Type) {
+			switch t := t.(type) {
+			case *ast.BitType:
+				if t.Width > w {
+					found = true
+				}
+			case *ast.HeaderType:
+				for _, f := range t.Fields {
+					checkType(f.Type)
+				}
+			case *ast.StructType:
+				for _, f := range t.Fields {
+					checkType(f.Type)
+				}
+			}
+		}
+		for _, d := range p.Decls {
+			if h, ok := d.(*ast.HeaderDecl); ok {
+				for _, f := range h.Fields {
+					checkType(f.Type)
+				}
+			}
+		}
+		return found
+	}
+}
+
+// hasUninitLocal triggers on an uninitialized local declaration —
+// undefined-value territory (Fig. 5e discussions).
+func hasUninitLocal(p *ast.Program) bool {
+	return scanStmts(p, func(s ast.Stmt) bool {
+		d, ok := s.(*ast.VarDeclStmt)
+		return ok && d.Init == nil
+	})
+}
+
+// hasMultiStateParser triggers on parsers with select transitions.
+func hasMultiStateParser(p *ast.Program) bool {
+	for _, d := range p.Decls {
+		if pd, ok := d.(*ast.ParserDecl); ok && len(pd.States) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// hasUnaryOp triggers on the given unary operator.
+func hasUnaryOp(op ast.UnaryOp) func(*ast.Program) bool {
+	return func(p *ast.Program) bool {
+		return scanExprs(p, func(e ast.Expr) bool {
+			u, ok := e.(*ast.UnaryExpr)
+			return ok && u.Op == op
+		})
+	}
+}
+
+// hasPredicatedAssign triggers on the predication output shape
+// "x = pred ? e : x" (used by the predication defects).
+func hasPredicatedAssign(p *ast.Program) bool {
+	return scanStmts(p, func(s ast.Stmt) bool {
+		a, ok := s.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		m, ok := a.RHS.(*ast.MuxExpr)
+		if !ok {
+			return false
+		}
+		return printer.PrintExpr(m.Else) == printer.PrintExpr(a.LHS)
+	})
+}
+
+// hasCopyOutAssign triggers on inliner copy-out shape "lv = tmp_*".
+func hasCopyOutAssign(p *ast.Program) bool {
+	return scanStmts(p, func(s ast.Stmt) bool {
+		a, ok := s.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		id, ok := a.RHS.(*ast.Ident)
+		return ok && strings.HasPrefix(id.Name, "tmp_")
+	})
+}
+
+// always triggers unconditionally.
+func always(*ast.Program) bool { return true }
+
+// hasUninitLocalOrAny is the invalid-transform trigger: any program with a
+// block-local declaration (the mutators need one to corrupt).
+func hasUninitLocalOrAny(p *ast.Program) bool {
+	return scanStmts(p, func(s ast.Stmt) bool {
+		_, ok := s.(*ast.VarDeclStmt)
+		return ok
+	})
+}
+
+// both combines triggers conjunctively.
+func both(a, b func(*ast.Program) bool) func(*ast.Program) bool {
+	return func(p *ast.Program) bool { return a(p) && b(p) }
+}

@@ -1,0 +1,276 @@
+package bugs
+
+import "fmt"
+
+// witness wraps an ingress body (and optional extra control locals) in
+// the standard 4-block v1model program shape all targets understand.
+// Witness programs are the handcrafted reproducers attached to each bug
+// (the paper attaches a reduced program to every report, §8).
+func witness(locals, apply string) string {
+	return fmt.Sprintf(`
+header Hdr1 {
+    bit<8> f1;
+    bit<8> f2;
+    bit<16> f3;
+}
+struct Headers {
+    Hdr1 h1;
+}
+struct standard_metadata_t {
+    bit<9> ingress_port;
+    bit<9> egress_spec;
+    bit<1> drop_flag;
+    bit<16> user_meta;
+}
+parser p(packet pkt, out Headers hdr, inout standard_metadata_t sm) {
+    state start {
+        pkt.extract(hdr.h1);
+        transition accept;
+    }
+}
+control ingress(inout Headers hdr, inout standard_metadata_t sm) {
+%s
+    apply {
+%s
+    }
+}
+control egress(inout Headers hdr, inout standard_metadata_t sm) {
+    apply {
+    }
+}
+control dep(packet pkt, in Headers hdr) {
+    apply {
+        pkt.emit(hdr.h1);
+    }
+}
+V1Switch(p, ingress, egress, dep) main;
+`, locals, apply)
+}
+
+// Witness bodies per trigger family. Each is tiny and deterministic so a
+// seeded bug's detection is reproducible.
+var witnessPrograms = map[string]string{
+	"shl-nonconst": witness("", `
+        hdr.h1.f1 = hdr.h1.f1 << hdr.h1.f2;`),
+	"shr-nonconst": witness("", `
+        hdr.h1.f1 = hdr.h1.f1 >> hdr.h1.f2;`),
+	"concat": witness("", `
+        hdr.h1.f3 = hdr.h1.f1 ++ hdr.h1.f2;`),
+	"mux": witness("", `
+        hdr.h1.f1 = hdr.h1.f1 > 8w7 ? hdr.h1.f2 : hdr.h1.f1;`),
+	"slice-read": witness("", `
+        hdr.h1.f1 = (bit<8>) hdr.h1.f3[11:4];`),
+	"slice-assign": witness("", `
+        hdr.h1.f3[7:2] = hdr.h1.f1[5:0];`),
+	"sat-add": witness("", `
+        hdr.h1.f1 = hdr.h1.f1 |+| 8w255;`),
+	"sat-sub": witness("", `
+        hdr.h1.f1 = 8w0 |-| hdr.h1.f1;`),
+	"cast-bool": witness("", `
+        hdr.h1.f1 = (bit<8>) (hdr.h1.f1 == hdr.h1.f2);`),
+	"is-valid": witness("", `
+        if (hdr.h1.isValid()) {
+            hdr.h1.f1 = 8w1;
+        }`),
+	"set-valid": witness("", `
+        hdr.h1.setValid();
+        hdr.h1.f1 = 8w5;`),
+	"set-invalid": witness("", `
+        hdr.h1.f1 = 8w5;
+        hdr.h1.setInvalid();`),
+	"switch": witness("", `
+        switch (hdr.h1.f1) {
+            8w1: { hdr.h1.f2 = 8w10; }
+            8w2: { hdr.h1.f2 = 8w20; }
+            default: { hdr.h1.f2 = 8w0; }
+        }`),
+	"exit-action": witness(`
+    action a(inout bit<16> val) {
+        val = 16w3;
+        exit;
+    }`, `
+        a(hdr.h1.f3);
+        hdr.h1.f3 = 16w99;`),
+	"action-dir-params": witness(`
+    action a(inout bit<7> val) {
+        hdr.h1.f1[0:0] = 1w0;
+        val = val + 7w1;
+    }`, `
+        a(hdr.h1.f1[7:1]);`),
+	"func-inout-return": witness(`
+    bit<8> test(inout bit<8> x) {
+        x = x + 8w1;
+        if (x > 8w128) {
+            return 8w255;
+        }
+        return x;
+    }`, `
+        bit<8> r = test(hdr.h1.f1);
+        hdr.h1.f2 = r + hdr.h1.f2;`),
+	"table-multi-key": witness(`
+    action setb() {
+        hdr.h1.f2 = 8w42;
+    }
+    table t {
+        key = {
+            hdr.h1.f1 : exact;
+            hdr.h1.f2 : exact;
+        }
+        actions = {
+            setb;
+            NoAction;
+        }
+        default_action = NoAction();
+    }`, `
+        t.apply();`),
+	"table-multi-action": witness(`
+    action a1() {
+        hdr.h1.f1 = 8w1;
+    }
+    action a2(bit<8> v) {
+        hdr.h1.f2 = v;
+    }
+    action a3() {
+        hdr.h1.f1 = hdr.h1.f1 + 8w1;
+    }
+    table t {
+        key = {
+            hdr.h1.f1 : exact;
+        }
+        actions = {
+            a1;
+            a2;
+            a3;
+            NoAction;
+        }
+        default_action = a3();
+    }`, `
+        t.apply();`),
+	"wide-arith": witness("", `
+        hdr.h1.f3 = hdr.h1.f3 * 16w3 + (hdr.h1.f1 ++ hdr.h1.f2);`),
+	"neg": witness("", `
+        hdr.h1.f1 = -hdr.h1.f1;`),
+	"bitnot": witness("", `
+        hdr.h1.f1 = ~hdr.h1.f1;`),
+	"uninit-local": witness("", `
+        bit<8> u;
+        hdr.h1.f1 = hdr.h1.f1 + u;`),
+	"if-else": witness("", `
+        if (hdr.h1.f1 < hdr.h1.f2) {
+            hdr.h1.f1 = hdr.h1.f2 - hdr.h1.f1;
+        } else {
+            hdr.h1.f2 = 8w1;
+        }`),
+	"predication-shape": witness(`
+    action a() {
+        if (hdr.h1.f1 == 8w1) {
+            hdr.h1.f1 = 8w2;
+        } else {
+            hdr.h1.f3 = 16w3;
+        }
+    }
+    table t {
+        key = {
+            hdr.h1.f1 : exact;
+        }
+        actions = {
+            a;
+            NoAction;
+        }
+        default_action = a();
+    }`, `
+        t.apply();`),
+	"copy-prop-chain": witness("", `
+        bit<8> a1 = hdr.h1.f1;
+        bit<8> b1 = a1;
+        hdr.h1.f3[7:0] = b1;
+        a1 = 8w9;
+        hdr.h1.f1 = a1 + b1;
+        hdr.h1.f2 = hdr.h1.f1;`),
+	"dead-store-chain": witness("", `
+        bit<8> t1 = 8w3;
+        t1 = hdr.h1.f1;
+        hdr.h1.f1 = t1 + 8w1;
+        hdr.h1.f2 = hdr.h1.f1;
+        hdr.h1.f3[7:0] = t1;`),
+	"const-assign": witness("", `
+        bit<8> cv = 8w2 + 8w3;
+        hdr.h1.f1 = cv + 8w0;
+        hdr.h1.f2 = 8w2 + 8w3;`),
+	"fold-chain": witness("", `
+        hdr.h1.f1 = (hdr.h1.f1 * 8w2 + 8w0) |+| 8w1;
+        hdr.h1.f2 = hdr.h1.f2 << 8w1;`),
+	"logical-ops": witness("", `
+        if (hdr.h1.f1 == 8w1 && (hdr.h1.f2 != 8w0 || hdr.h1.f3 == 16w7)) {
+            hdr.h1.f2 = 8w77;
+        }`),
+}
+
+// witnessTwoHeaders is the conditionally-parsed-header shape: h2 is only
+// extracted for one ethertype, so validity-manipulating defects have
+// observable packet effects on the other paths.
+const witnessTwoHeaders = `
+header Hdr1 {
+    bit<8> f1;
+    bit<8> f2;
+    bit<16> f3;
+}
+header Hdr2 {
+    bit<8> g1;
+}
+struct Headers {
+    Hdr1 h1;
+    Hdr2 h2;
+}
+struct standard_metadata_t {
+    bit<9> ingress_port;
+    bit<9> egress_spec;
+    bit<1> drop_flag;
+    bit<16> user_meta;
+}
+parser p(packet pkt, out Headers hdr, inout standard_metadata_t sm) {
+    state start {
+        pkt.extract(hdr.h1);
+        transition select(hdr.h1.f3) {
+            16w0x800 : parse_h2;
+            default : accept;
+        }
+    }
+    state parse_h2 {
+        pkt.extract(hdr.h2);
+        transition accept;
+    }
+}
+control ingress(inout Headers hdr, inout standard_metadata_t sm) {
+    apply {
+        if (!hdr.h2.isValid()) {
+            hdr.h2.setValid();
+            hdr.h2.g1 = hdr.h1.f1;
+        }
+    }
+}
+control egress(inout Headers hdr, inout standard_metadata_t sm) {
+    apply {
+    }
+}
+control dep(packet pkt, in Headers hdr) {
+    apply {
+        pkt.emit(hdr.h1);
+        pkt.emit(hdr.h2);
+    }
+}
+V1Switch(p, ingress, egress, dep) main;
+`
+
+func init() {
+	witnessPrograms["set-valid-cond"] = witnessTwoHeaders
+}
+
+// witnessFor returns the witness source for a trigger family.
+func witnessFor(family string) string {
+	w, ok := witnessPrograms[family]
+	if !ok {
+		panic("bugs: no witness for family " + family)
+	}
+	return w
+}

@@ -1,0 +1,203 @@
+package passes
+
+import (
+	"gauntlet/internal/p4/ast"
+)
+
+// ConstantFolding evaluates constant subexpressions and prunes branches
+// with constant conditions (P4C's ConstantFolding pass).
+type ConstantFolding struct{}
+
+// Name identifies the pass.
+func (ConstantFolding) Name() string { return "ConstantFolding" }
+
+// Run folds constants in every executable body.
+func (ConstantFolding) Run(prog *ast.Program) (*ast.Program, error) {
+	fold := func(e ast.Expr) ast.Expr { return FoldExpr(e) }
+	simplify := func(s ast.Stmt) []ast.Stmt {
+		if iff, ok := s.(*ast.IfStmt); ok {
+			if b, ok := iff.Cond.(*ast.BoolLit); ok {
+				if b.Val {
+					return []ast.Stmt{iff.Then}
+				}
+				if iff.Else != nil {
+					return []ast.Stmt{iff.Else}
+				}
+				return nil
+			}
+		}
+		return []ast.Stmt{s}
+	}
+	for _, d := range prog.Decls {
+		switch d := d.(type) {
+		case *ast.ControlDecl:
+			ast.RewriteControl(d, simplify, fold)
+		case *ast.FunctionDecl:
+			d.Body = ast.RewriteBlock(d.Body, simplify, fold)
+		case *ast.ActionDecl:
+			d.Body = ast.RewriteBlock(d.Body, simplify, fold)
+		case *ast.ParserDecl:
+			for i := range d.States {
+				var out []ast.Stmt
+				for _, s := range d.States[i].Stmts {
+					out = append(out, ast.RewriteStmt(s, simplify, fold)...)
+				}
+				d.States[i].Stmts = out
+				if sel, ok := d.States[i].Trans.(*ast.TransSelect); ok {
+					sel.Expr = ast.RewriteExpr(sel.Expr, fold)
+				}
+			}
+		}
+	}
+	return prog, nil
+}
+
+// FoldExpr folds a single expression node whose children are already
+// folded. Exported for reuse by StrengthReduction and the bug registry.
+func FoldExpr(e ast.Expr) ast.Expr {
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		switch x := e.X.(type) {
+		case *ast.IntLit:
+			switch e.Op {
+			case ast.OpNeg:
+				return ast.Num(x.Width, ^x.Val+1)
+			case ast.OpBitNot:
+				return ast.Num(x.Width, ^x.Val)
+			}
+		case *ast.BoolLit:
+			if e.Op == ast.OpLNot {
+				return ast.Bool(!x.Val)
+			}
+		}
+	case *ast.BinaryExpr:
+		xl, xok := e.X.(*ast.IntLit)
+		yl, yok := e.Y.(*ast.IntLit)
+		if xok && yok && xl.Width > 0 && (yl.Width > 0 || e.Op == ast.OpShl || e.Op == ast.OpShr) {
+			if v, ok := foldIntBinary(e.Op, xl, yl); ok {
+				return v
+			}
+		}
+		xb, xbok := e.X.(*ast.BoolLit)
+		yb, ybok := e.Y.(*ast.BoolLit)
+		if xbok && ybok {
+			switch e.Op {
+			case ast.OpLAnd:
+				return ast.Bool(xb.Val && yb.Val)
+			case ast.OpLOr:
+				return ast.Bool(xb.Val || yb.Val)
+			case ast.OpEq:
+				return ast.Bool(xb.Val == yb.Val)
+			case ast.OpNe:
+				return ast.Bool(xb.Val != yb.Val)
+			}
+		}
+		// Short-circuit folding with one constant operand: X is
+		// effect-free after SideEffectOrdering, so dropping it is safe.
+		if xbok {
+			if e.Op == ast.OpLAnd {
+				if xb.Val {
+					return e.Y
+				}
+				return ast.Bool(false)
+			}
+			if e.Op == ast.OpLOr {
+				if xb.Val {
+					return ast.Bool(true)
+				}
+				return e.Y
+			}
+		}
+		if ybok {
+			if e.Op == ast.OpLAnd && yb.Val {
+				return e.X
+			}
+			if e.Op == ast.OpLOr && !yb.Val {
+				return e.X
+			}
+		}
+	case *ast.MuxExpr:
+		if c, ok := e.Cond.(*ast.BoolLit); ok {
+			if c.Val {
+				return e.Then
+			}
+			return e.Else
+		}
+	case *ast.CastExpr:
+		switch to := e.To.(type) {
+		case *ast.BitType:
+			if x, ok := e.X.(*ast.IntLit); ok {
+				return ast.Num(to.Width, x.Val)
+			}
+			if x, ok := e.X.(*ast.BoolLit); ok {
+				if x.Val {
+					return ast.Num(to.Width, 1)
+				}
+				return ast.Num(to.Width, 0)
+			}
+		case *ast.BoolType:
+			if x, ok := e.X.(*ast.IntLit); ok && x.Width == 1 {
+				return ast.Bool(x.Val == 1)
+			}
+		}
+	case *ast.SliceExpr:
+		if x, ok := e.X.(*ast.IntLit); ok {
+			return ast.Num(e.Hi-e.Lo+1, x.Val>>uint(e.Lo))
+		}
+	}
+	return e
+}
+
+func foldIntBinary(op ast.BinaryOp, x, y *ast.IntLit) (ast.Expr, bool) {
+	w := x.Width
+	switch op {
+	case ast.OpAdd:
+		return ast.Num(w, x.Val+y.Val), true
+	case ast.OpSub:
+		return ast.Num(w, x.Val-y.Val), true
+	case ast.OpMul:
+		return ast.Num(w, x.Val*y.Val), true
+	case ast.OpSatAdd:
+		s := ast.MaskWidth(x.Val+y.Val, w)
+		if s < x.Val || (w < 64 && x.Val+y.Val >= 1<<uint(w)) {
+			return ast.Num(w, ^uint64(0)), true
+		}
+		return ast.Num(w, s), true
+	case ast.OpSatSub:
+		if x.Val < y.Val {
+			return ast.Num(w, 0), true
+		}
+		return ast.Num(w, x.Val-y.Val), true
+	case ast.OpBitAnd:
+		return ast.Num(w, x.Val&y.Val), true
+	case ast.OpBitOr:
+		return ast.Num(w, x.Val|y.Val), true
+	case ast.OpBitXor:
+		return ast.Num(w, x.Val^y.Val), true
+	case ast.OpShl:
+		if y.Val >= uint64(w) {
+			return ast.Num(w, 0), true
+		}
+		return ast.Num(w, x.Val<<y.Val), true
+	case ast.OpShr:
+		if y.Val >= uint64(w) {
+			return ast.Num(w, 0), true
+		}
+		return ast.Num(w, x.Val>>y.Val), true
+	case ast.OpEq:
+		return ast.Bool(x.Val == y.Val), true
+	case ast.OpNe:
+		return ast.Bool(x.Val != y.Val), true
+	case ast.OpLt:
+		return ast.Bool(x.Val < y.Val), true
+	case ast.OpLe:
+		return ast.Bool(x.Val <= y.Val), true
+	case ast.OpGt:
+		return ast.Bool(x.Val > y.Val), true
+	case ast.OpGe:
+		return ast.Bool(x.Val >= y.Val), true
+	case ast.OpConcat:
+		return ast.Num(x.Width+y.Width, x.Val<<uint(y.Width)|y.Val), true
+	}
+	return nil, false
+}

@@ -1,0 +1,133 @@
+package passes
+
+import (
+	"gauntlet/internal/p4/ast"
+)
+
+// DeadCode removes unreachable statements (anything following an
+// unconditional return or exit in a block), empty blocks, and if
+// statements with two empty branches and effect-free conditions.
+type DeadCode struct{}
+
+// Name identifies the pass.
+func (DeadCode) Name() string { return "DeadCode" }
+
+// Run prunes every executable body.
+func (DeadCode) Run(prog *ast.Program) (*ast.Program, error) {
+	for _, d := range prog.Decls {
+		switch d := d.(type) {
+		case *ast.ControlDecl:
+			for _, l := range d.Locals {
+				switch l := l.(type) {
+				case *ast.ActionDecl:
+					pruneBlock(l.Body)
+				case *ast.FunctionDecl:
+					pruneBlock(l.Body)
+				}
+			}
+			pruneBlock(d.Apply)
+		case *ast.FunctionDecl:
+			pruneBlock(d.Body)
+		case *ast.ActionDecl:
+			pruneBlock(d.Body)
+		}
+	}
+	return prog, nil
+}
+
+// terminal reports whether the statement unconditionally leaves the
+// enclosing body.
+func terminal(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.ExitStmt:
+		return true
+	case *ast.BlockStmt:
+		for _, st := range s.Stmts {
+			if terminal(st) {
+				return true
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		return blockTerminal(s.Then) && terminal(s.Else)
+	default:
+		return false
+	}
+}
+
+func blockTerminal(b *ast.BlockStmt) bool {
+	for _, st := range b.Stmts {
+		if terminal(st) {
+			return true
+		}
+	}
+	return false
+}
+
+func pruneBlock(b *ast.BlockStmt) {
+	if b == nil {
+		return
+	}
+	var out []ast.Stmt
+	for _, s := range b.Stmts {
+		switch s := s.(type) {
+		case *ast.EmptyStmt:
+			continue
+		case *ast.BlockStmt:
+			pruneBlock(s)
+			if len(s.Stmts) == 0 {
+				continue
+			}
+			out = append(out, s)
+		case *ast.IfStmt:
+			pruneBlock(s.Then)
+			if els, ok := s.Else.(*ast.BlockStmt); ok {
+				pruneBlock(els)
+				if len(els.Stmts) == 0 {
+					s.Else = nil
+				}
+			} else if els, ok := s.Else.(*ast.IfStmt); ok {
+				wrapper := &ast.BlockStmt{Stmts: []ast.Stmt{els}}
+				pruneBlock(wrapper)
+				switch len(wrapper.Stmts) {
+				case 0:
+					s.Else = nil
+				case 1:
+					s.Else = wrapper.Stmts[0]
+				default:
+					s.Else = wrapper
+				}
+			}
+			if len(s.Then.Stmts) == 0 && s.Else == nil && !ast.ContainsCall(s.Cond) {
+				continue // effect-free empty if
+			}
+			// Normalize "if (c) { } else { S }" to "if (!c) { S }".
+			if len(s.Then.Stmts) == 0 && s.Else != nil {
+				s.Cond = &ast.UnaryExpr{Op: ast.OpLNot, X: s.Cond}
+				switch els := s.Else.(type) {
+				case *ast.BlockStmt:
+					s.Then = els
+				default:
+					s.Then = &ast.BlockStmt{Stmts: []ast.Stmt{els}}
+				}
+				s.Else = nil
+			}
+			out = append(out, s)
+		case *ast.SwitchStmt:
+			for i := range s.Cases {
+				pruneBlock(s.Cases[i].Body)
+			}
+			out = append(out, s)
+		default:
+			out = append(out, s)
+		}
+		// Unreachable code after a terminal statement.
+		if len(out) > 0 && terminal(out[len(out)-1]) {
+			break
+		}
+	}
+	b.Stmts = out
+}

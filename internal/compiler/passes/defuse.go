@@ -1,0 +1,229 @@
+package passes
+
+import (
+	"gauntlet/internal/p4/ast"
+)
+
+// SimplifyDefUse removes stores to local variables that are never read
+// afterwards, and declarations that are never read at all (P4C's
+// SimplifyDefUse pass). Only locals declared inside the body being
+// cleaned are candidates; parameters and control-scope names are always
+// observable (copy-out, later table applies).
+//
+// The paper's Figure 5a bug lived here: the pass wrongly removed variables
+// in the caller scope because a return statement confused its liveness
+// tracking. The reference implementation below treats return/exit as
+// making all observable state live.
+type SimplifyDefUse struct{}
+
+// Name identifies the pass.
+func (SimplifyDefUse) Name() string { return "SimplifyDefUse" }
+
+// Run cleans every executable body in the program.
+func (SimplifyDefUse) Run(prog *ast.Program) (*ast.Program, error) {
+	for _, d := range prog.Decls {
+		switch d := d.(type) {
+		case *ast.ControlDecl:
+			for _, l := range d.Locals {
+				switch l := l.(type) {
+				case *ast.ActionDecl:
+					cleanBody(l.Body)
+				case *ast.FunctionDecl:
+					cleanBody(l.Body)
+				}
+			}
+			cleanBody(d.Apply)
+		case *ast.FunctionDecl:
+			cleanBody(d.Body)
+		case *ast.ActionDecl:
+			cleanBody(d.Body)
+		}
+	}
+	return prog, nil
+}
+
+// cleanBody performs backwards liveness over one body. Everything not
+// declared inside the body is treated as live at exit.
+func cleanBody(b *ast.BlockStmt) {
+	if b == nil {
+		return
+	}
+	locals := map[string]bool{}
+	collectLocals(b, locals)
+	// Iterate to a local fixed point: removing one dead store can make an
+	// earlier one dead.
+	for i := 0; i < 8; i++ {
+		if !sweepBlock(b, map[string]bool{}, locals) {
+			break
+		}
+	}
+}
+
+func collectLocals(s ast.Stmt, into map[string]bool) {
+	ast.InspectStmt(s, func(st ast.Stmt) bool {
+		if d, ok := st.(*ast.VarDeclStmt); ok {
+			into[d.Name] = true
+		}
+		return true
+	}, nil)
+}
+
+// reads collects the identifiers read by an expression.
+func reads(e ast.Expr, into map[string]bool) {
+	if e != nil {
+		ast.FreeIdents(e, into)
+	}
+}
+
+// sweepBlock walks the block backwards, removing dead stores. live is
+// mutated to the block's live-in set. Returns true if anything changed.
+//
+// Conservative rules: any call makes everything live (its callee can read
+// control state); exit/return make everything live (copy-out and
+// observable control state); names not in locals are always live.
+func sweepBlock(b *ast.BlockStmt, live map[string]bool, locals map[string]bool) bool {
+	changed := false
+	var kept []ast.Stmt
+	// mentionedAfter tracks every identifier occurring in statements kept
+	// so far (i.e. after the current one): a declaration can only be
+	// dropped when nothing later still names the variable, even as a
+	// dead-looking store target.
+	mentionedAfter := map[string]bool{}
+	keep := func(s ast.Stmt) {
+		kept = append(kept, s)
+		ast.InspectStmt(s, func(st ast.Stmt) bool { return true }, func(e ast.Expr) bool {
+			if id, ok := e.(*ast.Ident); ok {
+				mentionedAfter[id.Name] = true
+			}
+			return true
+		})
+	}
+	isLive := func(name string) bool {
+		return !locals[name] || live[name] || live["*"]
+	}
+	for i := len(b.Stmts) - 1; i >= 0; i-- {
+		s := b.Stmts[i]
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			root := ast.RootIdent(s.LHS)
+			if id, whole := s.LHS.(*ast.Ident); whole && !isLive(id.Name) && !ast.ContainsCall(s.RHS) {
+				changed = true
+				continue // dead store
+			}
+			if root != nil {
+				if _, whole := s.LHS.(*ast.Ident); whole {
+					delete(live, root.Name)
+				} else {
+					// Partial write: the old value flows through.
+					live[root.Name] = true
+				}
+			}
+			reads(s.RHS, live)
+			// Slice bounds and member paths read the root too, but
+			// FreeIdents on the LHS would mark a whole-var def as a
+			// read; only scan non-ident LHS.
+			if _, whole := s.LHS.(*ast.Ident); !whole {
+				reads(s.LHS, live)
+			}
+		case *ast.VarDeclStmt:
+			if !isLive(s.Name) && !mentionedAfter[s.Name] &&
+				(s.Init == nil || !ast.ContainsCall(s.Init)) {
+				changed = true
+				continue // dead declaration
+			}
+			delete(live, s.Name)
+			reads(s.Init, live)
+		case *ast.ConstDeclStmt:
+			if !isLive(s.Name) && !mentionedAfter[s.Name] {
+				changed = true
+				continue
+			}
+			delete(live, s.Name)
+			reads(s.Value, live)
+		case *ast.IfStmt:
+			thenLive := cloneSet(live)
+			if sweepBlock(s.Then, thenLive, locals) {
+				changed = true
+			}
+			elseLive := cloneSet(live)
+			if s.Else != nil {
+				wrapper := &ast.BlockStmt{Stmts: []ast.Stmt{s.Else}}
+				if sweepBlock(wrapper, elseLive, locals) {
+					changed = true
+				}
+				switch len(wrapper.Stmts) {
+				case 0:
+					s.Else = nil
+				case 1:
+					s.Else = wrapper.Stmts[0]
+				default:
+					s.Else = wrapper
+				}
+			}
+			union(live, thenLive)
+			union(live, elseLive)
+			reads(s.Cond, live)
+		case *ast.BlockStmt:
+			if sweepBlock(s, live, locals) {
+				changed = true
+			}
+		case *ast.CallStmt:
+			live["*"] = true
+			for _, a := range s.Call.Args {
+				reads(a, live)
+			}
+		case *ast.ReturnStmt:
+			// A return ends the body here: downstream liveness (already
+			// accumulated in live) is irrelevant, but everything
+			// observable (non-locals, copy-out) is live. Model as all
+			// live to stay conservative — this is exactly the spot the
+			// Fig. 5a defect gets wrong.
+			live["*"] = true
+			reads(s.Value, live)
+		case *ast.ExitStmt:
+			live["*"] = true
+		case *ast.EmptyStmt:
+			changed = true
+			continue // drop empty statements
+		case *ast.SwitchStmt:
+			merged := cloneSet(live)
+			for j := range s.Cases {
+				caseLive := cloneSet(live)
+				if sweepBlock(s.Cases[j].Body, caseLive, locals) {
+					changed = true
+				}
+				union(merged, caseLive)
+			}
+			for k := range merged {
+				live[k] = true
+			}
+			for j := range s.Cases {
+				for _, l := range s.Cases[j].Labels {
+					reads(l, live)
+				}
+			}
+			reads(s.Tag, live)
+		}
+		keep(s)
+	}
+	// kept is in reverse order.
+	for l, r := 0, len(kept)-1; l < r; l, r = l+1, r-1 {
+		kept[l], kept[r] = kept[r], kept[l]
+	}
+	b.Stmts = kept
+	return changed
+}
+
+func cloneSet(s map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func union(dst, src map[string]bool) {
+	for k := range src {
+		dst[k] = true
+	}
+}

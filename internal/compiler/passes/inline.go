@@ -1,0 +1,351 @@
+package passes
+
+import (
+	"fmt"
+
+	"gauntlet/internal/p4/ast"
+)
+
+// inliner expands calls to a class of callables into their bodies with
+// explicit copy-in/copy-out, replacing returns and exits with guard
+// variables. It implements the semantics the paper's Figure 5f dispute
+// settled: an exit inside a callee still performs copy-out before
+// terminating the control.
+type inliner struct {
+	prog *ast.Program
+	ctrl *ast.ControlDecl
+	gen  *NameGen
+	// selects the callables this pass expands.
+	selectDecl func(name string) (params []ast.Param, ret ast.Type, body *ast.BlockStmt, ok bool)
+	changed    bool
+}
+
+// InlineFunctions expands every function call (P4C's InlineFunctions
+// pass). SideEffectOrdering must run first so calls appear only as call
+// statements or assignment right-hand sides; a call found anywhere else
+// violates the pipeline contract and aborts the pass — the "snowball
+// effect" (§7.2) where a missed earlier transformation crashes a later
+// pass.
+type InlineFunctions struct{}
+
+// Name identifies the pass.
+func (InlineFunctions) Name() string { return "InlineFunctions" }
+
+// Run expands function calls to a fixed point.
+func (InlineFunctions) Run(prog *ast.Program) (*ast.Program, error) {
+	return runInliner(prog, func(in *inliner) {
+		in.selectDecl = func(name string) ([]ast.Param, ast.Type, *ast.BlockStmt, bool) {
+			if in.ctrl != nil {
+				if f, ok := in.ctrl.LocalByName(name).(*ast.FunctionDecl); ok {
+					return f.Params, f.Return, f.Body, true
+				}
+			}
+			if f, ok := in.prog.DeclByName(name).(*ast.FunctionDecl); ok {
+				return f.Params, f.Return, f.Body, true
+			}
+			return nil, nil, nil, false
+		}
+	})
+}
+
+// RemoveActionParameters expands direct (non-table) action calls, so the
+// only remaining action invocations are through tables (P4C's
+// RemoveActionParameters + LocalizeActions combination).
+type RemoveActionParameters struct{}
+
+// Name identifies the pass.
+func (RemoveActionParameters) Name() string { return "RemoveActionParameters" }
+
+// Run expands direct action calls to a fixed point.
+func (RemoveActionParameters) Run(prog *ast.Program) (*ast.Program, error) {
+	return runInliner(prog, func(in *inliner) {
+		in.selectDecl = func(name string) ([]ast.Param, ast.Type, *ast.BlockStmt, bool) {
+			if in.ctrl != nil {
+				if a, ok := in.ctrl.LocalByName(name).(*ast.ActionDecl); ok {
+					return a.Params, nil, a.Body, true
+				}
+			}
+			if a, ok := in.prog.DeclByName(name).(*ast.ActionDecl); ok {
+				return a.Params, nil, a.Body, true
+			}
+			return nil, nil, nil, false
+		}
+	})
+}
+
+func runInliner(prog *ast.Program, setup func(*inliner)) (*ast.Program, error) {
+	for round := 0; ; round++ {
+		if round > 50 {
+			return nil, fmt.Errorf("inliner did not reach a fixed point (recursive calls?)")
+		}
+		in := &inliner{prog: prog, gen: NewNameGen(prog)}
+		setup(in)
+		for _, d := range prog.Decls {
+			switch d := d.(type) {
+			case *ast.ControlDecl:
+				in.ctrl = d
+				for _, l := range d.Locals {
+					switch l := l.(type) {
+					case *ast.ActionDecl:
+						l.Body = in.block(l.Body)
+					case *ast.FunctionDecl:
+						l.Body = in.block(l.Body)
+					}
+				}
+				d.Apply = in.block(d.Apply)
+				in.ctrl = nil
+			case *ast.FunctionDecl:
+				d.Body = in.block(d.Body)
+			case *ast.ActionDecl:
+				d.Body = in.block(d.Body)
+			}
+		}
+		if !in.changed {
+			return prog, nil
+		}
+	}
+}
+
+func (in *inliner) block(b *ast.BlockStmt) *ast.BlockStmt {
+	if b == nil {
+		return nil
+	}
+	var out []ast.Stmt
+	for _, s := range b.Stmts {
+		out = append(out, in.stmt(s)...)
+	}
+	b.Stmts = out
+	return b
+}
+
+func (in *inliner) stmt(s ast.Stmt) []ast.Stmt {
+	switch s := s.(type) {
+	case *ast.CallStmt:
+		if name := calleeName(s.Call); name != "" {
+			if params, _, body, ok := in.selectDecl(name); ok {
+				return in.expand(params, nil, body, s.Call.Args, nil)
+			}
+		}
+		return []ast.Stmt{s}
+	case *ast.AssignStmt:
+		if call, ok := s.RHS.(*ast.CallExpr); ok {
+			if name := calleeName(call); name != "" {
+				if params, ret, body, ok := in.selectDecl(name); ok {
+					return in.expand(params, ret, body, call.Args, s.LHS)
+				}
+			}
+		}
+		return []ast.Stmt{s}
+	case *ast.VarDeclStmt:
+		// SideEffectOrdering hoists calls into initialized declarations:
+		// split "T t = f(x);" into "T t; t = f(x);" and expand.
+		if call, ok := s.Init.(*ast.CallExpr); ok {
+			if name := calleeName(call); name != "" {
+				if params, ret, body, ok := in.selectDecl(name); ok {
+					decl := &ast.VarDeclStmt{DeclPos: s.DeclPos, Name: s.Name, Type: s.Type}
+					out := []ast.Stmt{decl}
+					out = append(out, in.expand(params, ret, body, call.Args, ast.N(s.Name))...)
+					return out
+				}
+			}
+		}
+		return []ast.Stmt{s}
+	case *ast.IfStmt:
+		s.Then = in.block(s.Then)
+		if s.Else != nil {
+			repl := in.stmt(s.Else)
+			if len(repl) == 1 {
+				s.Else = repl[0]
+			} else {
+				s.Else = &ast.BlockStmt{Stmts: repl}
+			}
+		}
+		return []ast.Stmt{s}
+	case *ast.BlockStmt:
+		return []ast.Stmt{in.block(s)}
+	case *ast.SwitchStmt:
+		for i := range s.Cases {
+			s.Cases[i].Body = in.block(s.Cases[i].Body)
+		}
+		return []ast.Stmt{s}
+	default:
+		return []ast.Stmt{s}
+	}
+}
+
+// expand inlines one call. params/ret/body describe the callee; args are
+// the call arguments; resultLV (may be nil) receives the return value.
+func (in *inliner) expand(params []ast.Param, ret ast.Type, body *ast.BlockStmt,
+	args []ast.Expr, resultLV ast.Expr) []ast.Stmt {
+	in.changed = true
+	var out []ast.Stmt
+
+	// Copy-in: one temporary per parameter, left to right.
+	ren := map[string]string{}
+	tmpNames := make([]string, len(params))
+	for i, p := range params {
+		tmp := in.gen.Fresh("tmp_" + p.Name)
+		tmpNames[i] = tmp
+		ren[p.Name] = tmp
+		decl := &ast.VarDeclStmt{Name: tmp, Type: ast.CloneType(p.Type)}
+		if p.Dir != ast.DirOut {
+			decl.Init = ast.CloneExpr(args[i])
+		}
+		out = append(out, decl)
+	}
+
+	inlined := ast.CloneBlock(body)
+	// Each expansion needs fresh names for the body's own declarations:
+	// a callee inlined at two sites in one block would otherwise declare
+	// its locals twice. (UniqueNames guarantees the body's names are
+	// unique internally, so a flat rename is capture-free.)
+	ast.InspectStmt(inlined, func(st ast.Stmt) bool {
+		switch st := st.(type) {
+		case *ast.VarDeclStmt:
+			ren[st.Name] = in.gen.Fresh("tmp_" + st.Name)
+		case *ast.ConstDeclStmt:
+			ren[st.Name] = in.gen.Fresh("tmp_" + st.Name)
+		}
+		return true
+	}, nil)
+	substituteIdents(inlined, ren)
+	ast.InspectStmt(inlined, func(st ast.Stmt) bool {
+		switch st := st.(type) {
+		case *ast.VarDeclStmt:
+			if nn, ok := ren[st.Name]; ok {
+				st.Name = nn
+			}
+		case *ast.ConstDeclStmt:
+			if nn, ok := ren[st.Name]; ok {
+				st.Name = nn
+			}
+		}
+		return true
+	}, nil)
+
+	escapes := mayEscape(inlined)
+	var doneVar, exitedVar, retVar string
+	if escapes {
+		doneVar = in.gen.Fresh("tmp_done")
+		out = append(out, &ast.VarDeclStmt{Name: doneVar, Type: &ast.BoolType{}, Init: ast.Bool(false)})
+		if containsExit(inlined) {
+			exitedVar = in.gen.Fresh("tmp_exited")
+			out = append(out, &ast.VarDeclStmt{Name: exitedVar, Type: &ast.BoolType{}, Init: ast.Bool(false)})
+		}
+	}
+	if resultLV != nil && ret != nil {
+		if _, isVoid := ret.(*ast.VoidType); !isVoid {
+			retVar = in.gen.Fresh("tmp_retval")
+			out = append(out, &ast.VarDeclStmt{Name: retVar, Type: ast.CloneType(ret)})
+		}
+	}
+
+	guarded := in.guardEscapes(inlined.Stmts, doneVar, exitedVar, retVar)
+	out = append(out, guarded...)
+
+	// Copy-out, left to right — performed even on exit paths (the
+	// specification clarification from §7.2 / Fig. 5f).
+	for i, p := range params {
+		if p.Dir.Writes() {
+			out = append(out, ast.Assign(ast.CloneExpr(args[i]), ast.N(tmpNames[i])))
+		}
+	}
+	if retVar != "" {
+		out = append(out, ast.Assign(ast.CloneExpr(resultLV), ast.N(retVar)))
+	}
+	// Re-raise exit after copy-out.
+	if exitedVar != "" {
+		out = append(out, ast.If(ast.N(exitedVar), ast.Block(&ast.ExitStmt{}), nil))
+	}
+	return out
+}
+
+func containsExit(s ast.Stmt) bool {
+	found := false
+	ast.InspectStmt(s, func(st ast.Stmt) bool {
+		if _, ok := st.(*ast.ExitStmt); ok {
+			found = true
+			return false
+		}
+		return true
+	}, nil)
+	return found
+}
+
+// guardEscapes rewrites return/exit statements into guard-variable updates
+// and predicates trailing statements on "not done".
+func (in *inliner) guardEscapes(stmts []ast.Stmt, doneVar, exitedVar, retVar string) []ast.Stmt {
+	var out []ast.Stmt
+	for i, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			if retVar != "" && s.Value != nil {
+				out = append(out, ast.Assign(ast.N(retVar), s.Value))
+			}
+			if doneVar != "" {
+				out = append(out, ast.Assign(ast.N(doneVar), ast.Bool(true)))
+			}
+			return out // statements after an unconditional return are dead
+		case *ast.ExitStmt:
+			if exitedVar != "" {
+				out = append(out, ast.Assign(ast.N(exitedVar), ast.Bool(true)))
+			}
+			if doneVar != "" {
+				out = append(out, ast.Assign(ast.N(doneVar), ast.Bool(true)))
+			}
+			return out
+		case *ast.IfStmt:
+			esc := mayEscape(s)
+			if esc {
+				s.Then = &ast.BlockStmt{Stmts: in.guardEscapes(s.Then.Stmts, doneVar, exitedVar, retVar)}
+				if s.Else != nil {
+					g := in.guardEscapes([]ast.Stmt{s.Else}, doneVar, exitedVar, retVar)
+					if len(g) == 1 {
+						s.Else = g[0]
+					} else {
+						s.Else = &ast.BlockStmt{Stmts: g}
+					}
+				}
+				out = append(out, s)
+				rest := in.guardEscapes(stmts[i+1:], doneVar, exitedVar, retVar)
+				if len(rest) > 0 {
+					notDone := &ast.UnaryExpr{Op: ast.OpLNot, X: ast.N(doneVar)}
+					out = append(out, ast.If(notDone, ast.Block(rest...), nil))
+				}
+				return out
+			}
+			out = append(out, s)
+		case *ast.BlockStmt:
+			if mayEscape(s) {
+				s.Stmts = in.guardEscapes(s.Stmts, doneVar, exitedVar, retVar)
+				out = append(out, s)
+				rest := in.guardEscapes(stmts[i+1:], doneVar, exitedVar, retVar)
+				if len(rest) > 0 {
+					notDone := &ast.UnaryExpr{Op: ast.OpLNot, X: ast.N(doneVar)}
+					out = append(out, ast.If(notDone, ast.Block(rest...), nil))
+				}
+				return out
+			}
+			out = append(out, s)
+		case *ast.SwitchStmt:
+			if mayEscape(s) {
+				for j := range s.Cases {
+					s.Cases[j].Body = &ast.BlockStmt{
+						Stmts: in.guardEscapes(s.Cases[j].Body.Stmts, doneVar, exitedVar, retVar),
+					}
+				}
+				out = append(out, s)
+				rest := in.guardEscapes(stmts[i+1:], doneVar, exitedVar, retVar)
+				if len(rest) > 0 {
+					notDone := &ast.UnaryExpr{Op: ast.OpLNot, X: ast.N(doneVar)}
+					out = append(out, ast.If(notDone, ast.Block(rest...), nil))
+				}
+				return out
+			}
+			out = append(out, s)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package passes
+
+import (
+	"gauntlet/internal/p4/ast"
+)
+
+// Predication converts if statements inside actions into straight-line
+// conditional assignments, the transformation hardware back ends like
+// Tofino require (actions must be branch-free). A recent improvement to
+// this P4C pass caused at least 4 of the paper's bugs (§7.2 "consequences
+// of compiler changes"); the reference implementation here is the correct
+// version, and the bug registry reproduces the broken ones.
+//
+// Only ifs whose subtree consists of assignments, declarations and nested
+// ifs are predicated; anything with calls or exits is left alone.
+type Predication struct{}
+
+// Name identifies the pass.
+func (Predication) Name() string { return "Predication" }
+
+// Run predicates every action body in the program.
+func (p Predication) Run(prog *ast.Program) (*ast.Program, error) {
+	gen := NewNameGen(prog)
+	for _, d := range prog.Decls {
+		ctrl, ok := d.(*ast.ControlDecl)
+		if !ok {
+			continue
+		}
+		for _, l := range ctrl.Locals {
+			if a, ok := l.(*ast.ActionDecl); ok {
+				a.Body = predicateBlock(gen, a.Body)
+			}
+		}
+	}
+	return prog, nil
+}
+
+func predicateBlock(gen *NameGen, b *ast.BlockStmt) *ast.BlockStmt {
+	if b == nil {
+		return nil
+	}
+	var out []ast.Stmt
+	for _, s := range b.Stmts {
+		out = append(out, predicateStmt(gen, s)...)
+	}
+	b.Stmts = out
+	return b
+}
+
+func predicateStmt(gen *NameGen, s ast.Stmt) []ast.Stmt {
+	iff, ok := s.(*ast.IfStmt)
+	if !ok {
+		if blk, isBlk := s.(*ast.BlockStmt); isBlk {
+			return []ast.Stmt{predicateBlock(gen, blk)}
+		}
+		return []ast.Stmt{s}
+	}
+	if !predicable(iff) {
+		// Recurse into branches anyway; inner ifs may qualify.
+		iff.Then = predicateBlock(gen, iff.Then)
+		if els, ok := iff.Else.(*ast.BlockStmt); ok {
+			iff.Else = predicateBlock(gen, els)
+		}
+		return []ast.Stmt{iff}
+	}
+
+	pred := gen.Fresh("pred")
+	out := []ast.Stmt{
+		&ast.VarDeclStmt{Name: pred, Type: &ast.BoolType{}, Init: iff.Cond},
+	}
+	out = append(out, predicateGuarded(gen, iff.Then.Stmts, ast.N(pred))...)
+	if iff.Else != nil {
+		notPred := &ast.UnaryExpr{Op: ast.OpLNot, X: ast.N(pred)}
+		var elseStmts []ast.Stmt
+		switch els := iff.Else.(type) {
+		case *ast.BlockStmt:
+			elseStmts = els.Stmts
+		default:
+			elseStmts = []ast.Stmt{els}
+		}
+		out = append(out, predicateGuarded(gen, elseStmts, notPred)...)
+	}
+	return out
+}
+
+// predicateGuarded rewrites statements under a predicate expression: every
+// assignment "lhs = rhs" becomes "lhs = pred ? rhs : lhs"; nested ifs
+// conjoin their condition with the predicate.
+func predicateGuarded(gen *NameGen, stmts []ast.Stmt, pred ast.Expr) []ast.Stmt {
+	var out []ast.Stmt
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			out = append(out, ast.Assign(s.LHS, &ast.MuxExpr{
+				Cond: ast.CloneExpr(pred),
+				Then: s.RHS,
+				Else: ast.CloneExpr(s.LHS),
+			}))
+		case *ast.VarDeclStmt:
+			// Fresh local: the declaration itself is unconditional; its
+			// value only feeds predicated assignments.
+			out = append(out, s)
+		case *ast.ConstDeclStmt:
+			out = append(out, s)
+		case *ast.EmptyStmt:
+		case *ast.BlockStmt:
+			out = append(out, predicateGuarded(gen, s.Stmts, pred)...)
+		case *ast.IfStmt:
+			// Both predicates must be computed before either branch's
+			// assignments run: the then branch may overwrite variables
+			// the condition reads (this ordering was the essence of the
+			// Predication regressions the paper reports, §7.2).
+			inner := gen.Fresh("pred")
+			out = append(out, &ast.VarDeclStmt{
+				Name: inner,
+				Type: &ast.BoolType{},
+				Init: ast.Bin(ast.OpLAnd, ast.CloneExpr(pred), s.Cond),
+			})
+			var innerElse string
+			if s.Else != nil {
+				innerElse = gen.Fresh("pred")
+				out = append(out, &ast.VarDeclStmt{
+					Name: innerElse,
+					Type: &ast.BoolType{},
+					Init: ast.Bin(ast.OpLAnd, ast.CloneExpr(pred),
+						&ast.UnaryExpr{Op: ast.OpLNot, X: ast.CloneExpr(s.Cond)}),
+				})
+			}
+			out = append(out, predicateGuarded(gen, s.Then.Stmts, ast.N(inner))...)
+			if s.Else != nil {
+				var elseStmts []ast.Stmt
+				switch els := s.Else.(type) {
+				case *ast.BlockStmt:
+					elseStmts = els.Stmts
+				default:
+					elseStmts = []ast.Stmt{els}
+				}
+				out = append(out, predicateGuarded(gen, elseStmts, ast.N(innerElse))...)
+			}
+		default:
+			// predicable() should have excluded these.
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// predicable reports whether the if statement's whole subtree consists of
+// assignments, declarations and nested ifs, with effect-free conditions.
+func predicable(s ast.Stmt) bool {
+	ok := true
+	ast.InspectStmt(s, func(st ast.Stmt) bool {
+		switch st.(type) {
+		case *ast.AssignStmt, *ast.VarDeclStmt, *ast.ConstDeclStmt,
+			*ast.IfStmt, *ast.BlockStmt, *ast.EmptyStmt:
+			return true
+		default:
+			ok = false
+			return false
+		}
+	}, func(e ast.Expr) bool {
+		if _, isCall := e.(*ast.CallExpr); isCall {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}

@@ -1,0 +1,235 @@
+package passes
+
+import (
+	"gauntlet/internal/p4/ast"
+)
+
+// SideEffectOrdering normalizes expressions so every user call occurs
+// either as a call statement or as the sole right-hand side of an
+// assignment, preserving left-to-right evaluation order and
+// short-circuiting. After this pass, inlining can treat calls uniformly.
+//
+// Copy-in/copy-out interaction with side-effect ordering was one of the
+// paper's richest bug sources (§7.2: "a significant portion of the
+// semantic bugs we identified were caused by erroneous passes that perform
+// incorrect argument evaluation and side effect ordering").
+type SideEffectOrdering struct{}
+
+// Name identifies the pass.
+func (SideEffectOrdering) Name() string { return "SideEffectOrdering" }
+
+// Run normalizes every control in the program.
+func (p SideEffectOrdering) Run(prog *ast.Program) (*ast.Program, error) {
+	gen := NewNameGen(prog)
+	for _, d := range prog.Decls {
+		switch d := d.(type) {
+		case *ast.ControlDecl:
+			sc := newScopes(prog, d)
+			for _, l := range d.Locals {
+				switch l := l.(type) {
+				case *ast.ActionDecl:
+					l.Body = seBlock(sc, gen, l.Params, l.Body)
+				case *ast.FunctionDecl:
+					l.Body = seBlock(sc, gen, l.Params, l.Body)
+				}
+			}
+			d.Apply = seBlock(sc, gen, nil, d.Apply)
+		case *ast.FunctionDecl:
+			sc := newScopes(prog, nil)
+			d.Body = seBlock(sc, gen, d.Params, d.Body)
+		case *ast.ActionDecl:
+			sc := newScopes(prog, nil)
+			d.Body = seBlock(sc, gen, d.Params, d.Body)
+		}
+	}
+	return prog, nil
+}
+
+func seBlock(sc *scopes, gen *NameGen, params []ast.Param, b *ast.BlockStmt) *ast.BlockStmt {
+	if b == nil {
+		return nil
+	}
+	sc.push()
+	defer sc.pop()
+	for _, p := range params {
+		sc.declare(p.Name, p.Type)
+	}
+	var out []ast.Stmt
+	for _, s := range b.Stmts {
+		out = append(out, seStmt(sc, gen, s)...)
+		sc.declareStmt(s)
+	}
+	b.Stmts = out
+	return b
+}
+
+func seStmt(sc *scopes, gen *NameGen, s ast.Stmt) []ast.Stmt {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		// Keep "x = f(...);" as is (the normal form); normalize anything
+		// else containing calls.
+		if call, ok := s.RHS.(*ast.CallExpr); ok && !isBuiltinCallee(call) {
+			pre := seCallArgs(sc, gen, call)
+			return append(pre, s)
+		}
+		rhs, pre := seExpr(sc, gen, s.RHS)
+		s.RHS = rhs
+		return append(pre, s)
+	case *ast.VarDeclStmt:
+		if s.Init != nil {
+			init, pre := seExpr(sc, gen, s.Init)
+			s.Init = init
+			sc.declareStmt(s)
+			return append(pre, s)
+		}
+		sc.declareStmt(s)
+		return []ast.Stmt{s}
+	case *ast.ConstDeclStmt:
+		sc.declareStmt(s)
+		return []ast.Stmt{s}
+	case *ast.IfStmt:
+		cond, pre := seExpr(sc, gen, s.Cond)
+		s.Cond = cond
+		s.Then = seBlock(sc, gen, nil, s.Then)
+		if s.Else != nil {
+			repl := seStmt(sc, gen, s.Else)
+			if len(repl) == 1 {
+				s.Else = repl[0]
+			} else {
+				s.Else = &ast.BlockStmt{Stmts: repl}
+			}
+		}
+		return append(pre, s)
+	case *ast.BlockStmt:
+		return []ast.Stmt{seBlock(sc, gen, nil, s)}
+	case *ast.CallStmt:
+		pre := seCallArgs(sc, gen, s.Call)
+		return append(pre, s)
+	case *ast.ReturnStmt:
+		if s.Value != nil {
+			v, pre := seExpr(sc, gen, s.Value)
+			s.Value = v
+			return append(pre, s)
+		}
+		return []ast.Stmt{s}
+	case *ast.SwitchStmt:
+		tag, pre := seExpr(sc, gen, s.Tag)
+		s.Tag = tag
+		for i := range s.Cases {
+			s.Cases[i].Body = seBlock(sc, gen, nil, s.Cases[i].Body)
+		}
+		return append(pre, s)
+	default:
+		return []ast.Stmt{s}
+	}
+}
+
+// seCallArgs hoists calls nested inside a call's arguments (the call
+// itself stays in place).
+func seCallArgs(sc *scopes, gen *NameGen, call *ast.CallExpr) []ast.Stmt {
+	var pre []ast.Stmt
+	for i, a := range call.Args {
+		na, apre := seExpr(sc, gen, a)
+		call.Args[i] = na
+		pre = append(pre, apre...)
+	}
+	return pre
+}
+
+// seExpr rewrites an expression so it contains no user calls and no calls
+// under short-circuit guards, returning the pure expression and the
+// statements that must execute first.
+func seExpr(sc *scopes, gen *NameGen, e ast.Expr) (ast.Expr, []ast.Stmt) {
+	if !ast.ContainsCall(e) || onlyPureCalls(e) {
+		return e, nil
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if isBuiltinCallee(e) {
+			// isValid() — pure, but its receiver cannot contain calls in
+			// our grammar; keep in place.
+			return e, nil
+		}
+		pre := seCallArgs(sc, gen, e)
+		rt := sc.typeOf(e)
+		tmp := gen.Fresh("tmp")
+		pre = append(pre, &ast.VarDeclStmt{Name: tmp, Type: ast.CloneType(rt), Init: e})
+		sc.declare(tmp, rt)
+		return ast.N(tmp), pre
+	case *ast.UnaryExpr:
+		x, pre := seExpr(sc, gen, e.X)
+		e.X = x
+		return e, pre
+	case *ast.BinaryExpr:
+		if e.Op.IsLogical() && ast.ContainsCall(e.Y) && !onlyPureCalls(e.Y) {
+			// a && f(b) → bool tmp = a; if (tmp) { tmp = f(b); }
+			// a || f(b) → bool tmp = a; if (!tmp) { tmp = f(b); }
+			lhs, pre := seExpr(sc, gen, e.X)
+			tmp := gen.Fresh("tmp")
+			pre = append(pre, &ast.VarDeclStmt{Name: tmp, Type: &ast.BoolType{}, Init: lhs})
+			sc.declare(tmp, &ast.BoolType{})
+			rhs, rpre := seExpr(sc, gen, e.Y)
+			body := append(rpre, ast.Assign(ast.N(tmp), rhs))
+			var cond ast.Expr = ast.N(tmp)
+			if e.Op == ast.OpLOr {
+				cond = &ast.UnaryExpr{Op: ast.OpLNot, X: ast.N(tmp)}
+			}
+			pre = append(pre, ast.If(cond, ast.Block(body...), nil))
+			return ast.N(tmp), pre
+		}
+		x, xpre := seExpr(sc, gen, e.X)
+		y, ypre := seExpr(sc, gen, e.Y)
+		e.X, e.Y = x, y
+		return e, append(xpre, ypre...)
+	case *ast.MuxExpr:
+		// c ? f(x) : g(y) → T tmp; if (c) { tmp = f(x); } else { tmp = g(y); }
+		if ast.ContainsCall(e.Then) && !onlyPureCalls(e.Then) ||
+			ast.ContainsCall(e.Else) && !onlyPureCalls(e.Else) {
+			cond, pre := seExpr(sc, gen, e.Cond)
+			rt := sc.typeOf(e)
+			tmp := gen.Fresh("tmp")
+			pre = append(pre, &ast.VarDeclStmt{Name: tmp, Type: ast.CloneType(rt)})
+			sc.declare(tmp, rt)
+			tv, tpre := seExpr(sc, gen, e.Then)
+			ev, epre := seExpr(sc, gen, e.Else)
+			thenBody := append(tpre, ast.Assign(ast.N(tmp), tv))
+			elseBody := append(epre, ast.Assign(ast.N(tmp), ev))
+			pre = append(pre, ast.If(cond, ast.Block(thenBody...), ast.Block(elseBody...)))
+			return ast.N(tmp), pre
+		}
+		c, cpre := seExpr(sc, gen, e.Cond)
+		e.Cond = c
+		return e, cpre
+	case *ast.CastExpr:
+		x, pre := seExpr(sc, gen, e.X)
+		e.X = x
+		return e, pre
+	case *ast.MemberExpr:
+		x, pre := seExpr(sc, gen, e.X)
+		e.X = x
+		return e, pre
+	case *ast.SliceExpr:
+		x, pre := seExpr(sc, gen, e.X)
+		e.X = x
+		return e, pre
+	default:
+		return e, nil
+	}
+}
+
+// onlyPureCalls reports whether every call in the expression is a pure
+// builtin (isValid), which needs no hoisting.
+func onlyPureCalls(e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(x ast.Expr) bool {
+		if c, ok := x.(*ast.CallExpr); ok {
+			m, isM := c.Func.(*ast.MemberExpr)
+			if !isM || m.Member != "isValid" {
+				pure = false
+				return false
+			}
+		}
+		return true
+	})
+	return pure
+}

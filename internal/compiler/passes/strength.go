@@ -1,0 +1,197 @@
+package passes
+
+import (
+	"math/bits"
+
+	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/p4/printer"
+)
+
+// StrengthReduction replaces expensive operations with cheaper equivalents
+// (P4C's StrengthReduction pass): multiplications by powers of two become
+// shifts, identity operations disappear, and annihilating operands
+// collapse. All operands are effect-free after SideEffectOrdering, so
+// dropping one is safe.
+//
+// The paper's Figure 5c bug lived here: a missing safety check made the
+// pass compute a negative slice index, which the type checker then
+// rejected. The reference implementation below carries the check; the bug
+// registry removes it.
+type StrengthReduction struct{}
+
+// Name identifies the pass.
+func (StrengthReduction) Name() string { return "StrengthReduction" }
+
+// Run reduces every executable body.
+func (StrengthReduction) Run(prog *ast.Program) (*ast.Program, error) {
+	fold := func(e ast.Expr) ast.Expr { return ReduceExpr(e) }
+	for _, d := range prog.Decls {
+		switch d := d.(type) {
+		case *ast.ControlDecl:
+			ast.RewriteControl(d, nil, fold)
+		case *ast.FunctionDecl:
+			d.Body = ast.RewriteBlock(d.Body, nil, fold)
+		case *ast.ActionDecl:
+			d.Body = ast.RewriteBlock(d.Body, nil, fold)
+		}
+	}
+	return prog, nil
+}
+
+func sameLValue(a, b ast.Expr) bool {
+	if !ast.IsLValue(a) || !ast.IsLValue(b) {
+		return false
+	}
+	return printer.PrintExpr(a) == printer.PrintExpr(b)
+}
+
+func isZero(e ast.Expr) (int, bool) {
+	if l, ok := e.(*ast.IntLit); ok && l.Val == 0 {
+		return l.Width, true
+	}
+	return 0, false
+}
+
+func isAllOnes(e ast.Expr) bool {
+	l, ok := e.(*ast.IntLit)
+	return ok && l.Width > 0 && l.Val == ast.MaskWidth(^uint64(0), l.Width)
+}
+
+func isPowerOfTwo(e ast.Expr) (int, bool) {
+	l, ok := e.(*ast.IntLit)
+	if !ok || l.Val == 0 || l.Val&(l.Val-1) != 0 {
+		return 0, false
+	}
+	return bits.TrailingZeros64(l.Val), true
+}
+
+// widthOfLit returns the width of an integer-literal expression.
+func widthOfLit(e ast.Expr) int {
+	if l, ok := e.(*ast.IntLit); ok {
+		return l.Width
+	}
+	return 0
+}
+
+// ReduceExpr applies one strength-reduction rewrite to a node whose
+// children are already reduced. Exported for the bug registry's mutated
+// variants.
+func ReduceExpr(e ast.Expr) ast.Expr {
+	b, ok := e.(*ast.BinaryExpr)
+	if !ok {
+		if sl, ok := e.(*ast.SliceExpr); ok {
+			// Full-width slice of a sliced value: x[hi:0] over width hi+1
+			// is the identity — but only when the slice covers the whole
+			// operand, which needs the operand's width; handled only for
+			// nested slices where widths are syntactically known.
+			if inner, ok := sl.X.(*ast.SliceExpr); ok {
+				// x[a:b][c:d] == x[b+c : b+d] shifted: fold the double
+				// slice. The safety check c >= d >= 0 is structural; the
+				// resulting bounds must stay within the inner slice.
+				hi := inner.Lo + sl.Hi
+				lo := inner.Lo + sl.Lo
+				if lo >= 0 && hi <= inner.Hi { // safety check (Fig. 5c class)
+					return &ast.SliceExpr{X: inner.X, Hi: hi, Lo: lo}
+				}
+			}
+		}
+		return e
+	}
+	switch b.Op {
+	case ast.OpMul:
+		if _, z := isZero(b.X); z {
+			return ast.Num(widthOfLit(b.X), 0)
+		}
+		if w, z := isZero(b.Y); z {
+			_ = w
+			return zeroLike(b.X, b.Y)
+		}
+		if sh, ok := isPowerOfTwo(b.Y); ok {
+			if sh == 0 {
+				return b.X // * 1
+			}
+			return ast.Bin(ast.OpShl, b.X, &ast.IntLit{Width: 32, Val: uint64(sh)})
+		}
+		if sh, ok := isPowerOfTwo(b.X); ok {
+			if sh == 0 {
+				return b.Y
+			}
+			return ast.Bin(ast.OpShl, b.Y, &ast.IntLit{Width: 32, Val: uint64(sh)})
+		}
+	case ast.OpAdd:
+		if _, z := isZero(b.Y); z {
+			return b.X
+		}
+		if _, z := isZero(b.X); z {
+			return b.Y
+		}
+	case ast.OpSub:
+		if _, z := isZero(b.Y); z {
+			return b.X
+		}
+		if sameLValue(b.X, b.Y) {
+			return zeroLike(b.X, b.Y)
+		}
+	case ast.OpBitAnd:
+		if _, z := isZero(b.X); z {
+			return zeroLike(b.Y, b.X)
+		}
+		if _, z := isZero(b.Y); z {
+			return zeroLike(b.X, b.Y)
+		}
+		if isAllOnes(b.Y) {
+			return b.X
+		}
+		if isAllOnes(b.X) {
+			return b.Y
+		}
+		if sameLValue(b.X, b.Y) {
+			return b.X
+		}
+	case ast.OpBitOr:
+		if _, z := isZero(b.Y); z {
+			return b.X
+		}
+		if _, z := isZero(b.X); z {
+			return b.Y
+		}
+		if sameLValue(b.X, b.Y) {
+			return b.X
+		}
+	case ast.OpBitXor:
+		if _, z := isZero(b.Y); z {
+			return b.X
+		}
+		if _, z := isZero(b.X); z {
+			return b.Y
+		}
+		if sameLValue(b.X, b.Y) {
+			return zeroLike(b.X, b.Y)
+		}
+	case ast.OpShl, ast.OpShr:
+		if l, ok := b.Y.(*ast.IntLit); ok {
+			if l.Val == 0 {
+				return b.X
+			}
+		}
+	}
+	return e
+}
+
+// zeroLike builds a zero literal of the same width as x (falling back to
+// the width of the literal operand l when x's width is not syntactically
+// evident).
+func zeroLike(x, l ast.Expr) ast.Expr {
+	if il, ok := x.(*ast.IntLit); ok {
+		return ast.Num(il.Width, 0)
+	}
+	if sl, ok := x.(*ast.SliceExpr); ok {
+		return ast.Num(sl.Hi-sl.Lo+1, 0)
+	}
+	if il, ok := l.(*ast.IntLit); ok && il.Width > 0 {
+		return ast.Num(il.Width, 0)
+	}
+	// Width unknown syntactically: keep the expression shape instead of
+	// guessing (x ^ x has the right value and width).
+	return ast.Bin(ast.OpBitXor, x, ast.CloneExpr(x))
+}

@@ -1,0 +1,178 @@
+package passes
+
+import (
+	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/p4/types"
+)
+
+// TypeChecking re-runs the type checker as a pass, mirroring P4C's
+// repeated checking between transformations. Most of the paper's crash
+// bugs were assertion violations in this infrastructure (§7.2: 18 of 25
+// P4C crashes were in the type checker).
+type TypeChecking struct{}
+
+// Name identifies the pass.
+func (TypeChecking) Name() string { return "TypeChecking" }
+
+// Run type-checks the program and passes it through unchanged.
+func (TypeChecking) Run(prog *ast.Program) (*ast.Program, error) {
+	if err := types.Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// UniqueNames alpha-renames declarations so every declared name is unique
+// within its control — no shadowing, no sibling-scope reuse. Later passes
+// (inlining, predication) can then substitute names and flatten scopes
+// without capture. Control-plane-visible names (directionless action
+// parameters, tables, actions) are preserved, as P4C does via @name
+// annotations.
+type UniqueNames struct{}
+
+// Name identifies the pass.
+func (UniqueNames) Name() string { return "UniqueNames" }
+
+// Run renames colliding declarations.
+func (UniqueNames) Run(prog *ast.Program) (*ast.Program, error) {
+	gen := NewNameGen(prog)
+	for _, d := range prog.Decls {
+		ctrl, ok := d.(*ast.ControlDecl)
+		if !ok {
+			continue
+		}
+		declared := map[string]bool{}
+		for _, p := range ctrl.Params {
+			declared[p.Name] = true
+		}
+		for _, l := range ctrl.Locals {
+			declared[l.DeclName()] = true
+		}
+		for _, l := range ctrl.Locals {
+			switch l := l.(type) {
+			case *ast.ActionDecl:
+				renameCallable(gen, l.Params, l.Body, declared, false)
+			case *ast.FunctionDecl:
+				renameCallable(gen, l.Params, l.Body, declared, true)
+			}
+		}
+		uniquifyBlock(gen, ctrl.Apply, declared)
+	}
+	return prog, nil
+}
+
+// renameCallable uniquifies parameters and body declarations of an action
+// or function against the control-wide declared set. Directionless action
+// parameters keep their names: they are control-plane visible.
+func renameCallable(gen *NameGen, params []ast.Param, body *ast.BlockStmt,
+	declared map[string]bool, renameAll bool) {
+	ren := map[string]string{}
+	for i := range params {
+		p := &params[i]
+		cpVisible := p.Dir == ast.DirNone && !renameAll
+		if declared[p.Name] && !cpVisible {
+			nn := gen.Fresh(p.Name)
+			ren[p.Name] = nn
+			p.Name = nn
+		}
+		declared[p.Name] = true
+	}
+	if len(ren) > 0 {
+		substituteIdents(body, ren)
+	}
+	uniquifyBlock(gen, body, declared)
+}
+
+// uniquifyBlock renames declarations whose name was already declared
+// anywhere in the control; renames apply to the remainder of the block
+// (inner scopes see the new name through substitution order).
+func uniquifyBlock(gen *NameGen, b *ast.BlockStmt, declared map[string]bool) {
+	if b == nil {
+		return
+	}
+	for i := 0; i < len(b.Stmts); i++ {
+		switch s := b.Stmts[i].(type) {
+		case *ast.VarDeclStmt:
+			renameIfNeeded(gen, &s.Name, declared, b.Stmts[i+1:])
+		case *ast.ConstDeclStmt:
+			renameIfNeeded(gen, &s.Name, declared, b.Stmts[i+1:])
+		case *ast.IfStmt:
+			uniquifyBlock(gen, s.Then, declared)
+			switch els := s.Else.(type) {
+			case *ast.BlockStmt:
+				uniquifyBlock(gen, els, declared)
+			case *ast.IfStmt:
+				uniquifyBlock(gen, &ast.BlockStmt{Stmts: []ast.Stmt{els}}, declared)
+			}
+		case *ast.BlockStmt:
+			uniquifyBlock(gen, s, declared)
+		case *ast.SwitchStmt:
+			for j := range s.Cases {
+				uniquifyBlock(gen, s.Cases[j].Body, declared)
+			}
+		}
+	}
+}
+
+func renameIfNeeded(gen *NameGen, name *string, declared map[string]bool, rest []ast.Stmt) {
+	if declared[*name] {
+		nn := gen.Fresh(*name)
+		substituteScoped(rest, *name, nn)
+		*name = nn
+	}
+	declared[*name] = true
+}
+
+// substituteScoped renames free occurrences of old to nn in a statement
+// sequence, stopping (within the remaining sequence) at a redeclaration of
+// old, whose scope rebinds the name.
+func substituteScoped(stmts []ast.Stmt, old, nn string) {
+	renExpr := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		ast.Inspect(e, func(x ast.Expr) bool {
+			if id, ok := x.(*ast.Ident); ok && id.Name == old {
+				id.Name = nn
+			}
+			return true
+		})
+	}
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.VarDeclStmt:
+			renExpr(s.Init)
+			if s.Name == old {
+				return // rest of this block binds to the redeclaration
+			}
+		case *ast.ConstDeclStmt:
+			renExpr(s.Value)
+			if s.Name == old {
+				return
+			}
+		case *ast.AssignStmt:
+			renExpr(s.LHS)
+			renExpr(s.RHS)
+		case *ast.IfStmt:
+			renExpr(s.Cond)
+			substituteScoped(s.Then.Stmts, old, nn)
+			if s.Else != nil {
+				substituteScoped([]ast.Stmt{s.Else}, old, nn)
+			}
+		case *ast.BlockStmt:
+			substituteScoped(s.Stmts, old, nn)
+		case *ast.CallStmt:
+			renExpr(s.Call)
+		case *ast.ReturnStmt:
+			renExpr(s.Value)
+		case *ast.SwitchStmt:
+			renExpr(s.Tag)
+			for i := range s.Cases {
+				for _, l := range s.Cases[i].Labels {
+					renExpr(l)
+				}
+				substituteScoped(s.Cases[i].Body.Stmts, old, nn)
+			}
+		}
+	}
+}

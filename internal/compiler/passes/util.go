@@ -1,0 +1,275 @@
+// Package passes implements the reference front- and mid-end passes of the
+// nanopass compiler, mirroring the P4C passes the paper names:
+// UniqueNames, SideEffectOrdering, InlineFunctions, RemoveActionParameters,
+// SimplifyDefUse, ConstantFolding, StrengthReduction, Predication,
+// CopyPropagation and DeadCode. The seeded-defect registry (internal/bugs)
+// wraps these references with the paper's 78 bugs.
+package passes
+
+import (
+	"fmt"
+
+	"gauntlet/internal/p4/ast"
+)
+
+// NameGen produces fresh identifiers that cannot collide with any name in
+// the program.
+type NameGen struct {
+	used map[string]bool
+	n    int
+}
+
+// NewNameGen scans the program for every identifier in use.
+func NewNameGen(prog *ast.Program) *NameGen {
+	g := &NameGen{used: map[string]bool{}}
+	for _, d := range prog.Decls {
+		g.scanDecl(d)
+	}
+	return g
+}
+
+func (g *NameGen) scanDecl(d ast.Decl) {
+	g.used[d.DeclName()] = true
+	switch d := d.(type) {
+	case *ast.ActionDecl:
+		g.scanParams(d.Params)
+		g.scanStmt(d.Body)
+	case *ast.FunctionDecl:
+		g.scanParams(d.Params)
+		g.scanStmt(d.Body)
+	case *ast.ControlDecl:
+		g.scanParams(d.Params)
+		for _, l := range d.Locals {
+			g.scanDecl(l)
+		}
+		g.scanStmt(d.Apply)
+	case *ast.ParserDecl:
+		g.scanParams(d.Params)
+		for i := range d.States {
+			for _, s := range d.States[i].Stmts {
+				g.scanStmt(s)
+			}
+		}
+	}
+}
+
+func (g *NameGen) scanParams(ps []ast.Param) {
+	for _, p := range ps {
+		g.used[p.Name] = true
+	}
+}
+
+func (g *NameGen) scanStmt(s ast.Stmt) {
+	ast.InspectStmt(s, func(st ast.Stmt) bool {
+		switch st := st.(type) {
+		case *ast.VarDeclStmt:
+			g.used[st.Name] = true
+		case *ast.ConstDeclStmt:
+			g.used[st.Name] = true
+		}
+		return true
+	}, func(e ast.Expr) bool {
+		if id, ok := e.(*ast.Ident); ok {
+			g.used[id.Name] = true
+		}
+		return true
+	})
+}
+
+// Fresh returns an unused identifier with the given prefix.
+func (g *NameGen) Fresh(prefix string) string {
+	for {
+		g.n++
+		name := fmt.Sprintf("%s_%d", prefix, g.n)
+		if !g.used[name] {
+			g.used[name] = true
+			return name
+		}
+	}
+}
+
+// scopes is a lightweight type environment for pass-internal inference on
+// checked programs (all declared types resolved, all literals sized).
+type scopes struct {
+	prog  *ast.Program
+	ctrl  *ast.ControlDecl
+	stack []map[string]ast.Type
+}
+
+func newScopes(prog *ast.Program, ctrl *ast.ControlDecl) *scopes {
+	s := &scopes{prog: prog, ctrl: ctrl}
+	s.push()
+	// Top-level constants.
+	for _, d := range prog.Decls {
+		if c, ok := d.(*ast.ConstDecl); ok {
+			s.declare(c.Name, c.Type)
+		}
+	}
+	if ctrl != nil {
+		s.push()
+		for _, p := range ctrl.Params {
+			s.declare(p.Name, p.Type)
+		}
+		for _, l := range ctrl.Locals {
+			switch l := l.(type) {
+			case *ast.VarDecl:
+				s.declare(l.Name, l.Type)
+			case *ast.ConstDecl:
+				s.declare(l.Name, l.Type)
+			}
+		}
+	}
+	return s
+}
+
+func (s *scopes) push() { s.stack = append(s.stack, map[string]ast.Type{}) }
+func (s *scopes) pop()  { s.stack = s.stack[:len(s.stack)-1] }
+
+func (s *scopes) declare(name string, t ast.Type) {
+	s.stack[len(s.stack)-1][name] = t
+}
+
+func (s *scopes) lookup(name string) ast.Type {
+	for i := len(s.stack) - 1; i >= 0; i-- {
+		if t, ok := s.stack[i][name]; ok {
+			return t
+		}
+	}
+	return nil
+}
+
+// declareStmt registers declarations introduced by a statement.
+func (s *scopes) declareStmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.VarDeclStmt:
+		s.declare(st.Name, st.Type)
+	case *ast.ConstDeclStmt:
+		s.declare(st.Name, st.Type)
+	}
+}
+
+// returnTypeOf resolves the return type of a named callable (nil if not a
+// function).
+func (s *scopes) returnTypeOf(name string) ast.Type {
+	if s.ctrl != nil {
+		if f, ok := s.ctrl.LocalByName(name).(*ast.FunctionDecl); ok {
+			return f.Return
+		}
+	}
+	if f, ok := s.prog.DeclByName(name).(*ast.FunctionDecl); ok {
+		return f.Return
+	}
+	return nil
+}
+
+// typeOf infers the type of an expression in a checked program. It returns
+// nil when the type cannot be determined (callers must handle this as an
+// internal error).
+func (s *scopes) typeOf(e ast.Expr) ast.Type {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return s.lookup(e.Name)
+	case *ast.IntLit:
+		w := e.Width
+		if w == 0 {
+			w = 64
+		}
+		return &ast.BitType{Width: w}
+	case *ast.BoolLit:
+		return &ast.BoolType{}
+	case *ast.UnaryExpr:
+		if e.Op == ast.OpLNot {
+			return &ast.BoolType{}
+		}
+		return s.typeOf(e.X)
+	case *ast.BinaryExpr:
+		switch {
+		case e.Op.IsComparison() || e.Op.IsLogical():
+			return &ast.BoolType{}
+		case e.Op == ast.OpConcat:
+			xt, _ := s.typeOf(e.X).(*ast.BitType)
+			yt, _ := s.typeOf(e.Y).(*ast.BitType)
+			if xt == nil || yt == nil {
+				return nil
+			}
+			return &ast.BitType{Width: xt.Width + yt.Width}
+		default:
+			return s.typeOf(e.X)
+		}
+	case *ast.MuxExpr:
+		return s.typeOf(e.Then)
+	case *ast.CastExpr:
+		return e.To
+	case *ast.MemberExpr:
+		switch ct := s.typeOf(e.X).(type) {
+		case *ast.HeaderType:
+			if f, ok := ct.FieldByName(e.Member); ok {
+				return f.Type
+			}
+		case *ast.StructType:
+			if f, ok := ct.FieldByName(e.Member); ok {
+				return f.Type
+			}
+		}
+		return nil
+	case *ast.SliceExpr:
+		return &ast.BitType{Width: e.Hi - e.Lo + 1}
+	case *ast.CallExpr:
+		if m, ok := e.Func.(*ast.MemberExpr); ok {
+			if m.Member == "isValid" {
+				return &ast.BoolType{}
+			}
+			return &ast.VoidType{}
+		}
+		if id, ok := e.Func.(*ast.Ident); ok {
+			if rt := s.returnTypeOf(id.Name); rt != nil {
+				return rt
+			}
+		}
+		return &ast.VoidType{}
+	default:
+		return nil
+	}
+}
+
+// mayEscape reports whether the statement tree contains a return or exit.
+func mayEscape(s ast.Stmt) bool {
+	found := false
+	ast.InspectStmt(s, func(st ast.Stmt) bool {
+		switch st.(type) {
+		case *ast.ReturnStmt, *ast.ExitStmt:
+			found = true
+			return false
+		}
+		return true
+	}, nil)
+	return found
+}
+
+// substituteIdents renames identifiers per the mapping, in place, across a
+// statement tree. Member names are untouched.
+func substituteIdents(s ast.Stmt, ren map[string]string) {
+	ast.InspectStmt(s, nil, func(e ast.Expr) bool {
+		if id, ok := e.(*ast.Ident); ok {
+			if nn, ok := ren[id.Name]; ok {
+				id.Name = nn
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltinCallee reports whether a call target is a builtin method
+// (validity, apply, packet methods) rather than a user callable.
+func isBuiltinCallee(e *ast.CallExpr) bool {
+	_, ok := e.Func.(*ast.MemberExpr)
+	return ok
+}
+
+// calleeName returns the called identifier name, or "".
+func calleeName(e *ast.CallExpr) string {
+	if id, ok := e.Func.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

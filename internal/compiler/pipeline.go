@@ -1,0 +1,52 @@
+package compiler
+
+import "gauntlet/internal/compiler/passes"
+
+// FrontEndPasses returns the reference front-end pipeline in P4C order:
+// name uniquification, type checking, side-effect normalization, inlining
+// of functions and direct action calls, and def-use cleanup.
+func FrontEndPasses() []Pass {
+	return []Pass{
+		passes.TypeChecking{},
+		passes.UniqueNames{},
+		passes.SideEffectOrdering{},
+		passes.InlineFunctions{},
+		passes.RemoveActionParameters{},
+		passes.SimplifyDefUse{},
+	}
+}
+
+// MidEndPasses returns the reference mid-end pipeline: folding, strength
+// reduction, predication (straight-lining action bodies for hardware
+// targets), copy propagation, def-use cleanup and dead-code removal.
+func MidEndPasses() []Pass {
+	return []Pass{
+		passes.ConstantFolding{},
+		passes.StrengthReduction{},
+		passes.Predication{},
+		passes.CopyPropagation{},
+		passes.SimplifyDefUse{},
+		passes.DeadCode{},
+		passes.TypeChecking{},
+	}
+}
+
+// DefaultPasses returns the full front+mid pipeline used by p4test-style
+// compilation (§5.2).
+func DefaultPasses() []Pass {
+	return append(FrontEndPasses(), MidEndPasses()...)
+}
+
+// LocationOf classifies a pass name into front/mid/back end (Table 3).
+func LocationOf(name string) Location {
+	switch name {
+	case "TypeChecking", "UniqueNames", "SideEffectOrdering",
+		"InlineFunctions", "RemoveActionParameters", "SimplifyDefUse":
+		return FrontEnd
+	case "ConstantFolding", "StrengthReduction", "Predication",
+		"CopyPropagation", "DeadCode":
+		return MidEnd
+	default:
+		return BackEnd
+	}
+}

@@ -1,0 +1,310 @@
+// Package core is Gauntlet itself: the orchestration that combines random
+// program generation, translation validation and symbolic-execution test
+// generation to hunt compiler bugs (Figures 2 and 4 of the paper), plus
+// the campaign driver that reproduces the evaluation tables over the
+// seeded-defect registry.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gauntlet/internal/bugs"
+	"gauntlet/internal/compiler"
+	"gauntlet/internal/generator"
+	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/p4/parser"
+	"gauntlet/internal/p4/types"
+	"gauntlet/internal/target/bmv2"
+	"gauntlet/internal/target/tofino"
+	"gauntlet/internal/testgen"
+	"gauntlet/internal/validate"
+)
+
+// Technique names the bug-finding technique that produced a detection.
+type Technique int
+
+// Techniques.
+const (
+	// CrashHunt is random program generation + crash capture (§4).
+	CrashHunt Technique = iota
+	// TranslationValidation is pass-pairwise equivalence checking (§5).
+	TranslationValidation
+	// SymbolicExecution is input/output packet testing (§6).
+	SymbolicExecution
+)
+
+// String renders the technique.
+func (t Technique) String() string {
+	switch t {
+	case CrashHunt:
+		return "crash hunt"
+	case TranslationValidation:
+		return "translation validation"
+	default:
+		return "symbolic execution"
+	}
+}
+
+// Detection is the outcome of hunting one bug.
+type Detection struct {
+	Bug       *bugs.Bug
+	Detected  bool
+	Technique Technique
+	// Via names the triggering program: "witness" or "seed N".
+	Via string
+	// Detail carries the crash fingerprint, failing pass +
+	// counterexample, or packet mismatch.
+	Detail string
+	// InvalidTransform marks detections that surfaced as unparsable
+	// emitted programs (tracked but not counted, §7.2).
+	InvalidTransform bool
+}
+
+// Campaign hunts seeded bugs with Gauntlet's three techniques.
+type Campaign struct {
+	Registry *bugs.Registry
+	// RandomSeeds is how many generated programs to try per bug after
+	// the witness (0 = witness only).
+	RandomSeeds int
+	// SkipWitness hunts with random programs only — the paper's actual
+	// discovery mode, where nobody hands the fuzzer a reproducer.
+	SkipWitness bool
+	// MaxConflicts bounds every solver call.
+	MaxConflicts int
+	// TestOpts configures symbolic-execution test generation.
+	TestOpts testgen.Options
+	// Workers bounds RunAll's parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// NewCampaign builds a campaign over the full registry with paper-scale
+// settings.
+func NewCampaign() *Campaign {
+	return &Campaign{
+		Registry:     bugs.Load(),
+		RandomSeeds:  0,
+		MaxConflicts: 50000,
+		TestOpts:     testgen.DefaultOptions(),
+	}
+}
+
+// pipelineFor returns the reference pass pipeline of a platform.
+func pipelineFor(p bugs.Platform) []compiler.Pass {
+	switch p {
+	case bugs.BMv2:
+		return append(compiler.DefaultPasses(), bmv2.BackendPasses()...)
+	case bugs.Tofino:
+		return append(compiler.DefaultPasses(), tofino.BackendPasses()...)
+	default:
+		return compiler.DefaultPasses()
+	}
+}
+
+// programsFor yields the candidate trigger programs for a bug: its
+// witness first, then random programs.
+func (c *Campaign) programsFor(b *bugs.Bug) ([]namedProgram, error) {
+	prog, err := parser.Parse(b.Witness)
+	if err != nil {
+		return nil, fmt.Errorf("bug %s: witness does not parse: %w", b.ID, err)
+	}
+	if err := types.Check(prog); err != nil {
+		return nil, fmt.Errorf("bug %s: witness does not check: %w", b.ID, err)
+	}
+	var out []namedProgram
+	if !c.SkipWitness {
+		out = append(out, namedProgram{name: "witness", prog: prog})
+	}
+	backend := generator.V1Model
+	if b.Platform == bugs.Tofino {
+		backend = generator.TNA
+	}
+	for seed := int64(0); seed < int64(c.RandomSeeds); seed++ {
+		cfg := generator.DefaultConfig(seed)
+		cfg.Backend = backend
+		out = append(out, namedProgram{
+			name: fmt.Sprintf("seed %d", seed),
+			prog: generator.Generate(cfg),
+		})
+	}
+	return out, nil
+}
+
+type namedProgram struct {
+	name string
+	prog *ast.Program
+}
+
+// Hunt activates a single bug and applies the platform-appropriate
+// technique to every candidate program until one detects it.
+func (c *Campaign) Hunt(b *bugs.Bug) (Detection, error) {
+	det := Detection{Bug: b}
+	programs, err := c.programsFor(b)
+	if err != nil {
+		return det, err
+	}
+	pl := bugs.Instrument(pipelineFor(b.Platform), []*bugs.Bug{b})
+
+	for _, np := range programs {
+		comp := compiler.New(pl...)
+		res, cerr := comp.Compile(np.prog)
+		if cerr != nil {
+			var crash *compiler.CrashError
+			if errors.As(cerr, &crash) {
+				det.Detected = true
+				det.Technique = CrashHunt
+				det.Via = np.name
+				det.Detail = fmt.Sprintf("crash in %s: %s", crash.Pass, crash.Msg)
+				return det, nil
+			}
+			var invalid *compiler.InvalidTransformError
+			if errors.As(cerr, &invalid) {
+				det.Detected = true
+				det.InvalidTransform = true
+				det.Via = np.name
+				det.Detail = invalid.Error()
+				return det, nil
+			}
+			return det, fmt.Errorf("bug %s on %s: %w", b.ID, np.name, cerr)
+		}
+		if b.Kind != bugs.Semantic {
+			continue
+		}
+
+		switch b.Platform {
+		case bugs.P4C:
+			// Open compiler: translation validation pinpoints the pass
+			// (§5).
+			verdicts, verr := validate.Snapshots(res, validate.Options{MaxConflicts: c.MaxConflicts})
+			if verr != nil {
+				return det, fmt.Errorf("bug %s on %s: validate: %w", b.ID, np.name, verr)
+			}
+			if fails := validate.Failures(verdicts); len(fails) > 0 {
+				det.Detected = true
+				det.Technique = TranslationValidation
+				det.Via = np.name
+				det.Detail = fails[0].String()
+				return det, nil
+			}
+		case bugs.BMv2, bugs.Tofino:
+			// Black-box or back-end target: symbolic-execution packet
+			// tests (§6). Expectations come from the input program's
+			// formula; the buggy compiled device must disagree.
+			opts := c.TestOpts
+			opts.MaxConflicts = c.MaxConflicts
+			cases, terr := testgen.Generate(np.prog, opts)
+			if terr != nil {
+				return det, fmt.Errorf("bug %s on %s: testgen: %w", b.ID, np.name, terr)
+			}
+			dev, derr := deviceFromResult(res)
+			if derr != nil {
+				return det, derr
+			}
+			mismatches, merr := runCases(dev, cases)
+			if merr != nil {
+				return det, fmt.Errorf("bug %s on %s: inject: %w", b.ID, np.name, merr)
+			}
+			if len(mismatches) > 0 {
+				det.Detected = true
+				det.Technique = SymbolicExecution
+				det.Via = np.name
+				det.Detail = mismatches[0]
+				return det, nil
+			}
+		}
+	}
+	return det, nil
+}
+
+// HuntClean runs all three techniques over a bug's witness with the
+// reference (uninstrumented) pipeline. It returns "" when nothing is
+// flagged — the no-false-alarm baseline (§5.2) — or a description of the
+// spurious finding.
+func (c *Campaign) HuntClean(b *bugs.Bug) (string, error) {
+	prog, err := parser.Parse(b.Witness)
+	if err != nil {
+		return "", fmt.Errorf("witness does not parse: %w", err)
+	}
+	if err := types.Check(prog); err != nil {
+		return "", fmt.Errorf("witness does not check: %w", err)
+	}
+	comp := compiler.New(pipelineFor(b.Platform)...)
+	res, cerr := comp.Compile(prog)
+	if cerr != nil {
+		return fmt.Sprintf("clean compile failed: %v", cerr), nil
+	}
+	verdicts, verr := validate.Snapshots(res, validate.Options{MaxConflicts: c.MaxConflicts})
+	if verr != nil {
+		return "", fmt.Errorf("validate: %w", verr)
+	}
+	if fails := validate.Failures(verdicts); len(fails) > 0 {
+		return "translation validation false alarm: " + fails[0].String(), nil
+	}
+	opts := c.TestOpts
+	opts.MaxConflicts = c.MaxConflicts
+	cases, terr := testgen.Generate(prog, opts)
+	if terr != nil {
+		return "", fmt.Errorf("testgen: %w", terr)
+	}
+	dev, derr := deviceFromResult(res)
+	if derr != nil {
+		return "", derr
+	}
+	mismatches, merr := runCases(dev, cases)
+	if merr != nil {
+		return "", fmt.Errorf("inject: %w", merr)
+	}
+	if len(mismatches) > 0 {
+		return "symbolic execution false alarm: " + mismatches[0], nil
+	}
+	return "", nil
+}
+
+// RunAll hunts every bug in the registry (duplicates too: they re-detect
+// their original's behaviour) and returns detections keyed by bug ID.
+// Hunts are independent (each instruments its own pipeline over its own
+// program clones), so they run on a bounded worker pool.
+func (c *Campaign) RunAll() (map[string]Detection, error) {
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type item struct {
+		id  string
+		det Detection
+		err error
+	}
+	jobs := make(chan *bugs.Bug)
+	results := make(chan item)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range jobs {
+				det, err := c.Hunt(b)
+				results <- item{id: b.ID, det: det, err: err}
+			}
+		}()
+	}
+	go func() {
+		for _, b := range c.Registry.Bugs {
+			jobs <- b
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	out := map[string]Detection{}
+	var firstErr error
+	for it := range results {
+		if it.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("bug %s: %w", it.id, it.err)
+		}
+		out[it.id] = it.det
+	}
+	return out, firstErr
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fmt"
+
+	"gauntlet/internal/compiler"
+	"gauntlet/internal/p4/eval"
+	"gauntlet/internal/target/device"
+	"gauntlet/internal/testgen"
+)
+
+// deviceFromResult wraps a compilation result as an executable device
+// (both simulators zero-initialize undefined reads, matching the test
+// generator's §6.2 assumption).
+func deviceFromResult(res *compiler.Result) (*device.Device, error) {
+	if res.Final == nil {
+		return nil, fmt.Errorf("core: compilation has no final program")
+	}
+	return device.New(res.Final, eval.ZeroUndef), nil
+}
+
+// runCases injects every test case and collects mismatch descriptions.
+func runCases(dev *device.Device, cases []testgen.Case) ([]string, error) {
+	var out []string
+	for _, c := range cases {
+		obs, err := dev.Inject(c.Config, c.Packet)
+		if err != nil {
+			return out, err
+		}
+		want := device.Result{Drop: c.ExpectDrop, Packet: c.ExpectPacket}
+		if !device.Equal(want, obs) {
+			out = append(out, device.Mismatch{
+				CaseSummary: c.Summary(),
+				Expected:    want,
+				Observed:    obs,
+			}.String())
+		}
+	}
+	return out, nil
+}

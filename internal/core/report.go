@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gauntlet/internal/bugs"
+	"gauntlet/internal/compiler"
+)
+
+// Report aggregates a campaign into the paper's evaluation artifacts.
+type Report struct {
+	Detections map[string]Detection
+	Registry   *bugs.Registry
+}
+
+// NewReport wraps campaign results.
+func NewReport(reg *bugs.Registry, dets map[string]Detection) *Report {
+	return &Report{Registry: reg, Detections: dets}
+}
+
+// detected reports whether a bug was found (invalid transforms count as
+// found but are tabulated separately, like the paper's 4 uncounted bugs).
+func (r *Report) detected(b *bugs.Bug) bool {
+	d, ok := r.Detections[b.ID]
+	return ok && d.Detected
+}
+
+// Table2 renders the bug summary (Table 2): filed/confirmed/fixed ×
+// crash/semantic × platform, restricted to bugs the campaign detected.
+func (r *Report) Table2() string {
+	count := func(k bugs.Kind, minStatus bugs.Status, p bugs.Platform) int {
+		n := 0
+		for _, b := range r.Registry.Bugs {
+			if b.Kind == k && b.Platform == p && b.Status >= minStatus && r.detected(b) {
+				n++
+			}
+		}
+		return n
+	}
+	var sb strings.Builder
+	sb.WriteString("Table 2: Bug summary. Unfixed bugs have been assigned.\n")
+	sb.WriteString("Bug Type   Status       P4C   BMv2   Tofino\n")
+	rows := []struct {
+		kind   bugs.Kind
+		label  string
+		status bugs.Status
+	}{
+		{bugs.Crash, "Crash", bugs.Filed},
+		{bugs.Crash, "", bugs.Confirmed},
+		{bugs.Crash, "", bugs.Fixed},
+		{bugs.Semantic, "Semantic", bugs.Filed},
+		{bugs.Semantic, "", bugs.Confirmed},
+		{bugs.Semantic, "", bugs.Fixed},
+	}
+	for _, row := range rows {
+		statusName := map[bugs.Status]string{
+			bugs.Filed: "Filed", bugs.Confirmed: "Confirmed", bugs.Fixed: "Fixed",
+		}[row.status]
+		fmt.Fprintf(&sb, "%-10s %-10s %5d %6d %8d\n", row.label, statusName,
+			count(row.kind, row.status, bugs.P4C),
+			count(row.kind, row.status, bugs.BMv2),
+			count(row.kind, row.status, bugs.Tofino))
+	}
+	totalConfirmed := 0
+	perPlatform := map[bugs.Platform]int{}
+	for _, b := range r.Registry.Confirmed() {
+		if r.detected(b) {
+			totalConfirmed++
+			perPlatform[b.Platform]++
+		}
+	}
+	fmt.Fprintf(&sb, "%-10s %-10s %5d %6d %8d   (total %d)\n", "Total", "",
+		perPlatform[bugs.P4C], perPlatform[bugs.BMv2], perPlatform[bugs.Tofino], totalConfirmed)
+	return sb.String()
+}
+
+// Table3 renders the location distribution (Table 3) over detected,
+// confirmed bugs.
+func (r *Report) Table3() string {
+	count := map[compiler.Location]map[bugs.Platform]int{}
+	for _, b := range r.Registry.Confirmed() {
+		if !r.detected(b) {
+			continue
+		}
+		loc := compiler.LocationOf(b.Pass)
+		if count[loc] == nil {
+			count[loc] = map[bugs.Platform]int{}
+		}
+		count[loc][b.Platform]++
+	}
+	var sb strings.Builder
+	sb.WriteString("Table 3: Distribution of bugs in the P4 compilers.\n")
+	sb.WriteString("Location    P4C   BMv2   Tofino   Total\n")
+	total := 0
+	for _, loc := range []compiler.Location{compiler.FrontEnd, compiler.MidEnd, compiler.BackEnd} {
+		row := count[loc]
+		sum := row[bugs.P4C] + row[bugs.BMv2] + row[bugs.Tofino]
+		total += sum
+		fmt.Fprintf(&sb, "%-10s %4d %6d %8d %7d\n", loc, row[bugs.P4C], row[bugs.BMv2], row[bugs.Tofino], sum)
+	}
+	fmt.Fprintf(&sb, "%-10s %4s %6s %8s %7d\n", "Total", "", "", "", total)
+	return sb.String()
+}
+
+// DeepDive renders the §7.2 analyses: type-checker crash share,
+// copy-in/copy-out share of semantic bugs, merge regressions, spec
+// changes, derivative bugs, and technique attribution.
+func (r *Report) DeepDive() string {
+	var sb strings.Builder
+	confirmedDetected := func(f func(*bugs.Bug) bool) int {
+		n := 0
+		for _, b := range r.Registry.Confirmed() {
+			if r.detected(b) && f(b) {
+				n++
+			}
+		}
+		return n
+	}
+	p4cCrash := confirmedDetected(func(b *bugs.Bug) bool {
+		return b.Platform == bugs.P4C && b.Kind == bugs.Crash
+	})
+	tcCrash := confirmedDetected(func(b *bugs.Bug) bool {
+		return b.Platform == bugs.P4C && b.Kind == bugs.Crash && b.RootCause == "type checker"
+	})
+	p4cSem := confirmedDetected(func(b *bugs.Bug) bool {
+		return b.Platform == bugs.P4C && b.Kind == bugs.Semantic
+	})
+	cicoSem := confirmedDetected(func(b *bugs.Bug) bool {
+		return b.Platform == bugs.P4C && b.Kind == bugs.Semantic && b.RootCause == "copy-in/copy-out"
+	})
+	p4cAll := confirmedDetected(func(b *bugs.Bug) bool { return b.Platform == bugs.P4C })
+	merged := confirmedDetected(func(b *bugs.Bug) bool {
+		return b.Platform == bugs.P4C && b.MergeWeek > 0
+	})
+	spec := confirmedDetected(func(b *bugs.Bug) bool { return b.SpecChange })
+	deriv := confirmedDetected(func(b *bugs.Bug) bool { return b.Derivative })
+
+	fmt.Fprintf(&sb, "§7.2 deep dive (detected, confirmed bugs):\n")
+	fmt.Fprintf(&sb, "  crashes in the type checker:       %d of %d P4C crash bugs\n", tcCrash, p4cCrash)
+	fmt.Fprintf(&sb, "  copy-in/copy-out semantic bugs:    %d of %d P4C semantic bugs\n", cicoSem, p4cSem)
+	fmt.Fprintf(&sb, "  caused by recent master merges:    %d of %d P4C bugs (§7.1)\n", merged, p4cAll)
+	fmt.Fprintf(&sb, "  led to P4 specification changes:   %d\n", spec)
+	fmt.Fprintf(&sb, "  derivative (handcrafted) reports:  %d\n", deriv)
+
+	byTech := map[Technique]int{}
+	for _, b := range r.Registry.Confirmed() {
+		if d, ok := r.Detections[b.ID]; ok && d.Detected && !d.InvalidTransform {
+			byTech[d.Technique]++
+		}
+	}
+	fmt.Fprintf(&sb, "  found by crash hunting:            %d\n", byTech[CrashHunt])
+	fmt.Fprintf(&sb, "  found by translation validation:   %d\n", byTech[TranslationValidation])
+	fmt.Fprintf(&sb, "  found by symbolic execution:       %d\n", byTech[SymbolicExecution])
+
+	invalid := 0
+	for _, b := range r.Registry.InvalidTransforms() {
+		if d, ok := r.Detections[b.ID]; ok && d.Detected && d.InvalidTransform {
+			invalid++
+		}
+	}
+	fmt.Fprintf(&sb, "  invalid transformations (emit/reparse, tracked but uncounted): %d\n", invalid)
+	return sb.String()
+}
+
+// MergeWeekSeries returns detected P4C regressions per campaign week
+// (§7.1's "16 of 46 from recent merges" over the testing months).
+func (r *Report) MergeWeekSeries() string {
+	weeks := map[int]int{}
+	for _, b := range r.Registry.Confirmed() {
+		if b.Platform == bugs.P4C && b.MergeWeek > 0 && r.detected(b) {
+			weeks[b.MergeWeek]++
+		}
+	}
+	var ks []int
+	for k := range weeks {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	var sb strings.Builder
+	sb.WriteString("§7.1 regressions caught per merge week:\n")
+	for _, k := range ks {
+		fmt.Fprintf(&sb, "  week %2d: %s (%d)\n", k, strings.Repeat("*", weeks[k]), weeks[k])
+	}
+	return sb.String()
+}
+
+// Missed lists confirmed bugs the campaign failed to detect (should be
+// empty; printed by the CLI for diagnosis).
+func (r *Report) Missed() []string {
+	var out []string
+	for _, b := range r.Registry.Confirmed() {
+		if !r.detected(b) {
+			out = append(out, b.ID+" ("+b.Description+")")
+		}
+	}
+	sort.Strings(out)
+	return out
+}

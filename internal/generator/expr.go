@@ -1,0 +1,138 @@
+package generator
+
+import (
+	"gauntlet/internal/p4/ast"
+)
+
+// bitExpr generates a well-typed expression of type bit<w>.
+func (g *gen) bitExpr(sc *scope, w int, depth int) ast.Expr {
+	if depth <= 0 {
+		return g.bitLeaf(sc, w)
+	}
+	switch g.pick(12) {
+	case 0, 1:
+		return g.bitLeaf(sc, w)
+	case 2: // arithmetic
+		op := []ast.BinaryOp{ast.OpAdd, ast.OpSub, ast.OpMul}[g.pick(3)]
+		return ast.Bin(op, g.bitExpr(sc, w, depth-1), g.bitExpr(sc, w, depth-1))
+	case 3: // saturating
+		op := []ast.BinaryOp{ast.OpSatAdd, ast.OpSatSub}[g.pick(2)]
+		return ast.Bin(op, g.bitExpr(sc, w, depth-1), g.bitExpr(sc, w, depth-1))
+	case 4: // bitwise
+		op := []ast.BinaryOp{ast.OpBitAnd, ast.OpBitOr, ast.OpBitXor}[g.pick(3)]
+		return ast.Bin(op, g.bitExpr(sc, w, depth-1), g.bitExpr(sc, w, depth-1))
+	case 5: // shift by a small constant or by a variable
+		op := []ast.BinaryOp{ast.OpShl, ast.OpShr}[g.pick(2)]
+		var amt ast.Expr
+		if g.chance(2, 3) {
+			amt = ast.Num(8, uint64(g.pick(w+2)))
+		} else {
+			amt = g.bitLeaf(sc, 8)
+		}
+		return ast.Bin(op, g.bitExpr(sc, w, depth-1), amt)
+	case 6: // unary
+		op := []ast.UnaryOp{ast.OpNeg, ast.OpBitNot}[g.pick(2)]
+		return &ast.UnaryExpr{Op: op, X: g.bitExpr(sc, w, depth-1)}
+	case 7: // mux
+		return &ast.MuxExpr{
+			Cond: g.boolExpr(sc, depth-1),
+			Then: g.bitExpr(sc, w, depth-1),
+			Else: g.bitExpr(sc, w, depth-1),
+		}
+	case 8: // concat splitting the width
+		if w >= 2 {
+			w1 := 1 + g.pick(w-1)
+			return ast.Bin(ast.OpConcat, g.bitExpr(sc, w1, depth-1), g.bitExpr(sc, w-w1, depth-1))
+		}
+		return g.bitLeaf(sc, w)
+	case 9: // cast from a different width
+		src := widthChoices[g.pick(len(widthChoices))]
+		return &ast.CastExpr{To: &ast.BitType{Width: w}, X: g.bitExpr(sc, src, depth-1)}
+	case 10: // slice of a wider expression
+		wider := w + 1 + g.pick(8)
+		if wider > 64 {
+			wider = 64
+		}
+		if wider <= w {
+			return g.bitLeaf(sc, w)
+		}
+		lo := g.pick(wider - w + 1)
+		return &ast.SliceExpr{X: g.bitExpr(sc, wider, depth-1), Hi: lo + w - 1, Lo: lo}
+	default: // cast from bool
+		return &ast.CastExpr{To: &ast.BitType{Width: w}, X: g.boolExpr(sc, depth-1)}
+	}
+}
+
+// bitLeaf generates a literal, a variable of the exact width, or a
+// slice/cast of another variable.
+func (g *gen) bitLeaf(sc *scope, w int) ast.Expr {
+	// Exact-width variables.
+	var exact []variable
+	var wider []variable
+	for _, v := range sc.bitVars(false) {
+		vw := v.typ.(*ast.BitType).Width
+		if vw == w {
+			exact = append(exact, v)
+		} else if vw > w {
+			wider = append(wider, v)
+		}
+	}
+	roll := g.pick(10)
+	switch {
+	case roll < 4 && len(exact) > 0:
+		return ast.CloneExpr(exact[g.pick(len(exact))].expr)
+	case roll < 6 && len(wider) > 0:
+		v := wider[g.pick(len(wider))]
+		vw := v.typ.(*ast.BitType).Width
+		lo := g.pick(vw - w + 1)
+		return &ast.SliceExpr{X: ast.CloneExpr(v.expr), Hi: lo + w - 1, Lo: lo}
+	case roll < 7 && len(sc.bitVars(false)) > 0:
+		vars := sc.bitVars(false)
+		v := vars[g.pick(len(vars))]
+		return &ast.CastExpr{To: &ast.BitType{Width: w}, X: ast.CloneExpr(v.expr)}
+	default:
+		return ast.Num(w, g.r.Uint64())
+	}
+}
+
+// boolExpr generates a well-typed boolean expression.
+func (g *gen) boolExpr(sc *scope, depth int) ast.Expr {
+	if depth <= 0 {
+		return g.boolLeaf(sc)
+	}
+	switch g.pick(8) {
+	case 0, 1:
+		return g.boolLeaf(sc)
+	case 2: // comparison over a random width
+		w := widthChoices[g.pick(len(widthChoices))]
+		op := []ast.BinaryOp{ast.OpEq, ast.OpNe, ast.OpLt, ast.OpLe, ast.OpGt, ast.OpGe}[g.pick(6)]
+		return ast.Bin(op, g.bitExpr(sc, w, depth-1), g.bitExpr(sc, w, depth-1))
+	case 3:
+		op := []ast.BinaryOp{ast.OpLAnd, ast.OpLOr}[g.pick(2)]
+		return ast.Bin(op, g.boolExpr(sc, depth-1), g.boolExpr(sc, depth-1))
+	case 4:
+		return &ast.UnaryExpr{Op: ast.OpLNot, X: g.boolExpr(sc, depth-1)}
+	case 5:
+		op := []ast.BinaryOp{ast.OpEq, ast.OpNe}[g.pick(2)]
+		return ast.Bin(op, g.boolExpr(sc, depth-1), g.boolExpr(sc, depth-1))
+	case 6: // header validity probe
+		if len(sc.headerPaths) > 0 {
+			h := sc.headerPaths[g.pick(len(sc.headerPaths))]
+			return ast.Call(ast.Member(ast.CloneExpr(h.expr), "isValid"))
+		}
+		return g.boolLeaf(sc)
+	default: // mux of bools
+		return &ast.MuxExpr{
+			Cond: g.boolExpr(sc, depth-1),
+			Then: g.boolExpr(sc, depth-1),
+			Else: g.boolExpr(sc, depth-1),
+		}
+	}
+}
+
+func (g *gen) boolLeaf(sc *scope) ast.Expr {
+	if bools := sc.boolVars(false); len(bools) > 0 && g.chance(1, 2) {
+		return ast.CloneExpr(bools[g.pick(len(bools))].expr)
+	}
+	return ast.Bool(g.chance(1, 2))
+}

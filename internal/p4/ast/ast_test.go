@@ -1,0 +1,141 @@
+package ast_test
+
+import (
+	"testing"
+
+	"gauntlet/internal/generator"
+	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/p4/printer"
+)
+
+// TestCloneIndependence: mutating a clone must never leak into the
+// original — the invariant the whole pass/snapshot architecture rests on.
+func TestCloneIndependence(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		orig := generator.Generate(generator.DefaultConfig(seed))
+		before := printer.Print(orig)
+		clone := ast.CloneProgram(orig)
+
+		// Scorch the clone: rename every identifier, flip every literal,
+		// drop every statement.
+		for _, d := range clone.Decls {
+			c, ok := d.(*ast.ControlDecl)
+			if !ok {
+				continue
+			}
+			ast.RewriteControl(c, func(s ast.Stmt) []ast.Stmt {
+				return nil
+			}, func(e ast.Expr) ast.Expr {
+				switch e := e.(type) {
+				case *ast.Ident:
+					e.Name = "clobbered"
+				case *ast.IntLit:
+					e.Val = ^e.Val
+				}
+				return e
+			})
+			c.Locals = nil
+			c.Params = nil
+		}
+		if after := printer.Print(orig); after != before {
+			t.Fatalf("seed %d: clone mutation leaked into the original", seed)
+		}
+	}
+}
+
+func TestMaskWidth(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		w    int
+		want uint64
+	}{
+		{0xFFFF, 8, 0xFF},
+		{0xFFFF, 16, 0xFFFF},
+		{0xFFFF, 64, 0xFFFF},
+		{0xFFFF, 0, 0xFFFF}, // width 0 = identity
+		{1, 1, 1},
+		{2, 1, 0},
+	}
+	for _, tc := range cases {
+		if got := ast.MaskWidth(tc.v, tc.w); got != tc.want {
+			t.Errorf("MaskWidth(%#x, %d) = %#x, want %#x", tc.v, tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestLValueHelpers(t *testing.T) {
+	lv := &ast.SliceExpr{
+		X:  ast.Member(ast.Member(ast.N("hdr"), "h1"), "f1"),
+		Hi: 7, Lo: 1,
+	}
+	if !ast.IsLValue(lv) {
+		t.Error("slice of member chain must be an lvalue")
+	}
+	if root := ast.RootIdent(lv); root == nil || root.Name != "hdr" {
+		t.Errorf("RootIdent = %v, want hdr", root)
+	}
+	call := ast.Call(ast.N("f"), ast.N("x"))
+	if ast.IsLValue(call) {
+		t.Error("calls are not lvalues")
+	}
+	if ast.RootIdent(call) != nil {
+		t.Error("RootIdent of a call must be nil")
+	}
+}
+
+func TestBitWidth(t *testing.T) {
+	h := &ast.HeaderType{Name: "H", Fields: []ast.Field{
+		{Name: "a", Type: &ast.BitType{Width: 8}},
+		{Name: "b", Type: &ast.BitType{Width: 16}},
+	}}
+	s := &ast.StructType{Name: "S", Fields: []ast.Field{
+		{Name: "h", Type: h},
+		{Name: "x", Type: &ast.BitType{Width: 9}},
+	}}
+	if got := ast.BitWidth(h); got != 24 {
+		t.Errorf("header width = %d, want 24", got)
+	}
+	if got := ast.BitWidth(s); got != 33 {
+		t.Errorf("struct width = %d, want 33", got)
+	}
+	if got := ast.BitWidth(&ast.BoolType{}); got != 1 {
+		t.Errorf("bool width = %d, want 1", got)
+	}
+}
+
+func TestDirectionSemantics(t *testing.T) {
+	cases := []struct {
+		d            ast.Direction
+		reads, write bool
+	}{
+		{ast.DirNone, true, false},
+		{ast.DirIn, true, false},
+		{ast.DirOut, false, true},
+		{ast.DirInOut, true, true},
+	}
+	for _, tc := range cases {
+		if tc.d.Reads() != tc.reads || tc.d.Writes() != tc.write {
+			t.Errorf("%v: Reads=%v Writes=%v, want %v %v",
+				tc.d, tc.d.Reads(), tc.d.Writes(), tc.reads, tc.write)
+		}
+	}
+}
+
+func TestProgramAccessors(t *testing.T) {
+	prog := generator.Generate(generator.DefaultConfig(5))
+	if prog.Main() == nil {
+		t.Fatal("generated program has no main")
+	}
+	if prog.Control("ingress") == nil || prog.Parser("p") == nil {
+		t.Fatal("block accessors failed")
+	}
+	if prog.DeclByName("nonexistent") != nil {
+		t.Fatal("DeclByName invented a declaration")
+	}
+	ctrl := prog.Control("ingress")
+	for _, tbl := range ctrl.Tables() {
+		if ctrl.LocalByName(tbl.Name) != tbl {
+			t.Errorf("LocalByName(%s) mismatch", tbl.Name)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package ast
+
+import "gauntlet/internal/p4/token"
+
+// Decl is the interface implemented by all top-level and control-local
+// declarations.
+type Decl interface {
+	Node
+	declNode()
+	// DeclName returns the declared name.
+	DeclName() string
+}
+
+// HeaderDecl declares a header type.
+type HeaderDecl struct {
+	DeclPos token.Pos
+	Name    string
+	Fields  []Field
+}
+
+// StructDecl declares a struct type.
+type StructDecl struct {
+	DeclPos token.Pos
+	Name    string
+	Fields  []Field
+}
+
+// TypedefDecl declares a type alias.
+type TypedefDecl struct {
+	DeclPos token.Pos
+	Name    string
+	Type    Type
+}
+
+// ConstDecl declares a top-level compile-time constant.
+type ConstDecl struct {
+	DeclPos token.Pos
+	Name    string
+	Type    Type
+	Value   Expr
+}
+
+// ActionDecl declares an action. Directionless parameters are bound by the
+// control plane (table entries); directioned parameters use
+// copy-in/copy-out like functions.
+type ActionDecl struct {
+	DeclPos token.Pos
+	Name    string
+	Params  []Param
+	Body    *BlockStmt
+}
+
+// FunctionDecl declares a function with a return type. Functions are
+// inlined by the InlineFunctions pass.
+type FunctionDecl struct {
+	DeclPos token.Pos
+	Name    string
+	Return  Type
+	Params  []Param
+	Body    *BlockStmt
+}
+
+// MatchKind is the table key match kind. Only exact matching is supported
+// (the paper excludes LPM and ternary, §8).
+type MatchKind int
+
+// Match kinds.
+const (
+	MatchExact MatchKind = iota
+)
+
+// String renders the match kind keyword.
+func (m MatchKind) String() string { return "exact" }
+
+// TableKey is one key of a table: an expression matched against entries.
+type TableKey struct {
+	Expr  Expr
+	Match MatchKind
+}
+
+// ActionRef references an action in a table's action list or as its default
+// action, with optional compile-time arguments for the default action.
+type ActionRef struct {
+	Name string
+	Args []Expr
+}
+
+// TableDecl declares a match-action table. Keys may be empty (a table that
+// always runs its default action unless the control plane sets one).
+type TableDecl struct {
+	DeclPos token.Pos
+	Name    string
+	Keys    []TableKey
+	Actions []ActionRef
+	Default *ActionRef // nil means NoAction
+}
+
+// VarDecl is a control-local variable declaration (outside apply).
+type VarDecl struct {
+	DeclPos token.Pos
+	Name    string
+	Type    Type
+	Init    Expr // may be nil
+}
+
+// ControlDecl declares a control block: parameters, local declarations
+// (variables, actions, tables), and the apply body.
+type ControlDecl struct {
+	DeclPos token.Pos
+	Name    string
+	Params  []Param
+	Locals  []Decl
+	Apply   *BlockStmt
+}
+
+// ParserState is one state of a parser FSM. Transition is nil for states
+// that implicitly transition to "accept" (only generated internally), a
+// *TransDirect, or a *TransSelect.
+type ParserState struct {
+	DeclPos token.Pos
+	Name    string
+	Stmts   []Stmt
+	Trans   Transition
+}
+
+// Transition is a parser state transition.
+type Transition interface {
+	transitionNode()
+}
+
+// TransDirect unconditionally transitions to the named state ("accept" and
+// "reject" are built in).
+type TransDirect struct {
+	Next string
+}
+
+// TransSelect branches on an expression: the first case whose value equals
+// the expression is taken; a nil Value denotes the default case.
+type TransSelect struct {
+	Expr  Expr
+	Cases []SelectCase
+}
+
+// SelectCase is one arm of a select transition.
+type SelectCase struct {
+	Value *IntLit // nil for default
+	Next  string
+}
+
+func (*TransDirect) transitionNode() {}
+func (*TransSelect) transitionNode() {}
+
+// ParserDecl declares a parser: parameters and a set of states starting at
+// "start".
+type ParserDecl struct {
+	DeclPos token.Pos
+	Name    string
+	Params  []Param
+	States  []ParserState
+}
+
+// Instantiation is the package instantiation binding programmable blocks to
+// the target architecture: Package(Args...) Name;. Args name the declared
+// parsers/controls in package-slot order.
+type Instantiation struct {
+	DeclPos token.Pos
+	Package string
+	Args    []string
+	Name    string
+}
+
+func (*HeaderDecl) declNode()    {}
+func (*StructDecl) declNode()    {}
+func (*TypedefDecl) declNode()   {}
+func (*ConstDecl) declNode()     {}
+func (*ActionDecl) declNode()    {}
+func (*FunctionDecl) declNode()  {}
+func (*TableDecl) declNode()     {}
+func (*VarDecl) declNode()       {}
+func (*ControlDecl) declNode()   {}
+func (*ParserDecl) declNode()    {}
+func (*Instantiation) declNode() {}
+
+// DeclName returns the declared name.
+func (d *HeaderDecl) DeclName() string    { return d.Name }
+func (d *StructDecl) DeclName() string    { return d.Name }
+func (d *TypedefDecl) DeclName() string   { return d.Name }
+func (d *ConstDecl) DeclName() string     { return d.Name }
+func (d *ActionDecl) DeclName() string    { return d.Name }
+func (d *FunctionDecl) DeclName() string  { return d.Name }
+func (d *TableDecl) DeclName() string     { return d.Name }
+func (d *VarDecl) DeclName() string       { return d.Name }
+func (d *ControlDecl) DeclName() string   { return d.Name }
+func (d *ParserDecl) DeclName() string    { return d.Name }
+func (d *Instantiation) DeclName() string { return d.Name }
+
+// Pos returns the source position of the node (zero for generated nodes).
+func (d *HeaderDecl) Pos() token.Pos    { return d.DeclPos }
+func (d *StructDecl) Pos() token.Pos    { return d.DeclPos }
+func (d *TypedefDecl) Pos() token.Pos   { return d.DeclPos }
+func (d *ConstDecl) Pos() token.Pos     { return d.DeclPos }
+func (d *ActionDecl) Pos() token.Pos    { return d.DeclPos }
+func (d *FunctionDecl) Pos() token.Pos  { return d.DeclPos }
+func (d *TableDecl) Pos() token.Pos     { return d.DeclPos }
+func (d *VarDecl) Pos() token.Pos       { return d.DeclPos }
+func (d *ControlDecl) Pos() token.Pos   { return d.DeclPos }
+func (d *ParserDecl) Pos() token.Pos    { return d.DeclPos }
+func (d *Instantiation) Pos() token.Pos { return d.DeclPos }
+
+// Program is a complete P4 program: an ordered list of declarations plus at
+// most one package instantiation ("main").
+type Program struct {
+	Decls []Decl
+}
+
+// Main returns the package instantiation, or nil if absent.
+func (p *Program) Main() *Instantiation {
+	for _, d := range p.Decls {
+		if inst, ok := d.(*Instantiation); ok {
+			return inst
+		}
+	}
+	return nil
+}
+
+// DeclByName returns the first declaration with the given name.
+func (p *Program) DeclByName(name string) Decl {
+	for _, d := range p.Decls {
+		if d.DeclName() == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// Control returns the named control declaration, or nil.
+func (p *Program) Control(name string) *ControlDecl {
+	if c, ok := p.DeclByName(name).(*ControlDecl); ok {
+		return c
+	}
+	return nil
+}
+
+// Parser returns the named parser declaration, or nil.
+func (p *Program) Parser(name string) *ParserDecl {
+	if d, ok := p.DeclByName(name).(*ParserDecl); ok {
+		return d
+	}
+	return nil
+}
+
+// Controls returns all control declarations in order.
+func (p *Program) Controls() []*ControlDecl {
+	var out []*ControlDecl
+	for _, d := range p.Decls {
+		if c, ok := d.(*ControlDecl); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// LocalByName returns the control-local declaration with the given name.
+func (c *ControlDecl) LocalByName(name string) Decl {
+	for _, d := range c.Locals {
+		if d.DeclName() == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// Actions returns the control's action declarations in order.
+func (c *ControlDecl) Actions() []*ActionDecl {
+	var out []*ActionDecl
+	for _, d := range c.Locals {
+		if a, ok := d.(*ActionDecl); ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Tables returns the control's table declarations in order.
+func (c *ControlDecl) Tables() []*TableDecl {
+	var out []*TableDecl
+	for _, d := range c.Locals {
+		if t, ok := d.(*TableDecl); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// StateByName returns the named parser state, or nil.
+func (d *ParserDecl) StateByName(name string) *ParserState {
+	for i := range d.States {
+		if d.States[i].Name == name {
+			return &d.States[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package ast
+
+import (
+	"fmt"
+
+	"gauntlet/internal/p4/token"
+)
+
+// Node is the interface implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// Expr is the interface implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident is a reference to a named entity (variable, parameter, table,
+// action, function, or parser state).
+type Ident struct {
+	NamePos token.Pos
+	Name    string
+}
+
+// IntLit is an integer literal. Width 0 denotes an unsized integer constant
+// (P4's arbitrary-precision int literals); otherwise the literal is
+// bit<Width> with value Val (masked to Width bits).
+type IntLit struct {
+	LitPos token.Pos
+	Width  int
+	Val    uint64
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	LitPos token.Pos
+	Val    bool
+}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp int
+
+// Unary operators.
+const (
+	OpNeg    UnaryOp = iota // -x  (two's complement negation)
+	OpLNot                  // !x  (boolean not)
+	OpBitNot                // ~x  (bitwise complement)
+)
+
+// String renders the operator symbol.
+func (op UnaryOp) String() string {
+	switch op {
+	case OpNeg:
+		return "-"
+	case OpLNot:
+		return "!"
+	case OpBitNot:
+		return "~"
+	default:
+		return fmt.Sprintf("UnaryOp(%d)", int(op))
+	}
+}
+
+// UnaryExpr applies a unary operator to an operand.
+type UnaryExpr struct {
+	OpPos token.Pos
+	Op    UnaryOp
+	X     Expr
+}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp int
+
+// Binary operators. Comparison and logical operators yield bool; the rest
+// yield the (common) operand bit type. OpConcat yields the summed width.
+const (
+	OpAdd    BinaryOp = iota // +
+	OpSub                    // -
+	OpMul                    // *
+	OpSatAdd                 // |+|
+	OpSatSub                 // |-|
+	OpBitAnd                 // &
+	OpBitOr                  // |
+	OpBitXor                 // ^
+	OpShl                    // <<
+	OpShr                    // >>  (logical; bit<N> is unsigned)
+	OpEq                     // ==
+	OpNe                     // !=
+	OpLt                     // <
+	OpLe                     // <=
+	OpGt                     // >
+	OpGe                     // >=
+	OpLAnd                   // &&
+	OpLOr                    // ||
+	OpConcat                 // ++
+)
+
+var binaryOpNames = [...]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpSatAdd: "|+|", OpSatSub: "|-|",
+	OpBitAnd: "&", OpBitOr: "|", OpBitXor: "^", OpShl: "<<", OpShr: ">>",
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpLAnd: "&&", OpLOr: "||", OpConcat: "++",
+}
+
+// String renders the operator symbol.
+func (op BinaryOp) String() string {
+	if int(op) < len(binaryOpNames) {
+		return binaryOpNames[op]
+	}
+	return fmt.Sprintf("BinaryOp(%d)", int(op))
+}
+
+// IsComparison reports whether the operator yields bool from bit operands.
+func (op BinaryOp) IsComparison() bool {
+	switch op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+// IsLogical reports whether the operator takes and yields bool.
+func (op BinaryOp) IsLogical() bool { return op == OpLAnd || op == OpLOr }
+
+// BinaryExpr applies a binary operator. && and || are short-circuiting,
+// which matters for side-effect ordering of method calls in operands.
+type BinaryExpr struct {
+	OpPos token.Pos
+	Op    BinaryOp
+	X, Y  Expr
+}
+
+// MuxExpr is the conditional expression (cond ? then : else).
+type MuxExpr struct {
+	QPos       token.Pos
+	Cond       Expr
+	Then, Else Expr
+}
+
+// CastExpr is an explicit cast (T) x between bit widths or bool/bit<1>.
+type CastExpr struct {
+	CastPos token.Pos
+	To      Type
+	X       Expr
+}
+
+// MemberExpr selects a field or method of a composite value: hdr.a,
+// h.eth.src_addr, h.h.setValid, t.apply.
+type MemberExpr struct {
+	X      Expr
+	Member string
+}
+
+// SliceExpr is a bit slice x[Hi:Lo] with compile-time constant bounds,
+// selecting bits Hi..Lo inclusive (width Hi-Lo+1).
+type SliceExpr struct {
+	X      Expr
+	Hi, Lo int
+}
+
+// CallExpr calls a function, action, or method (t.apply(), h.setValid(),
+// h.isValid()). Func is an Ident or MemberExpr.
+type CallExpr struct {
+	Func Expr
+	Args []Expr
+}
+
+func (*Ident) exprNode()      {}
+func (*IntLit) exprNode()     {}
+func (*BoolLit) exprNode()    {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*MuxExpr) exprNode()    {}
+func (*CastExpr) exprNode()   {}
+func (*MemberExpr) exprNode() {}
+func (*SliceExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+
+// Pos returns the source position of the node (zero for generated nodes).
+func (e *Ident) Pos() token.Pos      { return e.NamePos }
+func (e *IntLit) Pos() token.Pos     { return e.LitPos }
+func (e *BoolLit) Pos() token.Pos    { return e.LitPos }
+func (e *UnaryExpr) Pos() token.Pos  { return e.OpPos }
+func (e *BinaryExpr) Pos() token.Pos { return e.X.Pos() }
+func (e *MuxExpr) Pos() token.Pos    { return e.Cond.Pos() }
+func (e *CastExpr) Pos() token.Pos   { return e.CastPos }
+func (e *MemberExpr) Pos() token.Pos { return e.X.Pos() }
+func (e *SliceExpr) Pos() token.Pos  { return e.X.Pos() }
+func (e *CallExpr) Pos() token.Pos   { return e.Func.Pos() }
+
+// N creates an identifier with no position, for programmatic construction.
+func N(name string) *Ident { return &Ident{Name: name} }
+
+// Num creates a sized integer literal bit<width> with the given value.
+func Num(width int, val uint64) *IntLit {
+	return &IntLit{Width: width, Val: MaskWidth(val, width)}
+}
+
+// Bool creates a boolean literal.
+func Bool(v bool) *BoolLit { return &BoolLit{Val: v} }
+
+// Bin creates a binary expression.
+func Bin(op BinaryOp, x, y Expr) *BinaryExpr { return &BinaryExpr{Op: op, X: x, Y: y} }
+
+// Member creates a field selection x.name.
+func Member(x Expr, name string) *MemberExpr { return &MemberExpr{X: x, Member: name} }
+
+// Call creates a call expression.
+func Call(fn Expr, args ...Expr) *CallExpr { return &CallExpr{Func: fn, Args: args} }
+
+// MaskWidth truncates v to the low width bits (width 0 or >= 64 is identity).
+func MaskWidth(v uint64, width int) uint64 {
+	if width <= 0 || width >= 64 {
+		return v
+	}
+	return v & ((1 << uint(width)) - 1)
+}
+
+// IsLValue reports whether e is a syntactically valid assignment target:
+// an identifier, a member chain, or a slice of one.
+func IsLValue(e Expr) bool {
+	switch e := e.(type) {
+	case *Ident:
+		return true
+	case *MemberExpr:
+		return IsLValue(e.X)
+	case *SliceExpr:
+		return IsLValue(e.X)
+	}
+	return false
+}
+
+// RootIdent returns the base identifier of an lvalue chain (hdr in
+// hdr.h.a[3:0]) or nil if e is not rooted in an identifier.
+func RootIdent(e Expr) *Ident {
+	for {
+		switch x := e.(type) {
+		case *Ident:
+			return x
+		case *MemberExpr:
+			e = x.X
+		case *SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

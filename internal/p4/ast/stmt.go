@@ -1,0 +1,121 @@
+package ast
+
+import "gauntlet/internal/p4/token"
+
+// Stmt is the interface implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// AssignStmt is "lhs = rhs;". LHS must satisfy IsLValue.
+type AssignStmt struct {
+	LHS Expr
+	RHS Expr
+}
+
+// VarDeclStmt declares a local variable, optionally initialized. Without an
+// initializer the variable is undefined (reads yield target-dependent
+// values; the symbolic interpreter models them as fresh symbols, §6.2).
+type VarDeclStmt struct {
+	DeclPos token.Pos
+	Name    string
+	Type    Type
+	Init    Expr // may be nil
+}
+
+// ConstDeclStmt declares a local compile-time constant.
+type ConstDeclStmt struct {
+	DeclPos token.Pos
+	Name    string
+	Type    Type
+	Value   Expr
+}
+
+// IfStmt is "if (cond) then else els". Else may be nil, *BlockStmt, or
+// *IfStmt (else-if chain).
+type IfStmt struct {
+	IfPos token.Pos
+	Cond  Expr
+	Then  *BlockStmt
+	Else  Stmt
+}
+
+// BlockStmt is a brace-delimited statement sequence with its own scope.
+type BlockStmt struct {
+	LBrace token.Pos
+	Stmts  []Stmt
+}
+
+// CallStmt is an expression statement wrapping a call: foo(x); t.apply();
+// h.setValid();.
+type CallStmt struct {
+	Call *CallExpr
+}
+
+// ReturnStmt returns from the enclosing action or function. Value is nil
+// for void returns.
+type ReturnStmt struct {
+	RetPos token.Pos
+	Value  Expr
+}
+
+// ExitStmt terminates the enclosing control block immediately (P4₁₆ §12.5).
+// Per the specification clarification the paper triggered (§7.2, Fig. 5f),
+// exit still respects copy-in/copy-out for enclosing calls.
+type ExitStmt struct {
+	ExitPos token.Pos
+}
+
+// EmptyStmt is a lone semicolon (appears in pass outputs).
+type EmptyStmt struct {
+	SemiPos token.Pos
+}
+
+// SwitchStmt switches on a bit-typed expression with constant labels.
+// A nil Labels slice denotes the default case. Cases do not fall through.
+type SwitchStmt struct {
+	SwitchPos token.Pos
+	Tag       Expr
+	Cases     []SwitchCase
+}
+
+// SwitchCase is one arm of a SwitchStmt.
+type SwitchCase struct {
+	Labels []Expr // nil for default
+	Body   *BlockStmt
+}
+
+func (*AssignStmt) stmtNode()    {}
+func (*VarDeclStmt) stmtNode()   {}
+func (*ConstDeclStmt) stmtNode() {}
+func (*IfStmt) stmtNode()        {}
+func (*BlockStmt) stmtNode()     {}
+func (*CallStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()    {}
+func (*ExitStmt) stmtNode()      {}
+func (*EmptyStmt) stmtNode()     {}
+func (*SwitchStmt) stmtNode()    {}
+
+// Pos returns the source position of the node (zero for generated nodes).
+func (s *AssignStmt) Pos() token.Pos    { return s.LHS.Pos() }
+func (s *VarDeclStmt) Pos() token.Pos   { return s.DeclPos }
+func (s *ConstDeclStmt) Pos() token.Pos { return s.DeclPos }
+func (s *IfStmt) Pos() token.Pos        { return s.IfPos }
+func (s *BlockStmt) Pos() token.Pos     { return s.LBrace }
+func (s *CallStmt) Pos() token.Pos      { return s.Call.Pos() }
+func (s *ReturnStmt) Pos() token.Pos    { return s.RetPos }
+func (s *ExitStmt) Pos() token.Pos      { return s.ExitPos }
+func (s *EmptyStmt) Pos() token.Pos     { return s.SemiPos }
+func (s *SwitchStmt) Pos() token.Pos    { return s.SwitchPos }
+
+// Assign creates an assignment statement.
+func Assign(lhs, rhs Expr) *AssignStmt { return &AssignStmt{LHS: lhs, RHS: rhs} }
+
+// Block creates a block statement from the given statements.
+func Block(stmts ...Stmt) *BlockStmt { return &BlockStmt{Stmts: stmts} }
+
+// If creates an if statement with an optional else branch.
+func If(cond Expr, then *BlockStmt, els Stmt) *IfStmt {
+	return &IfStmt{Cond: cond, Then: then, Else: els}
+}

@@ -1,0 +1,247 @@
+package eval
+
+import (
+	"gauntlet/internal/p4/ast"
+)
+
+func (in *Interp) evalExpr(e *env, x ast.Expr) (Value, error) {
+	switch x := x.(type) {
+	case *ast.Ident:
+		v, ok := e.get(x.Name)
+		if !ok {
+			return nil, rtErrorf("undefined name %q", x.Name)
+		}
+		return v, nil
+	case *ast.IntLit:
+		if x.Width == 0 {
+			// Unsized literals surviving to evaluation take a 64-bit
+			// default; the type checker normally eliminates these.
+			return &BitVal{Width: 64, V: x.Val}, nil
+		}
+		return &BitVal{Width: x.Width, V: ast.MaskWidth(x.Val, x.Width)}, nil
+	case *ast.BoolLit:
+		return &BoolVal{V: x.Val}, nil
+	case *ast.UnaryExpr:
+		return in.evalUnary(e, x)
+	case *ast.BinaryExpr:
+		return in.evalBinary(e, x)
+	case *ast.MuxExpr:
+		cv, err := in.evalExpr(e, x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		cb, ok := cv.(*BoolVal)
+		if !ok {
+			return nil, rtErrorf("mux condition is not bool")
+		}
+		if cb.V {
+			return in.evalExpr(e, x.Then)
+		}
+		return in.evalExpr(e, x.Else)
+	case *ast.CastExpr:
+		v, err := in.evalExpr(e, x.X)
+		if err != nil {
+			return nil, err
+		}
+		return castValue(v, x.To)
+	case *ast.MemberExpr:
+		cv, err := in.evalExpr(e, x.X)
+		if err != nil {
+			return nil, err
+		}
+		switch c := cv.(type) {
+		case *StructVal:
+			f, ok := c.F[x.Member]
+			if !ok {
+				return nil, rtErrorf("struct has no field %q", x.Member)
+			}
+			return f, nil
+		case *HeaderVal:
+			f, ok := c.F[x.Member]
+			if !ok {
+				return nil, rtErrorf("header has no field %q", x.Member)
+			}
+			return f, nil
+		default:
+			return nil, rtErrorf("member access on %s", cv)
+		}
+	case *ast.SliceExpr:
+		v, err := in.evalExpr(e, x.X)
+		if err != nil {
+			return nil, err
+		}
+		b, ok := v.(*BitVal)
+		if !ok {
+			return nil, rtErrorf("slice of non-bit value %s", v)
+		}
+		width := x.Hi - x.Lo + 1
+		return &BitVal{Width: width, V: ast.MaskWidth(b.V>>uint(x.Lo), width)}, nil
+	case *ast.CallExpr:
+		return in.evalCall(e, x, false)
+	default:
+		return nil, rtErrorf("unsupported expression %T", x)
+	}
+}
+
+func castValue(v Value, to ast.Type) (Value, error) {
+	switch to := to.(type) {
+	case *ast.BitType:
+		switch v := v.(type) {
+		case *BitVal:
+			return &BitVal{Width: to.Width, V: ast.MaskWidth(v.V, to.Width)}, nil
+		case *BoolVal:
+			var b uint64
+			if v.V {
+				b = 1
+			}
+			return &BitVal{Width: to.Width, V: b}, nil
+		}
+	case *ast.BoolType:
+		if b, ok := v.(*BitVal); ok && b.Width == 1 {
+			return &BoolVal{V: b.V == 1}, nil
+		}
+	}
+	return nil, rtErrorf("cannot cast %s to %s", v, to)
+}
+
+func (in *Interp) evalUnary(e *env, x *ast.UnaryExpr) (Value, error) {
+	v, err := in.evalExpr(e, x.X)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case ast.OpLNot:
+		b, ok := v.(*BoolVal)
+		if !ok {
+			return nil, rtErrorf("! on non-bool %s", v)
+		}
+		return &BoolVal{V: !b.V}, nil
+	case ast.OpNeg:
+		b, ok := v.(*BitVal)
+		if !ok {
+			return nil, rtErrorf("- on non-bit %s", v)
+		}
+		return &BitVal{Width: b.Width, V: ast.MaskWidth(^b.V+1, b.Width)}, nil
+	case ast.OpBitNot:
+		b, ok := v.(*BitVal)
+		if !ok {
+			return nil, rtErrorf("~ on non-bit %s", v)
+		}
+		return &BitVal{Width: b.Width, V: ast.MaskWidth(^b.V, b.Width)}, nil
+	}
+	return nil, rtErrorf("unknown unary op %v", x.Op)
+}
+
+func (in *Interp) evalBinary(e *env, x *ast.BinaryExpr) (Value, error) {
+	// Short-circuit logical operators first (P4 && and || do not evaluate
+	// the right operand when the left decides — method calls in the right
+	// operand must not run).
+	if x.Op.IsLogical() {
+		lv, err := in.evalExpr(e, x.X)
+		if err != nil {
+			return nil, err
+		}
+		lb, ok := lv.(*BoolVal)
+		if !ok {
+			return nil, rtErrorf("logical op on non-bool %s", lv)
+		}
+		if x.Op == ast.OpLAnd && !lb.V {
+			return &BoolVal{V: false}, nil
+		}
+		if x.Op == ast.OpLOr && lb.V {
+			return &BoolVal{V: true}, nil
+		}
+		rv, err := in.evalExpr(e, x.Y)
+		if err != nil {
+			return nil, err
+		}
+		rb, ok := rv.(*BoolVal)
+		if !ok {
+			return nil, rtErrorf("logical op on non-bool %s", rv)
+		}
+		return &BoolVal{V: rb.V}, nil
+	}
+
+	lv, err := in.evalExpr(e, x.X)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := in.evalExpr(e, x.Y)
+	if err != nil {
+		return nil, err
+	}
+
+	if x.Op == ast.OpEq || x.Op == ast.OpNe {
+		eq := Equal(lv, rv)
+		if x.Op == ast.OpNe {
+			eq = !eq
+		}
+		return &BoolVal{V: eq}, nil
+	}
+
+	lb, lok := lv.(*BitVal)
+	rb, rok := rv.(*BitVal)
+	if !lok || !rok {
+		return nil, rtErrorf("%s on non-bit operands %s, %s", x.Op, lv, rv)
+	}
+
+	switch x.Op {
+	case ast.OpLt:
+		return &BoolVal{V: lb.V < rb.V}, nil
+	case ast.OpLe:
+		return &BoolVal{V: lb.V <= rb.V}, nil
+	case ast.OpGt:
+		return &BoolVal{V: lb.V > rb.V}, nil
+	case ast.OpGe:
+		return &BoolVal{V: lb.V >= rb.V}, nil
+	case ast.OpConcat:
+		w := lb.Width + rb.Width
+		return &BitVal{Width: w, V: ast.MaskWidth(lb.V<<uint(rb.Width)|rb.V, w)}, nil
+	case ast.OpShl:
+		if rb.V >= uint64(lb.Width) {
+			return &BitVal{Width: lb.Width, V: 0}, nil
+		}
+		return &BitVal{Width: lb.Width, V: ast.MaskWidth(lb.V<<rb.V, lb.Width)}, nil
+	case ast.OpShr:
+		if rb.V >= uint64(lb.Width) {
+			return &BitVal{Width: lb.Width, V: 0}, nil
+		}
+		return &BitVal{Width: lb.Width, V: lb.V >> rb.V}, nil
+	}
+
+	if lb.Width != rb.Width {
+		return nil, rtErrorf("width mismatch in %s: %d vs %d", x.Op, lb.Width, rb.Width)
+	}
+	w := lb.Width
+	var out uint64
+	switch x.Op {
+	case ast.OpAdd:
+		out = lb.V + rb.V
+	case ast.OpSub:
+		out = lb.V - rb.V
+	case ast.OpMul:
+		out = lb.V * rb.V
+	case ast.OpSatAdd:
+		sum := ast.MaskWidth(lb.V+rb.V, w)
+		if sum < lb.V || (w < 64 && lb.V+rb.V >= 1<<uint(w)) {
+			out = ast.MaskWidth(^uint64(0), w)
+		} else {
+			out = sum
+		}
+	case ast.OpSatSub:
+		if lb.V < rb.V {
+			out = 0
+		} else {
+			out = lb.V - rb.V
+		}
+	case ast.OpBitAnd:
+		out = lb.V & rb.V
+	case ast.OpBitOr:
+		out = lb.V | rb.V
+	case ast.OpBitXor:
+		out = lb.V ^ rb.V
+	default:
+		return nil, rtErrorf("unknown binary op %s", x.Op)
+	}
+	return &BitVal{Width: w, V: ast.MaskWidth(out, w)}, nil
+}

@@ -1,0 +1,104 @@
+package lexer_test
+
+import (
+	"testing"
+
+	"gauntlet/internal/p4/lexer"
+	"gauntlet/internal/p4/token"
+)
+
+func kinds(toks []token.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestScanBasics(t *testing.T) {
+	toks, errs := lexer.ScanAll("control c(inout bit<8> x) { apply { x = x |+| 8w3; } }")
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.KwControl, token.IDENT, token.LParen, token.KwInout, token.KwBit,
+		token.Lt, token.INTLIT, token.Gt, token.IDENT, token.RParen,
+		token.LBrace, token.KwApply, token.LBrace, token.IDENT, token.Assign,
+		token.IDENT, token.PlusSat, token.INTLIT, token.Semicolon,
+		token.RBrace, token.RBrace, token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks, errs := lexer.ScanAll("x // line comment\n/* block\ncomment */ y")
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if len(toks) != 3 || toks[0].Lit != "x" || toks[1].Lit != "y" {
+		t.Fatalf("comments not skipped: %v", toks)
+	}
+	_, errs = lexer.ScanAll("/* unterminated")
+	if len(errs) == 0 {
+		t.Fatal("unterminated block comment not reported")
+	}
+}
+
+func TestIllegalBytes(t *testing.T) {
+	_, errs := lexer.ScanAll("x = `y`;")
+	if len(errs) == 0 {
+		t.Fatal("backquotes must be illegal")
+	}
+	_, errs = lexer.ScanAll(string([]byte{0x00, 0xFF}))
+	if len(errs) == 0 {
+		t.Fatal("binary bytes must be illegal")
+	}
+}
+
+func TestIntLiterals(t *testing.T) {
+	cases := []struct {
+		lit   string
+		width int
+		val   uint64
+		err   bool
+	}{
+		{"42", 0, 42, false},
+		{"0x2A", 0, 42, false},
+		{"8w255", 8, 255, false},
+		{"8w256", 8, 0, false}, // masked to width
+		{"4w0xF", 4, 15, false},
+		{"65w1", 0, 0, true},  // width out of range
+		{"0w1", 0, 0, true},   // width out of range
+		{"8wxyz", 0, 0, true}, // malformed value
+	}
+	for _, tc := range cases {
+		w, v, err := lexer.ParseIntLit(tc.lit)
+		if tc.err {
+			if err == nil {
+				t.Errorf("ParseIntLit(%q) succeeded, want error", tc.lit)
+			}
+			continue
+		}
+		if err != nil || w != tc.width || v != tc.val {
+			t.Errorf("ParseIntLit(%q) = (%d, %d, %v), want (%d, %d)", tc.lit, w, v, err, tc.width, tc.val)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, _ := lexer.ScanAll("x\n  y")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("x at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("y at %v, want 2:3", toks[1].Pos)
+	}
+}

@@ -1,0 +1,463 @@
+package parser
+
+import (
+	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/p4/lexer"
+	"gauntlet/internal/p4/token"
+)
+
+func (p *parser) block() (*ast.BlockStmt, error) {
+	lb, err := p.expect(token.LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &ast.BlockStmt{LBrace: lb.Pos}
+	for !p.at(token.RBrace) {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // }
+	return b, nil
+}
+
+func (p *parser) stmt() (ast.Stmt, error) {
+	switch p.peek().Kind {
+	case token.LBrace:
+		return p.block()
+	case token.KwIf:
+		return p.ifStmt()
+	case token.KwSwitch:
+		return p.switchStmt()
+	case token.KwReturn:
+		kw := p.next()
+		var v ast.Expr
+		var err error
+		if !p.at(token.Semicolon) {
+			v, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(token.Semicolon); err != nil {
+			return nil, err
+		}
+		return &ast.ReturnStmt{RetPos: kw.Pos, Value: v}, nil
+	case token.KwExit:
+		kw := p.next()
+		if _, err := p.expect(token.Semicolon); err != nil {
+			return nil, err
+		}
+		return &ast.ExitStmt{ExitPos: kw.Pos}, nil
+	case token.Semicolon:
+		t := p.next()
+		return &ast.EmptyStmt{SemiPos: t.Pos}, nil
+	case token.KwConst:
+		pos := p.peek().Pos
+		p.next()
+		t, err := p.typeRef()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(token.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Assign); err != nil {
+			return nil, err
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Semicolon); err != nil {
+			return nil, err
+		}
+		return &ast.ConstDeclStmt{DeclPos: pos, Name: name.Lit, Type: t, Value: v}, nil
+	case token.KwBit, token.KwBool:
+		return p.varDeclStmt()
+	case token.IDENT:
+		// "T name ..." is a declaration; anything else is an
+		// assignment or call statement.
+		if p.peekN(1).Kind == token.IDENT {
+			return p.varDeclStmt()
+		}
+		return p.exprStmt()
+	default:
+		return nil, p.errorf("unexpected %s at statement start", p.peek())
+	}
+}
+
+func (p *parser) varDeclStmt() (ast.Stmt, error) {
+	pos := p.peek().Pos
+	t, err := p.typeRef()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(token.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	var init ast.Expr
+	if p.accept(token.Assign) {
+		init, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(token.Semicolon); err != nil {
+		return nil, err
+	}
+	return &ast.VarDeclStmt{DeclPos: pos, Name: name.Lit, Type: t, Init: init}, nil
+}
+
+func (p *parser) ifStmt() (ast.Stmt, error) {
+	kw := p.next()
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &ast.IfStmt{IfPos: kw.Pos, Cond: cond, Then: then}
+	if p.accept(token.KwElse) {
+		if p.at(token.KwIf) {
+			els, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) switchStmt() (ast.Stmt, error) {
+	kw := p.next()
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	tag, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	s := &ast.SwitchStmt{SwitchPos: kw.Pos, Tag: tag}
+	for !p.at(token.RBrace) {
+		var c ast.SwitchCase
+		for {
+			if p.acceptIdent("default") {
+				if _, err := p.expect(token.Colon); err != nil {
+					return nil, err
+				}
+				break
+			}
+			lbl, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			c.Labels = append(c.Labels, lbl)
+			if _, err := p.expect(token.Colon); err != nil {
+				return nil, err
+			}
+			if p.at(token.LBrace) {
+				break
+			}
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		c.Body = body
+		s.Cases = append(s.Cases, c)
+	}
+	p.next() // }
+	return s, nil
+}
+
+// exprStmt parses "lhs = rhs;" or "call(...);".
+func (p *parser) exprStmt() (ast.Stmt, error) {
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(token.Assign) {
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Semicolon); err != nil {
+			return nil, err
+		}
+		if !ast.IsLValue(e) {
+			return nil, p.errorf("left side of assignment is not an lvalue")
+		}
+		return &ast.AssignStmt{LHS: e, RHS: rhs}, nil
+	}
+	if _, err := p.expect(token.Semicolon); err != nil {
+		return nil, err
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, p.errorf("expression statement must be a call")
+	}
+	return &ast.CallStmt{Call: call}, nil
+}
+
+// Binary operator precedence, mirroring the printer's table.
+func binPrec(k token.Kind) (ast.BinaryOp, int, bool) {
+	switch k {
+	case token.OrOr:
+		return ast.OpLOr, 2, true
+	case token.AndAnd:
+		return ast.OpLAnd, 3, true
+	case token.Pipe:
+		return ast.OpBitOr, 4, true
+	case token.Caret:
+		return ast.OpBitXor, 5, true
+	case token.Amp:
+		return ast.OpBitAnd, 6, true
+	case token.Eq:
+		return ast.OpEq, 7, true
+	case token.NotEq:
+		return ast.OpNe, 7, true
+	case token.Lt:
+		return ast.OpLt, 8, true
+	case token.Le:
+		return ast.OpLe, 8, true
+	case token.Gt:
+		return ast.OpGt, 8, true
+	case token.Ge:
+		return ast.OpGe, 8, true
+	case token.PlusPlus:
+		return ast.OpConcat, 9, true
+	case token.Shl:
+		return ast.OpShl, 10, true
+	case token.Shr:
+		return ast.OpShr, 10, true
+	case token.Plus:
+		return ast.OpAdd, 11, true
+	case token.Minus:
+		return ast.OpSub, 11, true
+	case token.PlusSat:
+		return ast.OpSatAdd, 11, true
+	case token.MinusSat:
+		return ast.OpSatSub, 11, true
+	case token.Star:
+		return ast.OpMul, 12, true
+	}
+	return 0, 0, false
+}
+
+// expr parses a conditional expression (the lowest-precedence form).
+func (p *parser) expr() (ast.Expr, error) {
+	cond, err := p.binExpr(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.at(token.Question) {
+		q := p.next()
+		then, err := p.binExpr(1)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Colon); err != nil {
+			return nil, err
+		}
+		els, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.MuxExpr{QPos: q.Pos, Cond: cond, Then: then, Else: els}, nil
+	}
+	return cond, nil
+}
+
+// binExpr implements precedence climbing for left-associative binary
+// operators at or above minPrec.
+func (p *parser) binExpr(minPrec int) (ast.Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, prec, ok := binPrec(p.peek().Kind)
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		opTok := p.next()
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &ast.BinaryExpr{OpPos: opTok.Pos, Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) unary() (ast.Expr, error) {
+	switch p.peek().Kind {
+	case token.Bang:
+		t := p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{OpPos: t.Pos, Op: ast.OpLNot, X: x}, nil
+	case token.Tilde:
+		t := p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{OpPos: t.Pos, Op: ast.OpBitNot, X: x}, nil
+	case token.Minus:
+		t := p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{OpPos: t.Pos, Op: ast.OpNeg, X: x}, nil
+	case token.LParen:
+		// Cast "(bit<N>) x" / "(bool) x" vs parenthesized expression.
+		if k := p.peekN(1).Kind; k == token.KwBit || k == token.KwBool {
+			t := p.next() // (
+			ty, err := p.typeRef()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.RParen); err != nil {
+				return nil, err
+			}
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.CastExpr{CastPos: t.Pos, To: ty, X: x}, nil
+		}
+		return p.postfix()
+	default:
+		return p.postfix()
+	}
+}
+
+func (p *parser) postfix() (ast.Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().Kind {
+		case token.Dot:
+			p.next()
+			// Member names may coincide with keywords (t.apply()).
+			t := p.peek()
+			if t.Kind != token.IDENT && !(t.Kind.IsKeyword() && t.Lit != "") {
+				return nil, p.errorf("expected member name, found %s", t)
+			}
+			p.next()
+			e = &ast.MemberExpr{X: e, Member: t.Lit}
+		case token.LBracket:
+			p.next()
+			hi, err := p.constInt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.Colon); err != nil {
+				return nil, err
+			}
+			lo, err := p.constInt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.RBracket); err != nil {
+				return nil, err
+			}
+			e = &ast.SliceExpr{X: e, Hi: hi, Lo: lo}
+		case token.LParen:
+			p.next()
+			call := &ast.CallExpr{Func: e}
+			for !p.at(token.RParen) {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(token.Comma); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			p.next() // )
+			e = call
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) constInt() (int, error) {
+	t, err := p.expect(token.INTLIT)
+	if err != nil {
+		return 0, err
+	}
+	w, v, perr := lexer.ParseIntLit(t.Lit)
+	if perr != nil || w != 0 {
+		return 0, p.errorf("expected plain integer, found %q", t.Lit)
+	}
+	return int(v), nil
+}
+
+func (p *parser) primary() (ast.Expr, error) {
+	switch p.peek().Kind {
+	case token.IDENT:
+		t := p.next()
+		return &ast.Ident{NamePos: t.Pos, Name: t.Lit}, nil
+	case token.INTLIT:
+		t := p.next()
+		w, v, err := lexer.ParseIntLit(t.Lit)
+		if err != nil {
+			return nil, p.errorf("%v", err)
+		}
+		return &ast.IntLit{LitPos: t.Pos, Width: w, Val: v}, nil
+	case token.KwTrue:
+		t := p.next()
+		return &ast.BoolLit{LitPos: t.Pos, Val: true}, nil
+	case token.KwFalse:
+		t := p.next()
+		return &ast.BoolLit{LitPos: t.Pos, Val: false}, nil
+	case token.LParen:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errorf("unexpected %s in expression", p.peek())
+	}
+}

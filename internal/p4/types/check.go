@@ -1,0 +1,595 @@
+package types
+
+import (
+	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/p4/token"
+)
+
+func (c *Checker) checkBlock(outer *scope, b *ast.BlockStmt, ctx *bodyCtx) {
+	if b == nil {
+		return
+	}
+	sc := newScope(outer)
+	for _, s := range b.Stmts {
+		c.checkStmt(sc, s, ctx)
+	}
+}
+
+func (c *Checker) checkStmt(sc *scope, s ast.Stmt, ctx *bodyCtx) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		lt := c.checkLValue(sc, s.LHS)
+		c.checkExprExpect(sc, s.RHS, lt)
+	case *ast.VarDeclStmt:
+		s.Type = c.resolve(s.Type, s.DeclPos)
+		if s.Init != nil {
+			c.checkExprExpect(sc, s.Init, s.Type)
+		}
+		if err := sc.declare(s.Name, &entity{typ: s.Type, writable: true, kind: kindVar}); err != nil {
+			c.errorf(s.DeclPos, "%v", err)
+		}
+	case *ast.ConstDeclStmt:
+		s.Type = c.resolve(s.Type, s.DeclPos)
+		c.checkExprExpect(sc, s.Value, s.Type)
+		if err := sc.declare(s.Name, &entity{typ: s.Type, kind: kindConst}); err != nil {
+			c.errorf(s.DeclPos, "%v", err)
+		}
+	case *ast.IfStmt:
+		c.checkExprExpect(sc, s.Cond, &ast.BoolType{})
+		c.checkBlock(sc, s.Then, ctx)
+		if s.Else != nil {
+			c.checkStmt(newScope(sc), s.Else, ctx)
+		}
+	case *ast.BlockStmt:
+		c.checkBlock(sc, s, ctx)
+	case *ast.CallStmt:
+		if c.checkPacketMethod(sc, s.Call, ctx) {
+			return
+		}
+		c.checkCall(sc, s.Call, true)
+	case *ast.ReturnStmt:
+		switch {
+		case ctx.inAction:
+			if s.Value != nil {
+				c.errorf(s.RetPos, "action return must not carry a value")
+			}
+		case ctx.returnType != nil:
+			if _, void := ctx.returnType.(*ast.VoidType); void {
+				if s.Value != nil {
+					c.errorf(s.RetPos, "void function returns a value")
+				}
+			} else if s.Value == nil {
+				c.errorf(s.RetPos, "function must return a %s value", ctx.returnType)
+			} else {
+				c.checkExprExpect(sc, s.Value, ctx.returnType)
+			}
+		case ctx.inControlApply:
+			if s.Value != nil {
+				c.errorf(s.RetPos, "control apply return must not carry a value")
+			}
+		case ctx.inParser:
+			c.errorf(s.RetPos, "return is not allowed in parser states")
+		}
+	case *ast.ExitStmt:
+		if ctx.inParser {
+			c.errorf(s.ExitPos, "exit is not allowed in parser states")
+		}
+	case *ast.EmptyStmt:
+	case *ast.SwitchStmt:
+		tt := c.checkExpr(sc, s.Tag, nil)
+		bt, isBit := tt.(*ast.BitType)
+		if !isBit {
+			c.errorf(s.SwitchPos, "switch tag must have bit type, got %s", tt)
+		}
+		seenDefault := false
+		for i := range s.Cases {
+			if s.Cases[i].Labels == nil {
+				if seenDefault {
+					c.errorf(s.SwitchPos, "duplicate default case in switch")
+				}
+				seenDefault = true
+			}
+			for _, l := range s.Cases[i].Labels {
+				if isBit {
+					c.checkExprExpect(sc, l, bt)
+				} else {
+					c.checkExpr(sc, l, nil)
+				}
+				if !isConstExpr(l) {
+					c.errorf(l.Pos(), "switch case label must be a compile-time constant")
+				}
+			}
+			c.checkBlock(sc, s.Cases[i].Body, ctx)
+		}
+	default:
+		c.errorf(s.Pos(), "unsupported statement %T", s)
+	}
+}
+
+func isConstExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.IntLit, *ast.BoolLit:
+		return true
+	case *ast.UnaryExpr:
+		return isConstExpr(e.X)
+	case *ast.BinaryExpr:
+		return isConstExpr(e.X) && isConstExpr(e.Y)
+	case *ast.CastExpr:
+		return isConstExpr(e.X)
+	}
+	return false
+}
+
+// checkLValue type-checks an assignment target and enforces writability.
+func (c *Checker) checkLValue(sc *scope, e ast.Expr) ast.Type {
+	if !ast.IsLValue(e) {
+		c.errorf(e.Pos(), "expression is not assignable")
+		return c.checkExpr(sc, e, nil)
+	}
+	root := ast.RootIdent(e)
+	if root != nil {
+		if ent := sc.lookup(root.Name); ent != nil && !ent.writable {
+			c.errorf(e.Pos(), "cannot assign to read-only %q", root.Name)
+		}
+	}
+	return c.checkExpr(sc, e, nil)
+}
+
+// checkExprExpect checks e against an expected type, coercing unsized
+// literals to the expected width.
+func (c *Checker) checkExprExpect(sc *scope, e ast.Expr, want ast.Type) ast.Type {
+	got := c.checkExpr(sc, e, want)
+	if want == nil || got == nil {
+		return got
+	}
+	if u, ok := got.(*ast.UnsizedType); ok {
+		if bt, ok := want.(*ast.BitType); ok {
+			sizeLiteral(e, bt.Width)
+			_ = u
+			return want
+		}
+		c.errorf(e.Pos(), "integer literal used where %s is required", want)
+		return want
+	}
+	if !got.Equal(want) {
+		c.errorf(e.Pos(), "type mismatch: have %s, want %s", got, want)
+	}
+	return got
+}
+
+// sizeLiteral assigns a contextual width to every unsized literal in a
+// constant expression tree.
+func sizeLiteral(e ast.Expr, width int) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		if e.Width == 0 {
+			e.Width = width
+			e.Val = ast.MaskWidth(e.Val, width)
+		}
+	case *ast.UnaryExpr:
+		sizeLiteral(e.X, width)
+	case *ast.BinaryExpr:
+		if e.Op == ast.OpShl || e.Op == ast.OpShr {
+			sizeLiteral(e.X, width)
+			return
+		}
+		if !e.Op.IsComparison() && !e.Op.IsLogical() && e.Op != ast.OpConcat {
+			sizeLiteral(e.X, width)
+			sizeLiteral(e.Y, width)
+		}
+	case *ast.MuxExpr:
+		sizeLiteral(e.Then, width)
+		sizeLiteral(e.Else, width)
+	}
+}
+
+// checkExpr infers the type of e. want is a hint for unsized-literal
+// contexts and may be nil. Returns *ast.UnsizedType for unresolved literals.
+func (c *Checker) checkExpr(sc *scope, e ast.Expr, want ast.Type) ast.Type {
+	switch e := e.(type) {
+	case *ast.Ident:
+		ent := sc.lookup(e.Name)
+		if ent == nil {
+			c.errorf(e.NamePos, "undefined name %q", e.Name)
+			return &ast.BitType{Width: 8}
+		}
+		if ent.kind == kindAction || ent.kind == kindFunction || ent.kind == kindTable {
+			c.errorf(e.NamePos, "%q is not a value", e.Name)
+			return &ast.BitType{Width: 8}
+		}
+		return ent.typ
+	case *ast.IntLit:
+		if e.Width == 0 {
+			if bt, ok := want.(*ast.BitType); ok {
+				e.Width = bt.Width
+				e.Val = ast.MaskWidth(e.Val, bt.Width)
+				return bt
+			}
+			return &ast.UnsizedType{Val: e.Val}
+		}
+		if e.Width > MaxWidth {
+			c.errorf(e.LitPos, "literal width %d exceeds %d", e.Width, MaxWidth)
+		}
+		return &ast.BitType{Width: e.Width}
+	case *ast.BoolLit:
+		return &ast.BoolType{}
+	case *ast.UnaryExpr:
+		return c.checkUnary(sc, e, want)
+	case *ast.BinaryExpr:
+		return c.checkBinary(sc, e, want)
+	case *ast.MuxExpr:
+		c.checkExprExpect(sc, e.Cond, &ast.BoolType{})
+		tt := c.checkExpr(sc, e.Then, want)
+		et := c.checkExpr(sc, e.Else, want)
+		return c.unify(e.Then, tt, e.Else, et, e.QPos)
+	case *ast.CastExpr:
+		e.To = c.resolve(e.To, e.CastPos)
+		xt := c.checkExpr(sc, e.X, nil)
+		switch to := e.To.(type) {
+		case *ast.BitType:
+			switch xt.(type) {
+			case *ast.BitType, *ast.BoolType, *ast.UnsizedType:
+				if u, ok := xt.(*ast.UnsizedType); ok {
+					sizeLiteral(e.X, to.Width)
+					_ = u
+				}
+			default:
+				c.errorf(e.CastPos, "cannot cast %s to %s", xt, to)
+			}
+			return to
+		case *ast.BoolType:
+			if bt, ok := xt.(*ast.BitType); !ok || bt.Width != 1 {
+				c.errorf(e.CastPos, "only bit<1> can be cast to bool, got %s", xt)
+			}
+			return to
+		default:
+			c.errorf(e.CastPos, "unsupported cast target %s", e.To)
+			return e.To
+		}
+	case *ast.MemberExpr:
+		return c.checkMember(sc, e)
+	case *ast.SliceExpr:
+		xt := c.checkExpr(sc, e.X, nil)
+		bt, ok := xt.(*ast.BitType)
+		if !ok {
+			c.errorf(e.Pos(), "slice of non-bit type %s", xt)
+			return &ast.BitType{Width: 8}
+		}
+		if e.Lo < 0 || e.Hi < e.Lo || e.Hi >= bt.Width {
+			c.errorf(e.Pos(), "slice [%d:%d] out of range for %s", e.Hi, e.Lo, bt)
+			return &ast.BitType{Width: 1}
+		}
+		return &ast.BitType{Width: e.Hi - e.Lo + 1}
+	case *ast.CallExpr:
+		return c.checkCall(sc, e, false)
+	default:
+		c.errorf(e.Pos(), "unsupported expression %T", e)
+		return &ast.BitType{Width: 8}
+	}
+}
+
+func (c *Checker) unify(xe ast.Expr, xt ast.Type, ye ast.Expr, yt ast.Type, pos token.Pos) ast.Type {
+	xu, xIsU := xt.(*ast.UnsizedType)
+	yu, yIsU := yt.(*ast.UnsizedType)
+	switch {
+	case xIsU && yIsU:
+		_ = xu
+		return &ast.UnsizedType{Val: xu.Val}
+	case xIsU:
+		if bt, ok := yt.(*ast.BitType); ok {
+			sizeLiteral(xe, bt.Width)
+			return yt
+		}
+		c.errorf(pos, "integer literal combined with %s", yt)
+		return yt
+	case yIsU:
+		if bt, ok := xt.(*ast.BitType); ok {
+			sizeLiteral(ye, bt.Width)
+			_ = yu
+			return xt
+		}
+		c.errorf(pos, "integer literal combined with %s", xt)
+		return xt
+	default:
+		if !xt.Equal(yt) {
+			c.errorf(pos, "operand type mismatch: %s vs %s", xt, yt)
+		}
+		return xt
+	}
+}
+
+func (c *Checker) checkUnary(sc *scope, e *ast.UnaryExpr, want ast.Type) ast.Type {
+	xt := c.checkExpr(sc, e.X, want)
+	switch e.Op {
+	case ast.OpLNot:
+		if _, ok := xt.(*ast.BoolType); !ok {
+			c.errorf(e.OpPos, "! requires bool operand, got %s", xt)
+		}
+		return &ast.BoolType{}
+	case ast.OpNeg, ast.OpBitNot:
+		switch t := xt.(type) {
+		case *ast.BitType:
+			return t
+		case *ast.UnsizedType:
+			return t
+		default:
+			c.errorf(e.OpPos, "%s requires bit operand, got %s", e.Op, xt)
+			return &ast.BitType{Width: 8}
+		}
+	}
+	c.errorf(e.OpPos, "unknown unary operator")
+	return xt
+}
+
+func (c *Checker) checkBinary(sc *scope, e *ast.BinaryExpr, want ast.Type) ast.Type {
+	switch {
+	case e.Op.IsLogical():
+		c.checkExprExpect(sc, e.X, &ast.BoolType{})
+		c.checkExprExpect(sc, e.Y, &ast.BoolType{})
+		return &ast.BoolType{}
+	case e.Op == ast.OpEq || e.Op == ast.OpNe:
+		xt := c.checkExpr(sc, e.X, nil)
+		yt := c.checkExpr(sc, e.Y, nil)
+		c.unify(e.X, xt, e.Y, yt, e.OpPos)
+		return &ast.BoolType{}
+	case e.Op.IsComparison():
+		xt := c.checkExpr(sc, e.X, nil)
+		yt := c.checkExpr(sc, e.Y, nil)
+		t := c.unify(e.X, xt, e.Y, yt, e.OpPos)
+		if _, ok := t.(*ast.BoolType); ok {
+			c.errorf(e.OpPos, "ordering comparison of bool values")
+		}
+		return &ast.BoolType{}
+	case e.Op == ast.OpShl || e.Op == ast.OpShr:
+		xt := c.checkExpr(sc, e.X, want)
+		yt := c.checkExpr(sc, e.Y, nil)
+		// The shift amount may have any bit width, or be an unsized
+		// constant. Shifting a value of unknown width is the Fig. 5b
+		// crash scenario: here it is a clean error.
+		if u, ok := yt.(*ast.UnsizedType); ok {
+			sizeLiteral(e.Y, 32)
+			_ = u
+		} else if _, ok := yt.(*ast.BitType); !ok {
+			c.errorf(e.OpPos, "shift amount must have bit type, got %s", yt)
+		}
+		if u, ok := xt.(*ast.UnsizedType); ok {
+			// "(1 << x) + 2" with an unsized 1: width unknown at compile
+			// time (Fig. 5b). Demand a contextual width.
+			if bt, ok := want.(*ast.BitType); ok {
+				sizeLiteral(e.X, bt.Width)
+				return bt
+			}
+			_ = u
+			c.errorf(e.OpPos, "cannot shift an unsized integer literal of unknown width")
+			return &ast.BitType{Width: 8}
+		}
+		return xt
+	case e.Op == ast.OpConcat:
+		xt := c.checkExpr(sc, e.X, nil)
+		yt := c.checkExpr(sc, e.Y, nil)
+		xb, xok := xt.(*ast.BitType)
+		yb, yok := yt.(*ast.BitType)
+		if !xok || !yok {
+			c.errorf(e.OpPos, "++ requires sized bit operands, got %s and %s", xt, yt)
+			return &ast.BitType{Width: 8}
+		}
+		if xb.Width+yb.Width > MaxWidth {
+			c.errorf(e.OpPos, "concatenation width %d exceeds %d", xb.Width+yb.Width, MaxWidth)
+			return &ast.BitType{Width: MaxWidth}
+		}
+		return &ast.BitType{Width: xb.Width + yb.Width}
+	default: // arithmetic and bitwise
+		xt := c.checkExpr(sc, e.X, want)
+		yt := c.checkExpr(sc, e.Y, want)
+		t := c.unify(e.X, xt, e.Y, yt, e.OpPos)
+		if _, ok := t.(*ast.BoolType); ok {
+			c.errorf(e.OpPos, "arithmetic on bool values")
+			return &ast.BitType{Width: 8}
+		}
+		return t
+	}
+}
+
+func (c *Checker) checkMember(sc *scope, e *ast.MemberExpr) ast.Type {
+	xt := c.checkExpr(sc, e.X, nil)
+	switch t := xt.(type) {
+	case *ast.HeaderType:
+		if f, ok := t.FieldByName(e.Member); ok {
+			return f.Type
+		}
+		c.errorf(e.Pos(), "header %s has no field %q", t.Name, e.Member)
+	case *ast.StructType:
+		if f, ok := t.FieldByName(e.Member); ok {
+			return f.Type
+		}
+		c.errorf(e.Pos(), "struct %s has no field %q", t.Name, e.Member)
+	default:
+		c.errorf(e.Pos(), "member access on non-composite type %s", xt)
+	}
+	return &ast.BitType{Width: 8}
+}
+
+// checkPacketMethod handles pkt.extract(hdr) and pkt.emit(hdr) call
+// statements. It returns true if the call was a packet method (whether or
+// not it checked cleanly).
+func (c *Checker) checkPacketMethod(sc *scope, call *ast.CallExpr, ctx *bodyCtx) bool {
+	m, ok := call.Func.(*ast.MemberExpr)
+	if !ok {
+		return false
+	}
+	if m.Member != "extract" && m.Member != "emit" {
+		return false
+	}
+	recv, ok := m.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	ent := sc.lookup(recv.Name)
+	if ent == nil || ent.kind != kindVar {
+		return false
+	}
+	if _, isPkt := ent.typ.(*ast.PacketType); !isPkt {
+		return false
+	}
+	if len(call.Args) != 1 {
+		c.errorf(call.Pos(), "%s takes exactly one header argument", m.Member)
+		return true
+	}
+	at := c.checkExpr(sc, call.Args[0], nil)
+	if _, isHdr := at.(*ast.HeaderType); !isHdr {
+		c.errorf(call.Args[0].Pos(), "%s argument must be a header, got %s", m.Member, at)
+	}
+	switch m.Member {
+	case "extract":
+		if ctx == nil || !ctx.inParser {
+			c.errorf(call.Pos(), "extract is only allowed in parser states")
+		}
+		if !ast.IsLValue(call.Args[0]) {
+			c.errorf(call.Args[0].Pos(), "extract argument must be an lvalue")
+		} else if root := ast.RootIdent(call.Args[0]); root != nil {
+			if e := sc.lookup(root.Name); e != nil && !e.writable {
+				c.errorf(call.Args[0].Pos(), "extract into read-only %q", root.Name)
+			}
+		}
+	case "emit":
+		if ctx == nil || ctx.inParser {
+			c.errorf(call.Pos(), "emit is only allowed in control blocks")
+		}
+	}
+	return true
+}
+
+// builtinMethod describes header/table methods callable in expressions.
+type builtinMethod int
+
+const (
+	notBuiltin builtinMethod = iota
+	methodSetValid
+	methodSetInvalid
+	methodIsValid
+	methodApply
+)
+
+func (c *Checker) builtin(sc *scope, fn ast.Expr) (builtinMethod, ast.Type) {
+	m, ok := fn.(*ast.MemberExpr)
+	if !ok {
+		return notBuiltin, nil
+	}
+	// Table apply: receiver is a table name.
+	if id, ok := m.X.(*ast.Ident); ok {
+		if ent := sc.lookup(id.Name); ent != nil && ent.kind == kindTable {
+			if m.Member == "apply" {
+				return methodApply, nil
+			}
+			c.errorf(m.Pos(), "table %s has no method %q", id.Name, m.Member)
+			return notBuiltin, nil
+		}
+	}
+	switch m.Member {
+	case "setValid", "setInvalid", "isValid":
+		rt := c.checkExpr(sc, m.X, nil)
+		if _, ok := rt.(*ast.HeaderType); !ok {
+			c.errorf(m.Pos(), "%s on non-header type %s", m.Member, rt)
+		}
+		switch m.Member {
+		case "setValid":
+			return methodSetValid, nil
+		case "setInvalid":
+			return methodSetInvalid, nil
+		default:
+			return methodIsValid, nil
+		}
+	}
+	return notBuiltin, nil
+}
+
+// checkCall validates a call expression. stmtCtx is true for call
+// statements (void context).
+func (c *Checker) checkCall(sc *scope, e *ast.CallExpr, stmtCtx bool) ast.Type {
+	// Builtin methods.
+	if bm, _ := c.builtin(sc, e.Func); bm != notBuiltin {
+		switch bm {
+		case methodSetValid, methodSetInvalid:
+			if len(e.Args) != 0 {
+				c.errorf(e.Pos(), "validity methods take no arguments")
+			}
+			if !stmtCtx {
+				c.errorf(e.Pos(), "setValid/setInvalid cannot be used as an expression")
+			}
+			// Receiver must be writable.
+			m := e.Func.(*ast.MemberExpr)
+			if root := ast.RootIdent(m.X); root != nil {
+				if ent := sc.lookup(root.Name); ent != nil && !ent.writable {
+					c.errorf(e.Pos(), "cannot mutate validity of read-only %q", root.Name)
+				}
+			}
+			return &ast.VoidType{}
+		case methodIsValid:
+			if len(e.Args) != 0 {
+				c.errorf(e.Pos(), "isValid takes no arguments")
+			}
+			return &ast.BoolType{}
+		case methodApply:
+			if len(e.Args) != 0 {
+				c.errorf(e.Pos(), "apply takes no arguments")
+			}
+			if !stmtCtx {
+				c.errorf(e.Pos(), "table apply results are not supported in expressions")
+			}
+			return &ast.VoidType{}
+		}
+	}
+	id, ok := e.Func.(*ast.Ident)
+	if !ok {
+		c.errorf(e.Pos(), "call target is not callable")
+		return &ast.VoidType{}
+	}
+	ent := sc.lookup(id.Name)
+	if ent == nil {
+		c.errorf(e.Pos(), "call to undefined %q", id.Name)
+		return &ast.VoidType{}
+	}
+	var params []ast.Param
+	var ret ast.Type = &ast.VoidType{}
+	switch ent.kind {
+	case kindAction:
+		params = ent.action.Params
+		if !stmtCtx {
+			c.errorf(e.Pos(), "action %s cannot be called in an expression", id.Name)
+		}
+	case kindFunction:
+		params = ent.function.Params
+		ret = ent.function.Return
+		if stmtCtx {
+			// Calling a non-void function as a statement is allowed
+			// (result discarded).
+		} else if _, void := ret.(*ast.VoidType); void {
+			c.errorf(e.Pos(), "void function %s used as a value", id.Name)
+		}
+	default:
+		c.errorf(e.Pos(), "%q is not callable", id.Name)
+		return &ast.VoidType{}
+	}
+	if len(e.Args) != len(params) {
+		c.errorf(e.Pos(), "%s expects %d arguments, got %d", id.Name, len(params), len(e.Args))
+		return ret
+	}
+	for i, a := range e.Args {
+		p := params[i]
+		c.checkExprExpect(sc, a, p.Type)
+		if p.Dir.Writes() {
+			if !ast.IsLValue(a) {
+				c.errorf(a.Pos(), "argument %d of %s must be an lvalue (%s parameter)",
+					i, id.Name, p.Dir)
+				continue
+			}
+			if root := ast.RootIdent(a); root != nil {
+				if ent := sc.lookup(root.Name); ent != nil && !ent.writable {
+					c.errorf(a.Pos(), "argument %d of %s: %q is read-only but parameter is %s",
+						i, id.Name, root.Name, p.Dir)
+				}
+			}
+		}
+	}
+	return ret
+}

@@ -1,0 +1,449 @@
+// Package types implements name resolution and type checking for the P4₁₆
+// subset — McKeeman levels 4 (type correct) and 5 (statically conforming)
+// from Table 1 of the paper.
+//
+// The checker enforces the rules the paper's generator must uphold ("if
+// P4C's parser and type checker correctly rejected a generated program, we
+// consider this to be a bug in our random program generator", §4.2):
+// direction rules (only writable lvalues may bind to out/inout parameters),
+// bit-width limits, slice bounds, table/action arity, and unsized-literal
+// coercion. It also mutates unsized integer literals in place, giving them
+// the width demanded by context, so downstream interpreters always see
+// sized values.
+package types
+
+import (
+	"fmt"
+
+	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/p4/token"
+)
+
+// MaxWidth is the maximum supported bit<N> width (documented limitation;
+// the paper's programs use widths up to 48).
+const MaxWidth = 64
+
+// Error is a type-checking error with position information.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("%s: type error: %s", e.Pos, e.Msg)
+	}
+	return "type error: " + e.Msg
+}
+
+// entity is a named binding in scope.
+type entity struct {
+	typ      ast.Type
+	writable bool // false for `in` params and constants
+	kind     entityKind
+	action   *ast.ActionDecl
+	function *ast.FunctionDecl
+	table    *ast.TableDecl
+}
+
+type entityKind int
+
+const (
+	kindVar entityKind = iota
+	kindConst
+	kindAction
+	kindFunction
+	kindTable
+)
+
+// scope is a lexical scope chain.
+type scope struct {
+	parent *scope
+	names  map[string]*entity
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, names: map[string]*entity{}}
+}
+
+func (s *scope) lookup(name string) *entity {
+	for sc := s; sc != nil; sc = sc.parent {
+		if e, ok := sc.names[name]; ok {
+			return e
+		}
+	}
+	return nil
+}
+
+func (s *scope) declare(name string, e *entity) error {
+	if _, ok := s.names[name]; ok {
+		return fmt.Errorf("duplicate declaration of %q", name)
+	}
+	s.names[name] = e
+	return nil
+}
+
+// Checker holds the state of one type-checking run.
+type Checker struct {
+	prog     *ast.Program
+	typeDecl map[string]ast.Type
+	errs     []*Error
+}
+
+// Check resolves named types and type-checks the program, mutating unsized
+// literals to their contextual widths. It returns the first group of
+// errors found (all errors discovered before bailout).
+func Check(prog *ast.Program) error {
+	c := &Checker{prog: prog, typeDecl: map[string]ast.Type{}}
+	c.collectTypes()
+	c.resolveDeclTypes()
+	c.checkDecls()
+	if len(c.errs) > 0 {
+		return c.errs[0]
+	}
+	return nil
+}
+
+func (c *Checker) errorf(pos token.Pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// collectTypes registers declared header/struct/typedef names.
+func (c *Checker) collectTypes() {
+	for _, d := range c.prog.Decls {
+		switch d := d.(type) {
+		case *ast.HeaderDecl:
+			c.typeDecl[d.Name] = &ast.HeaderType{Name: d.Name, Fields: d.Fields}
+		case *ast.StructDecl:
+			c.typeDecl[d.Name] = &ast.StructType{Name: d.Name, Fields: d.Fields}
+		case *ast.TypedefDecl:
+			c.typeDecl[d.Name] = d.Type
+		}
+	}
+}
+
+// resolve rewrites NamedType references to their declared types, following
+// typedef chains. Returns the input on failure (an error is recorded).
+func (c *Checker) resolve(t ast.Type, pos token.Pos) ast.Type {
+	seen := 0
+	for {
+		nt, ok := t.(*ast.NamedType)
+		if !ok {
+			return c.resolveInner(t, pos)
+		}
+		decl, ok := c.typeDecl[nt.Name]
+		if !ok {
+			c.errorf(pos, "undefined type %q", nt.Name)
+			return t
+		}
+		t = decl
+		seen++
+		if seen > 32 {
+			c.errorf(pos, "typedef cycle through %q", nt.Name)
+			return t
+		}
+	}
+}
+
+// resolveInner resolves field types of headers and structs in place.
+func (c *Checker) resolveInner(t ast.Type, pos token.Pos) ast.Type {
+	switch t := t.(type) {
+	case *ast.BitType:
+		if t.Width <= 0 || t.Width > MaxWidth {
+			c.errorf(pos, "bit width %d out of range [1,%d]", t.Width, MaxWidth)
+		}
+	case *ast.HeaderType:
+		for i := range t.Fields {
+			ft := c.resolve(t.Fields[i].Type, pos)
+			if _, ok := ft.(*ast.BitType); !ok {
+				c.errorf(pos, "header %s field %s must have bit<N> type, got %s",
+					t.Name, t.Fields[i].Name, ft)
+			}
+			t.Fields[i].Type = ft
+		}
+	case *ast.StructType:
+		for i := range t.Fields {
+			ft := c.resolve(t.Fields[i].Type, pos)
+			switch ft.(type) {
+			case *ast.VoidType, *ast.PacketType:
+				c.errorf(pos, "struct %s field %s has invalid type %s", t.Name, t.Fields[i].Name, ft)
+			}
+			t.Fields[i].Type = ft
+		}
+	}
+	return t
+}
+
+// resolveDeclTypes resolves all type references reachable from
+// declarations: fields, params, returns, variables.
+func (c *Checker) resolveDeclTypes() {
+	for _, d := range c.prog.Decls {
+		switch d := d.(type) {
+		case *ast.HeaderDecl:
+			c.resolveInner(&ast.HeaderType{Name: d.Name, Fields: d.Fields}, d.DeclPos)
+		case *ast.StructDecl:
+			c.resolveInner(&ast.StructType{Name: d.Name, Fields: d.Fields}, d.DeclPos)
+		case *ast.TypedefDecl:
+			d.Type = c.resolve(d.Type, d.DeclPos)
+		case *ast.ConstDecl:
+			d.Type = c.resolve(d.Type, d.DeclPos)
+		case *ast.ControlDecl:
+			c.resolveParams(d.Params, d.DeclPos)
+			for _, l := range d.Locals {
+				switch l := l.(type) {
+				case *ast.ActionDecl:
+					c.resolveParams(l.Params, l.DeclPos)
+				case *ast.FunctionDecl:
+					l.Return = c.resolve(l.Return, l.DeclPos)
+					c.resolveParams(l.Params, l.DeclPos)
+				case *ast.VarDecl:
+					l.Type = c.resolve(l.Type, l.DeclPos)
+				case *ast.ConstDecl:
+					l.Type = c.resolve(l.Type, l.DeclPos)
+				}
+			}
+		case *ast.ParserDecl:
+			c.resolveParams(d.Params, d.DeclPos)
+		case *ast.FunctionDecl:
+			d.Return = c.resolve(d.Return, d.DeclPos)
+			c.resolveParams(d.Params, d.DeclPos)
+		case *ast.ActionDecl:
+			c.resolveParams(d.Params, d.DeclPos)
+		}
+	}
+}
+
+func (c *Checker) resolveParams(ps []ast.Param, pos token.Pos) {
+	for i := range ps {
+		ps[i].Type = c.resolve(ps[i].Type, pos)
+	}
+}
+
+func (c *Checker) checkDecls() {
+	top := newScope(nil)
+	// Builtin NoAction.
+	_ = top.declare("NoAction", &entity{kind: kindAction,
+		action: &ast.ActionDecl{Name: "NoAction", Body: &ast.BlockStmt{}}})
+	for _, d := range c.prog.Decls {
+		switch d := d.(type) {
+		case *ast.ConstDecl:
+			c.checkExprExpect(top, d.Value, d.Type)
+			_ = top.declare(d.Name, &entity{typ: d.Type, kind: kindConst})
+		case *ast.ActionDecl:
+			c.checkCallable(top, d.Params, d.Body, nil, d.DeclPos, "action "+d.Name)
+			if err := top.declare(d.Name, &entity{kind: kindAction, action: d}); err != nil {
+				c.errorf(d.DeclPos, "%v", err)
+			}
+		case *ast.FunctionDecl:
+			c.checkCallable(top, d.Params, d.Body, d.Return, d.DeclPos, "function "+d.Name)
+			if err := top.declare(d.Name, &entity{kind: kindFunction, function: d}); err != nil {
+				c.errorf(d.DeclPos, "%v", err)
+			}
+		case *ast.ControlDecl:
+			c.checkControl(top, d)
+		case *ast.ParserDecl:
+			c.checkParser(top, d)
+		case *ast.Instantiation:
+			c.checkInstantiation(d)
+		}
+	}
+}
+
+func (c *Checker) checkInstantiation(d *ast.Instantiation) {
+	for _, a := range d.Args {
+		decl := c.prog.DeclByName(a)
+		if decl == nil {
+			c.errorf(d.DeclPos, "instantiation argument %q does not name a declaration", a)
+			continue
+		}
+		switch decl.(type) {
+		case *ast.ControlDecl, *ast.ParserDecl:
+		default:
+			c.errorf(d.DeclPos, "instantiation argument %q must be a parser or control", a)
+		}
+	}
+}
+
+func (c *Checker) declareParams(sc *scope, ps []ast.Param, pos token.Pos) {
+	for _, p := range ps {
+		writable := p.Dir == ast.DirOut || p.Dir == ast.DirInOut || p.Dir == ast.DirNone
+		if err := sc.declare(p.Name, &entity{typ: p.Type, writable: writable, kind: kindVar}); err != nil {
+			c.errorf(pos, "%v", err)
+		}
+	}
+}
+
+func (c *Checker) checkControl(top *scope, d *ast.ControlDecl) {
+	sc := newScope(top)
+	c.declareParams(sc, d.Params, d.DeclPos)
+	for _, l := range d.Locals {
+		switch l := l.(type) {
+		case *ast.VarDecl:
+			if l.Init != nil {
+				c.checkExprExpect(sc, l.Init, l.Type)
+			}
+			if err := sc.declare(l.Name, &entity{typ: l.Type, writable: true, kind: kindVar}); err != nil {
+				c.errorf(l.DeclPos, "%v", err)
+			}
+		case *ast.ConstDecl:
+			c.checkExprExpect(sc, l.Value, l.Type)
+			if err := sc.declare(l.Name, &entity{typ: l.Type, kind: kindConst}); err != nil {
+				c.errorf(l.DeclPos, "%v", err)
+			}
+		case *ast.ActionDecl:
+			c.checkCallable(sc, l.Params, l.Body, nil, l.DeclPos, "action "+l.Name)
+			if err := sc.declare(l.Name, &entity{kind: kindAction, action: l}); err != nil {
+				c.errorf(l.DeclPos, "%v", err)
+			}
+		case *ast.FunctionDecl:
+			c.checkCallable(sc, l.Params, l.Body, l.Return, l.DeclPos, "function "+l.Name)
+			if err := sc.declare(l.Name, &entity{kind: kindFunction, function: l}); err != nil {
+				c.errorf(l.DeclPos, "%v", err)
+			}
+		case *ast.TableDecl:
+			c.checkTable(sc, l)
+			if err := sc.declare(l.Name, &entity{kind: kindTable, table: l}); err != nil {
+				c.errorf(l.DeclPos, "%v", err)
+			}
+		default:
+			c.errorf(l.Pos(), "declaration %T not allowed in control", l)
+		}
+	}
+	c.checkBlock(sc, d.Apply, &bodyCtx{inControlApply: true})
+}
+
+func (c *Checker) checkTable(sc *scope, t *ast.TableDecl) {
+	for i := range t.Keys {
+		kt := c.checkExpr(sc, t.Keys[i].Expr, nil)
+		if _, ok := kt.(*ast.BitType); !ok {
+			if _, ok := kt.(*ast.BoolType); !ok {
+				c.errorf(t.DeclPos, "table %s key %d must have bit or bool type, got %s", t.Name, i, kt)
+			}
+		}
+	}
+	names := map[string]bool{}
+	for _, a := range t.Actions {
+		names[a.Name] = true
+		ent := sc.lookup(a.Name)
+		if ent == nil || ent.kind != kindAction {
+			c.errorf(t.DeclPos, "table %s references unknown action %q", t.Name, a.Name)
+		}
+	}
+	if t.Default != nil {
+		if !names[t.Default.Name] && t.Default.Name != "NoAction" {
+			c.errorf(t.DeclPos, "table %s default_action %q is not in the actions list", t.Name, t.Default.Name)
+		}
+		ent := sc.lookup(t.Default.Name)
+		if ent != nil && ent.kind == kindAction && ent.action != nil {
+			// Default-action args bind the directionless (control-plane)
+			// parameters.
+			var cp []ast.Param
+			for _, p := range ent.action.Params {
+				if p.Dir == ast.DirNone {
+					cp = append(cp, p)
+				}
+			}
+			if len(t.Default.Args) != len(cp) {
+				c.errorf(t.DeclPos, "table %s default_action %s expects %d control-plane args, got %d",
+					t.Name, t.Default.Name, len(cp), len(t.Default.Args))
+			} else {
+				for i, a := range t.Default.Args {
+					c.checkExprExpect(sc, a, cp[i].Type)
+				}
+			}
+			// Directioned action params cannot be bound by default_action
+			// in this subset.
+			for _, p := range ent.action.Params {
+				if p.Dir != ast.DirNone {
+					c.errorf(t.DeclPos, "table %s: action %s with directioned parameters cannot be a table action",
+						t.Name, t.Default.Name)
+					break
+				}
+			}
+		}
+	}
+	// Actions referenced from a table must not have directioned params
+	// (those are only for direct invocation).
+	for _, a := range t.Actions {
+		ent := sc.lookup(a.Name)
+		if ent == nil || ent.action == nil {
+			continue
+		}
+		for _, p := range ent.action.Params {
+			if p.Dir != ast.DirNone {
+				c.errorf(t.DeclPos, "table %s: action %s has directioned parameter %s and cannot be a table action",
+					t.Name, a.Name, p.Name)
+				break
+			}
+		}
+	}
+}
+
+func (c *Checker) checkParser(top *scope, d *ast.ParserDecl) {
+	sc := newScope(top)
+	c.declareParams(sc, d.Params, d.DeclPos)
+	states := map[string]bool{"accept": true, "reject": true}
+	for i := range d.States {
+		if states[d.States[i].Name] {
+			c.errorf(d.States[i].DeclPos, "duplicate parser state %q", d.States[i].Name)
+		}
+		states[d.States[i].Name] = true
+	}
+	if d.StateByName("start") == nil {
+		c.errorf(d.DeclPos, "parser %s has no start state", d.Name)
+	}
+	for i := range d.States {
+		st := &d.States[i]
+		ssc := newScope(sc)
+		ctx := &bodyCtx{inParser: true}
+		for _, s := range st.Stmts {
+			c.checkStmt(ssc, s, ctx)
+		}
+		switch tr := st.Trans.(type) {
+		case *ast.TransDirect:
+			if !states[tr.Next] {
+				c.errorf(st.DeclPos, "state %s transitions to unknown state %q", st.Name, tr.Next)
+			}
+		case *ast.TransSelect:
+			et := c.checkExpr(ssc, tr.Expr, nil)
+			bt, ok := et.(*ast.BitType)
+			if !ok {
+				c.errorf(st.DeclPos, "select expression must have bit type, got %s", et)
+				break
+			}
+			for j := range tr.Cases {
+				if tr.Cases[j].Value != nil {
+					if tr.Cases[j].Value.Width == 0 {
+						tr.Cases[j].Value.Width = bt.Width
+						tr.Cases[j].Value.Val = ast.MaskWidth(tr.Cases[j].Value.Val, bt.Width)
+					} else if tr.Cases[j].Value.Width != bt.Width {
+						c.errorf(st.DeclPos, "select case width %d does not match key width %d",
+							tr.Cases[j].Value.Width, bt.Width)
+					}
+				}
+				if !states[tr.Cases[j].Next] {
+					c.errorf(st.DeclPos, "state %s selects unknown state %q", st.Name, tr.Cases[j].Next)
+				}
+			}
+		case nil:
+			c.errorf(st.DeclPos, "state %s has no transition", st.Name)
+		}
+	}
+}
+
+// bodyCtx tracks the statement context for context-sensitive rules.
+type bodyCtx struct {
+	returnType     ast.Type // nil outside functions; VoidType in actions
+	inAction       bool
+	inControlApply bool
+	inParser       bool
+}
+
+func (c *Checker) checkCallable(outer *scope, params []ast.Param, body *ast.BlockStmt,
+	ret ast.Type, pos token.Pos, what string) {
+	sc := newScope(outer)
+	c.declareParams(sc, params, pos)
+	ctx := &bodyCtx{returnType: ret, inAction: ret == nil}
+	c.checkBlock(sc, body, ctx)
+}

@@ -1,0 +1,218 @@
+package types_test
+
+import (
+	"strings"
+	"testing"
+
+	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/p4/parser"
+	"gauntlet/internal/p4/types"
+)
+
+func check(t *testing.T, src string) error {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return types.Check(prog)
+}
+
+func TestTypedefResolution(t *testing.T) {
+	src := `
+typedef bit<8> byte_t;
+typedef byte_t octet_t;
+header H { octet_t a; }
+struct S { H h; }
+control ig(inout S s) {
+    apply { s.h.a = 8w1; }
+}`
+	if err := check(t, src); err != nil {
+		t.Fatalf("typedef chain: %v", err)
+	}
+}
+
+func TestTypedefCycle(t *testing.T) {
+	src := `
+typedef a_t b_t;
+typedef b_t a_t;
+control ig(inout a_t x) {
+    apply { }
+}`
+	if err := check(t, src); err == nil {
+		t.Fatal("typedef cycle accepted")
+	}
+}
+
+func TestHeaderFieldsMustBeBits(t *testing.T) {
+	src := `
+struct Inner { bit<8> a; }
+header H { Inner i; }
+control ig(inout H h) {
+    apply { }
+}`
+	if err := check(t, src); err == nil {
+		t.Fatal("header with struct field accepted")
+	}
+}
+
+func TestWidthBounds(t *testing.T) {
+	if err := check(t, `
+control ig(inout bit<65> x) {
+    apply { }
+}`); err == nil {
+		t.Fatal("bit<65> accepted")
+	}
+	if err := check(t, `
+control ig(inout bit<64> x) {
+    apply { x = x + 64w1; }
+}`); err != nil {
+		t.Fatalf("bit<64> rejected: %v", err)
+	}
+}
+
+func TestConcatWidthOverflow(t *testing.T) {
+	if err := check(t, `
+control ig(inout bit<48> x, inout bit<32> y) {
+    apply { x = (x ++ y)[47:0]; }
+}`); err == nil {
+		t.Fatal("80-bit concatenation accepted")
+	}
+}
+
+func TestExtractOnlyInParsers(t *testing.T) {
+	src := `
+header H { bit<8> a; }
+struct S { H h; }
+control ig(packet pkt, inout S s) {
+    apply { pkt.extract(s.h); }
+}`
+	if err := check(t, src); err == nil || !strings.Contains(err.Error(), "parser") {
+		t.Fatalf("extract in control accepted (err=%v)", err)
+	}
+}
+
+func TestEmitOnlyInControls(t *testing.T) {
+	src := `
+header H { bit<8> a; }
+struct S { H h; }
+parser p(packet pkt, out S s) {
+    state start {
+        pkt.emit(s.h);
+        transition accept;
+    }
+}`
+	if err := check(t, src); err == nil || !strings.Contains(err.Error(), "control") {
+		t.Fatalf("emit in parser accepted (err=%v)", err)
+	}
+}
+
+func TestTableActionDirectionRule(t *testing.T) {
+	src := `
+control ig(inout bit<8> x) {
+    action a(inout bit<8> v) { v = v + 8w1; }
+    table t {
+        key = { x : exact; }
+        actions = { a; NoAction; }
+        default_action = NoAction();
+    }
+    apply { t.apply(); }
+}`
+	if err := check(t, src); err == nil {
+		t.Fatal("table action with directioned parameter accepted")
+	}
+}
+
+func TestDefaultActionArity(t *testing.T) {
+	src := `
+control ig(inout bit<8> x) {
+    action a(bit<8> v) { x = v; }
+    table t {
+        key = { x : exact; }
+        actions = { a; NoAction; }
+        default_action = a();
+    }
+    apply { t.apply(); }
+}`
+	if err := check(t, src); err == nil {
+		t.Fatal("default_action with missing control-plane arg accepted")
+	}
+}
+
+func TestParserStateReferences(t *testing.T) {
+	src := `
+header H { bit<8> a; }
+struct S { H h; }
+parser p(packet pkt, out S s) {
+    state start {
+        pkt.extract(s.h);
+        transition missing_state;
+    }
+}`
+	if err := check(t, src); err == nil {
+		t.Fatal("transition to unknown state accepted")
+	}
+}
+
+func TestSelectCaseWidth(t *testing.T) {
+	src := `
+header H { bit<8> a; }
+struct S { H h; }
+parser p(packet pkt, out S s) {
+    state start {
+        pkt.extract(s.h);
+        transition select(s.h.a) {
+            16w7 : accept;
+            default : accept;
+        }
+    }
+}`
+	if err := check(t, src); err == nil {
+		t.Fatal("select case with mismatched width accepted")
+	}
+}
+
+func TestUnsizedLiteralNeedsContext(t *testing.T) {
+	// An unsized literal in a width-ambiguous shift position must be
+	// rejected — the Fig. 5b program class.
+	src := `
+header H { bit<8> a; bit<8> c; }
+struct S { H h; }
+control ig(inout S s) {
+    apply {
+        if ((1 << s.h.c) == 16) {
+            s.h.a = 8w1;
+        }
+    }
+}`
+	if err := check(t, src); err == nil {
+		t.Fatal("unknown-width shift accepted (Fig. 5b)")
+	}
+}
+
+func TestLiteralSizingMutatesAST(t *testing.T) {
+	prog, err := parser.Parse(`
+control ig(inout bit<12> x) {
+    apply { x = x + 3; }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := types.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	// The literal 3 must now be 12 bits wide.
+	found := false
+	ast.InspectStmt(prog.Controls()[0].Apply, nil, func(e ast.Expr) bool {
+		if l, ok := e.(*ast.IntLit); ok && l.Val == 3 {
+			found = true
+			if l.Width != 12 {
+				t.Errorf("literal width = %d, want 12", l.Width)
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("literal not found")
+	}
+}

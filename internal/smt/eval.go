@@ -1,0 +1,100 @@
+package smt
+
+import "fmt"
+
+// Assignment maps variable names to concrete values (booleans as 0/1).
+type Assignment map[string]uint64
+
+// Eval evaluates a term under an assignment. Unassigned variables read as
+// zero. Booleans evaluate to 0 or 1. Shared subterms (terms are DAGs
+// after branch merging) are evaluated once via a memo table.
+func Eval(t *Term, a Assignment) uint64 {
+	memo := make(map[*Term]uint64)
+	return eval(t, a, memo)
+}
+
+func eval(t *Term, a Assignment, memo map[*Term]uint64) uint64 {
+	if v, ok := memo[t]; ok {
+		return v
+	}
+	var out uint64
+	switch t.Op {
+	case OpVar:
+		out = mask(a[t.Name], t.W)
+	case OpConst:
+		out = t.Val
+	case OpNot:
+		out = 1 - eval(t.Args[0], a, memo)
+	case OpAnd:
+		out = 1
+		for _, x := range t.Args {
+			if eval(x, a, memo) == 0 {
+				out = 0
+				break
+			}
+		}
+	case OpOr:
+		out = 0
+		for _, x := range t.Args {
+			if eval(x, a, memo) == 1 {
+				out = 1
+				break
+			}
+		}
+	case OpEq:
+		if eval(t.Args[0], a, memo) == eval(t.Args[1], a, memo) {
+			out = 1
+		}
+	case OpIte:
+		if eval(t.Args[0], a, memo) == 1 {
+			out = eval(t.Args[1], a, memo)
+		} else {
+			out = eval(t.Args[2], a, memo)
+		}
+	case OpUlt:
+		if eval(t.Args[0], a, memo) < eval(t.Args[1], a, memo) {
+			out = 1
+		}
+	case OpUle:
+		if eval(t.Args[0], a, memo) <= eval(t.Args[1], a, memo) {
+			out = 1
+		}
+	case OpBVAdd:
+		out = mask(eval(t.Args[0], a, memo)+eval(t.Args[1], a, memo), t.W)
+	case OpBVSub:
+		out = mask(eval(t.Args[0], a, memo)-eval(t.Args[1], a, memo), t.W)
+	case OpBVMul:
+		out = mask(eval(t.Args[0], a, memo)*eval(t.Args[1], a, memo), t.W)
+	case OpBVAnd:
+		out = eval(t.Args[0], a, memo) & eval(t.Args[1], a, memo)
+	case OpBVOr:
+		out = eval(t.Args[0], a, memo) | eval(t.Args[1], a, memo)
+	case OpBVXor:
+		out = eval(t.Args[0], a, memo) ^ eval(t.Args[1], a, memo)
+	case OpBVNot:
+		out = mask(^eval(t.Args[0], a, memo), t.W)
+	case OpBVNeg:
+		out = mask(^eval(t.Args[0], a, memo)+1, t.W)
+	case OpBVShl:
+		sh := eval(t.Args[1], a, memo)
+		if sh < uint64(t.W) {
+			out = mask(eval(t.Args[0], a, memo)<<sh, t.W)
+		}
+	case OpBVLshr:
+		sh := eval(t.Args[1], a, memo)
+		if sh < uint64(t.W) {
+			out = eval(t.Args[0], a, memo) >> sh
+		}
+	case OpBVConcat:
+		lo := t.Args[1]
+		out = mask(eval(t.Args[0], a, memo)<<uint(lo.W)|eval(lo, a, memo), t.W)
+	case OpBVExtract:
+		out = mask(eval(t.Args[0], a, memo)>>uint(t.Lo), t.W)
+	case OpBVZext:
+		out = eval(t.Args[0], a, memo)
+	default:
+		panic(fmt.Sprintf("smt.Eval: unknown op %d", t.Op))
+	}
+	memo[t] = out
+	return out
+}

@@ -1,0 +1,117 @@
+package solver
+
+import "gauntlet/internal/smt"
+
+// Result is the outcome of a Solve call.
+type Result struct {
+	Status Status
+	// Model assigns every input variable when Status == Sat.
+	Model smt.Assignment
+	// Conflicts is the CDCL conflict count (statistics).
+	Conflicts int
+}
+
+// Solve decides the conjunction of the assertions and returns a model when
+// satisfiable. maxConflicts bounds the search (0 = unbounded).
+func Solve(maxConflicts int, assertions ...*smt.Term) Result {
+	b := NewBlaster()
+	b.SAT().MaxConflicts = maxConflicts
+	for _, a := range assertions {
+		b.Assert(a)
+	}
+	st := b.SAT().Solve()
+	res := Result{Status: st, Conflicts: b.SAT().Conflicts}
+	if st == Sat {
+		res.Model = b.Model()
+	}
+	return res
+}
+
+// SolvePreferNonZero solves the assertions, greedily preferring models in
+// which the named variables are non-zero. The paper configures Z3 the same
+// way (§6.2): zero-valued test packets can mask miscompilations on targets
+// that zero-initialize undefined values.
+//
+// The preference is best-effort: variables that cannot be non-zero under
+// the assertions are left unconstrained.
+func SolvePreferNonZero(maxConflicts int, prefer []string, assertions ...*smt.Term) Result {
+	base := Solve(maxConflicts, assertions...)
+	if base.Status != Sat || len(prefer) == 0 {
+		return base
+	}
+	// Collect widths of the preferred variables that actually occur.
+	widths := map[string]int{}
+	for _, a := range assertions {
+		a.Vars(widths)
+	}
+	kept := assertions
+	best := base
+	for _, name := range prefer {
+		w, ok := widths[name]
+		if !ok {
+			continue
+		}
+		var nz *smt.Term
+		if w == 0 {
+			nz = smt.Var(name, 0)
+		} else {
+			nz = smt.Ne(smt.Var(name, w), smt.Const(0, w))
+		}
+		trial := Solve(maxConflicts, append(append([]*smt.Term{}, kept...), nz)...)
+		if trial.Status == Sat {
+			kept = append(kept, nz)
+			best = trial
+		}
+	}
+	return best
+}
+
+// SolvePreferTermsNonZero is SolvePreferNonZero generalized to arbitrary
+// bitvector terms: the solver greedily keeps "term != 0" side conditions
+// that remain satisfiable. Test generation uses it to steer extracted
+// header fields away from zero (§6.2).
+func SolvePreferTermsNonZero(maxConflicts int, prefer []*smt.Term, assertions ...*smt.Term) Result {
+	var prefs []*smt.Term
+	for _, t := range prefer {
+		if t.IsBool() || t.IsConst() {
+			continue
+		}
+		prefs = append(prefs, smt.Ne(t, smt.Const(0, t.W)))
+	}
+	return SolveWithPreferences(maxConflicts, prefs, assertions...)
+}
+
+// SolveWithPreferences solves the assertions, greedily keeping each
+// preference constraint that remains satisfiable (in order). Preferences
+// are soft: an unsatisfiable one is silently dropped.
+func SolveWithPreferences(maxConflicts int, prefs []*smt.Term, assertions ...*smt.Term) Result {
+	base := Solve(maxConflicts, assertions...)
+	if base.Status != Sat || len(prefs) == 0 {
+		return base
+	}
+	kept := assertions
+	best := base
+	for _, p := range prefs {
+		trial := Solve(maxConflicts, append(append([]*smt.Term{}, kept...), p)...)
+		if trial.Status == Sat {
+			kept = append(kept, p)
+			best = trial
+		}
+	}
+	return best
+}
+
+// Equivalent checks whether two terms of equal sort are semantically
+// identical. When they differ it returns a distinguishing assignment —
+// the counterexample translation validation reports (§5.2).
+func Equivalent(maxConflicts int, a, b *smt.Term) (bool, smt.Assignment, Status) {
+	res := Solve(maxConflicts, smt.Ne(a, b))
+	switch res.Status {
+	case Unsat:
+		return true, nil, Unsat
+	case Sat:
+		return false, res.Model, Sat
+	default:
+		return false, nil, Unknown
+	}
+}

@@ -1,0 +1,99 @@
+package smt
+
+// Subst replaces variables by terms throughout t, sharing structure via a
+// memo table (terms are immutable, so shared subtrees rewrite once).
+// Variables absent from the map are kept. Replacement terms must have the
+// variable's sort.
+func Subst(t *Term, repl map[string]*Term) *Term {
+	if len(repl) == 0 {
+		return t
+	}
+	memo := map[*Term]*Term{}
+	return subst(t, repl, memo)
+}
+
+func subst(t *Term, repl map[string]*Term, memo map[*Term]*Term) *Term {
+	if r, ok := memo[t]; ok {
+		return r
+	}
+	var out *Term
+	switch t.Op {
+	case OpVar:
+		if r, ok := repl[t.Name]; ok {
+			if r.W != t.W {
+				panic("smt.Subst: sort mismatch for " + t.Name)
+			}
+			out = r
+		} else {
+			out = t
+		}
+	case OpConst:
+		out = t
+	default:
+		changed := false
+		args := make([]*Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = subst(a, repl, memo)
+			if args[i] != a {
+				changed = true
+			}
+		}
+		if !changed {
+			out = t
+		} else {
+			// Rebuild through the smart constructors to refold.
+			out = rebuild(t, args)
+		}
+	}
+	memo[t] = out
+	return out
+}
+
+// rebuild reconstructs a node with new arguments through the folding
+// constructors.
+func rebuild(t *Term, args []*Term) *Term {
+	switch t.Op {
+	case OpNot:
+		return Not(args[0])
+	case OpAnd:
+		return And(args...)
+	case OpOr:
+		return Or(args...)
+	case OpEq:
+		return Eq(args[0], args[1])
+	case OpIte:
+		return Ite(args[0], args[1], args[2])
+	case OpUlt:
+		return Ult(args[0], args[1])
+	case OpUle:
+		return Ule(args[0], args[1])
+	case OpBVAdd:
+		return Add(args[0], args[1])
+	case OpBVSub:
+		return Sub(args[0], args[1])
+	case OpBVMul:
+		return Mul(args[0], args[1])
+	case OpBVAnd:
+		return BVAnd(args[0], args[1])
+	case OpBVOr:
+		return BVOr(args[0], args[1])
+	case OpBVXor:
+		return BVXor(args[0], args[1])
+	case OpBVNot:
+		return BVNot(args[0])
+	case OpBVNeg:
+		return BVNeg(args[0])
+	case OpBVShl:
+		return Shl(args[0], args[1])
+	case OpBVLshr:
+		return Lshr(args[0], args[1])
+	case OpBVConcat:
+		return Concat(args[0], args[1])
+	case OpBVExtract:
+		return Extract(args[0], t.Hi, t.Lo)
+	case OpBVZext:
+		return ZExt(args[0], t.W)
+	default:
+		panic("smt.rebuild: unexpected op")
+	}
+}

@@ -1,0 +1,327 @@
+package sym
+
+import (
+	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/smt"
+)
+
+// NamedValue pairs an output parameter name with its symbolic value.
+type NamedValue struct {
+	Name string
+	Val  Value
+}
+
+// Block is the symbolic functional form of one programmable block: the
+// paper's per-block Z3 formula (§5.2). Inputs are the named variables
+// occurring in the terms (parameter leaves, packet bits, table keys and
+// action selectors, undef symbols); Out holds one symbolic value per
+// out/inout parameter.
+type Block struct {
+	Name   string
+	Params []ast.Param
+	// Out holds the final value of every out and inout parameter.
+	Out []NamedValue
+	// Reject is the condition under which a parser rejects the packet
+	// (always false for controls).
+	Reject *smt.Term
+	// Emits lists deparser emissions in order (empty for other blocks).
+	Emits []EmitRecord
+	// BranchConds lists every data-dependent branch condition in
+	// execution order; test generation toggles their polarities (§6).
+	BranchConds []*smt.Term
+	// UndefNames lists the undefined-value symbols introduced; test
+	// generation cannot control these paths (§6.2).
+	UndefNames []string
+	// TableVars lists the symbolic table keys/action selectors/arguments,
+	// which test generation concretizes into table entries.
+	TableVars []string
+	// PacketBits is the number of packet bit variables consumed (parsers).
+	PacketBits int
+	// Inputs lists the fresh input leaves created for in/inout
+	// parameters (name and variable term). Pipeline composition uses the
+	// first block's list as the externally-supplied state the target
+	// initializes (e.g. standard metadata).
+	Inputs []NamedTerm
+}
+
+// InputVars returns every input variable of the block's terms (name →
+// width, 0 for booleans).
+func (b *Block) InputVars() map[string]int {
+	vars := map[string]int{}
+	for _, o := range b.Out {
+		var flat []NamedTerm
+		Flatten(o.Name, o.Val, &flat)
+		for _, nt := range flat {
+			nt.Term.Vars(vars)
+		}
+	}
+	if b.Reject != nil {
+		b.Reject.Vars(vars)
+	}
+	for _, e := range b.Emits {
+		e.Cond.Vars(vars)
+		for _, f := range e.Fields {
+			f.Term.Vars(vars)
+		}
+	}
+	return vars
+}
+
+// ExecControl converts a control block into symbolic form. Controls with a
+// packet parameter act as deparsers: their emit sequence is recorded in
+// Emits.
+func ExecControl(prog *ast.Program, ctrl *ast.ControlDecl) (*Block, error) {
+	in := NewInterp(prog)
+	in.ctrl = ctrl
+	s := newState()
+
+	global := s.env
+	if err := in.declareTopConsts(s, global); err != nil {
+		return nil, err
+	}
+
+	ctrlScope := newEnv(global)
+	ctrlScope.root = true
+	s.env = ctrlScope
+
+	var inputs []NamedTerm
+	hasPacket := false
+	for _, p := range ctrl.Params {
+		if _, isPkt := p.Type.(*ast.PacketType); isPkt {
+			ctrlScope.declare(p.Name, &packetRef{})
+			hasPacket = true
+			continue
+		}
+		switch p.Dir {
+		case ast.DirOut:
+			ctrlScope.declare(p.Name, NewUndefValue(p.Type, in.undef))
+		default:
+			v := FreshInput(p.Name, p.Type)
+			ctrlScope.declare(p.Name, v)
+			Flatten(p.Name, v, &inputs)
+		}
+	}
+	if hasPacket {
+		in.pktLen = smt.Var("pkt_len", 32)
+	}
+
+	for _, l := range ctrl.Locals {
+		switch d := l.(type) {
+		case *ast.VarDecl:
+			if d.Init != nil {
+				v, err := in.evalExpr(s, d.Init)
+				if err != nil {
+					return nil, err
+				}
+				ctrlScope.declare(d.Name, v.Clone())
+			} else {
+				ctrlScope.declare(d.Name, NewUndefValue(d.Type, in.undef))
+			}
+		case *ast.ConstDecl:
+			v, err := in.evalExpr(s, d.Value)
+			if err != nil {
+				return nil, err
+			}
+			ctrlScope.declare(d.Name, v.Clone())
+		}
+	}
+
+	if err := in.execBlock(s, ctrl.Apply); err != nil {
+		return nil, err
+	}
+	b := in.finishBlock(ctrl.Name, ctrl.Params, s, smt.False)
+	b.Inputs = inputs
+	return b, nil
+}
+
+func (in *Interp) declareTopConsts(s *state, global *env) error {
+	for _, d := range in.prog.Decls {
+		if c, ok := d.(*ast.ConstDecl); ok {
+			v, err := in.evalExpr(s, c.Value)
+			if err != nil {
+				return err
+			}
+			global.declare(c.Name, v.Clone())
+		}
+	}
+	return nil
+}
+
+func (in *Interp) finishBlock(name string, params []ast.Param, s *state, reject *smt.Term) *Block {
+	b := &Block{
+		Name:        name,
+		Params:      params,
+		Reject:      reject,
+		Emits:       in.emits,
+		BranchConds: in.branchConds,
+		UndefNames:  in.undef.Names(),
+		TableVars:   in.tableVars,
+		PacketBits:  len(in.pktBits),
+	}
+	for _, p := range params {
+		if !p.Dir.Writes() {
+			continue
+		}
+		v, ok := s.env.get(p.Name)
+		if !ok {
+			continue
+		}
+		b.Out = append(b.Out, NamedValue{Name: p.Name, Val: v})
+	}
+	return b
+}
+
+// ExecParser converts a parser into symbolic form by exploring the state
+// machine path by path (offsets stay concrete per path) and merging the
+// accepting states. Parser loops are an error, mirroring the P4 restriction
+// the paper leans on for decidability.
+func ExecParser(prog *ast.Program, pd *ast.ParserDecl) (*Block, error) {
+	in := NewInterp(prog)
+	in.pktLen = smt.Var("pkt_len", 32)
+	in.reject = smt.False
+	s := newState()
+
+	global := s.env
+	if err := in.declareTopConsts(s, global); err != nil {
+		return nil, err
+	}
+
+	scope := newEnv(global)
+	scope.root = true
+	s.env = scope
+	var inputs []NamedTerm
+	for _, p := range pd.Params {
+		if _, isPkt := p.Type.(*ast.PacketType); isPkt {
+			scope.declare(p.Name, &packetRef{})
+			continue
+		}
+		switch p.Dir {
+		case ast.DirOut:
+			scope.declare(p.Name, NewUndefValue(p.Type, in.undef))
+		default:
+			v := FreshInput(p.Name, p.Type)
+			scope.declare(p.Name, v)
+			Flatten(p.Name, v, &inputs)
+		}
+	}
+
+	var accepted *state
+	var walk func(s *state, stateName string, visited map[string]bool, depth int) error
+	walk = func(s *state, stateName string, visited map[string]bool, depth int) error {
+		switch stateName {
+		case "accept":
+			if accepted == nil {
+				accepted = s
+			} else {
+				accepted = mergeState(s.live, s, accepted)
+			}
+			return nil
+		case "reject":
+			in.reject = smt.Or(in.reject, s.live)
+			return nil
+		}
+		if depth > 64 {
+			return symErrorf("parser %s: path depth exceeds 64", pd.Name)
+		}
+		if visited[stateName] {
+			return symErrorf("parser %s: state loop through %q", pd.Name, stateName)
+		}
+		st := pd.StateByName(stateName)
+		if st == nil {
+			return symErrorf("parser %s: unknown state %q", pd.Name, stateName)
+		}
+		visited[stateName] = true
+		defer delete(visited, stateName)
+
+		s.env = newEnv(s.env)
+		for _, stmt := range st.Stmts {
+			if err := in.execStmt(s, stmt); err != nil {
+				return err
+			}
+		}
+		s.env = s.env.parent
+
+		switch tr := st.Trans.(type) {
+		case nil:
+			return walk(s, "accept", visited, depth+1)
+		case *ast.TransDirect:
+			return walk(s, tr.Next, visited, depth+1)
+		case *ast.TransSelect:
+			kv, err := in.evalExpr(s, tr.Expr)
+			if err != nil {
+				return err
+			}
+			key := kv.(*BitVal).T
+			noPrior := smt.True
+			hasDefault := false
+			for _, c := range tr.Cases {
+				var cond *smt.Term
+				if c.Value == nil {
+					cond = noPrior
+					hasDefault = true
+				} else {
+					cond = smt.And(noPrior, smt.Eq(key, smt.Const(c.Value.Val, key.W)))
+					noPrior = smt.And(noPrior, smt.Not(smt.Eq(key, smt.Const(c.Value.Val, key.W))))
+				}
+				in.noteBranch(cond)
+				child := s.clone()
+				child.live = smt.And(s.live, cond)
+				savedOff := in.pktOff
+				if err := walk(child, c.Next, visited, depth+1); err != nil {
+					return err
+				}
+				in.pktOff = savedOff
+			}
+			if !hasDefault {
+				// No match and no default: reject (P4₁₆ §12.6).
+				in.reject = smt.Or(in.reject, smt.And(s.live, noPrior))
+			}
+			return nil
+		default:
+			return symErrorf("unknown transition %T", st.Trans)
+		}
+	}
+
+	if err := walk(s, "start", map[string]bool{}, 0); err != nil {
+		return nil, err
+	}
+	final := accepted
+	if final == nil {
+		final = s // every path rejects; outputs are the initial values
+	}
+	b := in.finishBlock(pd.Name, pd.Params, final, in.reject)
+	b.Inputs = inputs
+	return b, nil
+}
+
+// Equivalent builds the term "blocks A and B are observationally equal":
+// same reject behaviour, same outputs on accepted packets, and the same
+// emit sequence for deparsers. Translation validation asserts its negation
+// and asks the solver for a distinguishing input (§5.2).
+func Equivalent(a, b *Block) *smt.Term {
+	if len(a.Out) != len(b.Out) || len(a.Emits) != len(b.Emits) {
+		return smt.False
+	}
+	eq := smt.Eq(a.Reject, b.Reject)
+	outsEq := smt.True
+	for i := range a.Out {
+		if a.Out[i].Name != b.Out[i].Name {
+			return smt.False
+		}
+		outsEq = smt.And(outsEq, EqualValues(a.Out[i].Val, b.Out[i].Val))
+	}
+	// Outputs only matter when the packet is not rejected.
+	eq = smt.And(eq, smt.Or(a.Reject, outsEq))
+	for i := range a.Emits {
+		ea, eb := a.Emits[i], b.Emits[i]
+		if len(ea.Fields) != len(eb.Fields) {
+			return smt.False
+		}
+		fieldsEq := smt.True
+		for j := range ea.Fields {
+			fieldsEq = smt.And(fieldsEq, smt.Eq(ea.Fields[j].Term, eb.Fields[j].Term))
+		}
+		eq = smt.And(eq, smt.Eq(ea.Cond, eb.Cond), smt.Or(smt.Not(ea.Cond), fieldsEq))
+	}
+	return eq
+}

@@ -1,0 +1,346 @@
+package sym
+
+import (
+	"fmt"
+
+	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/smt"
+)
+
+func (in *Interp) evalCall(s *state, call *ast.CallExpr) (Value, error) {
+	if m, ok := call.Func.(*ast.MemberExpr); ok {
+		return in.evalMethod(s, call, m)
+	}
+	id, ok := call.Func.(*ast.Ident)
+	if !ok {
+		return nil, symErrorf("call target is not callable")
+	}
+	if id.Name == "NoAction" {
+		return nil, nil
+	}
+	var params []ast.Param
+	var body *ast.BlockStmt
+	var ret ast.Type
+	if in.ctrl != nil {
+		switch d := in.ctrl.LocalByName(id.Name).(type) {
+		case *ast.ActionDecl:
+			params, body = d.Params, d.Body
+		case *ast.FunctionDecl:
+			params, body, ret = d.Params, d.Body, d.Return
+		}
+	}
+	if body == nil {
+		switch d := in.prog.DeclByName(id.Name).(type) {
+		case *ast.ActionDecl:
+			params, body = d.Params, d.Body
+		case *ast.FunctionDecl:
+			params, body, ret = d.Params, d.Body, d.Return
+		default:
+			return nil, symErrorf("call to unknown %q", id.Name)
+		}
+	}
+	return in.invoke(s, params, body, ret, call.Args, nil)
+}
+
+// invoke performs a call with copy-in/copy-out semantics in symbolic form.
+// cpArgs, when non-nil, binds directionless parameters to the given
+// symbolic terms (table-entry action arguments).
+func (in *Interp) invoke(s *state, params []ast.Param, body *ast.BlockStmt,
+	ret ast.Type, args []ast.Expr, cpArgs []*smt.Term) (Value, error) {
+
+	savedLive := s.live
+	savedEnv := s.env
+
+	callee := newEnv(calleeRoot(s))
+	cpIdx := 0
+	for i, p := range params {
+		if p.Dir == ast.DirNone && cpArgs != nil {
+			callee.declare(p.Name, &BitVal{T: cpArgs[cpIdx]})
+			cpIdx++
+			continue
+		}
+		switch p.Dir {
+		case ast.DirOut:
+			callee.declare(p.Name, NewUndefValue(p.Type, in.undef))
+		default:
+			v, err := in.evalExpr(s, args[i])
+			if err != nil {
+				return nil, err
+			}
+			callee.declare(p.Name, v.Clone())
+		}
+	}
+
+	// Non-void functions may fall off the end on some paths; the result is
+	// then undefined.
+	fr := &frame{}
+	if ret != nil {
+		if _, isVoid := ret.(*ast.VoidType); !isVoid {
+			fr.retVal = NewUndefValue(ret, in.undef)
+		}
+	}
+	in.frames = append(in.frames, fr)
+	s.env = callee
+	err := in.execBlock(s, body)
+	in.frames = in.frames[:len(in.frames)-1]
+	if err != nil {
+		return nil, err
+	}
+
+	// The callee body may have merged branch states, which rebuilds the
+	// whole environment chain including the shared control scope. The
+	// caller's saved chain still points at the pre-merge control scope,
+	// so graft the merged one back in before restoring.
+	outEnv := s.env
+	newRoot := calleeRoot(s)
+	if savedEnv.root {
+		savedEnv = newRoot
+	} else {
+		for sc := savedEnv; sc != nil; sc = sc.parent {
+			if sc.parent != nil && sc.parent.root {
+				sc.parent = newRoot
+				break
+			}
+		}
+	}
+
+	// Copy-out under the liveness the call had on entry: returns end only
+	// the callee, and exit still copies out (the paper's clarified exit
+	// semantics, Fig. 5f / §7.2).
+	s.live = savedLive
+	exitedAfter := s.exited
+	s.env = savedEnv
+	for i, p := range params {
+		if p.Dir == ast.DirNone || !p.Dir.Writes() {
+			continue
+		}
+		v, _ := outEnv.get(p.Name)
+		if err := in.assignLV(s, args[i], v); err != nil {
+			return nil, err
+		}
+	}
+	// Paths that exited inside the call are dead from here on.
+	s.live = smt.And(savedLive, smt.Not(exitedAfter))
+	return fr.retVal, nil
+}
+
+func (in *Interp) evalMethod(s *state, call *ast.CallExpr, m *ast.MemberExpr) (Value, error) {
+	switch m.Member {
+	case "setValid", "setInvalid", "isValid":
+		hv, err := in.evalExpr(s, m.X)
+		if err != nil {
+			return nil, err
+		}
+		h, ok := hv.(*HeaderVal)
+		if !ok {
+			return nil, symErrorf("%s on non-header value", m.Member)
+		}
+		switch m.Member {
+		case "setValid":
+			// Fields of a freshly validated header take arbitrary unknown
+			// values (§5.2).
+			becameValid := smt.And(s.live, smt.Not(h.Valid))
+			for _, f := range h.Type.Fields {
+				old := h.F[f.Name]
+				h.F[f.Name] = Merge(becameValid, NewUndefValue(f.Type, in.undef), old)
+			}
+			h.Valid = smt.Ite(s.live, smt.True, h.Valid)
+			return nil, nil
+		case "setInvalid":
+			h.Valid = smt.Ite(s.live, smt.False, h.Valid)
+			return nil, nil
+		default:
+			return &BoolVal{T: h.Valid}, nil
+		}
+	case "apply":
+		id, ok := m.X.(*ast.Ident)
+		if !ok {
+			return nil, symErrorf("apply on non-table expression")
+		}
+		return nil, in.applyTable(s, id.Name)
+	case "extract":
+		return nil, in.extract(s, call)
+	case "emit":
+		return nil, in.emit(s, call)
+	default:
+		return nil, symErrorf("unknown method %q", m.Member)
+	}
+}
+
+// applyTable encodes the Figure 3 semantics: one symbolic key per table
+// key expression, one symbolic action selector, and symbolic control-plane
+// arguments per action. On a key match the selected action runs; otherwise
+// the default action runs.
+func (in *Interp) applyTable(s *state, name string) error {
+	tbl, ok := in.ctrl.LocalByName(name).(*ast.TableDecl)
+	if !ok {
+		return symErrorf("apply of unknown table %q", name)
+	}
+	prefix := in.ctrl.Name + "." + tbl.Name
+
+	// hit := AND_i (key_i == <symbolic key var i>)
+	hit := smt.True
+	if len(tbl.Keys) == 0 {
+		hit = smt.False // keyless tables never match entries
+	}
+	for i, k := range tbl.Keys {
+		kv, err := in.evalExpr(s, k.Expr)
+		if err != nil {
+			return err
+		}
+		varName := fmt.Sprintf("%s.key_%d", prefix, i)
+		in.tableVars = append(in.tableVars, varName)
+		switch kv := kv.(type) {
+		case *BitVal:
+			hit = smt.And(hit, smt.Eq(kv.T, smt.Var(varName, kv.T.W)))
+		case *BoolVal:
+			hit = smt.And(hit, smt.Eq(kv.T, smt.BoolVar(varName)))
+		default:
+			return symErrorf("table %s key %d is not a leaf value", name, i)
+		}
+	}
+
+	actionVar := smt.Var(prefix+".action", 16)
+	in.tableVars = append(in.tableVars, prefix+".action")
+	in.branchDepth++
+	defer func() { in.branchDepth-- }()
+	in.noteBranch(hit)
+
+	anyChosen := smt.False
+	for idx, aref := range tbl.Actions {
+		chosen := smt.Eq(actionVar, smt.Const(uint64(idx+1), 16))
+		anyChosen = smt.Or(anyChosen, chosen)
+		eff := smt.And(hit, chosen)
+		in.noteBranch(eff)
+		branch := s.clone()
+		branch.live = smt.And(s.live, eff)
+		if err := in.runTableAction(branch, tbl, aref.Name, prefix, true, nil); err != nil {
+			return err
+		}
+		*s = *mergeState(eff, branch, s)
+	}
+
+	// Miss (or an unlisted action id): the default action runs.
+	deflt := smt.Or(smt.Not(hit), smt.Not(anyChosen))
+	if tbl.Default != nil && tbl.Default.Name != "NoAction" {
+		branch := s.clone()
+		branch.live = smt.And(s.live, deflt)
+		if err := in.runTableAction(branch, tbl, tbl.Default.Name, prefix, false, tbl.Default.Args); err != nil {
+			return err
+		}
+		*s = *mergeState(deflt, branch, s)
+	}
+	return nil
+}
+
+// runTableAction invokes a table-bound action. Entry-bound invocations
+// (fromEntry) receive fresh symbolic control-plane arguments; the default
+// action receives the program-specified argument expressions.
+func (in *Interp) runTableAction(s *state, tbl *ast.TableDecl, action, prefix string,
+	fromEntry bool, defaultArgs []ast.Expr) error {
+	if action == "NoAction" {
+		return nil
+	}
+	ad, ok := in.ctrl.LocalByName(action).(*ast.ActionDecl)
+	if !ok {
+		if d, ok2 := in.prog.DeclByName(action).(*ast.ActionDecl); ok2 {
+			ad = d
+		} else {
+			return symErrorf("table %s action %q not found", tbl.Name, action)
+		}
+	}
+	var cpArgs []*smt.Term
+	if fromEntry {
+		for _, p := range ad.Params {
+			varName := fmt.Sprintf("%s.%s.arg_%s", prefix, action, p.Name)
+			in.tableVars = append(in.tableVars, varName)
+			cpArgs = append(cpArgs, smt.Var(varName, ast.BitWidth(p.Type)))
+		}
+	} else {
+		for _, a := range defaultArgs {
+			v, err := in.evalExpr(s, a)
+			if err != nil {
+				return err
+			}
+			cpArgs = append(cpArgs, v.(*BitVal).T)
+		}
+	}
+	_, err := in.invoke(s, ad.Params, ad.Body, nil, nil, cpArgs)
+	return err
+}
+
+// extract reads the next header from the symbolic packet; the cursor must
+// be concrete, so extracts are rejected inside data-dependent branches.
+func (in *Interp) extract(s *state, call *ast.CallExpr) error {
+	if in.branchDepth > 0 {
+		return symErrorf("extract under a data-dependent branch is not supported")
+	}
+	if in.pktLen == nil {
+		return symErrorf("extract outside a parser")
+	}
+	hv, err := in.evalExpr(s, call.Args[0])
+	if err != nil {
+		return err
+	}
+	h, ok := hv.(*HeaderVal)
+	if !ok {
+		return symErrorf("extract into non-header value")
+	}
+	total := 0
+	for _, f := range h.Type.Fields {
+		total += ast.BitWidth(f.Type)
+	}
+	// Short-packet check: the remaining length must cover the header.
+	need := smt.Const(uint64(in.pktOff+total), 32)
+	okCond := smt.Ule(need, in.pktLen)
+	in.noteBranch(okCond)
+	in.reject = smt.Or(in.reject, smt.And(s.live, smt.Not(okCond)))
+	s.live = smt.And(s.live, okCond)
+
+	off := in.pktOff
+	for _, f := range h.Type.Fields {
+		w := ast.BitWidth(f.Type)
+		// MSB-first: packet bit off is the field's MSB.
+		t := in.packetBit(off)
+		for i := 1; i < w; i++ {
+			t = smt.Concat(t, in.packetBit(off+i))
+		}
+		old := h.F[f.Name]
+		h.F[f.Name] = Merge(s.live, &BitVal{T: t}, old)
+		off += w
+	}
+	h.Valid = smt.Ite(s.live, smt.True, h.Valid)
+	in.pktOff = off
+	return nil
+}
+
+// packetBit returns (allocating if needed) the 1-bit input variable for
+// packet bit i.
+func (in *Interp) packetBit(i int) *smt.Term {
+	for len(in.pktBits) <= i {
+		in.pktBits = append(in.pktBits, smt.Var(fmt.Sprintf("pkt_%d", len(in.pktBits)), 1))
+	}
+	return in.pktBits[i]
+}
+
+// emit records a deparser emit: the header's fields leave the device when
+// it is valid at emit time.
+func (in *Interp) emit(s *state, call *ast.CallExpr) error {
+	hv, err := in.evalExpr(s, call.Args[0])
+	if err != nil {
+		return err
+	}
+	h, ok := hv.(*HeaderVal)
+	if !ok {
+		return symErrorf("emit of non-header value")
+	}
+	rec := EmitRecord{Cond: smt.And(s.live, h.Valid)}
+	for _, f := range h.Type.Fields {
+		rec.Fields = append(rec.Fields, NamedTerm{
+			Name: f.Name,
+			Term: h.F[f.Name].(*BitVal).T,
+		})
+	}
+	in.emits = append(in.emits, rec)
+	return nil
+}

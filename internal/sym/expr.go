@@ -1,0 +1,206 @@
+package sym
+
+import (
+	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/smt"
+)
+
+func (in *Interp) evalExpr(s *state, x ast.Expr) (Value, error) {
+	switch x := x.(type) {
+	case *ast.Ident:
+		v, ok := s.env.get(x.Name)
+		if !ok {
+			return nil, symErrorf("undefined name %q", x.Name)
+		}
+		return v, nil
+	case *ast.IntLit:
+		w := x.Width
+		if w == 0 {
+			w = 64
+		}
+		return &BitVal{T: smt.Const(x.Val, w)}, nil
+	case *ast.BoolLit:
+		return &BoolVal{T: smt.Bool(x.Val)}, nil
+	case *ast.UnaryExpr:
+		v, err := in.evalExpr(s, x.X)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case ast.OpLNot:
+			return &BoolVal{T: smt.Not(v.(*BoolVal).T)}, nil
+		case ast.OpNeg:
+			return &BitVal{T: smt.BVNeg(v.(*BitVal).T)}, nil
+		case ast.OpBitNot:
+			return &BitVal{T: smt.BVNot(v.(*BitVal).T)}, nil
+		}
+		return nil, symErrorf("unknown unary op")
+	case *ast.BinaryExpr:
+		return in.evalBinary(s, x)
+	case *ast.MuxExpr:
+		cv, err := in.evalExpr(s, x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		cond := cv.(*BoolVal).T
+		in.branchDepth++
+		defer func() { in.branchDepth-- }()
+		// Side effects in the branches are guarded like an if statement.
+		saved := s.live
+		s.live = smt.And(saved, cond)
+		tv, err := in.evalExpr(s, x.Then)
+		if err != nil {
+			return nil, err
+		}
+		tv = tv.Clone()
+		s.live = smt.And(saved, smt.Not(cond))
+		ev, err := in.evalExpr(s, x.Else)
+		if err != nil {
+			return nil, err
+		}
+		s.live = saved
+		return Merge(cond, tv, ev), nil
+	case *ast.CastExpr:
+		v, err := in.evalExpr(s, x.X)
+		if err != nil {
+			return nil, err
+		}
+		switch to := x.To.(type) {
+		case *ast.BitType:
+			switch v := v.(type) {
+			case *BitVal:
+				if to.Width >= v.T.W {
+					return &BitVal{T: smt.ZExt(v.T, to.Width)}, nil
+				}
+				return &BitVal{T: smt.Trunc(v.T, to.Width)}, nil
+			case *BoolVal:
+				return &BitVal{T: smt.BoolToBV(v.T, to.Width)}, nil
+			}
+		case *ast.BoolType:
+			if b, ok := v.(*BitVal); ok && b.T.W == 1 {
+				return &BoolVal{T: smt.BVToBool(b.T)}, nil
+			}
+		}
+		return nil, symErrorf("unsupported cast to %s", x.To)
+	case *ast.MemberExpr:
+		cv, err := in.evalExpr(s, x.X)
+		if err != nil {
+			return nil, err
+		}
+		switch c := cv.(type) {
+		case *StructVal:
+			f, ok := c.F[x.Member]
+			if !ok {
+				return nil, symErrorf("struct has no field %q", x.Member)
+			}
+			return f, nil
+		case *HeaderVal:
+			f, ok := c.F[x.Member]
+			if !ok {
+				return nil, symErrorf("header has no field %q", x.Member)
+			}
+			return f, nil
+		default:
+			return nil, symErrorf("member access on non-composite value")
+		}
+	case *ast.SliceExpr:
+		v, err := in.evalExpr(s, x.X)
+		if err != nil {
+			return nil, err
+		}
+		b, ok := v.(*BitVal)
+		if !ok {
+			return nil, symErrorf("slice of non-bit value")
+		}
+		return &BitVal{T: smt.Extract(b.T, x.Hi, x.Lo)}, nil
+	case *ast.CallExpr:
+		return in.evalCall(s, x)
+	default:
+		return nil, symErrorf("unsupported expression %T", x)
+	}
+}
+
+func (in *Interp) evalBinary(s *state, x *ast.BinaryExpr) (Value, error) {
+	// Short-circuiting logical operators guard right-operand effects.
+	if x.Op.IsLogical() {
+		lv, err := in.evalExpr(s, x.X)
+		if err != nil {
+			return nil, err
+		}
+		lt := lv.(*BoolVal).T
+		saved := s.live
+		if x.Op == ast.OpLAnd {
+			s.live = smt.And(saved, lt)
+		} else {
+			s.live = smt.And(saved, smt.Not(lt))
+		}
+		rv, err := in.evalExpr(s, x.Y)
+		s.live = saved
+		if err != nil {
+			return nil, err
+		}
+		rt := rv.(*BoolVal).T
+		if x.Op == ast.OpLAnd {
+			return &BoolVal{T: smt.And(lt, rt)}, nil
+		}
+		return &BoolVal{T: smt.Or(lt, rt)}, nil
+	}
+
+	lv, err := in.evalExpr(s, x.X)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := in.evalExpr(s, x.Y)
+	if err != nil {
+		return nil, err
+	}
+
+	if x.Op == ast.OpEq || x.Op == ast.OpNe {
+		t := EqualValues(lv, rv)
+		if x.Op == ast.OpNe {
+			t = smt.Not(t)
+		}
+		return &BoolVal{T: t}, nil
+	}
+
+	lb, lok := lv.(*BitVal)
+	rb, rok := rv.(*BitVal)
+	if !lok || !rok {
+		return nil, symErrorf("%s on non-bit operands", x.Op)
+	}
+	a, b := lb.T, rb.T
+	switch x.Op {
+	case ast.OpLt:
+		return &BoolVal{T: smt.Ult(a, b)}, nil
+	case ast.OpLe:
+		return &BoolVal{T: smt.Ule(a, b)}, nil
+	case ast.OpGt:
+		return &BoolVal{T: smt.Ugt(a, b)}, nil
+	case ast.OpGe:
+		return &BoolVal{T: smt.Uge(a, b)}, nil
+	case ast.OpAdd:
+		return &BitVal{T: smt.Add(a, b)}, nil
+	case ast.OpSub:
+		return &BitVal{T: smt.Sub(a, b)}, nil
+	case ast.OpMul:
+		return &BitVal{T: smt.Mul(a, b)}, nil
+	case ast.OpSatAdd:
+		return &BitVal{T: smt.SatAdd(a, b)}, nil
+	case ast.OpSatSub:
+		return &BitVal{T: smt.SatSub(a, b)}, nil
+	case ast.OpBitAnd:
+		return &BitVal{T: smt.BVAnd(a, b)}, nil
+	case ast.OpBitOr:
+		return &BitVal{T: smt.BVOr(a, b)}, nil
+	case ast.OpBitXor:
+		return &BitVal{T: smt.BVXor(a, b)}, nil
+	case ast.OpShl:
+		return &BitVal{T: smt.Shl(a, b)}, nil
+	case ast.OpShr:
+		return &BitVal{T: smt.Lshr(a, b)}, nil
+	case ast.OpConcat:
+		return &BitVal{T: smt.Concat(a, b)}, nil
+	default:
+		return nil, symErrorf("unknown binary op %s", x.Op)
+	}
+}

@@ -1,0 +1,121 @@
+package sym
+
+import (
+	"fmt"
+
+	"gauntlet/internal/smt"
+)
+
+// env is a lexical scope chain of symbolic bindings. Cloning copies the
+// whole chain so branch states can diverge and later merge.
+type env struct {
+	parent *env
+	names  map[string]Value
+	order  []string // deterministic iteration for merging
+	// root marks the control-level scope; callable bodies are rooted here
+	// so they see control parameters and locals but not call-site blocks.
+	root bool
+}
+
+func newEnv(parent *env) *env { return &env{parent: parent, names: map[string]Value{}} }
+
+func (e *env) get(name string) (Value, bool) {
+	for sc := e; sc != nil; sc = sc.parent {
+		if v, ok := sc.names[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func (e *env) declare(name string, v Value) {
+	if _, ok := e.names[name]; !ok {
+		e.order = append(e.order, name)
+	}
+	e.names[name] = v
+}
+
+func (e *env) set(name string, v Value) error {
+	for sc := e; sc != nil; sc = sc.parent {
+		if _, ok := sc.names[name]; ok {
+			sc.names[name] = v
+			return nil
+		}
+	}
+	return fmt.Errorf("sym: assignment to undeclared %q", name)
+}
+
+func (e *env) clone() *env {
+	if e == nil {
+		return nil
+	}
+	c := &env{parent: e.parent.clone(), names: make(map[string]Value, len(e.names)), root: e.root}
+	c.order = append(c.order, e.order...)
+	for k, v := range e.names {
+		c.names[k] = v.Clone()
+	}
+	return c
+}
+
+// mergeEnv merges two structurally identical env chains under cond.
+func mergeEnv(cond *smt.Term, a, b *env) *env {
+	if a == nil {
+		return nil
+	}
+	m := &env{parent: mergeEnv(cond, a.parent, b.parent), names: make(map[string]Value, len(a.names)), root: a.root}
+	m.order = append(m.order, a.order...)
+	for _, k := range a.order {
+		bv, ok := b.names[k]
+		if !ok {
+			// Declared only in branch a (dead beyond the branch); keep a's.
+			m.names[k] = a.names[k]
+			continue
+		}
+		m.names[k] = Merge(cond, a.names[k], bv)
+	}
+	for _, k := range b.order {
+		if _, ok := a.names[k]; !ok {
+			m.names[k] = b.names[k]
+		}
+	}
+	return m
+}
+
+// state is the symbolic machine state: an environment plus control terms.
+type state struct {
+	env *env
+	// live is the condition under which execution reaches the current
+	// program point. All assignments are guarded by it.
+	live *smt.Term
+	// exited is the condition under which an exit statement has fired
+	// anywhere in the control so far.
+	exited *smt.Term
+}
+
+func newState() *state {
+	return &state{env: newEnv(nil), live: smt.True, exited: smt.False}
+}
+
+func (s *state) clone() *state {
+	return &state{env: s.env.clone(), live: s.live, exited: s.exited}
+}
+
+// mergeState folds branch states back together: taken-branch values where
+// cond holds, else-branch values otherwise.
+func mergeState(cond *smt.Term, a, b *state) *state {
+	return &state{
+		env:    mergeEnv(cond, a.env, b.env),
+		live:   smt.Ite(cond, a.live, b.live),
+		exited: smt.Ite(cond, a.exited, b.exited),
+	}
+}
+
+// assignGuarded stores v into name under the current liveness guard.
+func (s *state) assignGuarded(name string, v Value) error {
+	old, ok := s.env.get(name)
+	if !ok {
+		return fmt.Errorf("sym: assignment to undeclared %q", name)
+	}
+	s.env.set(name, Merge(s.live, v, old))
+	return nil
+}

@@ -1,0 +1,339 @@
+// Package testgen implements Gauntlet's symbolic-execution test-case
+// generation (§6): from the composed pipeline formula it enumerates
+// program paths by toggling branch-condition polarities, solves each path
+// condition for a concrete input (preferring non-zero values, §6.2), and
+// computes the expected output packet from the same model. The resulting
+// input/output packet pairs drive black-box back ends (the Tofino
+// stand-in) through their packet test framework.
+package testgen
+
+import (
+	"fmt"
+	"strings"
+
+	"gauntlet/internal/bitstream"
+	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/p4/eval"
+	"gauntlet/internal/smt"
+	"gauntlet/internal/smt/solver"
+	"gauntlet/internal/sym"
+)
+
+// Case is one end-to-end test: an input packet and table configuration,
+// plus the expected result predicted by the symbolic semantics.
+type Case struct {
+	// Packet is the input packet.
+	Packet []byte
+	// Config is the table state to install before injecting the packet.
+	Config eval.Config
+	// ExpectDrop is true when the pipeline should emit nothing (parser
+	// reject).
+	ExpectDrop bool
+	// ExpectPacket is the expected output packet when not dropped.
+	ExpectPacket []byte
+	// Model is the full solver assignment (diagnostics).
+	Model smt.Assignment
+	// PathID identifies the branch-polarity combination.
+	PathID string
+}
+
+// Options bounds test generation.
+type Options struct {
+	// MaxCases caps the number of generated tests.
+	MaxCases int
+	// MaxConflicts bounds each solver call.
+	MaxConflicts int
+	// MaxBranches bounds how many branch conditions are toggled (deeper
+	// conditions keep their solver-chosen polarity). Guards against the
+	// exponential path explosion the paper notes (§6.2).
+	MaxBranches int
+	// UndefValue is the value ascribed to undefined reads, which must
+	// match the target's behaviour (BMv2 zero-initializes, §6.2).
+	UndefValue uint64
+	// DisablePreferences turns off the non-zero / non-literal /
+	// large-value model steering and the complement second model — the
+	// ablation showing why §6.2 asks Z3 for non-zero pairs.
+	DisablePreferences bool
+}
+
+// DefaultOptions mirrors the paper's small-program regime.
+func DefaultOptions() Options {
+	return Options{MaxCases: 32, MaxConflicts: 200000, MaxBranches: 10, UndefValue: 0}
+}
+
+// Generate builds test cases for a program's full pipeline.
+func Generate(prog *ast.Program, opts Options) ([]Case, error) {
+	pipe, err := sym.PipelineOf(prog)
+	if err != nil {
+		return nil, err
+	}
+	return FromPipeline(prog, pipe, opts)
+}
+
+// FromPipeline builds test cases from an already-composed pipeline.
+func FromPipeline(prog *ast.Program, pipe *sym.Pipeline, opts Options) ([]Case, error) {
+	if opts.MaxCases <= 0 {
+		opts.MaxCases = 32
+	}
+
+	// Base constraints: byte-aligned packet length within the parser's
+	// reach, and the target's undefined-value semantics pinned (§6.2
+	// choice 2: ascribe specific values and check conformance).
+	maxBits := ((pipe.PacketBits + 7) / 8) * 8
+	pktLen := smt.Var("pkt_len", 32)
+	base := []*smt.Term{
+		smt.Ule(pktLen, smt.Const(uint64(maxBits), 32)),
+		smt.Eq(smt.Extract(pktLen, 2, 0), smt.Const(0, 3)),
+	}
+	// Pipeline-entry state the target initializes (standard metadata):
+	// the device zero-fills it, so the formula's free inputs must be
+	// pinned the same way or expectations would assume uncontrollable
+	// values (§6.2's environment-problem discipline).
+	for _, ext := range pipe.ExternalInputs {
+		v := ext.Term
+		if v.Op != smt.OpVar {
+			continue
+		}
+		if v.IsBool() {
+			base = append(base, smt.Not(v))
+			continue
+		}
+		base = append(base, smt.Eq(v, smt.Const(opts.UndefValue, v.W)))
+	}
+	for _, h := range pipe.HavocNames {
+		w := havocWidth(h)
+		if w == 0 {
+			v := smt.BoolVar(h)
+			if opts.UndefValue&1 == 1 {
+				base = append(base, v)
+			} else {
+				base = append(base, smt.Not(v))
+			}
+			continue
+		}
+		base = append(base, smt.Eq(smt.Var(h, w), smt.Const(opts.UndefValue, w)))
+	}
+
+	conds := pipe.BranchConds
+	if len(conds) > opts.MaxBranches {
+		conds = conds[:opts.MaxBranches]
+	}
+
+	// Model preferences, applied greedily per path: every parsed field
+	// non-zero (§6.2: "zero values by default may mask erroneous
+	// behavior"), and away from the program's own literals — boundary
+	// collisions with program constants mask miscompilations the same way
+	// zero does.
+	var prefs []*smt.Term
+	for _, f := range pipe.FieldTerms {
+		if f.IsBool() || f.IsConst() {
+			continue
+		}
+		prefs = append(prefs, smt.Ne(f, smt.Const(0, f.W)))
+	}
+	for _, lit := range programLiterals(prog) {
+		for _, f := range pipe.FieldTerms {
+			if f.IsBool() || f.IsConst() {
+				continue
+			}
+			prefs = append(prefs, smt.Ne(f, smt.Const(lit, f.W)))
+		}
+	}
+	// Prefer large values: saturating/overflowing arithmetic only
+	// misbehaves near the top of the range, so small solver-default
+	// values would mask those miscompilations just like zeros (§6.2).
+	for _, f := range pipe.FieldTerms {
+		if f.IsBool() || f.IsConst() || f.W < 2 {
+			continue
+		}
+		half := uint64(1) << uint(f.W-1)
+		prefs = append(prefs, smt.Uge(f, smt.Const(half, f.W)))
+	}
+	if len(prefs) > 48 {
+		prefs = prefs[:48]
+	}
+	if opts.DisablePreferences {
+		prefs = nil
+	}
+
+	var cases []Case
+	seen := map[string]bool{}
+	// DFS over branch polarities, pruning unsatisfiable prefixes: real
+	// path enumeration with a budget.
+	var walk func(idx int, fixed []*smt.Term, id string)
+	walk = func(idx int, fixed []*smt.Term, id string) {
+		if len(cases) >= opts.MaxCases {
+			return
+		}
+		if idx == len(conds) {
+			hard := append(append([]*smt.Term{}, base...), fixed...)
+			res := solver.SolveWithPreferences(opts.MaxConflicts, prefs, hard...)
+			if res.Status != solver.Sat {
+				return
+			}
+			add := func(m smt.Assignment) {
+				c := buildCase(prog, pipe, m, id)
+				key := fmt.Sprintf("%x|%v|%v", c.Packet, c.ExpectDrop, c.ExpectPacket)
+				if !seen[key] {
+					seen[key] = true
+					cases = append(cases, c)
+				}
+			}
+			add(res.Model)
+			if opts.DisablePreferences {
+				return
+			}
+			// Second model per path with every parsed field complemented
+			// (soft): a defect sensitive to any single input bit differs
+			// between the two models, so boundary collisions with one
+			// lucky value cannot mask it.
+			if len(cases) < opts.MaxCases {
+				var compl []*smt.Term
+				for _, f := range pipe.FieldTerms {
+					if f.IsBool() || f.IsConst() {
+						continue
+					}
+					v := smt.Eval(f, res.Model)
+					compl = append(compl, smt.Eq(f, smt.Const(^v, f.W)))
+				}
+				res2 := solver.SolveWithPreferences(opts.MaxConflicts, compl, hard...)
+				if res2.Status == solver.Sat {
+					add(res2.Model)
+				}
+			}
+			return
+		}
+		cond := conds[idx]
+		// Quick feasibility probe per polarity.
+		for _, polarity := range []*smt.Term{cond, smt.Not(cond)} {
+			if len(cases) >= opts.MaxCases {
+				return
+			}
+			probe := append(append([]*smt.Term{}, base...), fixed...)
+			probe = append(probe, polarity)
+			if solver.Solve(opts.MaxConflicts, probe...).Status == solver.Sat {
+				mark := "1"
+				if polarity != cond {
+					mark = "0"
+				}
+				walk(idx+1, append(fixed, polarity), id+mark)
+			}
+		}
+	}
+	walk(0, nil, "")
+	if len(cases) == 0 {
+		return nil, fmt.Errorf("testgen: no satisfiable path found")
+	}
+	return cases, nil
+}
+
+// programLiterals collects the distinct sized integer literal values
+// appearing in the program's executable bodies (deduplicated, capped).
+func programLiterals(prog *ast.Program) []uint64 {
+	seen := map[uint64]bool{}
+	var out []uint64
+	visit := func(e ast.Expr) bool {
+		if l, ok := e.(*ast.IntLit); ok && l.Width > 0 && !seen[l.Val] {
+			seen[l.Val] = true
+			out = append(out, l.Val)
+		}
+		return len(out) < 8
+	}
+	for _, d := range prog.Decls {
+		c, ok := d.(*ast.ControlDecl)
+		if !ok {
+			continue
+		}
+		for _, l := range c.Locals {
+			if a, isA := l.(*ast.ActionDecl); isA {
+				ast.InspectStmt(a.Body, nil, visit)
+			}
+		}
+		ast.InspectStmt(c.Apply, nil, visit)
+	}
+	return out
+}
+
+func havocWidth(name string) int {
+	var w int
+	fmt.Sscanf(name, "havoc_%d", &w)
+	return w
+}
+
+// buildCase materializes one model into packet bytes, table entries and
+// the expected output.
+func buildCase(prog *ast.Program, pipe *sym.Pipeline, m smt.Assignment, id string) Case {
+	c := Case{Model: m, PathID: id}
+
+	// Input packet.
+	lenBits := int(m["pkt_len"])
+	w := bitstream.NewWriter()
+	for i := 0; i < lenBits; i++ {
+		bit := m[fmt.Sprintf("pkt_%d", i)] & 1
+		_ = w.WriteBits(bit, 1)
+	}
+	c.Packet = w.Bytes()
+
+	// Table configuration from the symbolic table variables (the inverse
+	// of the Fig. 3 encoding).
+	c.Config = ConfigFromModel(prog, m)
+
+	// Expected output.
+	if smt.Eval(pipe.Reject, m) == 1 {
+		c.ExpectDrop = true
+		return c
+	}
+	ow := bitstream.NewWriter()
+	for _, e := range pipe.Emits {
+		if smt.Eval(e.Cond, m) != 1 {
+			continue
+		}
+		for _, f := range e.Fields {
+			_ = ow.WriteBits(smt.Eval(f.Term, m), f.Term.W)
+		}
+	}
+	c.ExpectPacket = ow.Bytes()
+	return c
+}
+
+// ConfigFromModel converts symbolic table-variable assignments into a
+// concrete table configuration: for each table, one entry with the model's
+// key, bound to the model's action choice (when it names a listed action).
+func ConfigFromModel(prog *ast.Program, m smt.Assignment) eval.Config {
+	cfg := eval.Config{}
+	for _, ctrl := range prog.Controls() {
+		for _, tbl := range ctrl.Tables() {
+			prefix := ctrl.Name + "." + tbl.Name
+			tc := &eval.TableConfig{}
+			idx := int(m[prefix+".action"])
+			if idx >= 1 && idx <= len(tbl.Actions) && len(tbl.Keys) > 0 {
+				key := make([]uint64, len(tbl.Keys))
+				for i := range tbl.Keys {
+					key[i] = m[fmt.Sprintf("%s.key_%d", prefix, i)]
+				}
+				name := tbl.Actions[idx-1].Name
+				var args []uint64
+				if ad, ok := ctrl.LocalByName(name).(*ast.ActionDecl); ok {
+					for _, p := range ad.Params {
+						args = append(args, m[prefix+"."+name+".arg_"+p.Name])
+					}
+				}
+				tc.Entries = append(tc.Entries, eval.TableEntry{Key: key, Action: name, Args: args})
+			}
+			cfg[prefix] = tc
+		}
+	}
+	return cfg
+}
+
+// Summary renders a one-line description of a case for STF/PTF logs.
+func (c Case) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "path=%s pkt=%x", c.PathID, c.Packet)
+	if c.ExpectDrop {
+		b.WriteString(" expect=drop")
+	} else {
+		fmt.Fprintf(&b, " expect=%x", c.ExpectPacket)
+	}
+	return b.String()
+}

@@ -1,0 +1,156 @@
+// Package validate implements Gauntlet's translation validation (§5): it
+// converts the program emitted after every compiler pass into symbolic
+// block formulas and checks consecutive snapshots for equivalence with the
+// SMT solver. A satisfiable inequality pinpoints the erroneous pass and
+// yields the input assignment (packet content, table entries) that
+// triggers the miscompilation — exactly the report Figure 2 describes.
+package validate
+
+import (
+	"fmt"
+
+	"gauntlet/internal/compiler"
+	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/smt"
+	"gauntlet/internal/smt/solver"
+	"gauntlet/internal/sym"
+)
+
+// Verdict reports the comparison of one block across one pass.
+type Verdict struct {
+	// PassA and PassB name the snapshots compared (PassB is the suspect).
+	PassA, PassB string
+	// Block is the programmable block name.
+	Block string
+	// Equivalent is true when the solver proved equivalence.
+	Equivalent bool
+	// Counterexample is the distinguishing assignment when inequivalent.
+	Counterexample smt.Assignment
+	// Status is the raw solver verdict (Unknown on conflict-budget
+	// exhaustion).
+	Status solver.Status
+	// Err reports interpreter failures (treated as tool limitations, not
+	// compiler bugs — the paper's false-alarm discipline, §5.2).
+	Err error
+}
+
+// String renders the verdict for reports.
+func (v Verdict) String() string {
+	switch {
+	case v.Err != nil:
+		return fmt.Sprintf("%s→%s %s: interpreter error: %v", v.PassA, v.PassB, v.Block, v.Err)
+	case v.Equivalent:
+		return fmt.Sprintf("%s→%s %s: equivalent", v.PassA, v.PassB, v.Block)
+	default:
+		return fmt.Sprintf("%s→%s %s: NOT equivalent (counterexample %v)",
+			v.PassA, v.PassB, v.Block, v.Counterexample)
+	}
+}
+
+// Options configures validation.
+type Options struct {
+	// MaxConflicts bounds each solver call (0 = unbounded).
+	MaxConflicts int
+}
+
+// blockForms computes the symbolic form of every programmable block
+// (parsers and controls) of a program, in declaration order.
+func blockForms(prog *ast.Program) (map[string]*sym.Block, []string, error) {
+	forms := map[string]*sym.Block{}
+	var order []string
+	for _, d := range prog.Decls {
+		switch d := d.(type) {
+		case *ast.ControlDecl:
+			b, err := sym.ExecControl(prog, d)
+			if err != nil {
+				return nil, nil, fmt.Errorf("block %s: %w", d.Name, err)
+			}
+			forms[d.Name] = b
+			order = append(order, d.Name)
+		case *ast.ParserDecl:
+			b, err := sym.ExecParser(prog, d)
+			if err != nil {
+				return nil, nil, fmt.Errorf("block %s: %w", d.Name, err)
+			}
+			forms[d.Name] = b
+			order = append(order, d.Name)
+		}
+	}
+	return forms, order, nil
+}
+
+// Snapshots validates every consecutive snapshot pair of a compilation.
+// It returns one verdict per (pass transition, block) comparison; callers
+// filter for failures. The first interpreter error aborts (it would
+// poison later comparisons).
+func Snapshots(res *compiler.Result, opts Options) ([]Verdict, error) {
+	var out []Verdict
+	if len(res.Snapshots) == 0 {
+		return nil, nil
+	}
+	prevForms, prevOrder, err := blockForms(res.Snapshots[0].Prog)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot %s: %w", res.Snapshots[0].Pass, err)
+	}
+	prevPass := res.Snapshots[0].Pass
+	for _, snap := range res.Snapshots[1:] {
+		forms, order, err := blockForms(snap.Prog)
+		if err != nil {
+			return out, fmt.Errorf("snapshot %s: %w", snap.Pass, err)
+		}
+		for _, name := range order {
+			a, okA := prevForms[name]
+			b := forms[name]
+			if !okA {
+				continue // block introduced by the pass (not in subset)
+			}
+			v := Verdict{PassA: prevPass, PassB: snap.Pass, Block: name}
+			eq, cex, st := solver.Equivalent(opts.MaxConflicts, sym.Equivalent(a, b), smt.True)
+			v.Equivalent = eq
+			v.Counterexample = cex
+			v.Status = st
+			out = append(out, v)
+		}
+		prevForms, prevOrder, prevPass = forms, order, snap.Pass
+	}
+	_ = prevOrder
+	return out, nil
+}
+
+// Failures filters verdicts down to inequivalences.
+func Failures(vs []Verdict) []Verdict {
+	var out []Verdict
+	for _, v := range vs {
+		if !v.Equivalent && v.Err == nil && v.Status == solver.Sat {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Pair validates two programs directly (used by tests and the
+// equivalence-checking example).
+func Pair(a, b *ast.Program, opts Options) ([]Verdict, error) {
+	formsA, orderA, err := blockForms(a)
+	if err != nil {
+		return nil, err
+	}
+	formsB, _, err := blockForms(b)
+	if err != nil {
+		return nil, err
+	}
+	var out []Verdict
+	for _, name := range orderA {
+		fb, ok := formsB[name]
+		if !ok {
+			continue
+		}
+		v := Verdict{PassA: "A", PassB: "B", Block: name}
+		eq, cex, st := solver.Equivalent(opts.MaxConflicts, sym.Equivalent(formsA[name], fb), smt.True)
+		v.Equivalent = eq
+		v.Counterexample = cex
+		v.Status = st
+		out = append(out, v)
+	}
+	return out, nil
+}

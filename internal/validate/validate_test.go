@@ -1,0 +1,169 @@
+package validate_test
+
+import (
+	"strings"
+	"testing"
+
+	"gauntlet/internal/compiler"
+	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/p4/parser"
+	"gauntlet/internal/p4/types"
+	"gauntlet/internal/smt"
+	"gauntlet/internal/validate"
+)
+
+func mustProg(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := types.Check(p); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return p
+}
+
+func TestPairEquivalent(t *testing.T) {
+	a := mustProg(t, `
+control ig(inout bit<8> x) {
+    apply { x = x * 8w2; }
+}`)
+	b := mustProg(t, `
+control ig(inout bit<8> x) {
+    apply { x = x << 8w1; }
+}`)
+	verdicts, err := validate.Pair(a, b, validate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 1 || !verdicts[0].Equivalent {
+		t.Fatalf("x*2 and x<<1 should validate as equivalent: %v", verdicts)
+	}
+}
+
+func TestPairInequivalentWithCounterexample(t *testing.T) {
+	a := mustProg(t, `
+control ig(inout bit<8> x) {
+    apply { x = x |+| 8w200; }
+}`)
+	b := mustProg(t, `
+control ig(inout bit<8> x) {
+    apply { x = x + 8w200; }
+}`)
+	verdicts, err := validate.Pair(a, b, validate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := validate.Failures(verdicts)
+	if len(fails) != 1 {
+		t.Fatalf("saturating vs wrapping add should differ: %v", verdicts)
+	}
+	// The counterexample must actually distinguish the programs: an
+	// input that overflows.
+	x := fails[0].Counterexample["x"]
+	if x+200 <= 255 {
+		t.Errorf("counterexample x=%d does not overflow", x)
+	}
+}
+
+func TestPairValidityGatesFields(t *testing.T) {
+	// Programs that differ only in the fields of an invalidated header
+	// are observationally equal (§5.2 header-validity semantics).
+	a := mustProg(t, `
+header H { bit<8> a; }
+struct S { H h; }
+control ig(inout S s) {
+    apply {
+        s.h.a = 8w1;
+        s.h.setInvalid();
+    }
+}`)
+	b := mustProg(t, `
+header H { bit<8> a; }
+struct S { H h; }
+control ig(inout S s) {
+    apply {
+        s.h.a = 8w99;
+        s.h.setInvalid();
+    }
+}`)
+	verdicts, err := validate.Pair(a, b, validate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(validate.Failures(verdicts)) != 0 {
+		t.Fatalf("invalid-header field contents must not be observable: %v", verdicts)
+	}
+}
+
+func TestSnapshotsSkipIdenticalPasses(t *testing.T) {
+	prog := mustProg(t, `
+control ig(inout bit<8> x) {
+    apply { x = x + 8w1; }
+}
+V1Switch(ig) main;
+`)
+	res, err := compiler.New(compiler.DefaultPasses()...).Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A trivial program: most passes are no-ops, so the snapshot list
+	// stays short (the §5.2 hash-skipping behaviour).
+	if len(res.Snapshots) > 3 {
+		var names []string
+		for _, s := range res.Snapshots {
+			names = append(names, s.Pass)
+		}
+		t.Errorf("expected few snapshots for a trivial program, got %v", names)
+	}
+	verdicts, err := validate.Snapshots(res, validate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(validate.Failures(verdicts)) != 0 {
+		t.Errorf("reference pipeline flagged: %v", verdicts)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	v := validate.Verdict{PassA: "initial", PassB: "Predication", Block: "ig",
+		Equivalent: false, Counterexample: smt.Assignment{"x": 3}}
+	if !strings.Contains(v.String(), "NOT equivalent") {
+		t.Errorf("verdict rendering: %s", v)
+	}
+}
+
+func TestPairParserBlocks(t *testing.T) {
+	src := `
+header Eth { bit<16> etype; }
+struct S { Eth eth; }
+parser p(packet pkt, out S hdr) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.etype) {
+            16w1 : accept;
+            default : reject;
+        }
+    }
+}
+`
+	changed := strings.Replace(src, "16w1", "16w2", 1)
+	a := mustProg(t, src)
+	b := mustProg(t, changed)
+	verdicts, err := validate.Pair(a, b, validate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(validate.Failures(verdicts)) != 1 {
+		t.Fatalf("parsers with different accept sets should differ: %v", verdicts)
+	}
+	// Same program against itself: equivalent.
+	verdicts, err = validate.Pair(a, mustProg(t, src), validate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(validate.Failures(verdicts)) != 0 {
+		t.Fatalf("identical parsers flagged: %v", verdicts)
+	}
+}
