@@ -215,6 +215,42 @@ func BenchmarkSec8_SimulationRelations(b *testing.B) {
 	}
 }
 
+// BenchmarkValidateIncremental measures the validation hot path with the
+// shared formula/verdict cache warm: the steady-state cost of
+// re-validating a compilation whose blocks are unchanged — what a
+// campaign pays for every program after the first that exercises the same
+// pass behaviours. Compare against BenchmarkSec52_PipelineThroughput
+// (cold, private caches) for the incremental speedup.
+func BenchmarkValidateIncremental(b *testing.B) {
+	comp := compiler.New(compiler.DefaultPasses()...)
+	prog := generator.Generate(generator.DefaultConfig(11))
+	res, err := comp.Compile(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := validate.NewCache()
+	opts := validate.Options{MaxConflicts: 20000, Cache: cache}
+	if _, err := validate.Snapshots(res, opts); err != nil {
+		b.Fatal(err) // warm the cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		verdicts, err := validate.Snapshots(res, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(validate.Failures(verdicts)) != 0 {
+			b.Fatal("reference pipeline flagged")
+		}
+	}
+	if bh, bm, vh, vm := cache.Stats(); bh+bm > 0 {
+		b.ReportMetric(float64(bh)/float64(bh+bm)*100, "block-hit-%")
+		if vh+vm > 0 {
+			b.ReportMetric(float64(vh)/float64(vh+vm)*100, "verdict-hit-%")
+		}
+	}
+}
+
 // BenchmarkSec52_PipelineThroughput measures the generate → compile →
 // validate pipeline rate (the paper sustained ~10000 programs/week).
 func BenchmarkSec52_PipelineThroughput(b *testing.B) {

@@ -13,4 +13,33 @@
 // and figure:
 //
 //	go test -bench=. -benchmem .
+//
+// # Performance architecture
+//
+// A bug-hunting campaign is thousands of solver queries, so the solver
+// stack is built around structural sharing and incrementality:
+//
+//   - Hash-consing. Every smt.Term is interned by its smart constructor
+//     (internal/smt/intern.go): structurally equal terms are
+//     pointer-equal, carry stable IDs, and hash in O(1). The constructor
+//     folds that rely on pointer equality (Eq(x,x) → true, Ite collapse)
+//     therefore fire across independently built formulas — re-symbolizing
+//     an unchanged block yields the identical term objects, and a no-op
+//     pass transition's equivalence check folds away at construction.
+//   - Incremental solving. The SAT core supports solve-under-assumptions
+//     (solver.Session): a formula is bit-blasted once and each branch
+//     polarity or soft model preference is decided as an assumption on
+//     the same instance, with learnt clauses, activities and phases
+//     carried across queries. Path enumeration and the §6.2 preference
+//     steering cost one incremental query per decision instead of a full
+//     re-blast.
+//   - Validation caching. validate.Cache memoizes block formulas (keyed
+//     by printed source) and equivalence verdicts (keyed by interned term
+//     ID); core.Campaign shares one cache across all hunts and worker
+//     goroutines.
+//
+// BenchmarkValidateIncremental measures the warm steady state;
+// BenchmarkSec52_PipelineThroughput the cold end-to-end rate:
+//
+//	go test -bench='ValidateIncremental|Sec52' .
 package gauntlet

@@ -1,0 +1,3 @@
+module gauntlet
+
+go 1.24

@@ -78,6 +78,12 @@ type Campaign struct {
 	TestOpts testgen.Options
 	// Workers bounds RunAll's parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Cache memoizes block formulas and equivalence verdicts across all
+	// hunts (and across RunAll's worker pool — it is safe for concurrent
+	// use). Many bugs share witnesses and pipelines, so the reuse rate
+	// is high; terms are hash-consed process-wide, which is what makes
+	// the sharing sound.
+	Cache *validate.Cache
 }
 
 // NewCampaign builds a campaign over the full registry with paper-scale
@@ -88,6 +94,7 @@ func NewCampaign() *Campaign {
 		RandomSeeds:  0,
 		MaxConflicts: 50000,
 		TestOpts:     testgen.DefaultOptions(),
+		Cache:        validate.NewCache(),
 	}
 }
 
@@ -177,7 +184,7 @@ func (c *Campaign) Hunt(b *bugs.Bug) (Detection, error) {
 		case bugs.P4C:
 			// Open compiler: translation validation pinpoints the pass
 			// (§5).
-			verdicts, verr := validate.Snapshots(res, validate.Options{MaxConflicts: c.MaxConflicts})
+			verdicts, verr := validate.Snapshots(res, validate.Options{MaxConflicts: c.MaxConflicts, Cache: c.Cache})
 			if verr != nil {
 				return det, fmt.Errorf("bug %s on %s: validate: %w", b.ID, np.name, verr)
 			}
@@ -235,7 +242,7 @@ func (c *Campaign) HuntClean(b *bugs.Bug) (string, error) {
 	if cerr != nil {
 		return fmt.Sprintf("clean compile failed: %v", cerr), nil
 	}
-	verdicts, verr := validate.Snapshots(res, validate.Options{MaxConflicts: c.MaxConflicts})
+	verdicts, verr := validate.Snapshots(res, validate.Options{MaxConflicts: c.MaxConflicts, Cache: c.Cache})
 	if verr != nil {
 		return "", fmt.Errorf("validate: %w", verr)
 	}

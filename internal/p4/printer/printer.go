@@ -29,6 +29,13 @@ func Print(p *ast.Program) string {
 	return pr.b.String()
 }
 
+// PrintDecl renders a single top-level declaration.
+func PrintDecl(d ast.Decl) string {
+	var pr pr
+	pr.decl(d)
+	return pr.b.String()
+}
+
 // PrintExpr renders a single expression.
 func PrintExpr(e ast.Expr) string {
 	var pr pr

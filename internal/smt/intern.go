@@ -1,0 +1,152 @@
+package smt
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Interner hash-conses terms: every smart constructor routes its result
+// through an interning table, so structurally equal terms are represented
+// by the same *Term. This gives the whole solver stack O(1) structural
+// equality and hashing — the Blaster's pointer-keyed memo tables, the
+// constructors' pointer-equality folds (Eq(x,x) → true, Ite collapse) and
+// the validator's formula caches all become structural automatically.
+//
+// The interner is sharded and safe for concurrent use: parallel bug hunts
+// build terms from many goroutines and share every common subterm (packet
+// bit variables, standard-metadata leaves, architecture constraints).
+type Interner struct {
+	shards [internShards]internShard
+	nextID atomic.Uint64
+}
+
+const internShards = 64
+
+type internShard struct {
+	mu    sync.Mutex
+	table map[uint64][]*Term
+	hits  uint64
+}
+
+// NewInterner creates an empty interning table. Most callers use the
+// package-level default shared by the smart constructors; separate
+// interners exist only for measurement.
+func NewInterner() *Interner {
+	in := &Interner{}
+	for i := range in.shards {
+		in.shards[i].table = map[uint64][]*Term{}
+	}
+	return in
+}
+
+// defaultInterner backs all smart constructors. Package-level so that
+// terms built anywhere in the process share structure; initialized before
+// True/False (Go resolves package var dependencies).
+var defaultInterner = NewInterner()
+
+// Stats reports the interner's current size (distinct live terms) and the
+// cumulative hit count (constructions answered by an existing term).
+func Stats() (size, hits uint64) {
+	return defaultInterner.Size(), defaultInterner.Hits()
+}
+
+// Size returns the number of distinct interned terms.
+func (in *Interner) Size() uint64 {
+	var n uint64
+	for i := range in.shards {
+		s := &in.shards[i]
+		s.mu.Lock()
+		for _, bucket := range s.table {
+			n += uint64(len(bucket))
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Hits returns the cumulative count of constructions that found an
+// existing term.
+func (in *Interner) Hits() uint64 {
+	var n uint64
+	for i := range in.shards {
+		s := &in.shards[i]
+		s.mu.Lock()
+		n += s.hits
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// hashTerm computes the structural hash of a candidate term from its
+// shallow fields and its (already interned) children's IDs.
+func hashTerm(t *Term) uint64 {
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211 // FNV-64 prime
+		h ^= h >> 29
+	}
+	mix(uint64(t.Op))
+	mix(uint64(t.W))
+	mix(t.Val)
+	mix(uint64(t.Hi)<<32 | uint64(uint32(t.Lo)))
+	for i := 0; i < len(t.Name); i++ {
+		mix(uint64(t.Name[i]))
+	}
+	mix(uint64(len(t.Name)))
+	for _, a := range t.Args {
+		mix(a.id)
+	}
+	mix(uint64(len(t.Args)))
+	return h
+}
+
+// sameShape reports shallow structural equality assuming both terms'
+// children are interned (pointer comparison suffices for Args).
+func sameShape(a, b *Term) bool {
+	if a.Op != b.Op || a.W != b.W || a.Val != b.Val ||
+		a.Name != b.Name || a.Hi != b.Hi || a.Lo != b.Lo ||
+		len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intern returns the canonical term for t, registering t if it is new.
+// t's Args must already be interned; t must not be mutated afterwards.
+func (in *Interner) Intern(t *Term) *Term {
+	h := hashTerm(t)
+	s := &in.shards[h%internShards]
+	s.mu.Lock()
+	for _, c := range s.table[h] {
+		if sameShape(c, t) {
+			s.hits++
+			s.mu.Unlock()
+			return c
+		}
+	}
+	s.mu.Unlock()
+	// Allocate the ID outside the shard lock, then re-check under it: a
+	// racing goroutine may have interned the same shape meanwhile.
+	t.id = in.nextID.Add(1)
+	t.hash = h
+	s.mu.Lock()
+	for _, c := range s.table[h] {
+		if sameShape(c, t) {
+			s.hits++
+			s.mu.Unlock()
+			return c
+		}
+	}
+	s.table[h] = append(s.table[h], t)
+	s.mu.Unlock()
+	return t
+}
+
+// intern routes a freshly built term through the default interner.
+func intern(t *Term) *Term { return defaultInterner.Intern(t) }

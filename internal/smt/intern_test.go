@@ -1,0 +1,180 @@
+package smt_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gauntlet/internal/smt"
+)
+
+// structEq is a pointer-free structural equality oracle over exported
+// fields, used to verify the interning invariant independently.
+func structEq(a, b *smt.Term) bool {
+	if a.Op != b.Op || a.W != b.W || a.Val != b.Val || a.Name != b.Name ||
+		a.Hi != b.Hi || a.Lo != b.Lo || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if !structEq(a.Args[i], b.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// randBV builds a random 8-bit term over a small variable pool.
+func randBV(r *rand.Rand, depth int) *smt.Term {
+	if depth == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return smt.Var("a", 8)
+		case 1:
+			return smt.Var("b", 8)
+		case 2:
+			return smt.Var("c", 8)
+		default:
+			return smt.Const(r.Uint64()&0xFF, 8)
+		}
+	}
+	x := randBV(r, depth-1)
+	y := randBV(r, depth-1)
+	switch r.Intn(8) {
+	case 0:
+		return smt.Add(x, y)
+	case 1:
+		return smt.Sub(x, y)
+	case 2:
+		return smt.BVAnd(x, y)
+	case 3:
+		return smt.BVOr(x, y)
+	case 4:
+		return smt.BVXor(x, y)
+	case 5:
+		return smt.BVNot(x)
+	case 6:
+		return smt.Ite(smt.Ult(x, y), x, y)
+	default:
+		return smt.Concat(smt.Extract(x, 3, 0), smt.Extract(y, 7, 4))
+	}
+}
+
+// randBool builds a random boolean term.
+func randBool(r *rand.Rand, depth int) *smt.Term {
+	if depth == 0 || r.Intn(4) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return smt.Eq(randBV(r, 1), randBV(r, 1))
+		case 1:
+			return smt.Ult(randBV(r, 1), randBV(r, 1))
+		default:
+			return smt.BoolVar("p")
+		}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return smt.And(randBool(r, depth-1), randBool(r, depth-1))
+	case 1:
+		return smt.Or(randBool(r, depth-1), randBool(r, depth-1))
+	case 2:
+		return smt.Not(randBool(r, depth-1))
+	default:
+		return smt.Ite(randBool(r, depth-1), randBool(r, depth-1), randBool(r, depth-1))
+	}
+}
+
+// TestInternPointerEqualIffStructurallyEqual is the hash-consing
+// invariant: two terms are the same object exactly when they are
+// structurally equal.
+func TestInternPointerEqualIffStructurallyEqual(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	var pool []*smt.Term
+	for i := 0; i < 300; i++ {
+		pool = append(pool, randBool(r, 3), randBV(r, 3))
+	}
+	for i := 0; i < len(pool); i++ {
+		for j := i + 1; j < len(pool); j++ {
+			ptrEq := pool[i] == pool[j]
+			strEq := structEq(pool[i], pool[j])
+			if ptrEq != strEq {
+				t.Fatalf("interning invariant violated:\n  %s\n  %s\n  pointer-equal=%v structurally-equal=%v",
+					pool[i], pool[j], ptrEq, strEq)
+			}
+			if idEq := pool[i].ID() == pool[j].ID(); idEq != ptrEq {
+				t.Fatalf("ID equality (%v) disagrees with pointer equality (%v) for %s vs %s",
+					idEq, ptrEq, pool[i], pool[j])
+			}
+			if strEq && pool[i].Hash() != pool[j].Hash() {
+				t.Fatalf("equal terms with different hashes: %s", pool[i])
+			}
+		}
+	}
+}
+
+// TestInternDeterministicRebuild replays the same construction sequence
+// and requires identical term objects: re-symbolizing an unchanged block
+// must produce pointer-equal formulas (the validator's fast path).
+func TestInternDeterministicRebuild(t *testing.T) {
+	build := func() []*smt.Term {
+		r := rand.New(rand.NewSource(7))
+		var out []*smt.Term
+		for i := 0; i < 200; i++ {
+			out = append(out, randBool(r, 4))
+		}
+		return out
+	}
+	first, second := build(), build()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replayed construction %d produced a distinct object for %s", i, first[i])
+		}
+	}
+}
+
+// TestInternConcurrent hammers the interner from many goroutines building
+// the same term population; every goroutine must observe the same
+// canonical objects. Run with -race in CI.
+func TestInternConcurrent(t *testing.T) {
+	const workers = 8
+	results := make([][]*smt.Term, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(123))
+			var out []*smt.Term
+			for i := 0; i < 300; i++ {
+				out = append(out, randBool(r, 3))
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range results[0] {
+			if results[0][i] != results[w][i] {
+				t.Fatalf("worker %d term %d not canonical: %s", w, i, results[w][i])
+			}
+		}
+	}
+}
+
+// TestInternFoldsStillApply spot-checks that interning composes with the
+// constructor folds that rely on pointer equality.
+func TestInternFoldsStillApply(t *testing.T) {
+	x1 := smt.Add(smt.Var("x", 8), smt.Var("y", 8))
+	x2 := smt.Add(smt.Var("x", 8), smt.Var("y", 8))
+	if x1 != x2 {
+		t.Fatal("identical adds not interned")
+	}
+	if got := smt.Eq(x1, x2); !got.IsTrue() {
+		t.Fatalf("Eq of interned equals should fold to true, got %s", got)
+	}
+	if got := smt.BVXor(x1, x2); !got.IsConst() || got.Val != 0 {
+		t.Fatalf("x^x should fold to 0, got %s", got)
+	}
+	if got := smt.Ite(smt.BoolVar("c"), x1, x2); got != x1 {
+		t.Fatalf("ite with equal branches should collapse, got %s", got)
+	}
+}

@@ -70,11 +70,18 @@ type SAT struct {
 	qhead    int
 	unsat    bool // a top-level conflict was added
 
-	// Conflicts counts total conflicts (statistics and restart policy).
+	// Conflicts counts total conflicts across all Solve calls
+	// (statistics and restart policy).
 	Conflicts int
-	// MaxConflicts bounds the search; 0 means unbounded. Exceeding it
-	// yields Unknown.
+	// MaxConflicts bounds each Solve call (the budget is per call, so an
+	// incremental session does not starve later queries); 0 means
+	// unbounded. Exceeding it yields Unknown.
 	MaxConflicts int
+
+	// assumps holds the current solve-under-assumptions literals; they
+	// are decided first (in order) and a falsified assumption makes the
+	// query Unsat without touching the clause database.
+	assumps []Lit
 
 	seen []bool // scratch for analyze
 }
@@ -114,10 +121,15 @@ func (s *SAT) value(l Lit) int8 {
 }
 
 // AddClause adds a clause of literals. Empty clauses (or clauses that
-// simplify to empty) make the instance trivially unsatisfiable.
+// simplify to empty) make the instance trivially unsatisfiable. Adding
+// clauses between Solve calls is allowed: the solver first retracts any
+// in-flight decisions back to the root level.
 func (s *SAT) AddClause(lits ...Lit) {
 	if s.unsat {
 		return
+	}
+	if s.decisionLevel() > 0 {
+		s.backtrack(0)
 	}
 	// Simplify: drop duplicate/false literals, detect tautologies.
 	var cl []Lit
@@ -359,17 +371,34 @@ func luby(i int) int {
 	return 1 << uint(k-1)
 }
 
-// Solve runs the CDCL search.
+// Solve runs the CDCL search. The solver is incremental: Solve may be
+// called repeatedly, with clauses added in between; learnt clauses,
+// variable activities and saved phases carry over from call to call.
 func (s *SAT) Solve() Status {
+	return s.SolveAssuming()
+}
+
+// SolveAssuming runs the CDCL search with the given literals assumed true
+// for the duration of this call only. Unsat means "unsatisfiable under
+// the assumptions" — the clause database is untouched, so a later call
+// with different assumptions can still be Sat. This is how soft
+// preference constraints are decided without re-blasting the formula.
+func (s *SAT) SolveAssuming(assumps ...Lit) Status {
 	if s.unsat {
 		return Unsat
 	}
+	s.backtrack(0) // retract the previous call's trail
+	s.assumps = assumps
+	defer func() { s.assumps = nil }()
+
 	s.varInc = 1.0
 	restart := 1
 	budget := 100 * luby(restart)
 	conflictsHere := 0
+	startConflicts := s.Conflicts
 
 	if s.propagate() >= 0 {
+		s.unsat = true // conflict at the root level is global
 		return Unsat
 	}
 	for {
@@ -377,16 +406,18 @@ func (s *SAT) Solve() Status {
 		if conflict >= 0 {
 			s.Conflicts++
 			conflictsHere++
-			if s.MaxConflicts > 0 && s.Conflicts > s.MaxConflicts {
+			if s.MaxConflicts > 0 && s.Conflicts-startConflicts > s.MaxConflicts {
 				return Unknown
 			}
 			if s.decisionLevel() == 0 {
+				s.unsat = true
 				return Unsat
 			}
 			learnt, blevel := s.analyze(conflict)
 			s.backtrack(blevel)
 			if len(learnt) == 1 {
 				if !s.enqueue(learnt[0], -1) {
+					s.unsat = true
 					return Unsat
 				}
 			} else {
@@ -397,16 +428,34 @@ func (s *SAT) Solve() Status {
 			continue
 		}
 		if conflictsHere >= budget {
-			// Restart.
+			// Restart (assumptions are re-established by the decision
+			// loop below).
 			conflictsHere = 0
 			restart++
 			budget = 100 * luby(restart)
 			s.backtrack(0)
 			continue
 		}
-		next := s.decide()
+		// Assumptions are decided first, in order, one per level.
+		next := Lit(0)
+		for next == 0 && s.decisionLevel() < len(s.assumps) {
+			p := s.assumps[s.decisionLevel()]
+			switch s.value(p) {
+			case 1:
+				// Already implied: open a dummy level to keep the
+				// level ↔ assumption-index correspondence.
+				s.trailLim = append(s.trailLim, len(s.trail))
+			case 0:
+				return Unsat // assumption falsified under the others
+			default:
+				next = p
+			}
+		}
 		if next == 0 {
-			return Sat // all variables assigned
+			next = s.decide()
+			if next == 0 {
+				return Sat // all variables assigned
+			}
 		}
 		s.trailLim = append(s.trailLim, len(s.trail))
 		s.enqueue(next, -1)

@@ -14,15 +14,81 @@ type Result struct {
 // Solve decides the conjunction of the assertions and returns a model when
 // satisfiable. maxConflicts bounds the search (0 = unbounded).
 func Solve(maxConflicts int, assertions ...*smt.Term) Result {
-	b := NewBlaster()
-	b.SAT().MaxConflicts = maxConflicts
-	for _, a := range assertions {
-		b.Assert(a)
+	s := NewSession(maxConflicts)
+	s.Assert(assertions...)
+	return s.Solve()
+}
+
+// Session is an incremental solving session: one Blaster over one SAT
+// instance, queried many times. The formula is bit-blasted exactly once —
+// the blaster's memo tables are keyed by interned term, so every shared
+// subterm encodes to the same circuit — and each query decides extra
+// conditions under SAT assumptions instead of rebuilding the CNF. Learnt
+// clauses, activities and phases persist across queries, which is what
+// makes path enumeration and soft-preference search fast.
+type Session struct {
+	b *Blaster
+}
+
+// NewSession creates a session with the given per-query conflict budget
+// (0 = unbounded).
+func NewSession(maxConflicts int) *Session {
+	s := &Session{b: NewBlaster()}
+	s.b.SAT().MaxConflicts = maxConflicts
+	return s
+}
+
+// Assert adds hard constraints.
+func (s *Session) Assert(ts ...*smt.Term) {
+	for _, t := range ts {
+		s.b.Assert(t)
 	}
-	st := b.SAT().Solve()
-	res := Result{Status: st, Conflicts: b.SAT().Conflicts}
+}
+
+// Lit encodes a boolean term without asserting it and returns its CNF
+// literal, for use as a SolveAssuming assumption. Repeated calls with the
+// same (interned) term return the same literal.
+func (s *Session) Lit(t *smt.Term) Lit { return s.b.BlastBool(t) }
+
+// Solve decides the asserted constraints.
+func (s *Session) Solve() Result { return s.SolveAssuming() }
+
+// SolveAssuming decides the asserted constraints with the given literals
+// temporarily assumed true. Unsat means unsatisfiable under the
+// assumptions only; the session remains usable.
+func (s *Session) SolveAssuming(assumps ...Lit) Result {
+	before := s.b.SAT().Conflicts
+	st := s.b.SAT().SolveAssuming(assumps...)
+	res := Result{Status: st, Conflicts: s.b.SAT().Conflicts - before}
 	if st == Sat {
-		res.Model = b.Model()
+		res.Model = s.b.Model()
+	}
+	return res
+}
+
+// BVLits encodes a bitvector term and returns its bit literals (LSB
+// first) without asserting anything. The literals can pin the term to a
+// concrete value purely through assumptions — no new clauses per query.
+func (s *Session) BVLits(t *smt.Term) []Lit { return s.b.BlastBV(t) }
+
+// SolveAssumingSoft decides the fixed assumptions, then greedily keeps
+// each soft assumption group that remains satisfiable, in order. A group
+// is atomic: all of its literals are kept or none (one group typically
+// encodes one preference constraint). This is the shared engine behind
+// SolveWithPreferences and test generation's model steering.
+func (s *Session) SolveAssumingSoft(fixed []Lit, soft [][]Lit) Result {
+	res := s.SolveAssuming(fixed...)
+	if res.Status != Sat || len(soft) == 0 {
+		return res
+	}
+	kept := append([]Lit(nil), fixed...)
+	for _, g := range soft {
+		trial := s.SolveAssuming(append(kept, g...)...)
+		res.Conflicts += trial.Conflicts
+		if trial.Status == Sat {
+			kept = append(kept, g...)
+			res.Model = trial.Model
+		}
 	}
 	return res
 }
@@ -35,35 +101,27 @@ func Solve(maxConflicts int, assertions ...*smt.Term) Result {
 // The preference is best-effort: variables that cannot be non-zero under
 // the assertions are left unconstrained.
 func SolvePreferNonZero(maxConflicts int, prefer []string, assertions ...*smt.Term) Result {
-	base := Solve(maxConflicts, assertions...)
-	if base.Status != Sat || len(prefer) == 0 {
-		return base
-	}
-	// Collect widths of the preferred variables that actually occur.
-	widths := map[string]int{}
-	for _, a := range assertions {
-		a.Vars(widths)
-	}
-	kept := assertions
-	best := base
-	for _, name := range prefer {
-		w, ok := widths[name]
-		if !ok {
-			continue
+	var prefs []*smt.Term
+	if len(prefer) > 0 {
+		// Collect widths of the preferred variables that actually occur
+		// (once, up front — not per trial).
+		widths := map[string]int{}
+		for _, a := range assertions {
+			a.Vars(widths)
 		}
-		var nz *smt.Term
-		if w == 0 {
-			nz = smt.Var(name, 0)
-		} else {
-			nz = smt.Ne(smt.Var(name, w), smt.Const(0, w))
-		}
-		trial := Solve(maxConflicts, append(append([]*smt.Term{}, kept...), nz)...)
-		if trial.Status == Sat {
-			kept = append(kept, nz)
-			best = trial
+		for _, name := range prefer {
+			w, ok := widths[name]
+			if !ok {
+				continue
+			}
+			if w == 0 {
+				prefs = append(prefs, smt.Var(name, 0))
+			} else {
+				prefs = append(prefs, smt.Ne(smt.Var(name, w), smt.Const(0, w)))
+			}
 		}
 	}
-	return best
+	return SolveWithPreferences(maxConflicts, prefs, assertions...)
 }
 
 // SolvePreferTermsNonZero is SolvePreferNonZero generalized to arbitrary
@@ -84,21 +142,25 @@ func SolvePreferTermsNonZero(maxConflicts int, prefer []*smt.Term, assertions ..
 // SolveWithPreferences solves the assertions, greedily keeping each
 // preference constraint that remains satisfiable (in order). Preferences
 // are soft: an unsatisfiable one is silently dropped.
+//
+// The hard assertions are blasted once; every preference trial is a
+// solve-under-assumptions on the same SAT instance, so trial k costs one
+// incremental query instead of re-encoding k-1 kept preferences plus the
+// whole base formula.
 func SolveWithPreferences(maxConflicts int, prefs []*smt.Term, assertions ...*smt.Term) Result {
-	base := Solve(maxConflicts, assertions...)
-	if base.Status != Sat || len(prefs) == 0 {
-		return base
+	s := NewSession(maxConflicts)
+	s.Assert(assertions...)
+	res := s.Solve()
+	if res.Status != Sat || len(prefs) == 0 {
+		return res
 	}
-	kept := assertions
-	best := base
-	for _, p := range prefs {
-		trial := Solve(maxConflicts, append(append([]*smt.Term{}, kept...), p)...)
-		if trial.Status == Sat {
-			kept = append(kept, p)
-			best = trial
-		}
+	soft := make([][]Lit, len(prefs))
+	for i, p := range prefs {
+		soft[i] = []Lit{s.Lit(p)}
 	}
-	return best
+	out := s.SolveAssumingSoft(nil, soft)
+	out.Conflicts += res.Conflicts
+	return out
 }
 
 // Equivalent checks whether two terms of equal sort are semantically

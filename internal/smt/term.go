@@ -64,6 +64,10 @@ var opNames = map[Op]string{
 
 // Term is an immutable SMT term. W is the bitvector width, or 0 for
 // booleans. Never mutate a Term after construction.
+//
+// Terms are hash-consed: the smart constructors intern every node, so
+// structurally equal terms are pointer-equal and carry a stable ID and a
+// precomputed structural hash. Build terms only through the constructors.
 type Term struct {
 	Op     Op
 	W      int
@@ -71,7 +75,19 @@ type Term struct {
 	Name   string // OpVar
 	Hi, Lo int    // OpBVExtract
 	Args   []*Term
+
+	id   uint64 // interner-assigned, stable for the process lifetime
+	hash uint64 // structural hash (shallow fields + child IDs)
 }
+
+// ID returns the term's stable interning ID. Structurally equal terms
+// share an ID; IDs are dense, small and never reused, which makes them
+// good cache keys for formula-level memoization.
+func (t *Term) ID() uint64 { return t.id }
+
+// Hash returns the term's structural hash (O(1): precomputed when the
+// term was interned).
+func (t *Term) Hash() uint64 { return t.hash }
 
 // IsBool reports whether the term has boolean sort.
 func (t *Term) IsBool() bool { return t.W == 0 }
@@ -167,7 +183,7 @@ func (t *Term) Vars(out map[string]int) {
 // Var creates a bitvector variable of the given width (or boolean when
 // width is 0).
 func Var(name string, width int) *Term {
-	return &Term{Op: OpVar, W: width, Name: name}
+	return intern(&Term{Op: OpVar, W: width, Name: name})
 }
 
 // BoolVar creates a boolean variable.
@@ -175,7 +191,7 @@ func BoolVar(name string) *Term { return Var(name, 0) }
 
 // Const creates a bitvector constant, masked to width.
 func Const(val uint64, width int) *Term {
-	return &Term{Op: OpConst, W: width, Val: mask(val, width)}
+	return intern(&Term{Op: OpConst, W: width, Val: mask(val, width)})
 }
 
 // Bool creates a boolean constant.
@@ -184,7 +200,7 @@ func Bool(v bool) *Term {
 	if v {
 		val = 1
 	}
-	return &Term{Op: OpConst, W: 0, Val: val}
+	return intern(&Term{Op: OpConst, W: 0, Val: val})
 }
 
 // True and False are the boolean constants.
@@ -220,7 +236,7 @@ func Not(x *Term) *Term {
 	if x.Op == OpNot {
 		return x.Args[0]
 	}
-	return &Term{Op: OpNot, Args: []*Term{x}}
+	return intern(&Term{Op: OpNot, Args: []*Term{x}})
 }
 
 // And conjoins boolean terms, folding constants.
@@ -246,7 +262,7 @@ func And(xs ...*Term) *Term {
 	case 1:
 		return args[0]
 	}
-	return &Term{Op: OpAnd, Args: args}
+	return intern(&Term{Op: OpAnd, Args: args})
 }
 
 // Or disjoins boolean terms, folding constants.
@@ -272,7 +288,7 @@ func Or(xs ...*Term) *Term {
 	case 1:
 		return args[0]
 	}
-	return &Term{Op: OpOr, Args: args}
+	return intern(&Term{Op: OpOr, Args: args})
 }
 
 // Implies builds (or (not a) b).
@@ -302,7 +318,7 @@ func Eq(a, b *Term) *Term {
 			return Not(a)
 		}
 	}
-	return &Term{Op: OpEq, Args: []*Term{a, b}}
+	return intern(&Term{Op: OpEq, Args: []*Term{a, b}})
 }
 
 // Ne builds disequality.
@@ -345,7 +361,7 @@ func Ite(cond, then, els *Term) *Term {
 	if then == els {
 		return then
 	}
-	return &Term{Op: OpIte, W: then.W, Args: []*Term{cond, then, els}}
+	return intern(&Term{Op: OpIte, W: then.W, Args: []*Term{cond, then, els}})
 }
 
 // Ult builds unsigned less-than.
@@ -355,7 +371,7 @@ func Ult(a, b *Term) *Term {
 	if a.IsConst() && b.IsConst() {
 		return Bool(a.Val < b.Val)
 	}
-	return &Term{Op: OpUlt, Args: []*Term{a, b}}
+	return intern(&Term{Op: OpUlt, Args: []*Term{a, b}})
 }
 
 // Ule builds unsigned less-or-equal.
@@ -365,7 +381,7 @@ func Ule(a, b *Term) *Term {
 	if a.IsConst() && b.IsConst() {
 		return Bool(a.Val <= b.Val)
 	}
-	return &Term{Op: OpUle, Args: []*Term{a, b}}
+	return intern(&Term{Op: OpUle, Args: []*Term{a, b}})
 }
 
 // Ugt and Uge are the flipped comparisons.
@@ -380,7 +396,7 @@ func bvBin(op Op, a, b *Term, fold func(x, y uint64) uint64) *Term {
 	if a.IsConst() && b.IsConst() {
 		return Const(fold(a.Val, b.Val), a.W)
 	}
-	return &Term{Op: op, W: a.W, Args: []*Term{a, b}}
+	return intern(&Term{Op: op, W: a.W, Args: []*Term{a, b}})
 }
 
 // Add builds bitvector addition (modular).
@@ -464,7 +480,7 @@ func BVNot(a *Term) *Term {
 	if a.Op == OpBVNot {
 		return a.Args[0]
 	}
-	return &Term{Op: OpBVNot, W: a.W, Args: []*Term{a}}
+	return intern(&Term{Op: OpBVNot, W: a.W, Args: []*Term{a}})
 }
 
 // BVNeg builds two's-complement negation.
@@ -473,7 +489,7 @@ func BVNeg(a *Term) *Term {
 	if a.IsConst() {
 		return Const(^a.Val+1, a.W)
 	}
-	return &Term{Op: OpBVNeg, W: a.W, Args: []*Term{a}}
+	return intern(&Term{Op: OpBVNeg, W: a.W, Args: []*Term{a}})
 }
 
 // Shl builds a left shift. The shift amount b may have any width; amounts
@@ -492,7 +508,7 @@ func Shl(a, b *Term) *Term {
 			return Const(a.Val<<b.Val, a.W)
 		}
 	}
-	return &Term{Op: OpBVShl, W: a.W, Args: []*Term{a, b}}
+	return intern(&Term{Op: OpBVShl, W: a.W, Args: []*Term{a, b}})
 }
 
 // Lshr builds a logical right shift with the same amount semantics as Shl.
@@ -510,7 +526,7 @@ func Lshr(a, b *Term) *Term {
 			return Const(mask(a.Val, a.W)>>b.Val, a.W)
 		}
 	}
-	return &Term{Op: OpBVLshr, W: a.W, Args: []*Term{a, b}}
+	return intern(&Term{Op: OpBVLshr, W: a.W, Args: []*Term{a, b}})
 }
 
 // Concat joins hi and lo into a wider vector (hi in the high bits).
@@ -524,7 +540,7 @@ func Concat(hi, lo *Term) *Term {
 	if hi.IsConst() && lo.IsConst() {
 		return Const(hi.Val<<uint(lo.W)|lo.Val, w)
 	}
-	return &Term{Op: OpBVConcat, W: w, Args: []*Term{hi, lo}}
+	return intern(&Term{Op: OpBVConcat, W: w, Args: []*Term{hi, lo}})
 }
 
 // Extract selects bits hi..lo (inclusive).
@@ -543,7 +559,7 @@ func Extract(x *Term, hi, lo int) *Term {
 	if x.Op == OpBVExtract {
 		return Extract(x.Args[0], x.Lo+hi, x.Lo+lo)
 	}
-	return &Term{Op: OpBVExtract, W: w, Hi: hi, Lo: lo, Args: []*Term{x}}
+	return intern(&Term{Op: OpBVExtract, W: w, Hi: hi, Lo: lo, Args: []*Term{x}})
 }
 
 // ZExt zero-extends x to the given width (identity when equal).
@@ -558,7 +574,7 @@ func ZExt(x *Term, width int) *Term {
 	if x.IsConst() {
 		return Const(x.Val, width)
 	}
-	return &Term{Op: OpBVZext, W: width, Args: []*Term{x}}
+	return intern(&Term{Op: OpBVZext, W: width, Args: []*Term{x}})
 }
 
 // Trunc truncates x to the given width (identity when equal).

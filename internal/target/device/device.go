@@ -1,0 +1,130 @@
+// Package device executes a compiled program as a packet-in/packet-out
+// switch: the shared execution core of both target simulators. It threads
+// a packet through the program's main pipeline (parser → controls →
+// deparser) with the concrete interpreter, mirroring the architecture
+// contract the symbolic composition assumes: blocks communicate through
+// identically-named parameters (hdr, sm).
+package device
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"gauntlet/internal/bitstream"
+	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/p4/eval"
+)
+
+// Device is an executable pipeline over a compiled program.
+type Device struct {
+	prog  *ast.Program
+	undef eval.UndefPolicy
+}
+
+// New wraps a compiled program as a device with the given undefined-value
+// policy (both simulators zero-initialize, matching §6.2).
+func New(prog *ast.Program, undef eval.UndefPolicy) *Device {
+	return &Device{prog: prog, undef: undef}
+}
+
+// Result is the observable outcome of injecting one packet.
+type Result struct {
+	// Drop is true when the parser rejected the packet (nothing egresses).
+	Drop bool
+	// Packet is the deparsed output packet when not dropped.
+	Packet []byte
+}
+
+// Equal compares two results (drop matches drop; otherwise byte-equal
+// packets).
+func Equal(a, b Result) bool {
+	if a.Drop != b.Drop {
+		return false
+	}
+	if a.Drop {
+		return true
+	}
+	return bytes.Equal(a.Packet, b.Packet)
+}
+
+// Mismatch describes one disagreement between an expected and an observed
+// result — the packet-test failure report of the PTF/STF harnesses.
+type Mismatch struct {
+	CaseSummary        string
+	Expected, Observed Result
+}
+
+// String renders the mismatch for bug reports.
+func (m Mismatch) String() string {
+	render := func(r Result) string {
+		if r.Drop {
+			return "drop"
+		}
+		return fmt.Sprintf("%x", r.Packet)
+	}
+	return fmt.Sprintf("%s: expected %s, observed %s",
+		m.CaseSummary, render(m.Expected), render(m.Observed))
+}
+
+// Inject installs the table configuration, runs the packet through the
+// pipeline and returns the observable result. cfg may be nil (all tables
+// empty).
+func (d *Device) Inject(cfg eval.Config, pkt []byte) (Result, error) {
+	main := d.prog.Main()
+	if main == nil {
+		return Result{}, fmt.Errorf("device: program has no main instantiation")
+	}
+	in := eval.New(d.prog, d.undef, cfg)
+	pv := &eval.PacketVal{R: bitstream.NewReader(pkt), W: bitstream.NewWriter()}
+
+	// Shared pipeline state: parameter name → value, carried across
+	// blocks (the v1model/TNA contract both generator back ends emit).
+	state := map[string]eval.Value{}
+	for _, argName := range main.Args {
+		decl := d.prog.DeclByName(argName)
+		var params []ast.Param
+		switch b := decl.(type) {
+		case *ast.ParserDecl:
+			params = b.Params
+		case *ast.ControlDecl:
+			params = b.Params
+		default:
+			return Result{}, fmt.Errorf("device: main argument %q is not a block", argName)
+		}
+		args := make([]eval.Value, len(params))
+		for i, p := range params {
+			if _, isPkt := p.Type.(*ast.PacketType); isPkt {
+				args[i] = pv
+				continue
+			}
+			if v, ok := state[p.Name]; ok {
+				args[i] = v
+			} else {
+				args[i] = eval.NewValue(p.Type, d.undef)
+			}
+		}
+		var err error
+		switch b := decl.(type) {
+		case *ast.ParserDecl:
+			err = in.ExecParser(b, args)
+		case *ast.ControlDecl:
+			err = in.ExecControl(b, args)
+		}
+		if err != nil {
+			if errors.Is(err, eval.ErrReject) {
+				return Result{Drop: true}, nil
+			}
+			return Result{}, err
+		}
+		for i, p := range params {
+			if _, isPkt := p.Type.(*ast.PacketType); isPkt {
+				continue
+			}
+			if p.Dir.Writes() {
+				state[p.Name] = args[i]
+			}
+		}
+	}
+	return Result{Packet: pv.W.Bytes()}, nil
+}

@@ -1,0 +1,38 @@
+// Package tofino is the black-box hardware target stand-in: the analogue
+// of Barefoot's proprietary compiler (§6). Its back end re-runs the
+// hardware-motivated mid-end transformations under Tofino-prefixed names —
+// the passes the seeded defect registry patches (predication for the
+// match-action grid, copy propagation for operand buses, def-use and
+// dead-code cleanup for table placement, plus its own type checker).
+// Gauntlet never inspects these passes' output directly; bugs in them are
+// only observable through whole-pipeline packet tests.
+package tofino
+
+import (
+	"gauntlet/internal/compiler"
+	"gauntlet/internal/compiler/passes"
+	"gauntlet/internal/p4/ast"
+)
+
+// renamed wraps a reference pass under a back-end-specific name.
+type renamed struct {
+	name  string
+	inner compiler.Pass
+}
+
+// Name identifies the pass in snapshots and bug reports.
+func (p renamed) Name() string { return p.name }
+
+// Run executes the wrapped transformation.
+func (p renamed) Run(prog *ast.Program) (*ast.Program, error) { return p.inner.Run(prog) }
+
+// BackendPasses returns the Tofino back-end pipeline.
+func BackendPasses() []compiler.Pass {
+	return []compiler.Pass{
+		renamed{"TofinoTypeChecking", passes.TypeChecking{}},
+		renamed{"TofinoPredication", passes.Predication{}},
+		renamed{"TofinoCopyPropagation", passes.CopyPropagation{}},
+		renamed{"TofinoSimplifyDefUse", passes.SimplifyDefUse{}},
+		renamed{"TofinoDeadCode", passes.DeadCode{}},
+	}
+}

@@ -156,18 +156,49 @@ func FromPipeline(prog *ast.Program, pipe *sym.Pipeline, opts Options) ([]Case, 
 		prefs = nil
 	}
 
+	// One incremental solving session drives the whole enumeration: the
+	// base constraints are bit-blasted once, every branch condition and
+	// preference is encoded once (as an assumption literal), and each
+	// probe or path solve is a solve-under-assumptions on the shared SAT
+	// instance. Learnt clauses from one path prune the others, which is
+	// what makes deep path enumeration affordable.
+	sess := solver.NewSession(opts.MaxConflicts)
+	sess.Assert(base...)
+	condLits := make([]solver.Lit, len(conds))
+	for i, c := range conds {
+		condLits[i] = sess.Lit(c)
+	}
+	prefGroups := make([][]solver.Lit, len(prefs))
+	for i, p := range prefs {
+		prefGroups[i] = []solver.Lit{sess.Lit(p)}
+	}
+	// pinField builds an assumption group forcing field f to the concrete
+	// value v, from f's already-blasted bit literals — no new clauses or
+	// terms per path, unlike encoding Eq(f, Const(v)) would.
+	pinField := func(f *smt.Term, v uint64) []solver.Lit {
+		bits := sess.BVLits(f)
+		g := make([]solver.Lit, len(bits))
+		for i, l := range bits {
+			if v>>uint(i)&1 == 1 {
+				g[i] = l
+			} else {
+				g[i] = l.Neg()
+			}
+		}
+		return g
+	}
+
 	var cases []Case
 	seen := map[string]bool{}
 	// DFS over branch polarities, pruning unsatisfiable prefixes: real
 	// path enumeration with a budget.
-	var walk func(idx int, fixed []*smt.Term, id string)
-	walk = func(idx int, fixed []*smt.Term, id string) {
+	var walk func(idx int, fixed []solver.Lit, id string)
+	walk = func(idx int, fixed []solver.Lit, id string) {
 		if len(cases) >= opts.MaxCases {
 			return
 		}
 		if idx == len(conds) {
-			hard := append(append([]*smt.Term{}, base...), fixed...)
-			res := solver.SolveWithPreferences(opts.MaxConflicts, prefs, hard...)
+			res := sess.SolveAssumingSoft(fixed, prefGroups)
 			if res.Status != solver.Sat {
 				return
 			}
@@ -188,35 +219,33 @@ func FromPipeline(prog *ast.Program, pipe *sym.Pipeline, opts Options) ([]Case, 
 			// between the two models, so boundary collisions with one
 			// lucky value cannot mask it.
 			if len(cases) < opts.MaxCases {
-				var compl []*smt.Term
+				var compl [][]solver.Lit
 				for _, f := range pipe.FieldTerms {
 					if f.IsBool() || f.IsConst() {
 						continue
 					}
 					v := smt.Eval(f, res.Model)
-					compl = append(compl, smt.Eq(f, smt.Const(^v, f.W)))
+					compl = append(compl, pinField(f, ^v))
 				}
-				res2 := solver.SolveWithPreferences(opts.MaxConflicts, compl, hard...)
+				res2 := sess.SolveAssumingSoft(fixed, compl)
 				if res2.Status == solver.Sat {
 					add(res2.Model)
 				}
 			}
 			return
 		}
-		cond := conds[idx]
-		// Quick feasibility probe per polarity.
-		for _, polarity := range []*smt.Term{cond, smt.Not(cond)} {
+		// Quick feasibility probe per polarity (an incremental query, not
+		// a fresh solver).
+		for pi, lit := range [2]solver.Lit{condLits[idx], condLits[idx].Neg()} {
 			if len(cases) >= opts.MaxCases {
 				return
 			}
-			probe := append(append([]*smt.Term{}, base...), fixed...)
-			probe = append(probe, polarity)
-			if solver.Solve(opts.MaxConflicts, probe...).Status == solver.Sat {
+			if sess.SolveAssuming(append(fixed, lit)...).Status == solver.Sat {
 				mark := "1"
-				if polarity != cond {
+				if pi == 1 {
 					mark = "0"
 				}
-				walk(idx+1, append(fixed, polarity), id+mark)
+				walk(idx+1, append(fixed, lit), id+mark)
 			}
 		}
 	}

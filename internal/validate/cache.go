@@ -1,0 +1,162 @@
+package validate
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/p4/printer"
+	"gauntlet/internal/smt"
+	"gauntlet/internal/smt/solver"
+	"gauntlet/internal/sym"
+)
+
+// Cache memoizes the two expensive halves of translation validation:
+//
+//   - Block formulas, keyed by the printed source of the block plus the
+//     program's top-level constants (everything a block's symbolic form
+//     depends on). A pass that rewrites one control leaves every other
+//     block's formula a cache hit, so unchanged blocks are never
+//     re-symbolically-executed.
+//   - Equivalence verdicts, keyed by the interned ID of the equivalence
+//     term. Terms are hash-consed process-wide, so the ID is a perfect
+//     structural key: any two (pass, block) comparisons that reduce to the
+//     same formula share one solver call — across snapshots, programs and
+//     parallel hunts. Only definitive verdicts (Sat/Unsat) are cached;
+//     Unknown depends on the conflict budget.
+//
+// A Cache is safe for concurrent use and is shared across a campaign's
+// worker pool (core.Campaign threads one through every hunt).
+type Cache struct {
+	mu       sync.RWMutex
+	blocks   map[uint64]*sym.Block
+	verdicts map[uint64]verdictEntry
+	// stats
+	blockHits, blockMisses     uint64
+	verdictHits, verdictMisses uint64
+}
+
+type verdictEntry struct {
+	equivalent     bool
+	status         solver.Status
+	counterexample smt.Assignment
+}
+
+// NewCache creates an empty validation cache.
+func NewCache() *Cache {
+	return &Cache{
+		blocks:   map[uint64]*sym.Block{},
+		verdicts: map[uint64]verdictEntry{},
+	}
+}
+
+// Stats reports hit/miss counters: block-formula cache first, then
+// verdict cache.
+func (c *Cache) Stats() (blockHits, blockMisses, verdictHits, verdictMisses uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.blockHits, c.blockMisses, c.verdictHits, c.verdictMisses
+}
+
+// contextKey hashes every top-level declaration a block's formula can
+// depend on besides its own body: type definitions (header and struct
+// field widths shape every symbolic value), constants, and top-level
+// actions/functions (resolved by name during symbolic execution). Only
+// other parser/control declarations are excluded — a block never reads
+// them. Two programs may print a block identically yet mean different
+// formulas under different contexts, so the context is part of the key.
+func contextKey(prog *ast.Program) uint64 {
+	h := fnv.New64a()
+	for _, d := range prog.Decls {
+		switch d.(type) {
+		case *ast.ControlDecl, *ast.ParserDecl:
+			continue
+		}
+		h.Write([]byte(printer.PrintDecl(d)))
+	}
+	return h.Sum64()
+}
+
+// blockKey hashes one block's printed declaration under the program's
+// declaration context.
+func blockKey(consts uint64, d ast.Decl) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(consts >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(printer.PrintDecl(d)))
+	return h.Sum64()
+}
+
+// blockForm returns the symbolic form of one block, computing and
+// memoizing it on miss. Cached *sym.Block values are immutable after
+// construction and safe to share across goroutines; because terms are
+// hash-consed, two workers that race on the same key produce
+// structurally identical (pointer-equal) formulas either way.
+func (c *Cache) blockForm(prog *ast.Program, consts uint64, d ast.Decl) (*sym.Block, error) {
+	key := blockKey(consts, d)
+	c.mu.RLock()
+	b, ok := c.blocks[key]
+	c.mu.RUnlock()
+	if ok {
+		c.mu.Lock()
+		c.blockHits++
+		c.mu.Unlock()
+		return b, nil
+	}
+	var err error
+	switch d := d.(type) {
+	case *ast.ControlDecl:
+		b, err = sym.ExecControl(prog, d)
+	case *ast.ParserDecl:
+		b, err = sym.ExecParser(prog, d)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.blockMisses++
+	if prev, ok := c.blocks[key]; ok {
+		b = prev // keep the first winner so pointer fast paths fire
+	} else {
+		c.blocks[key] = b
+	}
+	c.mu.Unlock()
+	return b, nil
+}
+
+// equivalent decides whether two block forms are observationally equal,
+// using the verdict cache and the interning pointer fast path before
+// falling back to the solver.
+func (c *Cache) equivalent(a, b *sym.Block, maxConflicts int) (bool, smt.Assignment, solver.Status) {
+	if a == b {
+		// Same interned formula object: equal by construction.
+		return true, nil, solver.Unsat
+	}
+	eq := sym.Equivalent(a, b)
+	if eq.IsTrue() {
+		// Hash-consing collapsed the comparison: every output, reject
+		// condition and emit of b is pointer-equal to a's.
+		return true, nil, solver.Unsat
+	}
+	key := eq.ID()
+	c.mu.RLock()
+	e, ok := c.verdicts[key]
+	c.mu.RUnlock()
+	if ok {
+		c.mu.Lock()
+		c.verdictHits++
+		c.mu.Unlock()
+		return e.equivalent, e.counterexample, e.status
+	}
+	equal, cex, st := solver.Equivalent(maxConflicts, eq, smt.True)
+	c.mu.Lock()
+	c.verdictMisses++
+	if st != solver.Unknown {
+		c.verdicts[key] = verdictEntry{equivalent: equal, status: st, counterexample: cex}
+	}
+	c.mu.Unlock()
+	return equal, cex, st
+}

@@ -51,30 +51,44 @@ func (v Verdict) String() string {
 type Options struct {
 	// MaxConflicts bounds each solver call (0 = unbounded).
 	MaxConflicts int
+	// Cache memoizes block formulas and equivalence verdicts. Optional:
+	// nil gives each call a private cache (intra-compilation reuse only).
+	// A campaign shares one cache across hunts and worker goroutines.
+	Cache *Cache
+}
+
+func (o Options) cache() *Cache {
+	if o.Cache != nil {
+		return o.Cache
+	}
+	return NewCache()
 }
 
 // blockForms computes the symbolic form of every programmable block
-// (parsers and controls) of a program, in declaration order.
-func blockForms(prog *ast.Program) (map[string]*sym.Block, []string, error) {
+// (parsers and controls) of a program, in declaration order, through the
+// cache: blocks whose printed source (and constant environment) are
+// unchanged since an earlier snapshot reuse the memoized formula instead
+// of re-running symbolic execution.
+func blockForms(c *Cache, prog *ast.Program) (map[string]*sym.Block, []string, error) {
 	forms := map[string]*sym.Block{}
 	var order []string
+	consts := contextKey(prog)
 	for _, d := range prog.Decls {
+		var name string
 		switch d := d.(type) {
 		case *ast.ControlDecl:
-			b, err := sym.ExecControl(prog, d)
-			if err != nil {
-				return nil, nil, fmt.Errorf("block %s: %w", d.Name, err)
-			}
-			forms[d.Name] = b
-			order = append(order, d.Name)
+			name = d.Name
 		case *ast.ParserDecl:
-			b, err := sym.ExecParser(prog, d)
-			if err != nil {
-				return nil, nil, fmt.Errorf("block %s: %w", d.Name, err)
-			}
-			forms[d.Name] = b
-			order = append(order, d.Name)
+			name = d.Name
+		default:
+			continue
 		}
+		b, err := c.blockForm(prog, consts, d)
+		if err != nil {
+			return nil, nil, fmt.Errorf("block %s: %w", name, err)
+		}
+		forms[name] = b
+		order = append(order, name)
 	}
 	return forms, order, nil
 }
@@ -83,18 +97,33 @@ func blockForms(prog *ast.Program) (map[string]*sym.Block, []string, error) {
 // It returns one verdict per (pass transition, block) comparison; callers
 // filter for failures. The first interpreter error aborts (it would
 // poison later comparisons).
+//
+// Fast paths, in order of cheapness: identically-fingerprinted snapshots
+// are equivalent without any symbolic work; per-block formula caching
+// skips symbolic execution of unchanged blocks; pointer-equal (interned)
+// formulas skip the solver; and the shared verdict cache answers repeated
+// equivalence queries across snapshots and hunts.
 func Snapshots(res *compiler.Result, opts Options) ([]Verdict, error) {
 	var out []Verdict
 	if len(res.Snapshots) == 0 {
 		return nil, nil
 	}
-	prevForms, prevOrder, err := blockForms(res.Snapshots[0].Prog)
+	cache := opts.cache()
+	prevForms, _, err := blockForms(cache, res.Snapshots[0].Prog)
 	if err != nil {
 		return nil, fmt.Errorf("snapshot %s: %w", res.Snapshots[0].Pass, err)
 	}
 	prevPass := res.Snapshots[0].Pass
+	prevHash := res.Snapshots[0].Hash
 	for _, snap := range res.Snapshots[1:] {
-		forms, order, err := blockForms(snap.Prog)
+		if snap.Hash != 0 && snap.Hash == prevHash {
+			// The pass emitted a byte-identical program: every block is
+			// trivially equivalent (the compiler usually elides these
+			// snapshots; tolerate drivers that do not).
+			prevPass = snap.Pass
+			continue
+		}
+		forms, order, err := blockForms(cache, snap.Prog)
 		if err != nil {
 			return out, fmt.Errorf("snapshot %s: %w", snap.Pass, err)
 		}
@@ -105,15 +134,11 @@ func Snapshots(res *compiler.Result, opts Options) ([]Verdict, error) {
 				continue // block introduced by the pass (not in subset)
 			}
 			v := Verdict{PassA: prevPass, PassB: snap.Pass, Block: name}
-			eq, cex, st := solver.Equivalent(opts.MaxConflicts, sym.Equivalent(a, b), smt.True)
-			v.Equivalent = eq
-			v.Counterexample = cex
-			v.Status = st
+			v.Equivalent, v.Counterexample, v.Status = cache.equivalent(a, b, opts.MaxConflicts)
 			out = append(out, v)
 		}
-		prevForms, prevOrder, prevPass = forms, order, snap.Pass
+		prevForms, prevPass, prevHash = forms, snap.Pass, snap.Hash
 	}
-	_ = prevOrder
 	return out, nil
 }
 
@@ -131,11 +156,12 @@ func Failures(vs []Verdict) []Verdict {
 // Pair validates two programs directly (used by tests and the
 // equivalence-checking example).
 func Pair(a, b *ast.Program, opts Options) ([]Verdict, error) {
-	formsA, orderA, err := blockForms(a)
+	cache := opts.cache()
+	formsA, orderA, err := blockForms(cache, a)
 	if err != nil {
 		return nil, err
 	}
-	formsB, _, err := blockForms(b)
+	formsB, _, err := blockForms(cache, b)
 	if err != nil {
 		return nil, err
 	}
@@ -146,10 +172,7 @@ func Pair(a, b *ast.Program, opts Options) ([]Verdict, error) {
 			continue
 		}
 		v := Verdict{PassA: "A", PassB: "B", Block: name}
-		eq, cex, st := solver.Equivalent(opts.MaxConflicts, sym.Equivalent(formsA[name], fb), smt.True)
-		v.Equivalent = eq
-		v.Counterexample = cex
-		v.Status = st
+		v.Equivalent, v.Counterexample, v.Status = cache.equivalent(formsA[name], fb, opts.MaxConflicts)
 		out = append(out, v)
 	}
 	return out, nil
