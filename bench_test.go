@@ -4,6 +4,7 @@
 package gauntlet_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -381,5 +382,67 @@ func BenchmarkAblation_ModelPreferences(b *testing.B) {
 				b.Fatal("preferences enabled must catch the defect")
 			}
 		}
+	}
+}
+
+// fuzzBatch is the per-iteration program count for the fuzz-throughput
+// benchmarks: large enough to amortize pipeline spin-up, small enough for
+// -benchtime=1x CI smoke runs.
+const fuzzBatch = 64
+
+// seqFuzzRate remembers the sequential baseline's programs/sec so the
+// engine sub-benchmarks can report their speedup over it in the same run.
+var seqFuzzRate float64
+
+// BenchmarkEngineFuzz measures the streaming fuzzing engine (generate →
+// compile → oracle → dedup → reduce over bounded channels and per-stage
+// worker pools) against the sequential seed loop it replaced. The
+// "sequential-baseline" case is the old `p4gauntlet -mode fuzz` body:
+// one goroutine, a fresh private validation cache per program. The engine
+// cases share one validation cache and the process-wide interner across
+// workers while isolating everything mutable per program, so the oracle
+// work spreads across cores: the x-vs-sequential metric tracks GOMAXPROCS
+// (≈8× at 8 workers on ≥8 cores; on a single-core runner it can only show
+// the pipeline's bounded overhead).
+func BenchmarkEngineFuzz(b *testing.B) {
+	b.Run("sequential-baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			comp := compiler.New(compiler.DefaultPasses()...)
+			for seed := int64(0); seed < fuzzBatch; seed++ {
+				prog := generator.Generate(generator.DefaultConfig(int64(i)*fuzzBatch + seed))
+				res, err := comp.Compile(prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				verdicts, err := validate.Snapshots(res, validate.Options{MaxConflicts: 20000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if fails := validate.Failures(verdicts); len(fails) > 0 {
+					b.Fatalf("reference pipeline miscompiled seed %d: %s", seed, fails[0])
+				}
+			}
+		}
+		seqFuzzRate = float64(b.N*fuzzBatch) / b.Elapsed().Seconds()
+		b.ReportMetric(seqFuzzRate, "programs/sec")
+	})
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultEngineConfig()
+				cfg.StartSeed = int64(i) * fuzzBatch
+				cfg.Seeds = fuzzBatch
+				cfg.Workers = workers
+				cfg.Passes = compiler.DefaultPasses()
+				if findings := core.NewEngine(cfg).Run(context.Background()); len(findings) > 0 {
+					b.Fatalf("reference pipeline produced findings: %+v", findings[0])
+				}
+			}
+			rate := float64(b.N*fuzzBatch) / b.Elapsed().Seconds()
+			b.ReportMetric(rate, "programs/sec")
+			if seqFuzzRate > 0 {
+				b.ReportMetric(rate/seqFuzzRate, "x-vs-sequential")
+			}
+		})
 	}
 }

@@ -3,34 +3,56 @@
 // (input-class penetration), Table 2 (bug summary), Table 3 (locations),
 // the §7 deep-dive statistics and the merge-week regression series.
 //
+// Fuzz mode is the continuous-integration usage the paper proposes
+// (§7.1): a streaming, stage-parallel engine generates random programs,
+// pushes each through the reference pipeline, interrogates every
+// compilation with translation validation and symbolic-execution packet
+// tests, fingerprints and deduplicates the findings, and auto-reduces
+// each unique witness (§8's "we hope to automate this process").
+//
 // Usage:
 //
-//	p4gauntlet [-mode campaign|levels|fuzz] [-seeds N]
+//	p4gauntlet [-mode campaign|levels|fuzz] [-seeds N] [-workers N]
+//	           [-duration D] [-backend v1model|tna] [-jsonl FILE]
+//	           [-packets] [-reduce] [-start N]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"time"
 
-	"gauntlet/internal/compiler"
 	"gauntlet/internal/core"
 	"gauntlet/internal/generator"
-	"gauntlet/internal/validate"
 )
 
 func main() {
 	mode := flag.String("mode", "campaign", "campaign | levels | fuzz")
-	seeds := flag.Int("seeds", 50, "random programs (fuzz mode) / samples per class (levels mode)")
+	seeds := flag.Int64("seeds", 50, "random programs (fuzz mode, 0 = unbounded) / samples per class (levels mode)")
+	start := flag.Int64("start", 0, "first generator seed (fuzz mode)")
+	workers := flag.Int("workers", 0, "per-stage worker pool size (fuzz mode, 0 = GOMAXPROCS)")
+	duration := flag.Duration("duration", 0, "wall-clock budget (fuzz mode, 0 = until seeds are exhausted)")
+	backend := flag.String("backend", "v1model", "generator/pipeline backend: v1model | tna")
+	jsonl := flag.String("jsonl", "", "append unique findings as JSON lines to FILE (\"-\" = stdout)")
+	packets := flag.Bool("packets", true, "run symbolic-execution packet tests in addition to translation validation")
+	doReduce := flag.Bool("reduce", true, "auto-reduce each unique finding's witness")
 	flag.Parse()
 
 	switch *mode {
 	case "campaign":
 		campaign()
 	case "levels":
-		fmt.Print(core.RunLevelStudy(*seeds).Render())
+		fmt.Print(core.RunLevelStudy(int(*seeds)).Render())
 	case "fuzz":
-		fuzz(*seeds)
+		fuzz(fuzzFlags{
+			seeds: *seeds, start: *start, workers: *workers, duration: *duration,
+			backend: *backend, jsonl: *jsonl, packets: *packets, reduce: *doReduce,
+		})
 	default:
 		fmt.Fprintf(os.Stderr, "p4gauntlet: unknown mode %q\n", *mode)
 		os.Exit(2)
@@ -62,36 +84,84 @@ func campaign() {
 	fmt.Println("all confirmed bugs detected.")
 }
 
-// fuzz runs the reference (defect-free) pipeline over random programs
-// with translation validation — the continuous-integration usage the
-// paper proposes ("we believe it would be useful for the P4 compiler
-// developers to use it as a continuous integration tool", §7.1).
-func fuzz(seeds int) {
-	comp := compiler.New(compiler.DefaultPasses()...)
-	crashes, miscompiles, clean := 0, 0, 0
-	for seed := int64(0); seed < int64(seeds); seed++ {
-		prog := generator.Generate(generator.DefaultConfig(seed))
-		res, err := comp.Compile(prog)
-		if err != nil {
-			crashes++
-			fmt.Printf("seed %d: %v\n", seed, err)
-			continue
-		}
-		verdicts, err := validate.Snapshots(res, validate.Options{MaxConflicts: 20000})
-		if err != nil {
-			fmt.Printf("seed %d: interpreter limitation: %v\n", seed, err)
-			continue
-		}
-		if fails := validate.Failures(verdicts); len(fails) > 0 {
-			miscompiles++
-			fmt.Printf("seed %d: MISCOMPILATION %s\n", seed, fails[0])
-			continue
-		}
-		clean++
+type fuzzFlags struct {
+	seeds, start int64
+	workers      int
+	duration     time.Duration
+	backend      string
+	jsonl        string
+	packets      bool
+	reduce       bool
+}
+
+// fuzz drives the streaming engine: the long-running bug-hunting service
+// the paper's CI proposal asks for, as a thin wrapper over core.Engine.
+func fuzz(ff fuzzFlags) {
+	cfg := core.DefaultEngineConfig()
+	cfg.StartSeed = ff.start
+	cfg.Seeds = ff.seeds
+	cfg.Workers = ff.workers
+	cfg.PacketTests = ff.packets
+	cfg.Reduce = ff.reduce
+	switch ff.backend {
+	case "v1model":
+		cfg.Backend = generator.V1Model
+	case "tna":
+		cfg.Backend = generator.TNA
+	default:
+		fmt.Fprintf(os.Stderr, "p4gauntlet: unknown backend %q (want v1model or tna)\n", ff.backend)
+		os.Exit(2)
 	}
-	fmt.Printf("\n%d programs: %d clean, %d crashes, %d miscompilations\n",
-		seeds, clean, crashes, miscompiles)
-	if crashes+miscompiles > 0 {
+
+	var sink io.Writer
+	switch ff.jsonl {
+	case "":
+	case "-":
+		sink = os.Stdout
+	default:
+		f, err := os.OpenFile(ff.jsonl, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p4gauntlet: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = f
+	}
+	cfg.OnFinding = func(f core.Finding) {
+		fmt.Printf("seed %d: %s", f.Seed, f.Kind)
+		if f.Pass != "" {
+			fmt.Printf(" in %s", f.Pass)
+		}
+		if f.SizeBefore != f.SizeAfter {
+			fmt.Printf(" (witness reduced %d -> %d stmts)", f.SizeBefore, f.SizeAfter)
+		}
+		fmt.Printf(": %s\n", f.Detail)
+		if sink != nil {
+			line, err := json.Marshal(f)
+			if err == nil {
+				_, err = fmt.Fprintf(sink, "%s\n", line)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "p4gauntlet: jsonl record for seed %d lost: %v\n", f.Seed, err)
+			}
+		}
+	}
+	cfg.OnOracleError = func(seed int64, err error) {
+		fmt.Fprintf(os.Stderr, "seed %d: tool limitation: %v\n", seed, err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if ff.duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, ff.duration)
+		defer cancel()
+	}
+
+	engine := core.NewEngine(cfg)
+	findings := engine.Run(ctx)
+	fmt.Printf("\n%s\n", engine.Stats().Summary())
+	if len(findings) > 0 {
 		os.Exit(1)
 	}
 }

@@ -4,8 +4,10 @@
 // checker, nanopass compiler, interpreter), a QF_BV SMT solver, the
 // paper's three bug-finding techniques (random program generation,
 // translation validation, symbolic-execution test generation), two target
-// simulators (BMv2 and a black-box Tofino stand-in), and a seeded-defect
-// registry reproducing the paper's 78-bug evaluation.
+// simulators (BMv2 and a black-box Tofino stand-in), a seeded-defect
+// registry reproducing the paper's 78-bug evaluation, an automatic
+// test-case reducer, and a streaming fuzzing engine that runs all of it
+// as the continuous-integration service the paper proposes (§7.1).
 //
 // See README.md for the architecture overview, DESIGN.md for the system
 // inventory and substitutions, and EXPERIMENTS.md for paper-vs-measured
@@ -13,6 +15,45 @@
 // and figure:
 //
 //	go test -bench=. -benchmem .
+//
+// # Engine architecture
+//
+// internal/core hosts the bug-finding orchestration in three layers:
+//
+//   - core.Oracle is the single detection stage: compile a program
+//     through a pass pipeline, then interrogate the result with
+//     translation validation (§5) and symbolic-execution packet tests
+//     (§6). Campaign.Hunt (the Table 2 evaluation), Campaign.HuntClean
+//     (the no-false-alarm baseline) and the engine all call this one
+//     implementation — there is no second copy of the
+//     compile/validate/testgen logic.
+//   - core.Engine is the streaming, stage-parallel fuzz pipeline:
+//     generate → compile → oracle → fingerprint/dedup → auto-reduce →
+//     report, connected by bounded channels with a worker pool per heavy
+//     stage. context.Context cancellation is plumbed through every stage
+//     and into validate, testgen and reduce; Engine.Stats() is a
+//     lock-cheap atomic snapshot (throughput, per-stage counters, cache
+//     hit rates, interner growth) safe to poll while the engine runs.
+//   - Findings are deduplicated by stable fingerprint — crash and
+//     invalid-transform findings hash (pass, message); miscompilations
+//     and packet mismatches hash (failing pass, alpha-renamed reduced
+//     witness) — and every unique finding is shrunk by internal/reduce
+//     with a predicate that re-runs the oracle, automating the manual
+//     reduction §8 calls a limitation.
+//
+// The concurrency discipline is "isolate first, then share": each worker
+// owns its compiler instance and solver sessions outright, and the only
+// cross-worker state is immutable or append-only — the hash-consed term
+// interner and the validation cache. That is what makes the unique-finding
+// set independent of the worker count (engine determinism is tested) and
+// lets throughput scale with cores.
+//
+// To add a new oracle check, extend core.Oracle.Inspect (and Outcome with
+// a new finding family); every consumer — campaign, engine, reducer
+// predicates — picks it up at once. To fuzz a new backend, give the
+// generator a skeleton (generator.Backend) and map it to a reference pass
+// pipeline in core.NewEngine; the engine's -backend flag in cmd/p4gauntlet
+// selects between them.
 //
 // # Performance architecture
 //
@@ -26,20 +67,28 @@
 //     therefore fire across independently built formulas — re-symbolizing
 //     an unchanged block yields the identical term objects, and a no-op
 //     pass transition's equivalence check folds away at construction.
+//     smt.InternerStats() reports entries, a bytes estimate and shard
+//     occupancy; the engine surfaces it so unbounded interner growth is
+//     observable in long-running service mode.
 //   - Incremental solving. The SAT core supports solve-under-assumptions
 //     (solver.Session): a formula is bit-blasted once and each branch
 //     polarity or soft model preference is decided as an assumption on
 //     the same instance, with learnt clauses, activities and phases
 //     carried across queries. Path enumeration and the §6.2 preference
 //     steering cost one incremental query per decision instead of a full
-//     re-blast.
+//     re-blast. (Equivalence queries deliberately stay one-shot: their
+//     circuits overlap too little for session reuse to pay.)
 //   - Validation caching. validate.Cache memoizes block formulas (keyed
 //     by printed source) and equivalence verdicts (keyed by interned term
-//     ID); core.Campaign shares one cache across all hunts and worker
-//     goroutines.
+//     ID); core.Campaign and core.Engine share one cache across all
+//     hunts, workers and reduction predicates — reduction candidates are
+//     near-copies of their original, so the reducer runs mostly on cache
+//     hits.
 //
 // BenchmarkValidateIncremental measures the warm steady state;
-// BenchmarkSec52_PipelineThroughput the cold end-to-end rate:
+// BenchmarkSec52_PipelineThroughput the cold end-to-end rate; and
+// BenchmarkEngineFuzz the streaming engine against the sequential fuzz
+// loop it replaced:
 //
-//	go test -bench='ValidateIncremental|Sec52' .
+//	go test -bench='ValidateIncremental|Sec52|EngineFuzz' .
 package gauntlet

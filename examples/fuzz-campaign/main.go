@@ -1,54 +1,62 @@
-// Continuous-integration fuzzing (§7.1): generate a stream of random
-// programs, push each through the reference pipeline, and translation-
-// validate every pass — the workflow the paper ran weekly over ~10000
-// programs and proposes as a CI gate for P4C.
+// Continuous-integration fuzzing (§7.1): stream random programs through
+// the stage-parallel engine — generate → compile → oracle (translation
+// validation) → dedup → reduce — the workflow the paper ran weekly over
+// ~10000 programs and proposes as a CI gate for P4C. Workers share only
+// the hash-consed term interner and the validation cache; everything else
+// (compilers, solver sessions) is per-program, which is why throughput
+// scales with cores.
 //
-// Run with: go run ./examples/fuzz-campaign [-n 25]
+// Run with: go run ./examples/fuzz-campaign [-n 25] [-workers N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"os"
 	"time"
 
-	"gauntlet/internal/compiler"
-	"gauntlet/internal/generator"
-	"gauntlet/internal/p4/ast"
-	"gauntlet/internal/validate"
+	"gauntlet/internal/core"
 )
 
 func main() {
-	n := flag.Int("n", 25, "number of random programs")
+	n := flag.Int64("n", 25, "number of random programs")
+	workers := flag.Int("workers", 0, "per-stage worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	comp := compiler.New(compiler.DefaultPasses()...)
-	start := time.Now()
-	clean, transitions := 0, 0
-	for seed := int64(0); seed < int64(*n); seed++ {
-		prog := generator.Generate(generator.DefaultConfig(seed))
-		res, err := comp.Compile(prog)
-		if err != nil {
-			log.Fatalf("seed %d: compiler bug: %v", seed, err)
-		}
-		verdicts, err := validate.Snapshots(res, validate.Options{MaxConflicts: 20000})
-		if err != nil {
-			log.Fatalf("seed %d: interpreter limitation: %v", seed, err)
-		}
-		if fails := validate.Failures(verdicts); len(fails) > 0 {
-			log.Fatalf("seed %d: MISCOMPILATION: %s", seed, fails[0])
-		}
-		clean++
-		transitions += len(verdicts)
-		if seed%10 == 9 {
-			fmt.Printf("  %d programs validated...\n", seed+1)
-		}
+	cfg := core.DefaultEngineConfig()
+	cfg.Seeds = *n
+	cfg.Workers = *workers
+	cfg.OnFinding = func(f core.Finding) {
+		fmt.Printf("seed %d: %s: %s\n", f.Seed, f.Kind, f.Detail)
 	}
-	elapsed := time.Since(start)
-	fmt.Printf("\n%d programs, %d pass transitions validated in %v (%.1f programs/sec)\n",
-		clean, transitions, elapsed.Round(time.Millisecond),
-		float64(clean)/elapsed.Seconds())
-	perWeek := float64(clean) / elapsed.Seconds() * 3600 * 24 * 7
+	engine := core.NewEngine(cfg)
+
+	// The engine's Stats snapshot is lock-cheap: poll it for live
+	// progress while the pipeline runs.
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				s := engine.Stats()
+				fmt.Printf("  %d programs validated (%.1f/sec)...\n", s.Clean, s.ProgramsPerSec)
+			}
+		}
+	}()
+	findings := engine.Run(context.Background())
+	close(done)
+
+	s := engine.Stats()
+	fmt.Printf("\n%s\n", s.Summary())
+	perWeek := s.ProgramsPerSec * 3600 * 24 * 7
 	fmt.Printf("extrapolated throughput: %.0f programs/week (the paper ran ~10000/week)\n", perWeek)
-	_ = ast.Program{}
+	if len(findings) > 0 {
+		fmt.Printf("%d unique findings — the reference pipeline should be defect-free\n", len(findings))
+		os.Exit(1)
+	}
 }

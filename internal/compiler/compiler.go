@@ -179,7 +179,12 @@ func (c *Compiler) runPass(p Pass, prog *ast.Program) (out *ast.Program, err err
 	}()
 	out, err = p.Run(ast.CloneProgram(prog))
 	if err != nil {
-		return nil, fmt.Errorf("pass %s: %w", p.Name(), err)
+		// An error return is abnormal pass termination just like a panic
+		// (the paper's crash taxonomy does not care how the pass died);
+		// classifying it here keeps every consumer — campaign, fuzzing
+		// engine, reducer predicates — treating it as a finding rather
+		// than a tool limitation.
+		return nil, &CrashError{Pass: p.Name(), Msg: err.Error()}
 	}
 	if out == nil {
 		return nil, &CrashError{Pass: p.Name(), Msg: "pass returned no program"}

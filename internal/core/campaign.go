@@ -6,7 +6,7 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -144,82 +144,72 @@ type namedProgram struct {
 	prog *ast.Program
 }
 
+// OracleFor builds the shared oracle stage for one bug: the bug's
+// platform pipeline instrumented with its defect, interrogated with the
+// platform-appropriate technique — translation validation for the open
+// P4C side, symbolic-execution packet tests for the black-box back ends.
+// Hunt, the streaming Engine and tests all detect through this one stage.
+func (c *Campaign) OracleFor(b *bugs.Bug) *Oracle {
+	o := &Oracle{
+		Passes:       bugs.Instrument(pipelineFor(b.Platform), []*bugs.Bug{b}),
+		MaxConflicts: c.MaxConflicts,
+		TestOpts:     c.TestOpts,
+		Cache:        c.Cache,
+	}
+	if b.Kind == bugs.Semantic {
+		switch b.Platform {
+		case bugs.P4C:
+			o.Validate = true
+		case bugs.BMv2, bugs.Tofino:
+			o.PacketTests = true
+		}
+	}
+	return o
+}
+
 // Hunt activates a single bug and applies the platform-appropriate
 // technique to every candidate program until one detects it.
 func (c *Campaign) Hunt(b *bugs.Bug) (Detection, error) {
+	return c.HuntContext(context.Background(), b)
+}
+
+// HuntContext is Hunt with cancellation plumbed through the oracle.
+func (c *Campaign) HuntContext(ctx context.Context, b *bugs.Bug) (Detection, error) {
 	det := Detection{Bug: b}
 	programs, err := c.programsFor(b)
 	if err != nil {
 		return det, err
 	}
-	pl := bugs.Instrument(pipelineFor(b.Platform), []*bugs.Bug{b})
-
+	o := c.OracleFor(b)
 	for _, np := range programs {
-		comp := compiler.New(pl...)
-		res, cerr := comp.Compile(np.prog)
-		if cerr != nil {
-			var crash *compiler.CrashError
-			if errors.As(cerr, &crash) {
-				det.Detected = true
-				det.Technique = CrashHunt
-				det.Via = np.name
-				det.Detail = fmt.Sprintf("crash in %s: %s", crash.Pass, crash.Msg)
-				return det, nil
-			}
-			var invalid *compiler.InvalidTransformError
-			if errors.As(cerr, &invalid) {
-				det.Detected = true
-				det.InvalidTransform = true
-				det.Via = np.name
-				det.Detail = invalid.Error()
-				return det, nil
-			}
-			return det, fmt.Errorf("bug %s on %s: %w", b.ID, np.name, cerr)
-		}
-		if b.Kind != bugs.Semantic {
-			continue
-		}
-
-		switch b.Platform {
-		case bugs.P4C:
-			// Open compiler: translation validation pinpoints the pass
-			// (§5).
-			verdicts, verr := validate.Snapshots(res, validate.Options{MaxConflicts: c.MaxConflicts, Cache: c.Cache})
-			if verr != nil {
-				return det, fmt.Errorf("bug %s on %s: validate: %w", b.ID, np.name, verr)
-			}
-			if fails := validate.Failures(verdicts); len(fails) > 0 {
-				det.Detected = true
-				det.Technique = TranslationValidation
-				det.Via = np.name
-				det.Detail = fails[0].String()
-				return det, nil
-			}
-		case bugs.BMv2, bugs.Tofino:
-			// Black-box or back-end target: symbolic-execution packet
-			// tests (§6). Expectations come from the input program's
-			// formula; the buggy compiled device must disagree.
-			opts := c.TestOpts
-			opts.MaxConflicts = c.MaxConflicts
-			cases, terr := testgen.Generate(np.prog, opts)
-			if terr != nil {
-				return det, fmt.Errorf("bug %s on %s: testgen: %w", b.ID, np.name, terr)
-			}
-			dev, derr := deviceFromResult(res)
-			if derr != nil {
-				return det, derr
-			}
-			mismatches, merr := runCases(dev, cases)
-			if merr != nil {
-				return det, fmt.Errorf("bug %s on %s: inject: %w", b.ID, np.name, merr)
-			}
-			if len(mismatches) > 0 {
-				det.Detected = true
-				det.Technique = SymbolicExecution
-				det.Via = np.name
-				det.Detail = mismatches[0]
-				return det, nil
-			}
+		out := o.Examine(ctx, np.prog)
+		switch {
+		case out.Err != nil:
+			return det, fmt.Errorf("bug %s on %s: %w", b.ID, np.name, out.Err)
+		case out.Crash != nil:
+			det.Detected = true
+			det.Technique = CrashHunt
+			det.Via = np.name
+			det.Detail = fmt.Sprintf("crash in %s: %s", out.Crash.Pass, out.Crash.Msg)
+			return det, nil
+		case out.Invalid != nil:
+			det.Detected = true
+			det.InvalidTransform = true
+			det.Via = np.name
+			det.Detail = out.Invalid.Error()
+			return det, nil
+		case len(out.Failures) > 0:
+			det.Detected = true
+			det.Technique = TranslationValidation
+			det.Via = np.name
+			det.Detail = out.Failures[0].String()
+			return det, nil
+		case len(out.Mismatches) > 0:
+			det.Detected = true
+			det.Technique = SymbolicExecution
+			det.Via = np.name
+			det.Detail = out.Mismatches[0]
+			return det, nil
 		}
 	}
 	return det, nil
@@ -237,34 +227,33 @@ func (c *Campaign) HuntClean(b *bugs.Bug) (string, error) {
 	if err := types.Check(prog); err != nil {
 		return "", fmt.Errorf("witness does not check: %w", err)
 	}
-	comp := compiler.New(pipelineFor(b.Platform)...)
-	res, cerr := comp.Compile(prog)
-	if cerr != nil {
+	o := &Oracle{
+		Passes:       pipelineFor(b.Platform),
+		MaxConflicts: c.MaxConflicts,
+		TestOpts:     c.TestOpts,
+		Cache:        c.Cache,
+		Validate:     true,
+		PacketTests:  true,
+	}
+	out := o.Compile(prog)
+	if out.Crash != nil || out.Invalid != nil || out.Err != nil {
+		cerr := out.Err
+		if out.Crash != nil {
+			cerr = out.Crash
+		} else if out.Invalid != nil {
+			cerr = out.Invalid
+		}
 		return fmt.Sprintf("clean compile failed: %v", cerr), nil
 	}
-	verdicts, verr := validate.Snapshots(res, validate.Options{MaxConflicts: c.MaxConflicts, Cache: c.Cache})
-	if verr != nil {
-		return "", fmt.Errorf("validate: %w", verr)
+	o.Inspect(context.Background(), &out)
+	if out.Err != nil {
+		return "", fmt.Errorf("oracle: %w", out.Err)
 	}
-	if fails := validate.Failures(verdicts); len(fails) > 0 {
-		return "translation validation false alarm: " + fails[0].String(), nil
+	if len(out.Failures) > 0 {
+		return "translation validation false alarm: " + out.Failures[0].String(), nil
 	}
-	opts := c.TestOpts
-	opts.MaxConflicts = c.MaxConflicts
-	cases, terr := testgen.Generate(prog, opts)
-	if terr != nil {
-		return "", fmt.Errorf("testgen: %w", terr)
-	}
-	dev, derr := deviceFromResult(res)
-	if derr != nil {
-		return "", derr
-	}
-	mismatches, merr := runCases(dev, cases)
-	if merr != nil {
-		return "", fmt.Errorf("inject: %w", merr)
-	}
-	if len(mismatches) > 0 {
-		return "symbolic execution false alarm: " + mismatches[0], nil
+	if len(out.Mismatches) > 0 {
+		return "symbolic execution false alarm: " + out.Mismatches[0], nil
 	}
 	return "", nil
 }

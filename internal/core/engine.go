@@ -1,0 +1,661 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gauntlet/internal/bugs"
+	"gauntlet/internal/compiler"
+	"gauntlet/internal/generator"
+	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/p4/lexer"
+	"gauntlet/internal/p4/printer"
+	"gauntlet/internal/p4/token"
+	"gauntlet/internal/reduce"
+	"gauntlet/internal/smt"
+	"gauntlet/internal/testgen"
+	"gauntlet/internal/validate"
+)
+
+// FindingKind classifies a fuzzing finding.
+type FindingKind int
+
+// Finding kinds, in the order the oracle stages can produce them.
+const (
+	// FindingCrash is abnormal pass termination (§4).
+	FindingCrash FindingKind = iota
+	// FindingInvalidTransform is a pass emitting an unparsable program
+	// (§7.2, tracked but uncounted).
+	FindingInvalidTransform
+	// FindingMiscompilation is a translation-validation inequivalence
+	// (§5).
+	FindingMiscompilation
+	// FindingMismatch is a packet test disagreeing with the symbolic
+	// expectation (§6).
+	FindingMismatch
+)
+
+// String renders the kind.
+func (k FindingKind) String() string {
+	switch k {
+	case FindingCrash:
+		return "crash"
+	case FindingInvalidTransform:
+		return "invalid-transform"
+	case FindingMiscompilation:
+		return "miscompilation"
+	default:
+		return "packet-mismatch"
+	}
+}
+
+// MarshalText renders the kind for JSONL finding streams.
+func (k FindingKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// Finding is one unique bug surfaced by the engine: deduplicated by
+// Fingerprint and shrunk by the auto-reducer.
+type Finding struct {
+	Kind FindingKind `json:"kind"`
+	// Seed generated the triggering program.
+	Seed    int64  `json:"seed"`
+	Backend string `json:"backend"`
+	// Pass is the crashing pass (crash/invalid kinds) or the failing
+	// pass pinpointed by translation validation.
+	Pass string `json:"pass,omitempty"`
+	// Detail is the human-readable symptom (crash message,
+	// counterexample, packet mismatch).
+	Detail string `json:"detail"`
+	// Fingerprint is the stable dedup key: crash and invalid-transform
+	// findings hash (pass, message); miscompilations and mismatches hash
+	// (kind, failing pass, printer.Fingerprint of the reduced witness).
+	Fingerprint uint64 `json:"fingerprint"`
+	// SizeBefore/SizeAfter are the witness statement counts around
+	// reduction (equal when reduction is disabled).
+	SizeBefore int `json:"size_before,omitempty"`
+	SizeAfter  int `json:"size_after,omitempty"`
+	// Source is the printed (reduced) witness program.
+	Source string `json:"source,omitempty"`
+	// Program is the (reduced) witness AST.
+	Program *ast.Program `json:"-"`
+
+	// crashMsg is the raw panic/reparse message, kept separately from
+	// Detail so fingerprints and reduction predicates don't depend on
+	// presentation.
+	crashMsg string
+}
+
+// EngineConfig parameterizes one streaming fuzzing run.
+type EngineConfig struct {
+	// StartSeed is the first generator seed; Seeds is how many to try
+	// (0 = unbounded, run until the context is cancelled).
+	StartSeed int64
+	Seeds     int64
+	// Workers sizes each heavy stage's worker pool (0 = GOMAXPROCS).
+	Workers int
+	// Backend selects the generator skeleton and the reference pass
+	// pipeline (V1Model → BMv2 backend passes, TNA → Tofino).
+	Backend generator.Backend
+	// Generate overrides program generation (default:
+	// generator.Generate(generator.DefaultConfig(seed)) with Backend).
+	Generate func(seed int64) *ast.Program
+	// Passes overrides the pass pipeline under test (tests instrument
+	// seeded defects here). Default: the reference pipeline for Backend.
+	Passes []compiler.Pass
+	// MaxConflicts bounds every solver call.
+	MaxConflicts int
+	// TestOpts configures packet-test generation.
+	TestOpts testgen.Options
+	// PacketTests enables the symbolic-execution packet-test oracle in
+	// addition to translation validation (which is always on).
+	PacketTests bool
+	// Reduce enables automatic witness shrinking of unique findings;
+	// ReduceOpts bounds each reduction (its predicate re-runs the
+	// oracle, so MaxPredicateCalls is the real budget).
+	Reduce     bool
+	ReduceOpts reduce.Options
+	// MaxReducePerPass bounds how many semantic candidates per
+	// (kind, failing pass) enter the reducer (0 = default 64). Semantic
+	// findings can only be deduplicated after reduction, so a single hot
+	// defect firing on most seeds would otherwise turn the pipeline into
+	// a reducer farm; candidates beyond the cap are dropped as
+	// duplicates. Runs that stay under the cap (the tested regime) keep
+	// the worker-count-independent unique-finding set; above it, which
+	// candidates are kept depends on arrival order.
+	MaxReducePerPass int
+	// Cache is the shared validation cache (nil = new private cache).
+	Cache *validate.Cache
+	// QueueDepth bounds each inter-stage channel (0 = 2×Workers).
+	QueueDepth int
+	// OnFinding, when set, streams each unique finding as the report
+	// stage emits it (called from the engine's reporting goroutine).
+	OnFinding func(Finding)
+	// OnOracleError, when set, observes tool-limitation errors
+	// (interpreter gaps, unsatisfiable test paths). They are always
+	// counted in Stats.
+	OnOracleError func(seed int64, err error)
+}
+
+// DefaultEngineConfig mirrors the sequential fuzz loop's settings on the
+// streaming engine: v1model programs, validation oracle, auto-reduction.
+func DefaultEngineConfig() EngineConfig {
+	return EngineConfig{
+		Seeds:        1000,
+		Backend:      generator.V1Model,
+		MaxConflicts: 20000,
+		TestOpts:     testgen.DefaultOptions(),
+		Reduce:       true,
+		ReduceOpts:   reduce.Options{MaxRounds: 4, MaxPredicateCalls: 400},
+	}
+}
+
+// Stats is a point-in-time snapshot of a running (or finished) engine:
+// stage counters, throughput, shared-cache effectiveness and interner
+// growth. Snapshots are cheap (atomic loads plus two lock-guarded counter
+// reads) and safe to poll from any goroutine while the engine runs.
+type Stats struct {
+	// Stage counters.
+	Generated         uint64
+	Compiled          uint64
+	Clean             uint64
+	Crashes           uint64
+	InvalidTransforms uint64
+	Miscompilations   uint64
+	Mismatches        uint64
+	// CompileErrors are compile-stage tool limitations (e.g. a Generate
+	// override emitting an ill-typed program); OracleErrors are
+	// oracle-stage ones (interpreter gaps, unsatisfiable test paths).
+	// The stage accounting invariants are:
+	//   Generated = Crashes + InvalidTransforms + CompileErrors + Compiled
+	//   Compiled  = Clean + Miscompilations + Mismatches + OracleErrors
+	// (modulo programs still in flight when a run is cancelled).
+	CompileErrors uint64
+	OracleErrors  uint64
+	// Dedup/reduce counters.
+	Duplicates           uint64
+	UniqueFindings       uint64
+	ReducePredicateCalls uint64
+	// Throughput.
+	Elapsed        time.Duration
+	ProgramsPerSec float64
+	// Shared validation cache (hits/misses for block formulas and
+	// equivalence verdicts).
+	BlockHits, BlockMisses     uint64
+	VerdictHits, VerdictMisses uint64
+	// Interner is the process-wide term-interner snapshot (the ROADMAP's
+	// "growth is unbounded" observable).
+	Interner smt.InternerInfo
+}
+
+// Summary renders the snapshot as a short multi-line report.
+func (s Stats) Summary() string {
+	rate := func(h, m uint64) float64 {
+		if h+m == 0 {
+			return 0
+		}
+		return 100 * float64(h) / float64(h+m)
+	}
+	return fmt.Sprintf(
+		"programs: %d generated, %d compiled, %d clean (%.1f/sec over %v)\n"+
+			"findings: %d unique (%d crash, %d invalid-transform, %d miscompilation, %d packet-mismatch raw; %d duplicates), %d tool limitations\n"+
+			"caches: block %.1f%% hit, verdict %.1f%% hit; reduction predicate calls: %d\n"+
+			"interner: %d terms (~%.1f MiB, %d/%d shards occupied)",
+		s.Generated, s.Compiled, s.Clean, s.ProgramsPerSec, s.Elapsed.Round(time.Millisecond),
+		s.UniqueFindings, s.Crashes, s.InvalidTransforms, s.Miscompilations, s.Mismatches,
+		s.Duplicates, s.CompileErrors+s.OracleErrors,
+		rate(s.BlockHits, s.BlockMisses), rate(s.VerdictHits, s.VerdictMisses), s.ReducePredicateCalls,
+		s.Interner.Entries, float64(s.Interner.BytesEstimate)/(1<<20),
+		s.Interner.OccupiedShards, s.Interner.Shards)
+}
+
+// Engine is the streaming, stage-parallel fuzzing pipeline:
+//
+//	generate → compile → oracle → fingerprint/dedup → auto-reduce → report
+//
+// Stages are connected by bounded channels and run on per-stage worker
+// pools; cancellation flows through a context checked at every stage (and
+// inside validation, test generation and reduction). Workers isolate all
+// mutable state — each program gets its own compiler and solver sessions —
+// and share only the hash-consed term interner and the validation cache,
+// both concurrency-safe. That sharing is what makes N workers nearly N×
+// faster without perturbing results: the unique-finding set is identical
+// for any worker count over the same seed range.
+type Engine struct {
+	cfg    EngineConfig
+	oracle *Oracle
+
+	startNano atomic.Int64
+	endNano   atomic.Int64
+
+	generated, compiled, clean                 atomic.Uint64
+	crashes, invalids, miscompiles, mismatches atomic.Uint64
+	compileErrors, oracleErrors                atomic.Uint64
+	duplicates, unique                         atomic.Uint64
+	reduceCalls                                atomic.Uint64
+}
+
+// NewEngine builds an engine, filling config defaults (worker count,
+// pipeline for the backend, cache, queue depth).
+func NewEngine(cfg EngineConfig) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * cfg.Workers
+	}
+	if cfg.MaxConflicts == 0 {
+		cfg.MaxConflicts = 20000
+	}
+	if cfg.MaxReducePerPass <= 0 {
+		cfg.MaxReducePerPass = 64
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = validate.NewCache()
+	}
+	if cfg.Passes == nil {
+		platform := bugs.BMv2
+		if cfg.Backend == generator.TNA {
+			platform = bugs.Tofino
+		}
+		cfg.Passes = pipelineFor(platform)
+	}
+	if cfg.Generate == nil {
+		backend := cfg.Backend
+		cfg.Generate = func(seed int64) *ast.Program {
+			gc := generator.DefaultConfig(seed)
+			gc.Backend = backend
+			return generator.Generate(gc)
+		}
+	}
+	return &Engine{
+		cfg: cfg,
+		oracle: &Oracle{
+			Passes:       cfg.Passes,
+			MaxConflicts: cfg.MaxConflicts,
+			TestOpts:     cfg.TestOpts,
+			Validate:     true,
+			PacketTests:  cfg.PacketTests,
+			Cache:        cfg.Cache,
+		},
+	}
+}
+
+// Oracle exposes the engine's shared oracle stage (the same one
+// Campaign.Hunt builds per bug).
+func (e *Engine) Oracle() *Oracle { return e.oracle }
+
+// Stats snapshots the engine's counters. Valid at any time; throughput is
+// measured from Run's start to now (or to Run's return).
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Generated:            e.generated.Load(),
+		Compiled:             e.compiled.Load(),
+		Clean:                e.clean.Load(),
+		Crashes:              e.crashes.Load(),
+		InvalidTransforms:    e.invalids.Load(),
+		Miscompilations:      e.miscompiles.Load(),
+		Mismatches:           e.mismatches.Load(),
+		CompileErrors:        e.compileErrors.Load(),
+		OracleErrors:         e.oracleErrors.Load(),
+		Duplicates:           e.duplicates.Load(),
+		UniqueFindings:       e.unique.Load(),
+		ReducePredicateCalls: e.reduceCalls.Load(),
+		Interner:             smt.InternerStats(),
+	}
+	s.BlockHits, s.BlockMisses, s.VerdictHits, s.VerdictMisses = e.cfg.Cache.Stats()
+	if start := e.startNano.Load(); start != 0 {
+		end := e.endNano.Load()
+		if end == 0 {
+			end = time.Now().UnixNano()
+		}
+		s.Elapsed = time.Duration(end - start)
+		if secs := s.Elapsed.Seconds(); secs > 0 {
+			s.ProgramsPerSec = float64(s.Generated) / secs
+		}
+	}
+	return s
+}
+
+// unit is a program moving between the generate, compile and oracle
+// stages.
+type unit struct {
+	seed int64
+	prog *ast.Program
+	res  *compiler.Result
+}
+
+// Run executes the pipeline until the seed range is exhausted or ctx is
+// cancelled, and returns the unique findings (deduplicated by fingerprint,
+// reduced when enabled). It is safe to poll Stats concurrently; Run itself
+// must not be called twice on one Engine.
+func (e *Engine) Run(ctx context.Context) []Finding {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	e.startNano.Store(time.Now().UnixNano())
+	defer func() { e.endNano.Store(time.Now().UnixNano()) }()
+
+	workers := e.cfg.Workers
+	qd := e.cfg.QueueDepth
+	genCh := make(chan unit, qd)  // generate → compile
+	compCh := make(chan unit, qd) // compile → oracle
+	candCh := make(chan Finding, qd)
+	redCh := make(chan Finding, qd)
+	outCh := make(chan Finding, qd)
+
+	// Stage 1: generate. Seeds are drawn from an atomic counter so any
+	// number of workers covers exactly [StartSeed, StartSeed+Seeds).
+	var next atomic.Int64
+	next.Store(e.cfg.StartSeed)
+	var genWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		genWG.Add(1)
+		go func() {
+			defer genWG.Done()
+			for {
+				seed := next.Add(1) - 1
+				if e.cfg.Seeds > 0 && seed >= e.cfg.StartSeed+e.cfg.Seeds {
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				u := unit{seed: seed, prog: e.cfg.Generate(seed)}
+				e.generated.Add(1)
+				select {
+				case genCh <- u:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() { genWG.Wait(); close(genCh) }()
+
+	// Stage 2: compile. Crash and invalid-transform findings short-cut
+	// straight to dedup; clean compilations flow to the oracle stage.
+	var compWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		compWG.Add(1)
+		go func() {
+			defer compWG.Done()
+			for u := range genCh {
+				out := e.oracle.Compile(u.prog)
+				switch {
+				case out.Err != nil:
+					e.compileErrors.Add(1)
+					if e.cfg.OnOracleError != nil {
+						e.cfg.OnOracleError(u.seed, out.Err)
+					}
+				case out.Crash != nil:
+					e.crashes.Add(1)
+					f := Finding{
+						Kind: FindingCrash, Seed: u.seed, Backend: e.cfg.Backend.String(),
+						Pass:     out.Crash.Pass,
+						Detail:   fmt.Sprintf("crash in %s: %s", out.Crash.Pass, out.Crash.Msg),
+						Program:  u.prog,
+						crashMsg: out.Crash.Msg,
+					}
+					if !send(ctx, candCh, f) {
+						return
+					}
+				case out.Invalid != nil:
+					e.invalids.Add(1)
+					f := Finding{
+						Kind: FindingInvalidTransform, Seed: u.seed, Backend: e.cfg.Backend.String(),
+						Pass:     out.Invalid.Pass,
+						Detail:   out.Invalid.Error(),
+						Program:  u.prog,
+						crashMsg: out.Invalid.Error(),
+					}
+					if !send(ctx, candCh, f) {
+						return
+					}
+				default:
+					e.compiled.Add(1)
+					u.res = out.Result
+					if !send(ctx, compCh, u) {
+						return
+					}
+				}
+			}
+		}()
+	}
+	go func() { compWG.Wait(); close(compCh) }()
+
+	// Stage 3: oracle (translation validation + packet tests).
+	var oracleWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		oracleWG.Add(1)
+		go func() {
+			defer oracleWG.Done()
+			for u := range compCh {
+				out := Outcome{Result: u.res}
+				e.oracle.Inspect(ctx, &out)
+				switch {
+				case out.Err != nil:
+					if ctx.Err() != nil {
+						return
+					}
+					e.oracleError(u.seed, out.Err)
+				case len(out.Failures) > 0:
+					e.miscompiles.Add(1)
+					f := Finding{
+						Kind: FindingMiscompilation, Seed: u.seed, Backend: e.cfg.Backend.String(),
+						Pass:    out.Failures[0].PassB,
+						Detail:  out.Failures[0].String(),
+						Program: u.prog,
+					}
+					if !send(ctx, candCh, f) {
+						return
+					}
+				case len(out.Mismatches) > 0:
+					e.mismatches.Add(1)
+					f := Finding{
+						Kind: FindingMismatch, Seed: u.seed, Backend: e.cfg.Backend.String(),
+						Detail:  out.Mismatches[0],
+						Program: u.prog,
+					}
+					if !send(ctx, candCh, f) {
+						return
+					}
+				default:
+					e.clean.Add(1)
+				}
+			}
+		}()
+	}
+	go func() { compWG.Wait(); oracleWG.Wait(); close(candCh) }()
+
+	// Stage 4: fingerprint/dedup. Crash-family findings have stable
+	// fingerprints before reduction, so duplicates are dropped here and
+	// never reach the (expensive) reducer. Semantic findings are
+	// fingerprinted by their *reduced* witness, so they dedup in the
+	// report stage instead — capped per (kind, pass) so one hot defect
+	// firing on most seeds cannot turn the pipeline into a reducer farm.
+	go func() {
+		defer close(redCh)
+		seen := map[uint64]bool{}
+		perPass := map[string]int{}
+		for f := range candCh {
+			if f.Kind == FindingCrash || f.Kind == FindingInvalidTransform {
+				f.Fingerprint = crashFingerprint(f.Kind, f.Pass, f.crashMsg)
+				if seen[f.Fingerprint] {
+					e.duplicates.Add(1)
+					continue
+				}
+				seen[f.Fingerprint] = true
+			} else {
+				key := fmt.Sprintf("%d\x00%s", f.Kind, f.Pass)
+				if perPass[key] >= e.cfg.MaxReducePerPass {
+					e.duplicates.Add(1)
+					continue
+				}
+				perPass[key]++
+			}
+			if !send(ctx, redCh, f) {
+				return
+			}
+		}
+	}()
+
+	// Stage 5: auto-reduce. Each unique finding is shrunk with a
+	// predicate that re-runs the oracle on every candidate.
+	var redWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		redWG.Add(1)
+		go func() {
+			defer redWG.Done()
+			for f := range redCh {
+				if !send(ctx, outCh, e.reduceFinding(ctx, f)) {
+					return
+				}
+			}
+		}()
+	}
+	go func() { redWG.Wait(); close(outCh) }()
+
+	// Stage 6: report. Final fingerprints (semantic findings key on the
+	// reduced witness), final dedup, streaming callback.
+	var findings []Finding
+	seen := map[uint64]bool{}
+	for f := range outCh {
+		if f.Kind == FindingMiscompilation || f.Kind == FindingMismatch {
+			f.Fingerprint = semanticFingerprint(f.Kind, f.Pass, f.Program)
+		}
+		if seen[f.Fingerprint] {
+			e.duplicates.Add(1)
+			continue
+		}
+		seen[f.Fingerprint] = true
+		e.unique.Add(1)
+		if f.Program != nil {
+			f.Source = printer.Print(f.Program)
+		}
+		if e.cfg.OnFinding != nil {
+			e.cfg.OnFinding(f)
+		}
+		findings = append(findings, f)
+	}
+	return findings
+}
+
+// send delivers v unless the context is cancelled first.
+func send[T any](ctx context.Context, ch chan<- T, v T) bool {
+	select {
+	case ch <- v:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (e *Engine) oracleError(seed int64, err error) {
+	e.oracleErrors.Add(1)
+	if e.cfg.OnOracleError != nil {
+		e.cfg.OnOracleError(seed, err)
+	}
+}
+
+// reduceFinding shrinks a finding's witness while the oracle keeps
+// reproducing the same symptom.
+func (e *Engine) reduceFinding(ctx context.Context, f Finding) Finding {
+	if f.Program == nil {
+		return f
+	}
+	f.SizeBefore = reduce.Size(f.Program)
+	f.SizeAfter = f.SizeBefore
+	if !e.cfg.Reduce {
+		return f
+	}
+	f.Program = reduce.ReduceContext(ctx, f.Program, e.keepPredicate(f), e.cfg.ReduceOpts)
+	f.SizeAfter = reduce.Size(f.Program)
+	return f
+}
+
+// keepPredicate builds the reduction invariant for a finding: the oracle,
+// re-run on the candidate, must reproduce the same symptom (same crashing
+// pass and message, same failing pass, or any packet mismatch).
+func (e *Engine) keepPredicate(f Finding) reduce.Predicate {
+	o := e.oracle
+	return func(cand *ast.Program) bool {
+		e.reduceCalls.Add(1)
+		// Reduction candidates must not be cancelled mid-predicate — the
+		// budget in ReduceOpts bounds the work — so the oracle re-runs
+		// under the background context; ReduceContext itself observes the
+		// engine's context between candidates.
+		out := o.Examine(context.Background(), cand)
+		switch f.Kind {
+		case FindingCrash:
+			return out.Crash != nil && out.Crash.Pass == f.Pass && out.Crash.Msg == f.crashMsg
+		case FindingInvalidTransform:
+			// Pin the full message like crashes do: the fingerprint and
+			// Detail carry it, so a candidate that makes the same pass
+			// fail differently is a different symptom, not a smaller
+			// witness of this one.
+			return out.Invalid != nil && out.Invalid.Pass == f.Pass && out.Invalid.Error() == f.crashMsg
+		case FindingMiscompilation:
+			for _, v := range out.Failures {
+				if v.PassB == f.Pass {
+					return true
+				}
+			}
+			return false
+		default:
+			return len(out.Mismatches) > 0
+		}
+	}
+}
+
+// crashFingerprint hashes (kind, pass, message) — stable across witnesses,
+// so every seed that trips the same assertion collapses to one finding.
+func crashFingerprint(kind FindingKind, pass, msg string) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d\x00%s\x00%s", kind, pass, msg)
+	return h.Sum64()
+}
+
+// semanticFingerprint hashes (kind, failing pass, reduced witness): after
+// reduction, seeds that trigger the same defect through equivalent minimal
+// programs collapse to one finding. The witness fingerprint is computed
+// over the printed program with identifiers alpha-renamed by first
+// occurrence — generator-fresh names (h_17 vs h_23) must not keep two
+// structurally identical minimal witnesses apart.
+func semanticFingerprint(kind FindingKind, pass string, prog *ast.Program) uint64 {
+	h := fnv.New64a()
+	var pf uint64
+	if prog != nil {
+		pf = canonicalFingerprint(prog)
+	}
+	fmt.Fprintf(h, "%d\x00%s\x00%016x", kind, pass, pf)
+	return h.Sum64()
+}
+
+// canonicalFingerprint hashes a program's token stream with every
+// identifier replaced by its first-occurrence index.
+func canonicalFingerprint(prog *ast.Program) uint64 {
+	src := printer.Print(prog)
+	toks, errs := lexer.ScanAll(src)
+	h := fnv.New64a()
+	if len(errs) > 0 {
+		h.Write([]byte(src))
+		return h.Sum64()
+	}
+	names := map[string]int{}
+	for _, t := range toks {
+		if t.Kind == token.IDENT {
+			id, ok := names[t.Lit]
+			if !ok {
+				id = len(names)
+				names[t.Lit] = id
+			}
+			fmt.Fprintf(h, "@%d\x00", id)
+			continue
+		}
+		fmt.Fprintf(h, "%d:%s\x00", t.Kind, t.Lit)
+	}
+	return h.Sum64()
+}

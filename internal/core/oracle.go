@@ -1,0 +1,141 @@
+package core
+
+import (
+	"context"
+	"errors"
+
+	"gauntlet/internal/compiler"
+	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/testgen"
+	"gauntlet/internal/validate"
+)
+
+// Oracle is the shared bug-detection stage: compile a program through a
+// pass pipeline, then interrogate the result with translation validation
+// (§5) and symbolic-execution packet tests (§6). It is the single
+// implementation behind Campaign.Hunt, Campaign.HuntClean and the
+// streaming Engine — one code path, three consumers.
+//
+// An Oracle is immutable after construction and safe for concurrent use:
+// each Examine call builds its own compiler instance and solver sessions,
+// sharing only the (concurrency-safe) validation cache and the
+// process-wide term interner — the "isolate first, then share" split that
+// makes worker pools sound.
+type Oracle struct {
+	// Passes is the pipeline under test (possibly instrumented with
+	// seeded defects).
+	Passes []compiler.Pass
+	// MaxConflicts bounds every solver call.
+	MaxConflicts int
+	// TestOpts configures symbolic-execution test generation (its
+	// MaxConflicts is overridden by the oracle's).
+	TestOpts testgen.Options
+	// Validate enables pass-pairwise translation validation.
+	Validate bool
+	// PacketTests enables symbolic-execution packet testing of the final
+	// program against the input program's formula.
+	PacketTests bool
+	// Cache memoizes block formulas and equivalence verdicts (optional;
+	// shared across goroutines when set).
+	Cache *validate.Cache
+}
+
+// Outcome is the oracle's verdict on one program. At most one finding
+// family is populated; all empty means the program compiled and behaved
+// cleanly. Err reports tool limitations (interpreter gaps, unsatisfiable
+// test paths) — per the paper's false-alarm discipline these are tracked,
+// never reported as compiler bugs.
+type Outcome struct {
+	// Crash is set when a pass terminated abnormally.
+	Crash *compiler.CrashError
+	// Invalid is set when a pass emitted an unparsable program (§7.2).
+	Invalid *compiler.InvalidTransformError
+	// Failures are the translation-validation inequivalences.
+	Failures []validate.Verdict
+	// Mismatches describe packet tests whose observed output differed
+	// from the symbolic expectation.
+	Mismatches []string
+	// Result is the compilation result (nil when compilation failed
+	// before producing one).
+	Result *compiler.Result
+	// Err is an infrastructure/tool-limitation error.
+	Err error
+}
+
+// Finding reports whether the outcome contains any bug evidence.
+func (o Outcome) Finding() bool {
+	return o.Crash != nil || o.Invalid != nil || len(o.Failures) > 0 || len(o.Mismatches) > 0
+}
+
+// Compile runs only the compile step of the oracle, classifying crash and
+// invalid-transform errors into the outcome.
+func (o *Oracle) Compile(prog *ast.Program) Outcome {
+	comp := compiler.New(o.Passes...)
+	res, err := comp.Compile(prog)
+	out := Outcome{Result: res}
+	if err != nil {
+		var crash *compiler.CrashError
+		var invalid *compiler.InvalidTransformError
+		switch {
+		case errors.As(err, &crash):
+			out.Crash = crash
+		case errors.As(err, &invalid):
+			out.Invalid = invalid
+		default:
+			out.Err = err
+		}
+	}
+	return out
+}
+
+// Inspect runs the post-compile oracle checks on a successful compilation:
+// translation validation first (it pinpoints the failing pass), then — only
+// when validation found nothing — packet tests against the final program.
+// Test expectations come from the initial snapshot (the type-checked clone
+// of the input program: name references resolved, untouched by any pass).
+func (o *Oracle) Inspect(ctx context.Context, out *Outcome) {
+	if o.Validate {
+		verdicts, err := validate.SnapshotsContext(ctx, out.Result,
+			validate.Options{MaxConflicts: o.MaxConflicts, Cache: o.Cache})
+		if err != nil {
+			out.Err = err
+			return
+		}
+		out.Failures = validate.Failures(verdicts)
+		if len(out.Failures) > 0 {
+			return
+		}
+	}
+	if o.PacketTests {
+		opts := o.TestOpts
+		opts.MaxConflicts = o.MaxConflicts
+		input := out.Result.Snapshots[0].Prog
+		cases, err := testgen.GenerateContext(ctx, input, opts)
+		if err != nil {
+			out.Err = err
+			return
+		}
+		dev, err := deviceFromResult(out.Result)
+		if err != nil {
+			out.Err = err
+			return
+		}
+		mismatches, err := runCases(dev, cases)
+		if err != nil {
+			out.Err = err
+			return
+		}
+		out.Mismatches = mismatches
+	}
+}
+
+// Examine compiles prog and inspects the result — the full shared oracle
+// stage.
+func (o *Oracle) Examine(ctx context.Context, prog *ast.Program) Outcome {
+	out := o.Compile(prog)
+	if out.Err != nil || out.Crash != nil || out.Invalid != nil {
+		return out
+	}
+	o.Inspect(ctx, &out)
+	return out
+}

@@ -5,9 +5,11 @@
 // C-Reduce/ddmin tradition specialized to the P4 subset:
 //
 //  1. delta-debug statement lists (drop halves, then single statements),
+//     in control/action/function bodies and parser states alike,
 //  2. unwrap control flow (replace an if by one of its branches),
 //  3. drop unreferenced control locals (actions, tables, functions),
-//  4. simplify expressions (replace subtrees by zero literals).
+//  4. drop unreferenced top-level declarations and header/struct fields,
+//  5. simplify expressions (replace subtrees by trivial ones).
 //
 // Every candidate must stay well-typed and keep the caller's property
 // (e.g. "the compiler still crashes" or "translation validation still
@@ -15,7 +17,10 @@
 package reduce
 
 import (
+	"context"
+
 	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/p4/parser"
 	"gauntlet/internal/p4/printer"
 	"gauntlet/internal/p4/types"
 )
@@ -28,16 +33,40 @@ type Predicate func(*ast.Program) bool
 type Options struct {
 	// MaxRounds caps full fixpoint iterations.
 	MaxRounds int
+	// MaxPredicateCalls caps how many candidates are tried in one
+	// reduction (0 = unbounded). Predicates that re-run a compiler or a
+	// solver dominate reduction cost, so this is the budget that keeps a
+	// pathological finding from stalling a pipeline worker forever.
+	MaxPredicateCalls int
 }
 
 // Reduce shrinks prog while keep(prog) holds. The input program is not
 // mutated; the returned program satisfies keep and is well-typed.
 func Reduce(prog *ast.Program, keep Predicate, opts Options) *ast.Program {
+	return ReduceContext(context.Background(), prog, keep, opts)
+}
+
+// ReduceContext is Reduce with cancellation: when ctx is done or the
+// predicate budget is exhausted, the loop stops trying new candidates and
+// returns the smallest program found so far (still well-typed, still
+// satisfying keep). The input program is not mutated.
+func ReduceContext(ctx context.Context, prog *ast.Program, keep Predicate, opts Options) *ast.Program {
 	if opts.MaxRounds <= 0 {
 		opts.MaxRounds = 8
 	}
-	cur := ast.CloneProgram(prog)
+	cur := reparse(prog)
+	calls := 0
+	exhausted := func() bool {
+		if ctx.Err() != nil {
+			return true
+		}
+		return opts.MaxPredicateCalls > 0 && calls >= opts.MaxPredicateCalls
+	}
 	check := func(cand *ast.Program) bool {
+		if exhausted() {
+			return false
+		}
+		calls++
 		if types.Check(ast.CloneProgram(cand)) != nil {
 			return false
 		}
@@ -51,24 +80,41 @@ func Reduce(prog *ast.Program, keep Predicate, opts Options) *ast.Program {
 		cur = reduceStatements(cur, check)
 		cur = unwrapBranches(cur, check)
 		cur = dropLocals(cur, check)
+		cur = dropDecls(cur, check)
+		cur = dropFields(cur, check)
 		cur = simplifyExprs(cur, check)
-		if printer.Fingerprint(cur) == before {
+		if printer.Fingerprint(cur) == before || exhausted() {
 			break
 		}
 	}
 	return cur
 }
 
-// bodies enumerates every mutable statement list owner in the program.
-func bodies(prog *ast.Program) []*ast.BlockStmt {
-	var out []*ast.BlockStmt
+// reparse round-trips the program through its printed source. Reduction
+// mutates type declarations (field dropping), which is only sound on an
+// AST whose type references are still by name: the checker resolves
+// NamedType references by sharing the declaration's type objects, so a
+// checked program aliases its declarations in ways in-place mutation would
+// desynchronize. The subset prints and re-parses losslessly; if a caller
+// hands us something that doesn't, fall back to a plain clone (and the
+// declaration-mutating passes simply roll back their attempts).
+func reparse(prog *ast.Program) *ast.Program {
+	p, err := parser.Parse(printer.Print(prog))
+	if err != nil {
+		return ast.CloneProgram(prog)
+	}
+	return p
+}
+
+// stmtLists enumerates every mutable statement list of the program:
+// control/action/function bodies (including nested blocks) and parser
+// states.
+func stmtLists(prog *ast.Program) []*[]ast.Stmt {
+	var out []*[]ast.Stmt
 	var fromBlock func(b *ast.BlockStmt)
-	fromBlock = func(b *ast.BlockStmt) {
-		if b == nil {
-			return
-		}
-		out = append(out, b)
-		for _, s := range b.Stmts {
+	fromList := func(l *[]ast.Stmt) {
+		out = append(out, l)
+		for _, s := range *l {
 			switch s := s.(type) {
 			case *ast.IfStmt:
 				fromBlock(s.Then)
@@ -83,6 +129,12 @@ func bodies(prog *ast.Program) []*ast.BlockStmt {
 				}
 			}
 		}
+	}
+	fromBlock = func(b *ast.BlockStmt) {
+		if b == nil {
+			return
+		}
+		fromList(&b.Stmts)
 	}
 	for _, d := range prog.Decls {
 		switch d := d.(type) {
@@ -100,6 +152,10 @@ func bodies(prog *ast.Program) []*ast.BlockStmt {
 			fromBlock(d.Body)
 		case *ast.ActionDecl:
 			fromBlock(d.Body)
+		case *ast.ParserDecl:
+			for i := range d.States {
+				fromList(&d.States[i].Stmts)
+			}
 		}
 	}
 	return out
@@ -109,22 +165,22 @@ func bodies(prog *ast.Program) []*ast.BlockStmt {
 func reduceStatements(prog *ast.Program, check Predicate) *ast.Program {
 	for {
 		changed := false
-		for _, b := range bodies(prog) {
-			n := len(b.Stmts)
+		for _, b := range stmtLists(prog) {
+			n := len(*b)
 			if n == 0 {
 				continue
 			}
 			// Try dropping contiguous chunks, largest first.
 			for chunk := n; chunk >= 1; chunk /= 2 {
-				for start := 0; start+chunk <= len(b.Stmts); start++ {
-					saved := b.Stmts
+				for start := 0; start+chunk <= len(*b); start++ {
+					saved := *b
 					cand := append(append([]ast.Stmt{}, saved[:start]...), saved[start+chunk:]...)
-					b.Stmts = cand
+					*b = cand
 					if check(prog) {
 						changed = true
 						break // retry at this chunk size on the shrunk list
 					}
-					b.Stmts = saved
+					*b = saved
 				}
 				if chunk == 0 {
 					break
@@ -141,8 +197,8 @@ func reduceStatements(prog *ast.Program, check Predicate) *ast.Program {
 func unwrapBranches(prog *ast.Program, check Predicate) *ast.Program {
 	for {
 		changed := false
-		for _, b := range bodies(prog) {
-			for i, s := range b.Stmts {
+		for _, b := range stmtLists(prog) {
+			for i, s := range *b {
 				iff, ok := s.(*ast.IfStmt)
 				if !ok {
 					continue
@@ -155,16 +211,16 @@ func unwrapBranches(prog *ast.Program, check Predicate) *ast.Program {
 				}
 				done := false
 				for _, branch := range candidates {
-					saved := b.Stmts
+					saved := *b
 					cand := append(append([]ast.Stmt{}, saved[:i]...), branch...)
 					cand = append(cand, saved[i+1:]...)
-					b.Stmts = cand
+					*b = cand
 					if check(prog) {
 						changed = true
 						done = true
 						break
 					}
-					b.Stmts = saved
+					*b = saved
 				}
 				if done {
 					break // statement indices shifted; rescan this body
@@ -207,25 +263,82 @@ func dropLocals(prog *ast.Program, check Predicate) *ast.Program {
 	}
 }
 
-// simplifyExprs replaces expression subtrees with zero literals where the
+// dropDecls removes top-level declarations one at a time: header and
+// struct types, typedefs, constants, helper actions and functions. The
+// architecture blocks themselves (parsers, controls, main) are left to
+// the type checker's referential integrity — a removal that breaks a
+// reference simply fails the check and is rolled back.
+func dropDecls(prog *ast.Program, check Predicate) *ast.Program {
+	for {
+		changed := false
+		for i, d := range prog.Decls {
+			switch d.(type) {
+			case *ast.ControlDecl, *ast.ParserDecl:
+				continue // main blocks: required by the package skeleton
+			}
+			saved := prog.Decls
+			cand := append(append([]ast.Decl{}, saved[:i]...), saved[i+1:]...)
+			prog.Decls = cand
+			if check(prog) {
+				changed = true
+				break
+			}
+			prog.Decls = saved
+		}
+		if !changed {
+			return prog
+		}
+	}
+}
+
+// dropFields removes header and struct fields one at a time — the per-seed
+// random header layouts are most of what keeps two otherwise identical
+// minimal witnesses distinct.
+func dropFields(prog *ast.Program, check Predicate) *ast.Program {
+	fieldsOf := func(d ast.Decl) *[]ast.Field {
+		switch d := d.(type) {
+		case *ast.HeaderDecl:
+			return &d.Fields
+		case *ast.StructDecl:
+			return &d.Fields
+		}
+		return nil
+	}
+	for {
+		changed := false
+		for _, d := range prog.Decls {
+			fs := fieldsOf(d)
+			if fs == nil {
+				continue
+			}
+			for i := range *fs {
+				saved := *fs
+				cand := append(append([]ast.Field{}, saved[:i]...), saved[i+1:]...)
+				*fs = cand
+				if check(prog) {
+					changed = true
+					break
+				}
+				*fs = saved
+			}
+			if changed {
+				break
+			}
+		}
+		if !changed {
+			return prog
+		}
+	}
+}
+
+// simplifyExprs replaces expression subtrees with trivial ones where the
 // program stays well-typed and the property holds. Only assignment
 // right-hand sides and conditions are attacked (lvalues must survive).
 func simplifyExprs(prog *ast.Program, check Predicate) *ast.Program {
-	zeroFor := func(e ast.Expr) ast.Expr {
-		// Without a type inferencer here, try a conservative guess: a
-		// same-shape literal works only for contexts the checker accepts;
-		// failures are rolled back by check().
-		switch e.(type) {
-		case *ast.IntLit, *ast.BoolLit, *ast.Ident:
-			return nil // already minimal
-		}
-		return nil // handled via targeted rewrites below
-	}
-	_ = zeroFor
 	for {
 		changed := false
-		for _, b := range bodies(prog) {
-			for _, s := range b.Stmts {
+		for _, b := range stmtLists(prog) {
+			for _, s := range *b {
 				a, ok := s.(*ast.AssignStmt)
 				if !ok {
 					continue
@@ -245,7 +358,7 @@ func simplifyExprs(prog *ast.Program, check Predicate) *ast.Program {
 				a.RHS = saved
 			}
 			// Conditions: try true/false.
-			for _, s := range b.Stmts {
+			for _, s := range *b {
 				iff, ok := s.(*ast.IfStmt)
 				if !ok {
 					continue
@@ -276,8 +389,8 @@ func simplifyExprs(prog *ast.Program, check Predicate) *ast.Program {
 // Size returns the statement count of a program (the reduction metric).
 func Size(prog *ast.Program) int {
 	n := 0
-	for _, b := range bodies(prog) {
-		n += len(b.Stmts)
+	for _, b := range stmtLists(prog) {
+		n += len(*b)
 	}
 	return n
 }

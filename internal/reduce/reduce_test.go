@@ -1,6 +1,7 @@
 package reduce_test
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -94,6 +95,102 @@ V1Switch(ig) main;
 	}
 	if !keep(small) {
 		t.Fatal("property lost during reduction")
+	}
+}
+
+// TestReduceDropsDeclsAndFields: unreferenced top-level declarations and
+// header fields must be pruned, not just statements — they are what keeps
+// two otherwise identical minimal witnesses distinct.
+func TestReduceDropsDeclsAndFields(t *testing.T) {
+	src := `
+header Unused {
+    bit<8> dead;
+}
+header Used {
+    bit<8> keep;
+    bit<16> alsodead;
+}
+struct Hs {
+    Used u;
+}
+control ig(inout Hs hdr, inout bit<8> y) {
+    apply {
+        y = hdr.u.keep |+| 8w255;
+    }
+}
+V1Switch(ig) main;
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := types.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	keep := func(p *ast.Program) bool {
+		return strings.Contains(printer.Print(p), "|+|")
+	}
+	small := reduce.Reduce(prog, keep, reduce.Options{})
+	out := printer.Print(small)
+	if strings.Contains(out, "Unused") {
+		t.Errorf("unreferenced header declaration survived:\n%s", out)
+	}
+	if strings.Contains(out, "alsodead") {
+		t.Errorf("unreferenced header field survived:\n%s", out)
+	}
+	if !keep(small) {
+		t.Fatal("property lost during reduction")
+	}
+	if err := types.Check(ast.CloneProgram(small)); err != nil {
+		t.Fatalf("reduced program ill-typed: %v", err)
+	}
+}
+
+// TestReduceBudget: the predicate-call budget must bound the work and
+// still return a valid (if less reduced) program.
+func TestReduceBudget(t *testing.T) {
+	prog := generator.Generate(generator.DefaultConfig(3))
+	if err := types.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	keep := func(p *ast.Program) bool {
+		calls++
+		return true
+	}
+	small := reduce.Reduce(prog, keep, reduce.Options{MaxPredicateCalls: 10})
+	if calls > 10 {
+		t.Errorf("predicate called %d times, budget was 10", calls)
+	}
+	if err := types.Check(ast.CloneProgram(small)); err != nil {
+		t.Fatalf("budget-limited result ill-typed: %v", err)
+	}
+	// An unbounded run of the same reduction must go strictly further.
+	full := reduce.Reduce(prog, func(*ast.Program) bool { return true }, reduce.Options{})
+	if reduce.Size(full) >= reduce.Size(small) && reduce.Size(small) > 0 {
+		t.Errorf("budget made no difference: full=%d budgeted=%d", reduce.Size(full), reduce.Size(small))
+	}
+}
+
+// TestReduceContextCancelled: an already-cancelled context must return
+// without calling the predicate at all.
+func TestReduceContextCancelled(t *testing.T) {
+	prog := generator.Generate(generator.DefaultConfig(4))
+	if err := types.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	out := reduce.ReduceContext(ctx, prog, func(*ast.Program) bool { calls++; return true }, reduce.Options{})
+	if calls != 0 {
+		t.Errorf("predicate ran %d times under a cancelled context", calls)
+	}
+	if out == nil {
+		t.Fatal("no program returned")
+	}
+	if printer.Fingerprint(out) != printer.Fingerprint(prog) {
+		t.Error("cancelled reduction altered the program")
 	}
 }
 

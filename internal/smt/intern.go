@@ -3,6 +3,7 @@ package smt
 import (
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Interner hash-conses terms: every smart constructor routes its result
@@ -26,6 +27,12 @@ type internShard struct {
 	mu    sync.Mutex
 	table map[uint64][]*Term
 	hits  uint64
+	// count and bytes track the shard's entries and estimated heap at
+	// insertion time, so snapshots never walk the buckets: Info() runs
+	// while solver workers construct terms, and an O(terms) walk under
+	// the shard locks would stall the hot path.
+	count uint64
+	bytes uint64
 }
 
 // NewInterner creates an empty interning table. Most callers use the
@@ -50,15 +57,70 @@ func Stats() (size, hits uint64) {
 	return defaultInterner.Size(), defaultInterner.Hits()
 }
 
+// InternerInfo is a point-in-time snapshot of an interning table. Interner
+// growth is unbounded for the process lifetime (terms are never evicted),
+// so long-running services watch these numbers to know when eviction will
+// be needed.
+type InternerInfo struct {
+	// Entries is the number of distinct interned terms.
+	Entries uint64
+	// Hits is the cumulative count of constructions answered by an
+	// existing term.
+	Hits uint64
+	// BytesEstimate approximates the heap held by the table: term
+	// structs, their name strings and child slices, plus bucket slots.
+	BytesEstimate uint64
+	// Shards is the fixed shard count; OccupiedShards of them hold at
+	// least one term (a rough skew indicator together with
+	// MaxShardEntries, the largest single shard).
+	Shards          int
+	OccupiedShards  int
+	MaxShardEntries uint64
+}
+
+// InternerStats snapshots the default interner backing all smart
+// constructors.
+func InternerStats() InternerInfo { return defaultInterner.Info() }
+
+// Info snapshots one interner in O(shards): the per-shard counters are
+// maintained at intern time, so no bucket is ever walked. It takes each
+// shard lock in turn — totals are per-shard consistent rather than a
+// global atomic cut, which is fine for the monitoring it exists for.
+func (in *Interner) Info() InternerInfo {
+	info := InternerInfo{Shards: internShards}
+	for i := range in.shards {
+		s := &in.shards[i]
+		s.mu.Lock()
+		n, bytes, hits := s.count, s.bytes, s.hits
+		s.mu.Unlock()
+		info.Entries += n
+		info.BytesEstimate += bytes
+		info.Hits += hits
+		if n > 0 {
+			info.OccupiedShards++
+		}
+		if n > info.MaxShardEntries {
+			info.MaxShardEntries = n
+		}
+	}
+	return info
+}
+
+// termBytes estimates the heap one interned term holds: the struct, the
+// out-of-line name bytes, the child pointer slice, and its bucket slot
+// plus amortized map overhead.
+func termBytes(t *Term) uint64 {
+	const termSize = uint64(unsafe.Sizeof(Term{}))
+	return termSize + uint64(len(t.Name)) + uint64(len(t.Args))*8 + 8 + 16
+}
+
 // Size returns the number of distinct interned terms.
 func (in *Interner) Size() uint64 {
 	var n uint64
 	for i := range in.shards {
 		s := &in.shards[i]
 		s.mu.Lock()
-		for _, bucket := range s.table {
-			n += uint64(len(bucket))
-		}
+		n += s.count
 		s.mu.Unlock()
 	}
 	return n
@@ -144,6 +206,8 @@ func (in *Interner) Intern(t *Term) *Term {
 		}
 	}
 	s.table[h] = append(s.table[h], t)
+	s.count++
+	s.bytes += termBytes(t)
 	s.mu.Unlock()
 	return t
 }

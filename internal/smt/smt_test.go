@@ -143,3 +143,34 @@ func TestSatAddSemantics(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestInternerStats: the observability snapshot must be consistent with
+// the package-level counters and account for real memory.
+func TestInternerStats(t *testing.T) {
+	// Force some distinct terms into the default interner.
+	x := smt.Var("stats_probe_x", 16)
+	for i := uint64(0); i < 32; i++ {
+		_ = smt.Add(x, smt.Const(i, 16))
+	}
+	info := smt.InternerStats()
+	size, hits := smt.Stats()
+	if info.Entries != size {
+		t.Errorf("InternerStats entries %d != Stats size %d", info.Entries, size)
+	}
+	if info.Hits != hits {
+		t.Errorf("InternerStats hits %d != Stats hits %d", info.Hits, hits)
+	}
+	if info.Entries < 32 {
+		t.Errorf("expected at least the 32 probe terms, got %d", info.Entries)
+	}
+	// Every term costs at least its struct size.
+	if info.BytesEstimate < info.Entries*32 {
+		t.Errorf("bytes estimate %d implausibly small for %d entries", info.BytesEstimate, info.Entries)
+	}
+	if info.Shards <= 0 || info.OccupiedShards <= 0 || info.OccupiedShards > info.Shards {
+		t.Errorf("shard accounting broken: %+v", info)
+	}
+	if info.MaxShardEntries == 0 || info.MaxShardEntries > info.Entries {
+		t.Errorf("max shard entries broken: %+v", info)
+	}
+}

@@ -8,6 +8,7 @@
 package testgen
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -63,15 +64,39 @@ func DefaultOptions() Options {
 
 // Generate builds test cases for a program's full pipeline.
 func Generate(prog *ast.Program, opts Options) ([]Case, error) {
-	pipe, err := sym.PipelineOf(prog)
-	if err != nil {
-		return nil, err
+	return GenerateContext(context.Background(), prog, opts)
+}
+
+// GenerateContext is Generate with cancellation: the context is checked at
+// every node of the path enumeration (each solver probe stays bounded by
+// MaxConflicts), and ctx.Err() is returned when the deadline fires before
+// any case is found.
+//
+// Programs outside the symbolic subset (e.g. named-type locals the
+// pipeline composer cannot model) surface as errors, not panics: like an
+// interpreter gap, an unsupported construct is a tool limitation to count,
+// never a finding — fuzzing streams must keep flowing past it.
+func GenerateContext(ctx context.Context, prog *ast.Program, opts Options) (cases []Case, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			cases, err = nil, fmt.Errorf("testgen: symbolic pipeline: %v", r)
+		}
+	}()
+	pipe, perr := sym.PipelineOf(prog)
+	if perr != nil {
+		return nil, perr
 	}
-	return FromPipeline(prog, pipe, opts)
+	return FromPipelineContext(ctx, prog, pipe, opts)
 }
 
 // FromPipeline builds test cases from an already-composed pipeline.
 func FromPipeline(prog *ast.Program, pipe *sym.Pipeline, opts Options) ([]Case, error) {
+	return FromPipelineContext(context.Background(), prog, pipe, opts)
+}
+
+// FromPipelineContext is FromPipeline with cancellation (see
+// GenerateContext).
+func FromPipelineContext(ctx context.Context, prog *ast.Program, pipe *sym.Pipeline, opts Options) ([]Case, error) {
 	if opts.MaxCases <= 0 {
 		opts.MaxCases = 32
 	}
@@ -194,7 +219,7 @@ func FromPipeline(prog *ast.Program, pipe *sym.Pipeline, opts Options) ([]Case, 
 	// path enumeration with a budget.
 	var walk func(idx int, fixed []solver.Lit, id string)
 	walk = func(idx int, fixed []solver.Lit, id string) {
-		if len(cases) >= opts.MaxCases {
+		if len(cases) >= opts.MaxCases || ctx.Err() != nil {
 			return
 		}
 		if idx == len(conds) {
@@ -251,6 +276,9 @@ func FromPipeline(prog *ast.Program, pipe *sym.Pipeline, opts Options) ([]Case, 
 	}
 	walk(0, nil, "")
 	if len(cases) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("testgen: no satisfiable path found")
 	}
 	return cases, nil

@@ -129,7 +129,11 @@ func (c *Cache) blockForm(prog *ast.Program, consts uint64, d ast.Decl) (*sym.Bl
 
 // equivalent decides whether two block forms are observationally equal,
 // using the verdict cache and the interning pointer fast path before
-// falling back to the solver.
+// falling back to the solver. Each miss gets a fresh solver instance:
+// chain-shared incremental sessions were measured ~15% slower here (the
+// per-pair circuits overlap too little for learnt-clause reuse to beat
+// the cost of propagating over an accumulated instance), so unlike
+// testgen's path enumeration this query stays one-shot.
 func (c *Cache) equivalent(a, b *sym.Block, maxConflicts int) (bool, smt.Assignment, solver.Status) {
 	if a == b {
 		// Same interned formula object: equal by construction.

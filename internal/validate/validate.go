@@ -7,6 +7,7 @@
 package validate
 
 import (
+	"context"
 	"fmt"
 
 	"gauntlet/internal/compiler"
@@ -104,6 +105,14 @@ func blockForms(c *Cache, prog *ast.Program) (map[string]*sym.Block, []string, e
 // formulas skip the solver; and the shared verdict cache answers repeated
 // equivalence queries across snapshots and hunts.
 func Snapshots(res *compiler.Result, opts Options) ([]Verdict, error) {
+	return SnapshotsContext(context.Background(), res, opts)
+}
+
+// SnapshotsContext is Snapshots with cancellation: the context is checked
+// between snapshots and between block comparisons (each individual solver
+// query stays bounded by MaxConflicts), and ctx.Err() is returned with the
+// verdicts gathered so far when the deadline fires mid-stream.
+func SnapshotsContext(ctx context.Context, res *compiler.Result, opts Options) ([]Verdict, error) {
 	var out []Verdict
 	if len(res.Snapshots) == 0 {
 		return nil, nil
@@ -116,6 +125,9 @@ func Snapshots(res *compiler.Result, opts Options) ([]Verdict, error) {
 	prevPass := res.Snapshots[0].Pass
 	prevHash := res.Snapshots[0].Hash
 	for _, snap := range res.Snapshots[1:] {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		if snap.Hash != 0 && snap.Hash == prevHash {
 			// The pass emitted a byte-identical program: every block is
 			// trivially equivalent (the compiler usually elides these
@@ -128,6 +140,9 @@ func Snapshots(res *compiler.Result, opts Options) ([]Verdict, error) {
 			return out, fmt.Errorf("snapshot %s: %w", snap.Pass, err)
 		}
 		for _, name := range order {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
 			a, okA := prevForms[name]
 			b := forms[name]
 			if !okA {
