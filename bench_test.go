@@ -311,6 +311,41 @@ func BenchmarkEquivalenceQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkGateReuse measures structural gate-cache reuse while blasting
+// a near-identical miter — the reduction-candidate regime, where the two
+// sides differ in one buried leaf. The reuse rate must be nonzero (the CI
+// bench smoke asserts it): if the structural-hash path stops collapsing
+// repeated structure, this fails rather than silently regressing.
+func BenchmarkGateReuse(b *testing.B) {
+	x := smt.Var("gx", 8)
+	y := smt.Var("gy", 8)
+	z := smt.Var("gz", 8)
+	side := func(leaf uint64) *smt.Term {
+		t := smt.Mul(smt.Add(x, y), z)
+		u := smt.BVAnd(t, smt.BVXor(x, smt.Const(leaf, 8)))
+		return smt.Sub(smt.BVOr(u, t), smt.Add(y, smt.BVXor(z, x)))
+	}
+	// Two sides sharing everything except one xor constant, plus a
+	// commuted duplicate of the whole A side (pure gate-level overlap).
+	miter := smt.Or(
+		smt.Ne(side(0x10), side(0x20)),
+		smt.Ne(smt.Add(x, y), smt.Add(y, x)))
+	var pct float64
+	for i := 0; i < b.N; i++ {
+		bl := solver.NewBlaster()
+		bl.Assert(miter)
+		built, reused := bl.GateStats()
+		if built+reused == 0 {
+			b.Fatal("miter blasted no gates")
+		}
+		pct = float64(reused) / float64(built+reused) * 100
+		if pct == 0 {
+			b.Fatal("structural gate cache reported zero reuse on a near-identical miter")
+		}
+	}
+	b.ReportMetric(pct, "gates-reused-%")
+}
+
 // BenchmarkSymbolicExecutionTests measures Figure 4's test generation +
 // device execution for a two-header program.
 func BenchmarkSymbolicExecutionTests(b *testing.B) {
@@ -428,21 +463,33 @@ func BenchmarkEngineFuzz(b *testing.B) {
 	})
 	for _, workers := range []int{1, 8} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			gb0, gr0 := solver.GateStats()
+			var simpResolved uint64
 			for i := 0; i < b.N; i++ {
 				cfg := core.DefaultEngineConfig()
 				cfg.StartSeed = int64(i) * fuzzBatch
 				cfg.Seeds = fuzzBatch
 				cfg.Workers = workers
 				cfg.Passes = compiler.DefaultPasses()
-				if findings := core.NewEngine(cfg).Run(context.Background()); len(findings) > 0 {
+				engine := core.NewEngine(cfg)
+				if findings := engine.Run(context.Background()); len(findings) > 0 {
 					b.Fatalf("reference pipeline produced findings: %+v", findings[0])
 				}
+				simpResolved += engine.Stats().SimpResolved
 			}
 			rate := float64(b.N*fuzzBatch) / b.Elapsed().Seconds()
 			b.ReportMetric(rate, "programs/sec")
 			if seqFuzzRate > 0 {
 				b.ReportMetric(rate/seqFuzzRate, "x-vs-sequential")
 			}
+			// Structural sharing effectiveness over the run: gate-cache
+			// reuse in the blaster, and equivalence queries the word-level
+			// simplifier answered without any solver call.
+			gb1, gr1 := solver.GateStats()
+			if total := (gb1 - gb0) + (gr1 - gr0); total > 0 {
+				b.ReportMetric(float64(gr1-gr0)/float64(total)*100, "gates-reused-%")
+			}
+			b.ReportMetric(float64(simpResolved)/float64(b.N), "simp-resolved/run")
 		})
 	}
 }

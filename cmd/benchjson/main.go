@@ -1,0 +1,149 @@
+// Command benchjson converts `go test -bench` output (read from stdin)
+// into the repository's benchmark-trajectory artifact (BENCH_3.json,
+// written to stdout): one JSON object with the raw per-benchmark numbers
+// plus the three headline metrics the trajectory tracks — programs/sec
+// through the validation pipeline, ns per equivalence query, and the
+// structural gate-cache reuse rate.
+//
+// It doubles as the CI smoke gate: missing headline benchmarks or a zero
+// gate-reuse rate exit nonzero, so a regression in the structural-hash
+// path fails the workflow instead of silently flattening the trajectory.
+//
+// Usage:
+//
+//	go test -run=NONE -bench='...' . | go run ./cmd/benchjson > BENCH_3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark line.
+type Bench struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Artifact is the BENCH_3.json schema.
+type Artifact struct {
+	// Headline trajectory metrics.
+	ProgramsPerSec       float64 `json:"programs_per_sec"`
+	NsPerEquivalenceQry  float64 `json:"ns_per_equivalence_query"`
+	GatesReusedPct       float64 `json:"gates_reused_pct"`
+	SimpResolvedPerRun   float64 `json:"simp_resolved_per_run"`
+	EngineXVsSequential  float64 `json:"engine_x_vs_sequential"`
+	Table2CampaignSecs   float64 `json:"table2_campaign_secs"`
+	Sec52NsPerProgram    float64 `json:"sec52_ns_per_program"`
+
+	// Raw parses, keyed by benchmark name (GOMAXPROCS suffix stripped).
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+func main() {
+	benches := map[string]Bench{}
+	lookup := map[string]Bench{} // raw names plus -GOMAXPROCS-stripped aliases
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := fields[0]
+		iters, _ := strconv.ParseInt(fields[1], 10, 64)
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		b := Bench{Iterations: iters, NsPerOp: ns}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		benches[name] = b
+		lookup[name] = b
+		// go test appends -GOMAXPROCS on multi-proc runs (absent when
+		// GOMAXPROCS=1, and ambiguous against subbench names like
+		// workers-8), so also register the name with one trailing -N
+		// stripped; headline lookups try the canonical name either way.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				if _, exists := lookup[name[:i]]; !exists {
+					lookup[name[:i]] = b
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("read: %v", err)
+	}
+
+	art := Artifact{Benchmarks: benches}
+	var missing []string
+	get := func(name string) (Bench, bool) {
+		b, ok := lookup[name]
+		if !ok {
+			missing = append(missing, name)
+		}
+		return b, ok
+	}
+	if b, ok := get("BenchmarkEquivalenceQuery"); ok {
+		art.NsPerEquivalenceQry = b.NsPerOp
+	}
+	if b, ok := get("BenchmarkTable2_BugSummary"); ok {
+		art.Table2CampaignSecs = b.NsPerOp / 1e9
+	}
+	if b, ok := get("BenchmarkSec52_PipelineThroughput"); ok {
+		art.Sec52NsPerProgram = b.NsPerOp
+	}
+	if b, ok := get("BenchmarkGateReuse"); ok {
+		art.GatesReusedPct = b.Metrics["gates-reused-%"]
+	}
+	for _, name := range []string{
+		"BenchmarkEngineFuzz/workers-8",
+		"BenchmarkEngineFuzz/workers-1",
+		"BenchmarkEngineFuzz/sequential-baseline",
+	} {
+		if b, ok := lookup[name]; ok && art.ProgramsPerSec == 0 {
+			art.ProgramsPerSec = b.Metrics["programs/sec"]
+			art.EngineXVsSequential = b.Metrics["x-vs-sequential"]
+			art.SimpResolvedPerRun = b.Metrics["simp-resolved/run"]
+		}
+	}
+	if art.ProgramsPerSec == 0 {
+		missing = append(missing, "BenchmarkEngineFuzz/*")
+	}
+	if len(missing) > 0 {
+		fatalf("missing headline benchmarks: %s", strings.Join(missing, ", "))
+	}
+	if art.GatesReusedPct <= 0 {
+		fatalf("gate-reuse rate is %v: the structural-hash path reported no sharing", art.GatesReusedPct)
+	}
+
+	out, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	fmt.Printf("%s\n", out)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -160,7 +160,23 @@ func fuzz(ff fuzzFlags) {
 
 	engine := core.NewEngine(cfg)
 	findings := engine.Run(ctx)
-	fmt.Printf("\n%s\n", engine.Stats().Summary())
+	stats := engine.Stats()
+	fmt.Printf("\n%s\n", stats.Summary())
+	if sink != nil {
+		// Final run record: one JSON line with the full stats snapshot
+		// (throughput, cache hit rates, simplification/gate-reuse counters,
+		// interner growth), so a JSONL stream is self-describing without
+		// scraping the human summary.
+		line, err := json.Marshal(struct {
+			Stats core.Stats `json:"stats"`
+		}{stats})
+		if err == nil {
+			_, err = fmt.Fprintf(sink, "%s\n", line)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p4gauntlet: jsonl stats record lost: %v\n", err)
+		}
+	}
 	if len(findings) > 0 {
 		os.Exit(1)
 	}

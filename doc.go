@@ -57,8 +57,10 @@
 //
 // # Performance architecture
 //
-// A bug-hunting campaign is thousands of solver queries, so the solver
-// stack is built around structural sharing and incrementality:
+// A bug-hunting campaign is thousands of solver queries over
+// near-identical circuits, so the solver stack is built around making
+// most queries never reach CDCL search at all — and making the rest
+// cheap:
 //
 //   - Hash-consing. Every smt.Term is interned by its smart constructor
 //     (internal/smt/intern.go): structurally equal terms are
@@ -70,6 +72,32 @@
 //     smt.InternerStats() reports entries, a bytes estimate and shard
 //     occupancy; the engine surfaces it so unbounded interner growth is
 //     observable in long-running service mode.
+//   - Word-level simplification. smt.Simplify (internal/smt/simplify.go)
+//     canonicalizes terms through a memoized bottom-up rewriter (sharded
+//     cache keyed by interned ID): commutative operands sort by a
+//     run-stable structural rank, And/Or flatten and detect complements,
+//     Not pushes to the leaves, equalities decompose through concat/zext
+//     and cancel shared operands, extracts fuse through
+//     concat/zext/bitwise plumbing, and constant shifts become wiring.
+//     Every rule is model-preserving (differentially fuzzed against
+//     smt.Eval and the raw blaster). sym.Equivalent returns the
+//     simplified miter, so translation validation's near-identical
+//     comparisons usually collapse to a constant before any solver
+//     exists, and validate.Cache keys verdicts on the canonical
+//     (simplified) term ID so syntactic variants share one verdict.
+//     solver.Session simplifies at its Assert/Lit/BVLits boundary, so
+//     test generation and every Solve caller inherit the layer.
+//   - Structurally-hashed bit-blasting. Below the term level,
+//     solver.Blaster builds negation-normalized two-input AND/XOR/MUX
+//     gates through a structural cache: commuted inputs, flipped
+//     polarities and De Morgan duals of an existing gate return its
+//     literal instead of fresh variables and clauses, so structure
+//     repeated across a miter's two sides collapses inside the CNF too.
+//     The barrel shifter folds all "distance ≥ width" stages into one
+//     amount-overflow OR plus a single AND mask per bit.
+//     solver.GateStats() reports built/reused counters, surfaced with the
+//     simplification stats in engine Stats() and the p4gauntlet -jsonl
+//     run record.
 //   - Incremental solving. The SAT core supports solve-under-assumptions
 //     (solver.Session): a formula is bit-blasted once and each branch
 //     polarity or soft model preference is decided as an assumption on
@@ -79,16 +107,20 @@
 //     re-blast. (Equivalence queries deliberately stay one-shot: their
 //     circuits overlap too little for session reuse to pay.)
 //   - Validation caching. validate.Cache memoizes block formulas (keyed
-//     by printed source) and equivalence verdicts (keyed by interned term
-//     ID); core.Campaign and core.Engine share one cache across all
+//     by printed source) and equivalence verdicts (keyed by simplified
+//     term ID); core.Campaign and core.Engine share one cache across all
 //     hunts, workers and reduction predicates — reduction candidates are
-//     near-copies of their original, so the reducer runs mostly on cache
-//     hits.
+//     near-copies of their original, so the reducer runs mostly on
+//     simplification collapses and cache hits. Cache.Snapshot() counts
+//     the queries resolved with no solver call (SimpResolved).
 //
 // BenchmarkValidateIncremental measures the warm steady state;
-// BenchmarkSec52_PipelineThroughput the cold end-to-end rate; and
-// BenchmarkEngineFuzz the streaming engine against the sequential fuzz
-// loop it replaced:
+// BenchmarkSec52_PipelineThroughput the cold end-to-end rate;
+// BenchmarkGateReuse the structural gate cache on a near-identical miter;
+// and BenchmarkEngineFuzz the streaming engine against the sequential
+// fuzz loop it replaced. scripts/bench_trajectory.sh runs the headline
+// set and writes BENCH_3.json (programs/sec, ns per equivalence query,
+// gate-reuse %):
 //
-//	go test -bench='ValidateIncremental|Sec52|EngineFuzz' .
+//	go test -bench='ValidateIncremental|Sec52|EngineFuzz|GateReuse' .
 package gauntlet

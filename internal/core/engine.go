@@ -18,6 +18,7 @@ import (
 	"gauntlet/internal/p4/token"
 	"gauntlet/internal/reduce"
 	"gauntlet/internal/smt"
+	"gauntlet/internal/smt/solver"
 	"gauntlet/internal/testgen"
 	"gauntlet/internal/validate"
 )
@@ -186,6 +187,21 @@ type Stats struct {
 	// equivalence verdicts).
 	BlockHits, BlockMisses     uint64
 	VerdictHits, VerdictMisses uint64
+	// SimpResolved counts equivalence queries the word-level simplifier
+	// (plus hash-consing) answered outright: the canonicalized miter was
+	// the constant true, so no verdict lookup or solver call happened at
+	// all. (Constant-false miters still take the solver path to produce a
+	// counterexample and are not counted.)
+	SimpResolved uint64
+	// Simp is the process-wide simplification-cache snapshot (memoized
+	// term rewrites; hit rate measures how much canonicalization work is
+	// shared across queries, workers and reduction candidates).
+	Simp smt.SimplifyInfo
+	// GatesBuilt and GatesReused are the process-wide structural gate
+	// cache counters from the bit-blaster: gates encoded fresh versus gate
+	// constructions answered by an existing literal. A high reuse rate
+	// means near-identical circuits collapsed before CDCL search.
+	GatesBuilt, GatesReused uint64
 	// Interner is the process-wide term-interner snapshot (the ROADMAP's
 	// "growth is unbounded" observable).
 	Interner smt.InternerInfo
@@ -203,11 +219,14 @@ func (s Stats) Summary() string {
 		"programs: %d generated, %d compiled, %d clean (%.1f/sec over %v)\n"+
 			"findings: %d unique (%d crash, %d invalid-transform, %d miscompilation, %d packet-mismatch raw; %d duplicates), %d tool limitations\n"+
 			"caches: block %.1f%% hit, verdict %.1f%% hit; reduction predicate calls: %d\n"+
+			"solver: %d equivalence queries resolved by simplification alone; simp cache %.1f%% hit (%d entries); gates %d built, %d reused (%.1f%%)\n"+
 			"interner: %d terms (~%.1f MiB, %d/%d shards occupied)",
 		s.Generated, s.Compiled, s.Clean, s.ProgramsPerSec, s.Elapsed.Round(time.Millisecond),
 		s.UniqueFindings, s.Crashes, s.InvalidTransforms, s.Miscompilations, s.Mismatches,
 		s.Duplicates, s.CompileErrors+s.OracleErrors,
 		rate(s.BlockHits, s.BlockMisses), rate(s.VerdictHits, s.VerdictMisses), s.ReducePredicateCalls,
+		s.SimpResolved, rate(s.Simp.Hits, s.Simp.Misses), s.Simp.Entries,
+		s.GatesBuilt, s.GatesReused, rate(s.GatesReused, s.GatesBuilt),
 		s.Interner.Entries, float64(s.Interner.BytesEstimate)/(1<<20),
 		s.Interner.OccupiedShards, s.Interner.Shards)
 }
@@ -304,9 +323,14 @@ func (e *Engine) Stats() Stats {
 		Duplicates:           e.duplicates.Load(),
 		UniqueFindings:       e.unique.Load(),
 		ReducePredicateCalls: e.reduceCalls.Load(),
+		Simp:                 smt.SimplifyStats(),
 		Interner:             smt.InternerStats(),
 	}
-	s.BlockHits, s.BlockMisses, s.VerdictHits, s.VerdictMisses = e.cfg.Cache.Stats()
+	s.GatesBuilt, s.GatesReused = solver.GateStats()
+	cs := e.cfg.Cache.Snapshot()
+	s.BlockHits, s.BlockMisses = cs.BlockHits, cs.BlockMisses
+	s.VerdictHits, s.VerdictMisses = cs.VerdictHits, cs.VerdictMisses
+	s.SimpResolved = cs.SimpResolved
 	if start := e.startNano.Load(); start != 0 {
 		end := e.endNano.Load()
 		if end == 0 {

@@ -1,0 +1,804 @@
+package smt
+
+import (
+	"sort"
+	"sync"
+)
+
+// Simplify rewrites a term into a canonical, typically smaller form with
+// identical semantics: Eval(Simplify(t), a) == Eval(t, a) for every
+// assignment a (no fresh variables are introduced and none are given new
+// meaning, so models transfer in both directions).
+//
+// It is the word-level layer beneath the bit-blaster: translation
+// validation's miters compare two near-identical circuits, and most of
+// their disagreement is syntactic noise — argument order, nested
+// conjunctions, extract-of-concat plumbing — that the solver would
+// otherwise rediscover clause by clause. Simplify normalizes that noise
+// away: commutative operands are sorted by a run-stable structural rank,
+// And/Or are flattened/deduplicated with complement detection, Not is
+// pushed to the leaves, Ite chains collapse, equalities decompose through
+// concat/zext, and constant shifts become wiring (concat with zeros). Two
+// raw miters that differ only syntactically normalize to one canonical
+// term, so the validator's verdict cache can key on the simplified ID —
+// and a miter that normalizes to a constant never reaches CDCL search.
+//
+// Results are memoized in a sharded cache keyed by the interned term ID
+// (the same discipline as the interner itself), so the cost of a
+// simplification is paid once per distinct subterm process-wide. Safe for
+// concurrent use; the function is deterministic within a process, so
+// racing goroutines store the same (pointer-identical) result.
+func Simplify(t *Term) *Term {
+	s := &simpTable[t.id%simpShards]
+	s.mu.Lock()
+	if r, ok := s.simplified[t.id]; ok {
+		s.hits++
+		s.mu.Unlock()
+		return r
+	}
+	s.mu.Unlock()
+
+	r := simplifyNode(t)
+
+	s.mu.Lock()
+	if s.simplified == nil {
+		s.simplified = map[uint64]*Term{}
+	}
+	s.misses++
+	s.simplified[t.id] = r
+	s.mu.Unlock()
+	if r != t {
+		// A simplified term is its own fixpoint: record it so callers that
+		// re-simplify results (validate does, after sym.Equivalent) get a
+		// cache hit instead of a re-walk.
+		rs := &simpTable[r.id%simpShards]
+		rs.mu.Lock()
+		if rs.simplified == nil {
+			rs.simplified = map[uint64]*Term{}
+		}
+		if _, ok := rs.simplified[r.id]; !ok {
+			rs.simplified[r.id] = r
+		}
+		rs.mu.Unlock()
+	}
+	return r
+}
+
+const simpShards = 64
+
+// simpShard holds one shard of the simplification memo and of the
+// canonical-rank memo. Two maps, one lock: both are keyed by term ID and
+// touched on the same paths.
+type simpShard struct {
+	mu         sync.Mutex
+	simplified map[uint64]*Term
+	canon      map[uint64]uint64
+	hits       uint64
+	misses     uint64
+}
+
+var simpTable [simpShards]simpShard
+
+// SimplifyInfo is a point-in-time snapshot of the simplification cache.
+type SimplifyInfo struct {
+	// Entries is the number of memoized (term → simplified term) pairs.
+	Entries uint64
+	// Hits and Misses count cache lookups; the hit rate is the fraction of
+	// subterm simplifications answered without any rewriting work.
+	Hits, Misses uint64
+}
+
+// SimplifyStats snapshots the process-wide simplification cache.
+func SimplifyStats() SimplifyInfo {
+	var info SimplifyInfo
+	for i := range simpTable {
+		s := &simpTable[i]
+		s.mu.Lock()
+		info.Entries += uint64(len(s.simplified))
+		info.Hits += s.hits
+		info.Misses += s.misses
+		s.mu.Unlock()
+	}
+	return info
+}
+
+// canonRank returns a run-stable structural hash of the term: unlike
+// Term.Hash (which mixes interner IDs, assigned in construction order and
+// therefore scheduling-dependent), canonRank depends only on structure.
+// It orders commutative operands, so the canonical form of a formula is
+// identical across runs and worker counts. Memoized per term ID.
+func canonRank(t *Term) uint64 {
+	s := &simpTable[t.id%simpShards]
+	s.mu.Lock()
+	if r, ok := s.canon[t.id]; ok {
+		s.mu.Unlock()
+		return r
+	}
+	s.mu.Unlock()
+
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+		h ^= h >> 29
+	}
+	mix(uint64(t.Op))
+	mix(uint64(t.W))
+	mix(t.Val)
+	mix(uint64(t.Hi)<<32 | uint64(uint32(t.Lo)))
+	mix(uint64(len(t.Name)))
+	for i := 0; i < len(t.Name); i++ {
+		mix(uint64(t.Name[i]))
+	}
+	mix(uint64(len(t.Args)))
+	for _, a := range t.Args {
+		mix(canonRank(a))
+	}
+
+	s.mu.Lock()
+	if s.canon == nil {
+		s.canon = map[uint64]uint64{}
+	}
+	s.canon[t.id] = h
+	s.mu.Unlock()
+	return h
+}
+
+// rankLess orders terms by canonical rank with the interner ID as a
+// collision tie-break (equal ranks for distinct terms are vanishingly
+// rare; pointer-equal terms compare equal and are deduplicated anyway).
+func rankLess(a, b *Term) bool {
+	ra, rb := canonRank(a), canonRank(b)
+	if ra != rb {
+		return ra < rb
+	}
+	return a.id < b.id
+}
+
+// simplifyNode simplifies one node: children first (through the memoizing
+// Simplify), then the node-local rewrite rules. All rules preserve
+// semantics exactly — they are model-preserving, not merely
+// equisatisfiable — which the differential fuzz tests check against Eval.
+func simplifyNode(t *Term) *Term {
+	switch t.Op {
+	case OpVar, OpConst:
+		return t
+	}
+	args := make([]*Term, len(t.Args))
+	for i, a := range t.Args {
+		args[i] = Simplify(a)
+	}
+	switch t.Op {
+	case OpNot:
+		return simpNot(args[0])
+	case OpAnd:
+		return simpNaryBool(OpAnd, args)
+	case OpOr:
+		return simpNaryBool(OpOr, args)
+	case OpEq:
+		return simpEq(args[0], args[1])
+	case OpIte:
+		return simpIte(args[0], args[1], args[2])
+	case OpUlt:
+		return simpUlt(args[0], args[1])
+	case OpUle:
+		return simpUle(args[0], args[1])
+	case OpBVAdd:
+		return simpAdd(args[0], args[1])
+	case OpBVSub:
+		return simpSub(args[0], args[1])
+	case OpBVMul:
+		return simpCommutative(OpBVMul, Mul, args[0], args[1])
+	case OpBVAnd:
+		return simpBVAnd(args[0], args[1])
+	case OpBVOr:
+		return simpBVOr(args[0], args[1])
+	case OpBVXor:
+		return simpBVXor(args[0], args[1])
+	case OpBVNot:
+		return simpBVNot(args[0])
+	case OpBVNeg:
+		return simpBVNeg(args[0])
+	case OpBVShl:
+		return simpShift(args[0], args[1], true)
+	case OpBVLshr:
+		return simpShift(args[0], args[1], false)
+	case OpBVConcat:
+		return simpConcat(args[0], args[1])
+	case OpBVExtract:
+		return simpExtract(args[0], t.Hi, t.Lo)
+	case OpBVZext:
+		return simpZExt(args[0], t.W)
+	}
+	return t
+}
+
+// neg returns the simplified negation of an already-simplified boolean.
+func neg(x *Term) *Term { return Simplify(Not(x)) }
+
+// simpNot pushes negation toward the leaves: De Morgan over And/Or,
+// distribution over Ite, and comparison flipping (¬(a<b) ⇒ b≤a). The
+// argument is already simplified.
+func simpNot(x *Term) *Term {
+	switch x.Op {
+	case OpConst:
+		return Bool(x.Val == 0)
+	case OpNot:
+		return x.Args[0]
+	case OpAnd:
+		ys := make([]*Term, len(x.Args))
+		for i, a := range x.Args {
+			ys[i] = neg(a)
+		}
+		return simpNaryBool(OpOr, ys)
+	case OpOr:
+		ys := make([]*Term, len(x.Args))
+		for i, a := range x.Args {
+			ys[i] = neg(a)
+		}
+		return simpNaryBool(OpAnd, ys)
+	case OpIte:
+		return simpIte(x.Args[0], neg(x.Args[1]), neg(x.Args[2]))
+	case OpUlt:
+		return simpUle(x.Args[1], x.Args[0])
+	case OpUle:
+		return simpUlt(x.Args[1], x.Args[0])
+	}
+	return Not(x)
+}
+
+// complementOf returns the syntactic complement of a simplified boolean
+// term, for And/Or complement detection. Comparisons complement through
+// their flipped dual (¬(a<b) = b≤a); everything else through an interned
+// Not node (a cheap hash-cons probe).
+func complementOf(x *Term) *Term {
+	switch x.Op {
+	case OpNot:
+		return x.Args[0]
+	case OpUlt:
+		return Ule(x.Args[1], x.Args[0])
+	case OpUle:
+		return Ult(x.Args[1], x.Args[0])
+	}
+	return Not(x)
+}
+
+// simpNaryBool canonicalizes an And/Or argument list: flatten nested
+// same-op nodes, drop neutral elements, short-circuit on the absorbing
+// constant, deduplicate pointer-equal args, detect complement pairs
+// (x ∧ ¬x ⇒ false, x ∨ ¬x ⇒ true), and sort by canonical rank. Args are
+// already simplified.
+func simpNaryBool(op Op, xs []*Term) *Term {
+	absorbing, neutral := False, True
+	if op == OpOr {
+		absorbing, neutral = True, False
+	}
+	var flat []*Term
+	var flatten func([]*Term) bool
+	flatten = func(ys []*Term) bool {
+		for _, y := range ys {
+			if y == absorbing {
+				return false
+			}
+			if y == neutral {
+				continue
+			}
+			if y.Op == op {
+				if !flatten(y.Args) {
+					return false
+				}
+				continue
+			}
+			flat = append(flat, y)
+		}
+		return true
+	}
+	if !flatten(xs) {
+		return absorbing
+	}
+	seen := make(map[*Term]bool, len(flat))
+	uniq := flat[:0]
+	for _, y := range flat {
+		if seen[y] {
+			continue
+		}
+		seen[y] = true
+		uniq = append(uniq, y)
+	}
+	for _, y := range uniq {
+		if seen[complementOf(y)] {
+			return absorbing
+		}
+	}
+	switch len(uniq) {
+	case 0:
+		return neutral
+	case 1:
+		return uniq[0]
+	}
+	sort.Slice(uniq, func(i, j int) bool { return rankLess(uniq[i], uniq[j]) })
+	if op == OpAnd {
+		return And(uniq...)
+	}
+	return Or(uniq...)
+}
+
+// simpCommutative orders the operands of a commutative operator by
+// canonical rank and rebuilds through the folding constructor.
+func simpCommutative(op Op, build func(a, b *Term) *Term, a, b *Term) *Term {
+	if rankLess(b, a) {
+		a, b = b, a
+	}
+	return build(a, b)
+}
+
+// simpEq canonicalizes an equality: operand ordering, word-level
+// decomposition through concat/zext/not/neg, operand cancellation for
+// operators injective in one argument, and ite-absorption.
+func simpEq(a, b *Term) *Term {
+	if a == b {
+		return True
+	}
+	if rankLess(b, a) {
+		a, b = b, a
+	}
+	if a.IsConst() && b.IsConst() {
+		return Bool(a.Val == b.Val)
+	}
+	if a.IsBool() {
+		// Boolean identity/negation folds must go through the simplifier's
+		// own negation (the raw Eq constructor would emit a bare Not node,
+		// which is not canonical and would poison the fixpoint memo).
+		switch {
+		case a.IsTrue():
+			return b
+		case a.IsFalse():
+			return simpNot(b)
+		case b.IsTrue():
+			return a
+		case b.IsFalse():
+			return simpNot(a)
+		}
+	}
+	if !a.IsBool() {
+		// Concat = Concat with the same split: compare the halves
+		// independently (the halves are narrower, so this recurses toward
+		// per-field equalities — exactly how miter outputs decompose).
+		if a.Op == OpBVConcat && b.Op == OpBVConcat &&
+			a.Args[0].W == b.Args[0].W {
+			return simpNaryBool(OpAnd, []*Term{
+				simpEq(a.Args[0], b.Args[0]),
+				simpEq(a.Args[1], b.Args[1]),
+			})
+		}
+		// Structured side = const: decompose against the constant. Which
+		// side holds the constant depends on the rank order, so match both
+		// orientations in place (re-calling with swapped arguments would
+		// fight the canonical sort above and loop).
+		if a.IsConst() || b.IsConst() {
+			c, x := a, b
+			if b.IsConst() {
+				c, x = b, a
+			}
+			switch x.Op {
+			case OpBVConcat:
+				loW := x.Args[1].W
+				return simpNaryBool(OpAnd, []*Term{
+					simpEq(x.Args[0], Const(c.Val>>uint(loW), x.Args[0].W)),
+					simpEq(x.Args[1], Const(c.Val, loW)),
+				})
+			case OpBVZext:
+				base := x.Args[0]
+				if base.W < 64 && c.Val>>uint(base.W) != 0 {
+					return False
+				}
+				return simpEq(base, Const(c.Val, base.W))
+			case OpBVNot:
+				return simpEq(x.Args[0], Const(^c.Val, x.W))
+			}
+		}
+		// ZExt = ZExt over equal base widths.
+		if a.Op == OpBVZext && b.Op == OpBVZext && a.Args[0].W == b.Args[0].W {
+			return simpEq(a.Args[0], b.Args[0])
+		}
+		// Injective unary wrappers peel off both sides.
+		if a.Op == OpBVNot && b.Op == OpBVNot {
+			return simpEq(a.Args[0], b.Args[0])
+		}
+		if a.Op == OpBVNeg && b.Op == OpBVNeg {
+			return simpEq(a.Args[0], b.Args[0])
+		}
+		// Shared-operand cancellation: + and ^ are injective in the other
+		// argument; - in its first.
+		if x, y, ok := cancelShared(a, b); ok {
+			return simpEq(x, y)
+		}
+		// x = (c ? x : y) ⇔ c ∨ x=y (and the three symmetric variants).
+		if b.Op == OpIte {
+			if b.Args[1] == a {
+				return simpNaryBool(OpOr, []*Term{b.Args[0], simpEq(a, b.Args[2])})
+			}
+			if b.Args[2] == a {
+				return simpNaryBool(OpOr, []*Term{neg(b.Args[0]), simpEq(a, b.Args[1])})
+			}
+		}
+		if a.Op == OpIte {
+			if a.Args[1] == b {
+				return simpNaryBool(OpOr, []*Term{a.Args[0], simpEq(b, a.Args[2])})
+			}
+			if a.Args[2] == b {
+				return simpNaryBool(OpOr, []*Term{neg(a.Args[0]), simpEq(b, a.Args[1])})
+			}
+		}
+	}
+	return Eq(a, b)
+}
+
+// cancelShared strips a shared operand from both sides of an equality
+// over the same operator when that operator is injective in the remaining
+// argument: x+a = x+b ⇔ a=b (modular add), x^a = x^b ⇔ a=b, a-x = b-x
+// and x-a = x-b ⇔ a=b.
+func cancelShared(a, b *Term) (x, y *Term, ok bool) {
+	if a.Op != b.Op {
+		return nil, nil, false
+	}
+	switch a.Op {
+	case OpBVAdd, OpBVXor:
+		for _, i := range [2]int{0, 1} {
+			for _, j := range [2]int{0, 1} {
+				if a.Args[i] == b.Args[j] {
+					return a.Args[1-i], b.Args[1-j], true
+				}
+			}
+		}
+	case OpBVSub:
+		if a.Args[0] == b.Args[0] {
+			return a.Args[1], b.Args[1], true
+		}
+		if a.Args[1] == b.Args[1] {
+			return a.Args[0], b.Args[0], true
+		}
+	}
+	return nil, nil, false
+}
+
+// simpIte canonicalizes an if-then-else: negated conditions flip the
+// branches, boolean constant branches turn into connectives, and chains
+// sharing a branch or condition collapse.
+func simpIte(c, t, e *Term) *Term {
+	for c.Op == OpNot {
+		c, t, e = c.Args[0], e, t
+	}
+	if c.IsTrue() {
+		return t
+	}
+	if c.IsFalse() {
+		return e
+	}
+	if t == e {
+		return t
+	}
+	if t.IsBool() {
+		// Boolean branches: an Ite is a mux only until one branch is
+		// constant, then it is a plain connective.
+		switch {
+		case t.IsTrue():
+			return simpNaryBool(OpOr, []*Term{c, e})
+		case t.IsFalse():
+			return simpNaryBool(OpAnd, []*Term{neg(c), e})
+		case e.IsTrue():
+			return simpNaryBool(OpOr, []*Term{neg(c), t})
+		case e.IsFalse():
+			return simpNaryBool(OpAnd, []*Term{c, t})
+		case t == neg(e):
+			return simpEq(c, t)
+		}
+	}
+	// Same condition nested: the outer selection already decided it.
+	if t.Op == OpIte && t.Args[0] == c {
+		t = t.Args[1]
+	}
+	if e.Op == OpIte && e.Args[0] == c {
+		e = e.Args[2]
+	}
+	// Shared branch across a chain: (c ? x : (c2 ? x : y)) = (c∨c2 ? x : y)
+	// and (c ? (c2 ? x : y) : y) = (c∧c2 ? x : y).
+	if e.Op == OpIte && e.Args[1] == t {
+		return simpIte(simpNaryBool(OpOr, []*Term{c, e.Args[0]}), t, e.Args[2])
+	}
+	if t.Op == OpIte && t.Args[2] == e {
+		return simpIte(simpNaryBool(OpAnd, []*Term{c, t.Args[0]}), t.Args[1], e)
+	}
+	return Ite(c, t, e)
+}
+
+func maxOf(w int) uint64 { return mask(^uint64(0), w) }
+
+// simpUlt applies the unsigned-less-than constant-range rules.
+func simpUlt(a, b *Term) *Term {
+	if a == b {
+		return False
+	}
+	if a.IsConst() && b.IsConst() {
+		return Bool(a.Val < b.Val)
+	}
+	if b.IsConst() {
+		switch b.Val {
+		case 0:
+			return False
+		case 1:
+			return simpEq(a, Const(0, a.W))
+		case maxOf(a.W):
+			return neg(simpEq(a, Const(b.Val, a.W)))
+		}
+		// a is zero-extended and always below the bound.
+		if a.Op == OpBVZext && a.Args[0].W < 64 && b.Val >= 1<<uint(a.Args[0].W) {
+			return True
+		}
+	}
+	if a.IsConst() {
+		switch a.Val {
+		case maxOf(b.W):
+			return False
+		case 0:
+			return neg(simpEq(b, Const(0, b.W)))
+		case maxOf(b.W) - 1:
+			return simpEq(b, Const(maxOf(b.W), b.W))
+		}
+		if b.Op == OpBVZext && b.Args[0].W < 64 && a.Val >= (1<<uint(b.Args[0].W))-1 {
+			return False
+		}
+	}
+	return Ult(a, b)
+}
+
+// simpUle applies the unsigned-less-or-equal constant-range rules.
+func simpUle(a, b *Term) *Term {
+	if a == b {
+		return True
+	}
+	if a.IsConst() && b.IsConst() {
+		return Bool(a.Val <= b.Val)
+	}
+	if b.IsConst() {
+		switch b.Val {
+		case maxOf(a.W):
+			return True
+		case 0:
+			return simpEq(a, Const(0, a.W))
+		}
+		if a.Op == OpBVZext && a.Args[0].W < 64 && b.Val >= (1<<uint(a.Args[0].W))-1 {
+			return True
+		}
+	}
+	if a.IsConst() {
+		switch a.Val {
+		case 0:
+			return True
+		case maxOf(b.W):
+			return simpEq(b, Const(a.Val, b.W))
+		}
+		if b.Op == OpBVZext && b.Args[0].W < 64 && a.Val >= 1<<uint(b.Args[0].W) {
+			return False
+		}
+	}
+	return Ule(a, b)
+}
+
+// simpAdd canonicalizes addition: commutative ordering, sub-chain
+// cancellation ((x-y)+y ⇒ x), neg-to-sub, and constant re-association.
+func simpAdd(a, b *Term) *Term {
+	if a.Op == OpBVSub && a.Args[1] == b {
+		return a.Args[0]
+	}
+	if b.Op == OpBVSub && b.Args[1] == a {
+		return b.Args[0]
+	}
+	if b.Op == OpBVNeg {
+		return simpSub(a, b.Args[0])
+	}
+	if a.Op == OpBVNeg {
+		return simpSub(b, a.Args[0])
+	}
+	// (x + c1) + c2 ⇒ x + (c1+c2): constants bubble together.
+	if b.IsConst() && a.Op == OpBVAdd {
+		if c1 := a.Args[1]; c1.IsConst() {
+			return simpAdd(a.Args[0], Const(c1.Val+b.Val, a.W))
+		}
+		if c1 := a.Args[0]; c1.IsConst() {
+			return simpAdd(a.Args[1], Const(c1.Val+b.Val, a.W))
+		}
+	}
+	if a.IsConst() && b.Op == OpBVAdd {
+		return simpAdd(b, a)
+	}
+	return simpCommutative(OpBVAdd, Add, a, b)
+}
+
+// simpSub canonicalizes subtraction: x-x ⇒ 0, add-chain cancellation,
+// and subtract-by-constant rewritten as add-of-negated-constant so the
+// Add rules see one canonical shape.
+func simpSub(a, b *Term) *Term {
+	if a == b {
+		return Const(0, a.W)
+	}
+	if a.Op == OpBVAdd {
+		if a.Args[0] == b {
+			return a.Args[1]
+		}
+		if a.Args[1] == b {
+			return a.Args[0]
+		}
+	}
+	if b.Op == OpBVNeg {
+		return simpAdd(a, b.Args[0])
+	}
+	if b.IsConst() && b.Val != 0 {
+		return simpAdd(a, Const(^b.Val+1, a.W))
+	}
+	if a.IsConst() && a.Val == 0 {
+		return simpBVNeg(b)
+	}
+	return Sub(a, b)
+}
+
+func simpBVAnd(a, b *Term) *Term {
+	if a == b {
+		return a
+	}
+	if (a.Op == OpBVNot && a.Args[0] == b) || (b.Op == OpBVNot && b.Args[0] == a) {
+		return Const(0, a.W)
+	}
+	return simpCommutative(OpBVAnd, BVAnd, a, b)
+}
+
+func simpBVOr(a, b *Term) *Term {
+	if a == b {
+		return a
+	}
+	if (a.Op == OpBVNot && a.Args[0] == b) || (b.Op == OpBVNot && b.Args[0] == a) {
+		return Const(maxOf(a.W), a.W)
+	}
+	return simpCommutative(OpBVOr, BVOr, a, b)
+}
+
+func simpBVXor(a, b *Term) *Term {
+	if a == b {
+		return Const(0, a.W)
+	}
+	if a.IsConst() && b.IsConst() {
+		return Const(a.Val^b.Val, a.W)
+	}
+	if (a.Op == OpBVNot && a.Args[0] == b) || (b.Op == OpBVNot && b.Args[0] == a) {
+		return Const(maxOf(a.W), a.W)
+	}
+	if a.Op == OpBVNot && b.Op == OpBVNot {
+		return simpBVXor(a.Args[0], b.Args[0])
+	}
+	// x ^ ones ⇒ ~x; (x ^ c1) ^ c2 ⇒ x ^ (c1^c2).
+	if b.IsConst() {
+		if b.Val == maxOf(a.W) {
+			return simpBVNot(a)
+		}
+		if a.Op == OpBVXor {
+			if c1 := a.Args[1]; c1.IsConst() {
+				return simpBVXor(a.Args[0], Const(c1.Val^b.Val, a.W))
+			}
+			if c1 := a.Args[0]; c1.IsConst() {
+				return simpBVXor(a.Args[1], Const(c1.Val^b.Val, a.W))
+			}
+		}
+	}
+	if a.IsConst() && !b.IsConst() {
+		return simpBVXor(b, a)
+	}
+	return simpCommutative(OpBVXor, BVXor, a, b)
+}
+
+func simpBVNot(a *Term) *Term {
+	if a.Op == OpBVNot {
+		return a.Args[0]
+	}
+	return BVNot(a)
+}
+
+func simpBVNeg(a *Term) *Term {
+	if a.Op == OpBVNeg {
+		return a.Args[0]
+	}
+	if a.Op == OpBVSub {
+		return simpSub(a.Args[1], a.Args[0])
+	}
+	return BVNeg(a)
+}
+
+// simpShift turns shift-by-constant into pure wiring: a left shift is the
+// kept low bits concatenated over zeros, a right shift is the kept high
+// bits zero-extended. Variable shifts keep the barrel shifter.
+func simpShift(x, amt *Term, left bool) *Term {
+	if !amt.IsConst() {
+		if left {
+			return Shl(x, amt)
+		}
+		return Lshr(x, amt)
+	}
+	w := x.W
+	c := amt.Val
+	if c >= uint64(w) {
+		return Const(0, w)
+	}
+	if c == 0 {
+		return x
+	}
+	if left {
+		return simpConcat(simpExtract(x, w-1-int(c), 0), Const(0, int(c)))
+	}
+	return simpZExt(simpExtract(x, w-1, int(c)), w)
+}
+
+// simpConcat fuses adjacent extracts of the same source back together and
+// canonicalizes zero high bits to zero-extension.
+func simpConcat(hi, lo *Term) *Term {
+	if hi.Op == OpBVExtract && lo.Op == OpBVExtract &&
+		hi.Args[0] == lo.Args[0] && hi.Lo == lo.Hi+1 {
+		return simpExtract(hi.Args[0], hi.Hi, lo.Lo)
+	}
+	if hi.IsConst() && hi.Val == 0 {
+		return simpZExt(lo, hi.W+lo.W)
+	}
+	return Concat(hi, lo)
+}
+
+// simpExtract fuses extraction through concat, zext, bitwise operators
+// and ite. The extract-of-extract case lives in the constructor.
+func simpExtract(x *Term, hi, lo int) *Term {
+	if lo == 0 && hi == x.W-1 {
+		return x
+	}
+	switch x.Op {
+	case OpConst:
+		return Const(x.Val>>uint(lo), hi-lo+1)
+	case OpBVConcat:
+		loPart := x.Args[1]
+		switch {
+		case hi < loPart.W:
+			return simpExtract(loPart, hi, lo)
+		case lo >= loPart.W:
+			return simpExtract(x.Args[0], hi-loPart.W, lo-loPart.W)
+		default:
+			return simpConcat(
+				simpExtract(x.Args[0], hi-loPart.W, 0),
+				simpExtract(loPart, loPart.W-1, lo))
+		}
+	case OpBVZext:
+		base := x.Args[0]
+		switch {
+		case hi < base.W:
+			return simpExtract(base, hi, lo)
+		case lo >= base.W:
+			return Const(0, hi-lo+1)
+		default:
+			return simpZExt(simpExtract(base, base.W-1, lo), hi-lo+1)
+		}
+	case OpBVNot:
+		return simpBVNot(simpExtract(x.Args[0], hi, lo))
+	case OpBVAnd:
+		return simpBVAnd(simpExtract(x.Args[0], hi, lo), simpExtract(x.Args[1], hi, lo))
+	case OpBVOr:
+		return simpBVOr(simpExtract(x.Args[0], hi, lo), simpExtract(x.Args[1], hi, lo))
+	case OpBVXor:
+		return simpBVXor(simpExtract(x.Args[0], hi, lo), simpExtract(x.Args[1], hi, lo))
+	case OpIte:
+		return simpIte(x.Args[0],
+			simpExtract(x.Args[1], hi, lo), simpExtract(x.Args[2], hi, lo))
+	}
+	return Extract(x, hi, lo)
+}
+
+// simpZExt flattens nested zero-extensions.
+func simpZExt(x *Term, w int) *Term {
+	if x.Op == OpBVZext {
+		return simpZExt(x.Args[0], w)
+	}
+	return ZExt(x, w)
+}

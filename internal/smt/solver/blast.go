@@ -3,18 +3,56 @@ package solver
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"gauntlet/internal/smt"
 )
 
+// gateOp tags the node kind in the structural gate cache.
+type gateOp uint8
+
+const (
+	gAnd gateOp = iota
+	gXor
+	gMux
+)
+
+// gateKey identifies one gate structurally: operator plus normalized
+// input literals (c is the select input for muxes, 0 otherwise).
+type gateKey struct {
+	op      gateOp
+	a, b, c Lit
+}
+
+// gatesBuiltTotal and gatesReusedTotal are process-wide counters across
+// every blaster (blasters are per-query and short-lived, so instance
+// counters alone would vanish with them). The engine surfaces the reuse
+// rate in Stats.
+var gatesBuiltTotal, gatesReusedTotal atomic.Uint64
+
+// GateStats reports the cumulative structural gate-cache counters across
+// all blasters in the process: gates encoded fresh (new SAT variable plus
+// clauses) and gate constructions answered by an existing literal.
+func GateStats() (built, reused uint64) {
+	return gatesBuiltTotal.Load(), gatesReusedTotal.Load()
+}
+
 // Blaster lowers smt terms to CNF over a SAT solver. Shared subterms
-// (by pointer) are encoded once.
+// (by pointer) are encoded once, and below the term level every gate is
+// structurally hashed: two-input AND/XOR/MUX nodes are normalized
+// (operand order, negation polarity) and cached, so structure repeated
+// anywhere in the formula — the A-side and B-side of a near-identical
+// miter, two adders over the same operands, symmetric comparisons —
+// resolves to the same literal instead of fresh variables and clauses.
 type Blaster struct {
-	sat     *SAT
-	cacheBV map[*smt.Term][]Lit
-	cacheB  map[*smt.Term]Lit
-	vars    map[string][]Lit // input variable name → bit literals (LSB first)
-	lTrue   Lit
+	sat       *SAT
+	cacheBV   map[*smt.Term][]Lit
+	cacheB    map[*smt.Term]Lit
+	vars      map[string][]Lit // input variable name → bit literals (LSB first)
+	gates     map[gateKey]Lit
+	lTrue     Lit
+	gateBuilt uint64
+	gateReuse uint64
 }
 
 // NewBlaster creates a blaster over a fresh SAT instance.
@@ -24,6 +62,7 @@ func NewBlaster() *Blaster {
 		cacheBV: map[*smt.Term][]Lit{},
 		cacheB:  map[*smt.Term]Lit{},
 		vars:    map[string][]Lit{},
+		gates:   map[gateKey]Lit{},
 	}
 	t := Lit(b.sat.NewVar())
 	b.sat.AddClause(t)
@@ -33,6 +72,11 @@ func NewBlaster() *Blaster {
 
 // SAT exposes the underlying solver (for budgets and statistics).
 func (b *Blaster) SAT() *SAT { return b.sat }
+
+// GateStats reports this blaster's structural gate-cache counters.
+func (b *Blaster) GateStats() (built, reused uint64) {
+	return b.gateBuilt, b.gateReuse
+}
 
 func (b *Blaster) lFalse() Lit { return b.lTrue.Neg() }
 
@@ -46,7 +90,24 @@ func (b *Blaster) constBit(v bool) Lit {
 	return b.lFalse()
 }
 
-// gateAnd returns o <-> x & y.
+// gateLookup consults the structural gate cache; build runs on a miss and
+// its output is recorded under the key.
+func (b *Blaster) gateLookup(k gateKey, build func() Lit) Lit {
+	if o, ok := b.gates[k]; ok {
+		b.gateReuse++
+		gatesReusedTotal.Add(1)
+		return o
+	}
+	o := build()
+	b.gates[k] = o
+	b.gateBuilt++
+	gatesBuiltTotal.Add(1)
+	return o
+}
+
+// gateAnd returns o <-> x & y. The cache key is negation-normalized only
+// by operand order: AND(x, ¬y) and AND(¬y, x) share a node, and OR shares
+// through De Morgan (gateOr encodes ¬AND(¬x, ¬y)).
 func (b *Blaster) gateAnd(x, y Lit) Lit {
 	if x == b.lFalse() || y == b.lFalse() {
 		return b.lFalse()
@@ -63,11 +124,16 @@ func (b *Blaster) gateAnd(x, y Lit) Lit {
 	if x == y.Neg() {
 		return b.lFalse()
 	}
-	o := b.fresh()
-	b.sat.AddClause(x.Neg(), y.Neg(), o)
-	b.sat.AddClause(x, o.Neg())
-	b.sat.AddClause(y, o.Neg())
-	return o
+	if y < x {
+		x, y = y, x
+	}
+	return b.gateLookup(gateKey{op: gAnd, a: x, b: y}, func() Lit {
+		o := b.fresh()
+		b.sat.AddClause(x.Neg(), y.Neg(), o)
+		b.sat.AddClause(x, o.Neg())
+		b.sat.AddClause(y, o.Neg())
+		return o
+	})
 }
 
 // gateOr returns o <-> x | y.
@@ -75,7 +141,10 @@ func (b *Blaster) gateOr(x, y Lit) Lit {
 	return b.gateAnd(x.Neg(), y.Neg()).Neg()
 }
 
-// gateXor returns o <-> x ^ y.
+// gateXor returns o <-> x ^ y. Negation normalization: input polarity
+// commutes out of XOR (¬x ⊕ y = ¬(x ⊕ y)), so the cache key uses the
+// positive literals and the output absorbs the parity — all four polarity
+// variants of one XOR share a single node.
 func (b *Blaster) gateXor(x, y Lit) Lit {
 	if x == b.lFalse() {
 		return y
@@ -95,15 +164,34 @@ func (b *Blaster) gateXor(x, y Lit) Lit {
 	if x == y.Neg() {
 		return b.lTrue
 	}
-	o := b.fresh()
-	b.sat.AddClause(x.Neg(), y.Neg(), o.Neg())
-	b.sat.AddClause(x, y, o.Neg())
-	b.sat.AddClause(x.Neg(), y, o)
-	b.sat.AddClause(x, y.Neg(), o)
+	flip := false
+	if x < 0 {
+		x, flip = x.Neg(), !flip
+	}
+	if y < 0 {
+		y, flip = y.Neg(), !flip
+	}
+	if y < x {
+		x, y = y, x
+	}
+	o := b.gateLookup(gateKey{op: gXor, a: x, b: y}, func() Lit {
+		o := b.fresh()
+		b.sat.AddClause(x.Neg(), y.Neg(), o.Neg())
+		b.sat.AddClause(x, y, o.Neg())
+		b.sat.AddClause(x.Neg(), y, o)
+		b.sat.AddClause(x, y.Neg(), o)
+		return o
+	})
+	if flip {
+		return o.Neg()
+	}
 	return o
 }
 
-// gateMux returns o <-> (c ? t : e).
+// gateMux returns o <-> (c ? t : e). Normalization: a negated select
+// swaps the branches, opposite branches degrade to XOR, and jointly
+// negated branches factor the negation out of the node (¬t/¬e mux =
+// ¬(t/e mux)), so every polarity arrangement of one mux shares a node.
 func (b *Blaster) gateMux(c, t, e Lit) Lit {
 	if c == b.lTrue {
 		return t
@@ -114,11 +202,56 @@ func (b *Blaster) gateMux(c, t, e Lit) Lit {
 	if t == e {
 		return t
 	}
-	o := b.fresh()
-	b.sat.AddClause(c.Neg(), t.Neg(), o)
-	b.sat.AddClause(c.Neg(), t, o.Neg())
-	b.sat.AddClause(c, e.Neg(), o)
-	b.sat.AddClause(c, e, o.Neg())
+	if c < 0 {
+		c, t, e = c.Neg(), e, t
+	}
+	if t == e.Neg() {
+		// (c ? t : ¬t) = ¬(c ⊕ t).
+		return b.gateXor(c, t).Neg()
+	}
+	if t == b.lTrue {
+		return b.gateOr(c, e)
+	}
+	if t == b.lFalse() {
+		return b.gateAnd(c.Neg(), e)
+	}
+	if e == b.lTrue {
+		return b.gateOr(c.Neg(), t)
+	}
+	if e == b.lFalse() {
+		return b.gateAnd(c, t)
+	}
+	if t == c {
+		// (c ? c : e) = c | e  — selecting the select itself.
+		return b.gateOr(c, e)
+	}
+	if e == c {
+		// (c ? t : c) = c & t.
+		return b.gateAnd(c, t)
+	}
+	if t == c.Neg() {
+		// (c ? ¬c : e) = ¬c & e.
+		return b.gateAnd(c.Neg(), e)
+	}
+	if e == c.Neg() {
+		// (c ? t : ¬c) = ¬c | t.
+		return b.gateOr(c.Neg(), t)
+	}
+	flip := false
+	if t < 0 && e < 0 {
+		t, e, flip = t.Neg(), e.Neg(), true
+	}
+	o := b.gateLookup(gateKey{op: gMux, a: t, b: e, c: c}, func() Lit {
+		o := b.fresh()
+		b.sat.AddClause(c.Neg(), t.Neg(), o)
+		b.sat.AddClause(c.Neg(), t, o.Neg())
+		b.sat.AddClause(c, e.Neg(), o)
+		b.sat.AddClause(c, e, o.Neg())
+		return o
+	})
+	if flip {
+		return o.Neg()
+	}
 	return o
 }
 
@@ -331,20 +464,32 @@ func (b *Blaster) BlastBV(t *smt.Term) []Lit {
 
 // shift builds a barrel shifter. left selects shl vs lshr. Amounts >= the
 // vector width produce zero (P4 semantics, matching smt.Eval).
+//
+// Only the amount bits whose stage distance stays below the width need a
+// mux ladder. Every higher bit can only zero the entire vector, so all of
+// them collapse into one "amount ≥ width" indicator OR-ed together and a
+// single AND mask per output bit — w+1 gates for the entire high range
+// instead of w muxes per amount bit.
 func (b *Blaster) shift(x, amt []Lit, left bool) []Lit {
 	cur := append([]Lit(nil), x...)
 	w := len(x)
+	big := b.lFalse() // true iff some stage with distance >= w is active
 	for k := 0; k < len(amt); k++ {
-		dist := 1 << uint(k)
+		dist := uint64(1) << uint(k)
+		if k >= 63 || dist >= uint64(w) {
+			big = b.gateOr(big, amt[k])
+			continue
+		}
+		d := int(dist)
 		shifted := make([]Lit, w)
 		for i := 0; i < w; i++ {
 			var src int
 			if left {
-				src = i - dist
+				src = i - d
 			} else {
-				src = i + dist
+				src = i + d
 			}
-			if dist >= w || src < 0 || src >= w {
+			if src < 0 || src >= w {
 				shifted[i] = b.lFalse()
 			} else {
 				shifted[i] = cur[src]
@@ -355,10 +500,11 @@ func (b *Blaster) shift(x, amt []Lit, left bool) []Lit {
 			next[i] = b.gateMux(amt[k], shifted[i], cur[i])
 		}
 		cur = next
-		if dist >= w {
-			// Higher amount bits can only zero the result further; the
-			// remaining stages are all-or-nothing zeroing.
-			continue
+	}
+	if big != b.lFalse() {
+		keep := big.Neg()
+		for i := range cur {
+			cur[i] = b.gateAnd(cur[i], keep)
 		}
 	}
 	return cur

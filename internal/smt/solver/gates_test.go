@@ -1,0 +1,199 @@
+package solver_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"gauntlet/internal/smt"
+	"gauntlet/internal/smt/solver"
+)
+
+// TestSimplifyEquisatisfiable checks word-level simplification against
+// the solver through the raw blaster path (Blaster.Assert does not
+// simplify, so this is an independent oracle, not the simplifier checking
+// itself): for random boolean terms t, t XOR Simplify(t) must be
+// unsatisfiable — the two are equivalent as circuits.
+func TestSimplifyEquisatisfiable(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	checked, unknown := 0, 0
+	for i := 0; i < 150; i++ {
+		term := randBoolTerm(r, 3)
+		s := smt.Simplify(term)
+		if s == term {
+			continue
+		}
+		b := solver.NewBlaster()
+		// A conflict budget keeps the occasional hard multiplier miter from
+		// dominating the suite; Unknowns are tolerated but bounded below.
+		b.SAT().MaxConflicts = 4000
+		// Assert t != s without Session's simplification: inequivalence of
+		// the raw and simplified circuit must have no model.
+		b.Assert(smt.Not(smt.Eq(term, s)))
+		switch st := b.SAT().Solve(); st {
+		case solver.Unsat:
+			checked++
+		case solver.Sat:
+			t.Fatalf("iteration %d: Simplify changed the function:\n  raw  %s\n  simp %s",
+				i, term, s)
+		default:
+			unknown++
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d equivalences proved (%d budget-limited): fuzz lost its teeth", checked, unknown)
+	}
+}
+
+// randBoolTerm builds a random boolean term over 8-bit vars a, b.
+func randBoolTerm(r *rand.Rand, depth int) *smt.Term {
+	if depth == 0 || r.Intn(3) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return smt.Eq(randTerm(r, 2), randTerm(r, 2))
+		case 1:
+			return smt.Ult(randTerm(r, 2), randTerm(r, 2))
+		default:
+			return smt.Ule(randTerm(r, 2), randTerm(r, 2))
+		}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return smt.And(randBoolTerm(r, depth-1), randBoolTerm(r, depth-1))
+	case 1:
+		return smt.Or(randBoolTerm(r, depth-1), randBoolTerm(r, depth-1))
+	case 2:
+		return smt.Not(randBoolTerm(r, depth-1))
+	default:
+		return smt.Ite(randBoolTerm(r, depth-1), randBoolTerm(r, depth-1), randBoolTerm(r, depth-1))
+	}
+}
+
+// TestGateReuseAcrossCommutedStructure: the structural gate cache must
+// collapse repeated structure to the same literals. Commuted adds blast
+// through normalized XOR/AND nodes, so the second add reuses the first's
+// gates outright and the output vectors are identical literal for
+// literal — the "near-identical miter" effect in miniature.
+func TestGateReuseAcrossCommutedStructure(t *testing.T) {
+	x := smt.Var("x", 8)
+	y := smt.Var("y", 8)
+	b := solver.NewBlaster()
+	first := b.BlastBV(smt.Add(x, y))
+	builtAfterFirst, _ := b.GateStats()
+	second := b.BlastBV(smt.Add(y, x))
+	builtAfterSecond, reused := b.GateStats()
+
+	if builtAfterSecond != builtAfterFirst {
+		t.Fatalf("commuted add built %d fresh gates; want full reuse",
+			builtAfterSecond-builtAfterFirst)
+	}
+	if reused == 0 {
+		t.Fatal("commuted add reported zero gate reuse")
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("bit %d: x+y and y+x blast to different literals (%d vs %d)",
+				i, first[i], second[i])
+		}
+	}
+}
+
+// TestGateReuseNegationNormalized: polarity variants of one XOR must
+// share a single gate node (¬x ⊕ y = ¬(x ⊕ y)), and OR must reuse AND
+// structure through De Morgan.
+func TestGateReuseNegationNormalized(t *testing.T) {
+	x := smt.Var("x", 8)
+	y := smt.Var("y", 8)
+	b := solver.NewBlaster()
+	v1 := b.BlastBV(smt.BVXor(x, y))
+	built1, _ := b.GateStats()
+	v2 := b.BlastBV(smt.BVXor(smt.BVNot(x), y))
+	built2, _ := b.GateStats()
+	if built2 != built1 {
+		t.Fatalf("~x^y built %d fresh gates over x^y; polarity should normalize away",
+			built2-built1)
+	}
+	for i := range v1 {
+		if v1[i] != v2[i].Neg() {
+			t.Fatalf("bit %d: ~x^y is not the negation of x^y (%d vs %d)", i, v1[i], v2[i])
+		}
+	}
+}
+
+// TestGateStatsProcessWide: the package-level counters must accumulate
+// across blasters (the engine's Stats path reads these).
+func TestGateStatsProcessWide(t *testing.T) {
+	builtBefore, reusedBefore := solver.GateStats()
+	x := smt.Var("x", 8)
+	y := smt.Var("y", 8)
+	b := solver.NewBlaster()
+	b.BlastBV(smt.Add(x, y))
+	b.BlastBV(smt.Add(y, x))
+	builtAfter, reusedAfter := solver.GateStats()
+	if builtAfter <= builtBefore {
+		t.Fatal("process-wide gates-built counter did not advance")
+	}
+	if reusedAfter <= reusedBefore {
+		t.Fatal("process-wide gates-reused counter did not advance")
+	}
+}
+
+// TestShiftWideAmounts pins the collapsed high-stage shifter: for every
+// shift amount — below, at and far above the width — the blasted shifter
+// must agree with Eval's P4 semantics (amounts ≥ width yield zero).
+func TestShiftWideAmounts(t *testing.T) {
+	x := smt.Var("x", 8)
+	sh := smt.Var("sh", 8)
+	for _, left := range []bool{true, false} {
+		var shifted *smt.Term
+		if left {
+			shifted = smt.Shl(x, sh)
+		} else {
+			shifted = smt.Lshr(x, sh)
+		}
+		for _, amount := range []uint64{0, 1, 3, 7, 8, 9, 16, 100, 255} {
+			for _, xv := range []uint64{0x00, 0x01, 0x80, 0xA5, 0xFF} {
+				want := uint64(0)
+				if amount < 8 {
+					if left {
+						want = (xv << amount) & 0xFF
+					} else {
+						want = xv >> amount
+					}
+				}
+				// Blast raw (no Session simplification): the barrel shifter
+				// itself must implement the semantics.
+				b := solver.NewBlaster()
+				b.Assert(smt.Eq(x, smt.Const(xv, 8)))
+				b.Assert(smt.Eq(sh, smt.Const(amount, 8)))
+				b.Assert(smt.Eq(shifted, smt.Const(want, 8)))
+				if st := b.SAT().Solve(); st != solver.Unsat && st != solver.Sat {
+					t.Fatalf("left=%v x=%#x sh=%d: solver %v", left, xv, amount, st)
+				} else if st != solver.Sat {
+					t.Fatalf("left=%v x=%#x sh=%d: blasted shifter disagrees with Eval (want %#x)",
+						left, xv, amount, want)
+				}
+			}
+		}
+	}
+}
+
+// TestShiftHighStageCNFShrinks: the "amount ≥ width" stages must not
+// build a mux ladder each. An 8-bit shift by an 8-bit amount has five
+// such stages (16, 32, 64, 128 plus the 8 stage); with the single-OR
+// collapse the whole shifter stays well under the ladder encoding's gate
+// count.
+func TestShiftHighStageCNFShrinks(t *testing.T) {
+	x := smt.Var("x", 8)
+	sh := smt.Var("sh", 8)
+	b := solver.NewBlaster()
+	b.BlastBV(smt.Shl(x, sh))
+	built, _ := b.GateStats()
+	// Ladder encoding: 8 stages × 8 muxes ≈ 64 gate nodes plus adder
+	// internals. Collapsed: 3 mux stages (dist 1, 2, 4) ≈ 24 muxes + 4 ORs
+	// + 8 AND masks. Leave headroom but catch a ladder regression.
+	const ladderFloor = 60
+	if built >= ladderFloor {
+		t.Fatalf("variable 8-bit shift built %d gates; high-stage collapse should stay under %d",
+			built, ladderFloor)
+	}
+}

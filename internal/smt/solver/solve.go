@@ -38,17 +38,22 @@ func NewSession(maxConflicts int) *Session {
 	return s
 }
 
-// Assert adds hard constraints.
+// Assert adds hard constraints. Terms are canonicalized through
+// smt.Simplify before blasting — simplification is model-preserving, so
+// the session decides the same formula over a smaller circuit, and
+// syntactic variants of one constraint encode once.
 func (s *Session) Assert(ts ...*smt.Term) {
 	for _, t := range ts {
-		s.b.Assert(t)
+		s.b.Assert(smt.Simplify(t))
 	}
 }
 
 // Lit encodes a boolean term without asserting it and returns its CNF
-// literal, for use as a SolveAssuming assumption. Repeated calls with the
-// same (interned) term return the same literal.
-func (s *Session) Lit(t *smt.Term) Lit { return s.b.BlastBool(t) }
+// literal, for use as a SolveAssuming assumption. The term is simplified
+// first (a constant-collapsing condition becomes the true/false literal
+// directly); repeated calls with the same (interned) term return the same
+// literal.
+func (s *Session) Lit(t *smt.Term) Lit { return s.b.BlastBool(smt.Simplify(t)) }
 
 // Solve decides the asserted constraints.
 func (s *Session) Solve() Result { return s.SolveAssuming() }
@@ -69,7 +74,9 @@ func (s *Session) SolveAssuming(assumps ...Lit) Result {
 // BVLits encodes a bitvector term and returns its bit literals (LSB
 // first) without asserting anything. The literals can pin the term to a
 // concrete value purely through assumptions — no new clauses per query.
-func (s *Session) BVLits(t *smt.Term) []Lit { return s.b.BlastBV(t) }
+// The term is simplified first so its circuit shares the gates of the
+// (equally simplified) asserted constraints.
+func (s *Session) BVLits(t *smt.Term) []Lit { return s.b.BlastBV(smt.Simplify(t)) }
 
 // SolveAssumingSoft decides the fixed assumptions, then greedily keeps
 // each soft assumption group that remains satisfiable, in order. A group

@@ -298,7 +298,17 @@ func ExecParser(prog *ast.Program, pd *ast.ParserDecl) (*Block, error) {
 // same reject behaviour, same outputs on accepted packets, and the same
 // emit sequence for deparsers. Translation validation asserts its negation
 // and asks the solver for a distinguishing input (§5.2).
+//
+// The result is canonicalized through smt.Simplify, so two blocks whose
+// outputs differ only syntactically (argument order, extract/concat
+// plumbing, collapsed guards) yield the constant true here — no solver —
+// and genuinely different miters reach the validator in one canonical
+// form its verdict cache can key on.
 func Equivalent(a, b *Block) *smt.Term {
+	return smt.Simplify(equivalentRaw(a, b))
+}
+
+func equivalentRaw(a, b *Block) *smt.Term {
 	if len(a.Out) != len(b.Out) || len(a.Emits) != len(b.Emits) {
 		return smt.False
 	}

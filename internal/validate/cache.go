@@ -18,12 +18,13 @@ import (
 //     depends on). A pass that rewrites one control leaves every other
 //     block's formula a cache hit, so unchanged blocks are never
 //     re-symbolically-executed.
-//   - Equivalence verdicts, keyed by the interned ID of the equivalence
-//     term. Terms are hash-consed process-wide, so the ID is a perfect
-//     structural key: any two (pass, block) comparisons that reduce to the
-//     same formula share one solver call — across snapshots, programs and
-//     parallel hunts. Only definitive verdicts (Sat/Unsat) are cached;
-//     Unknown depends on the conflict budget.
+//   - Equivalence verdicts, keyed by the interned ID of the *simplified*
+//     equivalence term. Terms are hash-consed process-wide and the miter
+//     is canonicalized by smt.Simplify before keying, so the ID is a
+//     perfect structural key and syntactically different comparisons that
+//     normalize to one canonical formula share one solver call — across
+//     snapshots, programs and parallel hunts. Only definitive verdicts
+//     (Sat/Unsat) are cached; Unknown depends on the conflict budget.
 //
 // A Cache is safe for concurrent use and is shared across a campaign's
 // worker pool (core.Campaign threads one through every hunt).
@@ -34,6 +35,7 @@ type Cache struct {
 	// stats
 	blockHits, blockMisses     uint64
 	verdictHits, verdictMisses uint64
+	simpResolved               uint64
 }
 
 type verdictEntry struct {
@@ -51,11 +53,34 @@ func NewCache() *Cache {
 }
 
 // Stats reports hit/miss counters: block-formula cache first, then
-// verdict cache.
+// verdict cache. Snapshot carries these plus the simplification counter.
 func (c *Cache) Stats() (blockHits, blockMisses, verdictHits, verdictMisses uint64) {
+	s := c.Snapshot()
+	return s.BlockHits, s.BlockMisses, s.VerdictHits, s.VerdictMisses
+}
+
+// CacheStats is a point-in-time snapshot of every cache counter.
+type CacheStats struct {
+	BlockHits, BlockMisses     uint64
+	VerdictHits, VerdictMisses uint64
+	// SimpResolved counts equivalence queries answered by word-level
+	// simplification / structural collapse alone: the canonicalized miter
+	// was the constant *true* (the sides proved equal), so neither the
+	// verdict cache nor the solver was consulted. A constant-false miter —
+	// a proven inequivalence — still takes the solver path, because the
+	// report needs a counterexample assignment.
+	SimpResolved uint64
+}
+
+// Snapshot returns all cache counters at once (the engine's Stats path).
+func (c *Cache) Snapshot() CacheStats {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.blockHits, c.blockMisses, c.verdictHits, c.verdictMisses
+	return CacheStats{
+		BlockHits: c.blockHits, BlockMisses: c.blockMisses,
+		VerdictHits: c.verdictHits, VerdictMisses: c.verdictMisses,
+		SimpResolved: c.simpResolved,
+	}
 }
 
 // contextKey hashes every top-level declaration a block's formula can
@@ -141,10 +166,17 @@ func (c *Cache) equivalent(a, b *sym.Block, maxConflicts int) (bool, smt.Assignm
 	}
 	eq := sym.Equivalent(a, b)
 	if eq.IsTrue() {
-		// Hash-consing collapsed the comparison: every output, reject
-		// condition and emit of b is pointer-equal to a's.
+		// The canonicalized miter is the constant true: hash-consing made
+		// the sides pointer-equal, or word-level simplification collapsed
+		// their differences. Either way the query never reaches a solver.
+		c.mu.Lock()
+		c.simpResolved++
+		c.mu.Unlock()
 		return true, nil, solver.Unsat
 	}
+	// sym.Equivalent returns the simplified miter, so this ID is the
+	// canonical structural key: distinct raw miters that normalize to one
+	// form share a verdict here.
 	key := eq.ID()
 	c.mu.RLock()
 	e, ok := c.verdicts[key]

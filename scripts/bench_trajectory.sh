@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# bench_trajectory.sh — run the validation-hot-path benchmark suite and
+# emit BENCH_3.json (programs/sec, ns/equivalence-query, gate-reuse %).
+#
+# The JSON conversion doubles as a smoke gate: it exits nonzero when a
+# headline benchmark is missing or the structural-hash path reports a
+# zero gate-reuse rate.
+#
+#   BENCHTIME=5x scripts/bench_trajectory.sh      # more iterations
+#   scripts/bench_trajectory.sh                   # default 2x
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-2x}"
+pattern='EquivalenceQuery|Sec52_PipelineThroughput|Table2_BugSummary|EngineFuzz|GateReuse'
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+go test -run=NONE -bench="$pattern" -benchtime="$benchtime" . | tee "$out"
+go run ./cmd/benchjson < "$out" > BENCH_3.json
+echo "wrote BENCH_3.json:"
+cat BENCH_3.json
