@@ -346,6 +346,50 @@ func BenchmarkGateReuse(b *testing.B) {
 	b.ReportMetric(pct, "gates-reused-%")
 }
 
+// BenchmarkCorpusFuzz measures the coverage-guided corpus engine against
+// pure grammar generation on the same fixed budget: programs/sec (the
+// mutation path adds a type-check gate and the admission round barrier —
+// the CI gate in cmd/benchjson fails if that costs more than half the
+// generation-mode throughput) and behavioural diversity (distinct
+// coverage fingerprints reached, admission rate). SyncInterval is set
+// below the batch size so mutation actually engages within the budget.
+func BenchmarkCorpusFuzz(b *testing.B) {
+	run := func(b *testing.B, ratio float64) {
+		var admitted, rejected, fps, mutated uint64
+		for i := 0; i < b.N; i++ {
+			cfg := core.DefaultEngineConfig()
+			cfg.StartSeed = int64(i) * fuzzBatch
+			cfg.Seeds = fuzzBatch
+			cfg.Seed = 42 + int64(i)
+			cfg.Workers = 8
+			cfg.MutateRatio = ratio
+			cfg.SyncInterval = 8
+			cfg.MaxMutations = 6
+			cfg.Passes = compiler.DefaultPasses()
+			engine := core.NewEngine(cfg)
+			if findings := engine.Run(context.Background()); len(findings) > 0 {
+				b.Fatalf("reference pipeline produced findings: %+v", findings[0])
+			}
+			s := engine.Stats()
+			admitted += s.Corpus.Admitted
+			rejected += s.Corpus.Rejected
+			fps += uint64(s.Corpus.Fingerprints)
+			mutated += s.Mutated
+		}
+		b.ReportMetric(float64(b.N*fuzzBatch)/b.Elapsed().Seconds(), "programs/sec")
+		if admitted+rejected > 0 {
+			b.ReportMetric(float64(admitted)/float64(admitted+rejected)*100, "admission-%")
+		}
+		b.ReportMetric(float64(fps)/float64(b.N), "coverage-fingerprints/run")
+		b.ReportMetric(float64(mutated)/float64(b.N), "mutated/run")
+		if ratio > 0 && mutated == 0 {
+			b.Fatal("mutation mode never mutated: the corpus feedback loop is dead")
+		}
+	}
+	b.Run("generation", func(b *testing.B) { run(b, 0) })
+	b.Run("mutation", func(b *testing.B) { run(b, 0.6) })
+}
+
 // BenchmarkSymbolicExecutionTests measures Figure 4's test generation +
 // device execution for a two-header program.
 func BenchmarkSymbolicExecutionTests(b *testing.B) {

@@ -1,17 +1,21 @@
 // Command benchjson converts `go test -bench` output (read from stdin)
-// into the repository's benchmark-trajectory artifact (BENCH_3.json,
+// into the repository's benchmark-trajectory artifact (BENCH_4.json,
 // written to stdout): one JSON object with the raw per-benchmark numbers
-// plus the three headline metrics the trajectory tracks — programs/sec
-// through the validation pipeline, ns per equivalence query, and the
-// structural gate-cache reuse rate.
+// plus the headline metrics the trajectory tracks — programs/sec through
+// the validation pipeline, ns per equivalence query, the structural
+// gate-cache reuse rate, and the corpus engine's coverage metrics
+// (admission rate, unique coverage fingerprints, mutation-mode
+// throughput).
 //
-// It doubles as the CI smoke gate: missing headline benchmarks or a zero
-// gate-reuse rate exit nonzero, so a regression in the structural-hash
-// path fails the workflow instead of silently flattening the trajectory.
+// It doubles as the CI smoke gate: missing headline benchmarks, a zero
+// gate-reuse rate, or mutation-mode throughput below half of
+// generation-mode exit nonzero, so a regression in the structural-hash
+// path or the corpus scheduler fails the workflow instead of silently
+// flattening the trajectory.
 //
 // Usage:
 //
-//	go test -run=NONE -bench='...' . | go run ./cmd/benchjson > BENCH_3.json
+//	go test -run=NONE -bench='...' . | go run ./cmd/benchjson > BENCH_4.json
 package main
 
 import (
@@ -30,16 +34,28 @@ type Bench struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Artifact is the BENCH_3.json schema.
+// Artifact is the BENCH_4.json schema.
 type Artifact struct {
 	// Headline trajectory metrics.
-	ProgramsPerSec       float64 `json:"programs_per_sec"`
-	NsPerEquivalenceQry  float64 `json:"ns_per_equivalence_query"`
-	GatesReusedPct       float64 `json:"gates_reused_pct"`
-	SimpResolvedPerRun   float64 `json:"simp_resolved_per_run"`
-	EngineXVsSequential  float64 `json:"engine_x_vs_sequential"`
-	Table2CampaignSecs   float64 `json:"table2_campaign_secs"`
-	Sec52NsPerProgram    float64 `json:"sec52_ns_per_program"`
+	ProgramsPerSec      float64 `json:"programs_per_sec"`
+	NsPerEquivalenceQry float64 `json:"ns_per_equivalence_query"`
+	GatesReusedPct      float64 `json:"gates_reused_pct"`
+	SimpResolvedPerRun  float64 `json:"simp_resolved_per_run"`
+	EngineXVsSequential float64 `json:"engine_x_vs_sequential"`
+	Table2CampaignSecs  float64 `json:"table2_campaign_secs"`
+	Sec52NsPerProgram   float64 `json:"sec52_ns_per_program"`
+
+	// Corpus engine metrics (BenchmarkCorpusFuzz): generation-mode vs
+	// mutation-mode throughput over the same fixed budget, the
+	// coverage-keyed admission rate, and the behavioural-diversity
+	// comparison (distinct coverage fingerprints per run).
+	CorpusGenProgramsPerSec float64 `json:"corpus_generation_programs_per_sec"`
+	CorpusMutProgramsPerSec float64 `json:"corpus_mutation_programs_per_sec"`
+	CorpusMutVsGenX         float64 `json:"corpus_mutation_vs_generation_x"`
+	CorpusAdmissionRatePct  float64 `json:"corpus_admission_rate_pct"`
+	CoverageFingerprintsGen float64 `json:"coverage_fingerprints_generation"`
+	CoverageFingerprintsMut float64 `json:"coverage_fingerprints_mutation"`
+	CorpusMutatedPerRun     float64 `json:"corpus_mutated_per_run"`
 
 	// Raw parses, keyed by benchmark name (GOMAXPROCS suffix stripped).
 	Benchmarks map[string]Bench `json:"benchmarks"`
@@ -115,6 +131,16 @@ func main() {
 	if b, ok := get("BenchmarkGateReuse"); ok {
 		art.GatesReusedPct = b.Metrics["gates-reused-%"]
 	}
+	if b, ok := get("BenchmarkCorpusFuzz/generation"); ok {
+		art.CorpusGenProgramsPerSec = b.Metrics["programs/sec"]
+		art.CoverageFingerprintsGen = b.Metrics["coverage-fingerprints/run"]
+	}
+	if b, ok := get("BenchmarkCorpusFuzz/mutation"); ok {
+		art.CorpusMutProgramsPerSec = b.Metrics["programs/sec"]
+		art.CoverageFingerprintsMut = b.Metrics["coverage-fingerprints/run"]
+		art.CorpusAdmissionRatePct = b.Metrics["admission-%"]
+		art.CorpusMutatedPerRun = b.Metrics["mutated/run"]
+	}
 	for _, name := range []string{
 		"BenchmarkEngineFuzz/workers-8",
 		"BenchmarkEngineFuzz/workers-1",
@@ -134,6 +160,20 @@ func main() {
 	}
 	if art.GatesReusedPct <= 0 {
 		fatalf("gate-reuse rate is %v: the structural-hash path reported no sharing", art.GatesReusedPct)
+	}
+	if art.CorpusGenProgramsPerSec > 0 {
+		art.CorpusMutVsGenX = art.CorpusMutProgramsPerSec / art.CorpusGenProgramsPerSec
+	}
+	// The corpus scheduler's cost gate: mutation mode adds a type-check
+	// gate, the novelty filter and the round-fold barrier — if that ever
+	// costs more than half the generation-mode throughput, the feedback
+	// loop is no longer pulling its weight.
+	if art.CorpusMutVsGenX < 0.5 {
+		fatalf("mutation-mode throughput is %.2fx generation-mode (%.1f vs %.1f programs/sec): below the 0.5x gate",
+			art.CorpusMutVsGenX, art.CorpusMutProgramsPerSec, art.CorpusGenProgramsPerSec)
+	}
+	if art.CorpusMutatedPerRun <= 0 {
+		fatalf("mutation mode mutated no programs: the corpus feedback loop is dead")
 	}
 
 	out, err := json.MarshalIndent(art, "", "  ")

@@ -4,17 +4,22 @@
 // the §7 deep-dive statistics and the merge-week regression series.
 //
 // Fuzz mode is the continuous-integration usage the paper proposes
-// (§7.1): a streaming, stage-parallel engine generates random programs,
-// pushes each through the reference pipeline, interrogates every
-// compilation with translation validation and symbolic-execution packet
-// tests, fingerprints and deduplicates the findings, and auto-reduces
-// each unique witness (§8's "we hope to automate this process").
+// (§7.1): a streaming, stage-parallel engine generates random programs —
+// mixing fresh grammar generation with coverage-guided corpus mutation at
+// -mutate-ratio — pushes each through the reference pipeline,
+// interrogates every compilation with translation validation and
+// symbolic-execution packet tests, fingerprints and deduplicates the
+// findings, and auto-reduces each unique witness (§8's "we hope to
+// automate this process"). A fixed -seed replays the entire run,
+// mutation schedule included; -corpus persists the admitted seed pool
+// across campaigns.
 //
 // Usage:
 //
 //	p4gauntlet [-mode campaign|levels|fuzz] [-seeds N] [-workers N]
 //	           [-duration D] [-backend v1model|tna] [-jsonl FILE]
-//	           [-packets] [-reduce] [-start N]
+//	           [-packets] [-reduce] [-start N] [-seed N]
+//	           [-mutate-ratio F] [-corpus DIR] [-stats-interval D]
 package main
 
 import (
@@ -25,9 +30,11 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sync"
 	"time"
 
 	"gauntlet/internal/core"
+	"gauntlet/internal/corpus"
 	"gauntlet/internal/generator"
 )
 
@@ -35,12 +42,16 @@ func main() {
 	mode := flag.String("mode", "campaign", "campaign | levels | fuzz")
 	seeds := flag.Int64("seeds", 50, "random programs (fuzz mode, 0 = unbounded) / samples per class (levels mode)")
 	start := flag.Int64("start", 0, "first generator seed (fuzz mode)")
+	seed := flag.Int64("seed", 0, "master schedule seed (fuzz mode): the same -seed replays the whole run, mutation schedule included")
 	workers := flag.Int("workers", 0, "per-stage worker pool size (fuzz mode, 0 = GOMAXPROCS)")
 	duration := flag.Duration("duration", 0, "wall-clock budget (fuzz mode, 0 = until seeds are exhausted)")
 	backend := flag.String("backend", "v1model", "generator/pipeline backend: v1model | tna")
 	jsonl := flag.String("jsonl", "", "append unique findings as JSON lines to FILE (\"-\" = stdout)")
 	packets := flag.Bool("packets", true, "run symbolic-execution packet tests in addition to translation validation")
 	doReduce := flag.Bool("reduce", true, "auto-reduce each unique finding's witness")
+	mutateRatio := flag.Float64("mutate-ratio", 0.5, "fraction of programs drawn by mutating corpus seeds (fuzz mode, 0 = pure grammar generation)")
+	corpusDir := flag.String("corpus", "", "corpus directory: load seeds before the run and save the admitted corpus after (fuzz mode)")
+	statsInterval := flag.Duration("stats-interval", 0, "emit a periodic stats record to -jsonl every D (fuzz mode, 0 = final record only)")
 	flag.Parse()
 
 	switch *mode {
@@ -50,8 +61,9 @@ func main() {
 		fmt.Print(core.RunLevelStudy(int(*seeds)).Render())
 	case "fuzz":
 		fuzz(fuzzFlags{
-			seeds: *seeds, start: *start, workers: *workers, duration: *duration,
+			seeds: *seeds, start: *start, seed: *seed, workers: *workers, duration: *duration,
 			backend: *backend, jsonl: *jsonl, packets: *packets, reduce: *doReduce,
+			mutateRatio: *mutateRatio, corpusDir: *corpusDir, statsInterval: *statsInterval,
 		})
 	default:
 		fmt.Fprintf(os.Stderr, "p4gauntlet: unknown mode %q\n", *mode)
@@ -85,24 +97,30 @@ func campaign() {
 }
 
 type fuzzFlags struct {
-	seeds, start int64
-	workers      int
-	duration     time.Duration
-	backend      string
-	jsonl        string
-	packets      bool
-	reduce       bool
+	seeds, start, seed int64
+	workers            int
+	duration           time.Duration
+	backend            string
+	jsonl              string
+	packets            bool
+	reduce             bool
+	mutateRatio        float64
+	corpusDir          string
+	statsInterval      time.Duration
 }
 
 // fuzz drives the streaming engine: the long-running bug-hunting service
-// the paper's CI proposal asks for, as a thin wrapper over core.Engine.
+// the paper's CI proposal asks for, as a thin wrapper over core.Engine
+// plus the corpus directory and JSONL observability plumbing.
 func fuzz(ff fuzzFlags) {
 	cfg := core.DefaultEngineConfig()
 	cfg.StartSeed = ff.start
 	cfg.Seeds = ff.seeds
+	cfg.Seed = ff.seed
 	cfg.Workers = ff.workers
 	cfg.PacketTests = ff.packets
 	cfg.Reduce = ff.reduce
+	cfg.MutateRatio = ff.mutateRatio
 	switch ff.backend {
 	case "v1model":
 		cfg.Backend = generator.V1Model
@@ -111,6 +129,16 @@ func fuzz(ff fuzzFlags) {
 	default:
 		fmt.Fprintf(os.Stderr, "p4gauntlet: unknown backend %q (want v1model or tna)\n", ff.backend)
 		os.Exit(2)
+	}
+	if ff.corpusDir != "" {
+		c := corpus.New(0)
+		if n, err := c.Load(ff.corpusDir); err == nil {
+			fmt.Printf("corpus: loaded %d seeds from %s\n", n, ff.corpusDir)
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "p4gauntlet: corpus load: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Corpus = c
 	}
 
 	var sink io.Writer
@@ -127,24 +155,43 @@ func fuzz(ff fuzzFlags) {
 		defer f.Close()
 		sink = f
 	}
+	// Findings stream from the engine's report goroutine and stats records
+	// from the ticker below, so JSONL lines need one writer lock.
+	var sinkMu sync.Mutex
+	writeJSONL := func(v any, what string) {
+		if sink == nil {
+			return
+		}
+		line, err := json.Marshal(v)
+		if err == nil {
+			sinkMu.Lock()
+			_, err = fmt.Fprintf(sink, "%s\n", line)
+			sinkMu.Unlock()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p4gauntlet: jsonl %s record lost: %v\n", what, err)
+		}
+	}
+	// statsRecord is the self-describing stats line: periodic records
+	// (Final=false) make long campaigns observable mid-flight; the final
+	// record closes the stream.
+	type statsRecord struct {
+		Stats core.Stats `json:"stats"`
+		Final bool       `json:"final"`
+	}
 	cfg.OnFinding = func(f core.Finding) {
 		fmt.Printf("seed %d: %s", f.Seed, f.Kind)
 		if f.Pass != "" {
 			fmt.Printf(" in %s", f.Pass)
 		}
+		if f.Origin == "mutate" {
+			fmt.Printf(" [mutant]")
+		}
 		if f.SizeBefore != f.SizeAfter {
 			fmt.Printf(" (witness reduced %d -> %d stmts)", f.SizeBefore, f.SizeAfter)
 		}
 		fmt.Printf(": %s\n", f.Detail)
-		if sink != nil {
-			line, err := json.Marshal(f)
-			if err == nil {
-				_, err = fmt.Fprintf(sink, "%s\n", line)
-			}
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "p4gauntlet: jsonl record for seed %d lost: %v\n", f.Seed, err)
-			}
-		}
+		writeJSONL(f, fmt.Sprintf("finding (seed %d)", f.Seed))
 	}
 	cfg.OnOracleError = func(seed int64, err error) {
 		fmt.Fprintf(os.Stderr, "seed %d: tool limitation: %v\n", seed, err)
@@ -159,22 +206,35 @@ func fuzz(ff fuzzFlags) {
 	}
 
 	engine := core.NewEngine(cfg)
+	tickerDone := make(chan struct{})
+	if sink != nil && ff.statsInterval > 0 {
+		go func() {
+			tick := time.NewTicker(ff.statsInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tickerDone:
+					return
+				case <-tick.C:
+					writeJSONL(statsRecord{Stats: engine.Stats()}, "stats")
+				}
+			}
+		}()
+	}
 	findings := engine.Run(ctx)
+	close(tickerDone)
 	stats := engine.Stats()
 	fmt.Printf("\n%s\n", stats.Summary())
-	if sink != nil {
-		// Final run record: one JSON line with the full stats snapshot
-		// (throughput, cache hit rates, simplification/gate-reuse counters,
-		// interner growth), so a JSONL stream is self-describing without
-		// scraping the human summary.
-		line, err := json.Marshal(struct {
-			Stats core.Stats `json:"stats"`
-		}{stats})
-		if err == nil {
-			_, err = fmt.Fprintf(sink, "%s\n", line)
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "p4gauntlet: jsonl stats record lost: %v\n", err)
+	// Final run record: one JSON line with the full stats snapshot
+	// (throughput, corpus/admission counters, cache hit rates,
+	// simplification/gate-reuse counters, interner growth), so a JSONL
+	// stream is self-describing without scraping the human summary.
+	writeJSONL(statsRecord{Stats: stats, Final: true}, "stats")
+	if ff.corpusDir != "" {
+		if n, err := engine.Corpus().Save(ff.corpusDir); err != nil {
+			fmt.Fprintf(os.Stderr, "p4gauntlet: corpus save: %v\n", err)
+		} else {
+			fmt.Printf("corpus: saved %d seeds to %s\n", n, ff.corpusDir)
 		}
 	}
 	if len(findings) > 0 {

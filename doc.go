@@ -55,6 +55,53 @@
 // pipeline in core.NewEngine; the engine's -backend flag in cmd/p4gauntlet
 // selects between them.
 //
+// # Corpus architecture
+//
+// Blind grammar fuzzing draws every program fresh; nothing learned from
+// one program informs the next, so a long campaign keeps re-exploring the
+// same shallow pass behaviours. Three packages close that loop with
+// coverage feedback:
+//
+//   - internal/coverage computes a cheap, deterministic coverage signal
+//     per program: an AST feature profile (node/operator/width usage,
+//     declaration and table/parser shapes, expression-depth buckets, all
+//     counts log-bucketed) plus the compiler's pass trace
+//     (compiler.Result.Trace — which passes rewrote the program and by
+//     how much, with crash/invalid edges for abnormal terminations),
+//     folded into a set of uint64 edges with a stable Fingerprint.
+//   - internal/corpus is the concurrency-safe seed pool: a program is
+//     admitted only if its profile contributes an unseen edge; admitted
+//     seeds carry an energy (new edges over sqrt(size)) that biases
+//     selection toward small, coverage-rich programs; eviction is
+//     size-biased and never re-opens claimed coverage. Seeds save/load
+//     as printed P4 (-corpus DIR), so a campaign's corpus persists.
+//   - internal/mutate perturbs input programs — the dual of
+//     bugs.Mutators, which corrupts pass output: statement
+//     duplicate/swap/splice within declaration-free segments, closed-
+//     expression grafting between seeds, constant and width tweaks,
+//     if→switch rewrites, table-action insertion, parser-state insertion.
+//     Every mutator is deterministic under a supplied rand stream and
+//     validity-preserving by construction where the site permits; the
+//     rest are rejected by the type checker before reaching the oracle.
+//
+// core.Engine's generate stage is a scheduler over these: each slot
+// either generates fresh (from the slot seed) or mutates corpus seeds
+// (under the master EngineConfig.Seed stream), at EngineConfig
+// .MutateRatio. Mutants additionally pass a novelty pre-filter — a
+// mutant whose AST profile has already been observed is discarded rather
+// than spending an oracle slot re-proving a known verdict; exhausted
+// slots fall back to fresh generation.
+//
+// Determinism survives the feedback loop by construction: coverage
+// results fold into the corpus in canonical slot order at fixed round
+// boundaries (EngineConfig.SyncInterval), and a round's mutation
+// decisions draw only on the corpus as of the previous fold. The
+// schedule is therefore a pure function of the configuration — the
+// unique-finding set and the final corpus coverage-fingerprint set are
+// identical for any worker count, and a fixed -seed replays an entire
+// p4gauntlet fuzz run, mutation schedule included (both tested, race-
+// enabled).
+//
 // # Performance architecture
 //
 // A bug-hunting campaign is thousands of solver queries over
@@ -117,10 +164,13 @@
 // BenchmarkValidateIncremental measures the warm steady state;
 // BenchmarkSec52_PipelineThroughput the cold end-to-end rate;
 // BenchmarkGateReuse the structural gate cache on a near-identical miter;
-// and BenchmarkEngineFuzz the streaming engine against the sequential
-// fuzz loop it replaced. scripts/bench_trajectory.sh runs the headline
-// set and writes BENCH_3.json (programs/sec, ns per equivalence query,
-// gate-reuse %):
+// BenchmarkEngineFuzz the streaming engine against the sequential fuzz
+// loop it replaced; and BenchmarkCorpusFuzz the coverage-guided corpus
+// mode against pure generation on the same budget (throughput, admission
+// rate, distinct coverage fingerprints). scripts/bench_trajectory.sh runs
+// the headline set and writes BENCH_4.json; its benchjson gate fails CI
+// on a zero gate-reuse rate or mutation-mode throughput below half of
+// generation-mode:
 //
-//	go test -bench='ValidateIncremental|Sec52|EngineFuzz|GateReuse' .
+//	go test -bench='ValidateIncremental|Sec52|EngineFuzz|GateReuse|CorpusFuzz' .
 package gauntlet

@@ -80,6 +80,22 @@ func (e *InvalidTransformError) Error() string {
 	return fmt.Sprintf("invalid transformation after pass %s: %v", e.Pass, e.Err)
 }
 
+// PassEffect records one pass execution in a compilation trace: whether
+// the pass rewrote the program (changed its printed form) and by how much
+// the emitted source grew or shrank. The trace is the compiler-side half
+// of the coverage signal — internal/coverage folds it into a program's
+// coverage profile, so the corpus engine can tell "this program made
+// StrengthReduction fire" apart from "this one sailed through untouched"
+// without instrumenting the passes themselves.
+type PassEffect struct {
+	Pass string
+	// Rewrote reports whether the pass changed the printed program.
+	Rewrote bool
+	// TextDelta is the emitted-source byte-length change (0 when the pass
+	// left the program alone).
+	TextDelta int
+}
+
 // Snapshot is the emitted program after one pass that changed it.
 type Snapshot struct {
 	Pass string
@@ -97,6 +113,9 @@ type Result struct {
 	// Snapshots holds the initial program plus one entry per pass that
 	// changed the printed form, in pass order.
 	Snapshots []Snapshot
+	// Trace records every pass that ran, in pipeline order — including the
+	// ones that did not change the program (which Snapshots skips).
+	Trace []PassEffect
 	// Final is the fully transformed program.
 	Final *ast.Program
 }
@@ -131,6 +150,7 @@ func (c *Compiler) Compile(prog *ast.Program) (res *Result, err error) {
 		Hash: printer.Fingerprint(cur),
 	}}}
 
+	prevLen := len(text)
 	for _, p := range c.passes {
 		next, perr := c.runPass(p, cur)
 		if perr != nil {
@@ -141,10 +161,15 @@ func (c *Compiler) Compile(prog *ast.Program) (res *Result, err error) {
 			// The pass did not change the program; skip the snapshot
 			// (§5.2: "ignore any emitted intermediate program that has a
 			// hash identical to its predecessor").
+			res.Trace = append(res.Trace, PassEffect{Pass: p.Name()})
 			cur = next
 			continue
 		}
 		emitted := printer.Print(next)
+		res.Trace = append(res.Trace, PassEffect{
+			Pass: p.Name(), Rewrote: true, TextDelta: len(emitted) - prevLen,
+		})
+		prevLen = len(emitted)
 		snapProg := next
 		if !c.SkipReparse {
 			// Re-parse and re-check the emitted text: catches ToP4 and

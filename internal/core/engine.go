@@ -4,18 +4,24 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"gauntlet/internal/bugs"
 	"gauntlet/internal/compiler"
+	"gauntlet/internal/corpus"
+	"gauntlet/internal/coverage"
 	"gauntlet/internal/generator"
+	"gauntlet/internal/mutate"
 	"gauntlet/internal/p4/ast"
 	"gauntlet/internal/p4/lexer"
 	"gauntlet/internal/p4/printer"
 	"gauntlet/internal/p4/token"
+	"gauntlet/internal/p4/types"
 	"gauntlet/internal/reduce"
 	"gauntlet/internal/smt"
 	"gauntlet/internal/smt/solver"
@@ -62,7 +68,11 @@ func (k FindingKind) MarshalText() ([]byte, error) { return []byte(k.String()), 
 // Fingerprint and shrunk by the auto-reducer.
 type Finding struct {
 	Kind FindingKind `json:"kind"`
-	// Seed generated the triggering program.
+	// Seed is the schedule slot that produced the triggering program. For
+	// Origin "generate" it doubles as the generator seed; for Origin
+	// "mutate" the program came from mutating corpus seeds under the
+	// engine's master seed, so reproducing it means replaying the run
+	// with the same -seed (or starting from Source directly).
 	Seed    int64  `json:"seed"`
 	Backend string `json:"backend"`
 	// Pass is the crashing pass (crash/invalid kinds) or the failing
@@ -75,6 +85,9 @@ type Finding struct {
 	// findings hash (pass, message); miscompilations and mismatches hash
 	// (kind, failing pass, printer.Fingerprint of the reduced witness).
 	Fingerprint uint64 `json:"fingerprint"`
+	// Origin records how the triggering program was produced: "generate"
+	// (fresh from the grammar) or "mutate" (corpus mutation).
+	Origin string `json:"origin,omitempty"`
 	// SizeBefore/SizeAfter are the witness statement counts around
 	// reduction (equal when reduction is disabled).
 	SizeBefore int `json:"size_before,omitempty"`
@@ -96,6 +109,34 @@ type EngineConfig struct {
 	// (0 = unbounded, run until the context is cancelled).
 	StartSeed int64
 	Seeds     int64
+	// Seed is the master schedule seed: it drives the generate-vs-mutate
+	// split, corpus seed selection and every mutation's rand stream, so a
+	// whole engine run — findings and final corpus alike — replays
+	// identically for the same Seed, worker count notwithstanding.
+	// (Fresh program generation stays keyed by the per-slot seed, as
+	// before.)
+	Seed int64
+	// MutateRatio is the fraction of programs drawn by mutating corpus
+	// seeds instead of fresh grammar generation (0 = pure generation;
+	// mutation also requires a non-empty corpus, so early rounds always
+	// generate).
+	MutateRatio float64
+	// MaxMutations bounds how many mutators stack on one program
+	// (0 = default 3).
+	MaxMutations int
+	// SyncInterval is the corpus admission round size: coverage results
+	// are folded into the corpus in canonical slot order every
+	// SyncInterval programs, and mutation schedules for a round draw only
+	// on the corpus as of the previous fold. That barrier is what keeps
+	// the feedback loop deterministic across worker counts; it must not
+	// depend on Workers (0 = default 32).
+	SyncInterval int
+	// Corpus is the seed pool (nil = a fresh one sized MaxCorpus). Pass a
+	// pre-loaded corpus to resume from a saved -corpus directory.
+	Corpus *corpus.Corpus
+	// MaxCorpus caps a fresh corpus (0 = corpus.DefaultMaxSeeds); ignored
+	// when Corpus is set.
+	MaxCorpus int
 	// Workers sizes each heavy stage's worker pool (0 = GOMAXPROCS).
 	Workers int
 	// Backend selects the generator skeleton and the reference pass
@@ -180,6 +221,19 @@ type Stats struct {
 	Duplicates           uint64
 	UniqueFindings       uint64
 	ReducePredicateCalls uint64
+	// Mutated counts programs produced by corpus mutation (a subset of
+	// Generated); MutateInvalid counts mutants the type checker rejected
+	// before they could reach the oracle, and MutateStale mutants
+	// discarded because their AST profile was already observed (each
+	// counts the rejected attempt, not the slot — a slot retries a few
+	// times, then falls back to generation).
+	Mutated       uint64
+	MutateInvalid uint64
+	MutateStale   uint64
+	// Corpus snapshots the coverage-keyed seed pool: size, admission /
+	// rejection / eviction counts, distinct coverage edges and distinct
+	// coverage fingerprints observed.
+	Corpus corpus.Stats
 	// Throughput.
 	Elapsed        time.Duration
 	ProgramsPerSec float64
@@ -216,14 +270,18 @@ func (s Stats) Summary() string {
 		return 100 * float64(h) / float64(h+m)
 	}
 	return fmt.Sprintf(
-		"programs: %d generated, %d compiled, %d clean (%.1f/sec over %v)\n"+
+		"programs: %d generated (%d by mutation), %d compiled, %d clean (%.1f/sec over %v)\n"+
 			"findings: %d unique (%d crash, %d invalid-transform, %d miscompilation, %d packet-mismatch raw; %d duplicates), %d tool limitations\n"+
+			"corpus: %d seeds (%d admitted, %d rejected, %d evicted; %.1f%% admission); %d coverage edges, %d fingerprints; mutants rejected: %d invalid, %d stale\n"+
 			"caches: block %.1f%% hit, verdict %.1f%% hit; reduction predicate calls: %d\n"+
 			"solver: %d equivalence queries resolved by simplification alone; simp cache %.1f%% hit (%d entries); gates %d built, %d reused (%.1f%%)\n"+
 			"interner: %d terms (~%.1f MiB, %d/%d shards occupied)",
-		s.Generated, s.Compiled, s.Clean, s.ProgramsPerSec, s.Elapsed.Round(time.Millisecond),
+		s.Generated, s.Mutated, s.Compiled, s.Clean, s.ProgramsPerSec, s.Elapsed.Round(time.Millisecond),
 		s.UniqueFindings, s.Crashes, s.InvalidTransforms, s.Miscompilations, s.Mismatches,
 		s.Duplicates, s.CompileErrors+s.OracleErrors,
+		s.Corpus.Seeds, s.Corpus.Admitted, s.Corpus.Rejected, s.Corpus.Evicted,
+		rate(s.Corpus.Admitted, s.Corpus.Rejected), s.Corpus.Edges, s.Corpus.Fingerprints,
+		s.MutateInvalid, s.MutateStale,
 		rate(s.BlockHits, s.BlockMisses), rate(s.VerdictHits, s.VerdictMisses), s.ReducePredicateCalls,
 		s.SimpResolved, rate(s.Simp.Hits, s.Simp.Misses), s.Simp.Entries,
 		s.GatesBuilt, s.GatesReused, rate(s.GatesReused, s.GatesBuilt),
@@ -246,6 +304,7 @@ func (s Stats) Summary() string {
 type Engine struct {
 	cfg    EngineConfig
 	oracle *Oracle
+	corpus *corpus.Corpus
 
 	startNano atomic.Int64
 	endNano   atomic.Int64
@@ -255,6 +314,7 @@ type Engine struct {
 	compileErrors, oracleErrors                atomic.Uint64
 	duplicates, unique                         atomic.Uint64
 	reduceCalls                                atomic.Uint64
+	mutated, mutateInvalid, mutateStale        atomic.Uint64
 }
 
 // NewEngine builds an engine, filling config defaults (worker count,
@@ -275,6 +335,21 @@ func NewEngine(cfg EngineConfig) *Engine {
 	if cfg.Cache == nil {
 		cfg.Cache = validate.NewCache()
 	}
+	if cfg.MaxMutations <= 0 {
+		cfg.MaxMutations = 3
+	}
+	if cfg.SyncInterval <= 0 {
+		cfg.SyncInterval = 32
+	}
+	if cfg.MutateRatio < 0 {
+		cfg.MutateRatio = 0
+	}
+	if cfg.MutateRatio > 1 {
+		cfg.MutateRatio = 1
+	}
+	if cfg.Corpus == nil {
+		cfg.Corpus = corpus.New(cfg.MaxCorpus)
+	}
 	if cfg.Passes == nil {
 		platform := bugs.BMv2
 		if cfg.Backend == generator.TNA {
@@ -291,7 +366,8 @@ func NewEngine(cfg EngineConfig) *Engine {
 		}
 	}
 	return &Engine{
-		cfg: cfg,
+		cfg:    cfg,
+		corpus: cfg.Corpus,
 		oracle: &Oracle{
 			Passes:       cfg.Passes,
 			MaxConflicts: cfg.MaxConflicts,
@@ -306,6 +382,10 @@ func NewEngine(cfg EngineConfig) *Engine {
 // Oracle exposes the engine's shared oracle stage (the same one
 // Campaign.Hunt builds per bug).
 func (e *Engine) Oracle() *Oracle { return e.oracle }
+
+// Corpus exposes the engine's seed pool (for saving after a run, or for
+// inspecting the admitted coverage fingerprints).
+func (e *Engine) Corpus() *corpus.Corpus { return e.corpus }
 
 // Stats snapshots the engine's counters. Valid at any time; throughput is
 // measured from Run's start to now (or to Run's return).
@@ -323,6 +403,10 @@ func (e *Engine) Stats() Stats {
 		Duplicates:           e.duplicates.Load(),
 		UniqueFindings:       e.unique.Load(),
 		ReducePredicateCalls: e.reduceCalls.Load(),
+		Mutated:              e.mutated.Load(),
+		MutateInvalid:        e.mutateInvalid.Load(),
+		MutateStale:          e.mutateStale.Load(),
+		Corpus:               e.corpus.Stats(),
 		Simp:                 smt.SimplifyStats(),
 		Interner:             smt.InternerStats(),
 	}
@@ -345,11 +429,91 @@ func (e *Engine) Stats() Stats {
 }
 
 // unit is a program moving between the generate, compile and oracle
-// stages.
+// stages. prof is the AST coverage profile when the generate stage
+// already computed one (mutants profile themselves for the novelty
+// check); the compile stage fills it in otherwise.
 type unit struct {
-	seed int64
-	prog *ast.Program
-	res  *compiler.Result
+	seed    int64
+	prog    *ast.Program
+	res     *compiler.Result
+	prof    *coverage.Profile
+	mutated bool
+}
+
+// task is one scheduled program slot: fresh grammar generation from the
+// slot seed, or mutation of corpus seeds under a slot-derived rand stream.
+// Tasks are pure values — a task replayed on any worker produces the same
+// program.
+type task struct {
+	slot        int64
+	mutate      bool
+	base, donor *corpus.Seed
+	rngSeed     int64
+}
+
+// covRec is a compile-stage coverage report flowing to the admission
+// collector: exactly one per scheduled slot that reaches the compile
+// stage (cancellation aside). astFP is the profile's fingerprint before
+// pass-trace edges were folded in — the novelty key the mutation
+// pre-filter tests against.
+type covRec struct {
+	slot  int64
+	prog  *ast.Program
+	prof  *coverage.Profile
+	astFP uint64
+}
+
+// mix derives a per-slot rand seed from the master schedule seed
+// (splitmix64-style finalizer, so adjacent slots decorrelate).
+func mix(seed, slot int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(slot+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// originOf renders a unit's provenance for Finding.Origin.
+func originOf(mutated bool) string {
+	if mutated {
+		return "mutate"
+	}
+	return "generate"
+}
+
+// materialize turns a task into a program. Mutation tasks retry a few
+// draws, cheaply rejecting ill-typed mutants with the type checker — the
+// oracle only ever sees programs that type-check — and behaviourally
+// stale ones with the corpus's observed-fingerprint set (a mutant whose
+// AST profile was already tested would spend an oracle slot re-proving a
+// known verdict). Exhausted tasks fall back to fresh generation, so every
+// slot yields exactly one program.
+func (e *Engine) materialize(t task) (*ast.Program, *coverage.Profile, bool) {
+	if t.mutate {
+		r := rand.New(rand.NewSource(t.rngSeed))
+		var donor *ast.Program
+		if t.donor != nil {
+			donor = t.donor.Program
+		}
+		for try := 0; try < 4; try++ {
+			m, _, ok := mutate.Program(r, t.base.Program, donor, e.cfg.MaxMutations)
+			if !ok {
+				break
+			}
+			if types.Check(ast.CloneProgram(m)) != nil {
+				e.mutateInvalid.Add(1)
+				continue
+			}
+			prof := coverage.OfProgram(m)
+			if e.corpus.SeenProgram(prof.Fingerprint()) {
+				e.mutateStale.Add(1)
+				continue
+			}
+			// Hand the profile downstream: the compile stage folds the
+			// pass trace into it rather than re-walking the AST.
+			return m, prof, true
+		}
+	}
+	return e.cfg.Generate(t.slot), nil, false
 }
 
 // Run executes the pipeline until the seed range is exhausted or ctx is
@@ -370,28 +534,69 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 	redCh := make(chan Finding, qd)
 	outCh := make(chan Finding, qd)
 
-	// Stage 1: generate. Seeds are drawn from an atomic counter so any
-	// number of workers covers exactly [StartSeed, StartSeed+Seeds).
-	var next atomic.Int64
-	next.Store(e.cfg.StartSeed)
+	// Stage 1a: schedule. A single goroutine decides, slot by slot,
+	// whether the program comes from fresh grammar generation or from
+	// mutating corpus seeds, all under the master Seed's rand stream.
+	// Mutation decisions for a round draw only on the corpus as of the
+	// previous round's fold (stage 1c), so the schedule — and with it the
+	// finding set and the final corpus — is a pure function of the
+	// configuration, independent of worker count and channel interleaving.
+	roundSize := int64(e.cfg.SyncInterval)
+	taskCh := make(chan task, qd)
+	covCh := make(chan covRec, qd)
+	// foldCh carries "round folded" signals from the collector to the
+	// scheduler. At most one signal is ever outstanding (the scheduler
+	// consumes fold r before emitting round r+1, and fold r+1 cannot
+	// complete before round r+1 is fully emitted), so capacity 1 with a
+	// non-blocking send never drops.
+	foldCh := make(chan struct{}, 1)
+	go func() {
+		defer close(taskCh)
+		sched := rand.New(rand.NewSource(e.cfg.Seed))
+		for slot, inRound := e.cfg.StartSeed, int64(0); ; slot++ {
+			if e.cfg.Seeds > 0 && slot >= e.cfg.StartSeed+e.cfg.Seeds {
+				return
+			}
+			if inRound == roundSize {
+				inRound = 0
+				if e.cfg.MutateRatio > 0 {
+					select {
+					case <-foldCh:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+			inRound++
+			t := task{slot: slot, rngSeed: mix(e.cfg.Seed, slot)}
+			if e.cfg.MutateRatio > 0 && sched.Float64() < e.cfg.MutateRatio {
+				t.base = e.corpus.Select(sched)
+				t.donor = e.corpus.Select(sched)
+				t.mutate = t.base != nil
+			}
+			if !send(ctx, taskCh, t) {
+				return
+			}
+		}
+	}()
+
+	// Stage 1b: generate/mutate. Workers materialize tasks — grammar
+	// generation or corpus mutation plus the cheap type-check gate — in
+	// parallel; each task is a pure value, so parallelism cannot perturb
+	// the schedule.
 	var genWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		genWG.Add(1)
 		go func() {
 			defer genWG.Done()
-			for {
-				seed := next.Add(1) - 1
-				if e.cfg.Seeds > 0 && seed >= e.cfg.StartSeed+e.cfg.Seeds {
-					return
-				}
-				if ctx.Err() != nil {
-					return
-				}
-				u := unit{seed: seed, prog: e.cfg.Generate(seed)}
+			for t := range taskCh {
+				u := unit{seed: t.slot}
+				u.prog, u.prof, u.mutated = e.materialize(t)
 				e.generated.Add(1)
-				select {
-				case genCh <- u:
-				case <-ctx.Done():
+				if u.mutated {
+					e.mutated.Add(1)
+				}
+				if !send(ctx, genCh, u) {
 					return
 				}
 			}
@@ -399,8 +604,56 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 	}
 	go func() { genWG.Wait(); close(genCh) }()
 
+	// Stage 1c: collect coverage and fold corpus admissions. Records
+	// buffer per round and fold in canonical slot order once the round is
+	// complete, so admission — which is order-sensitive (a program is
+	// admitted only if it still adds coverage) — is identical on any
+	// worker count.
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		expected := func(round int64) int64 {
+			if e.cfg.Seeds <= 0 {
+				return roundSize
+			}
+			rem := e.cfg.Seeds - round*roundSize
+			if rem > roundSize {
+				return roundSize
+			}
+			return rem
+		}
+		pending := map[int64][]covRec{}
+		next := int64(0)
+		for rec := range covCh {
+			round := (rec.slot - e.cfg.StartSeed) / roundSize
+			pending[round] = append(pending[round], rec)
+			for {
+				exp := expected(next)
+				if exp <= 0 || int64(len(pending[next])) < exp {
+					break
+				}
+				recs := pending[next]
+				delete(pending, next)
+				sort.Slice(recs, func(i, j int) bool { return recs[i].slot < recs[j].slot })
+				for _, rc := range recs {
+					e.corpus.RecordProgram(rc.astFP)
+					e.corpus.Add(rc.prog, rc.prof)
+				}
+				next++
+				if e.cfg.MutateRatio > 0 {
+					select {
+					case foldCh <- struct{}{}:
+					default:
+					}
+				}
+			}
+		}
+	}()
+
 	// Stage 2: compile. Crash and invalid-transform findings short-cut
 	// straight to dedup; clean compilations flow to the oracle stage.
+	// Every unit also reports its coverage profile — AST features plus the
+	// pass trace (or a crash/invalid edge) — to the admission collector.
 	var compWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		compWG.Add(1)
@@ -408,6 +661,22 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 			defer compWG.Done()
 			for u := range genCh {
 				out := e.oracle.Compile(u.prog)
+				prof := u.prof
+				if prof == nil {
+					prof = coverage.OfProgram(u.prog)
+				}
+				astFP := prof.Fingerprint()
+				switch {
+				case out.Crash != nil:
+					prof.AddPassCrash(out.Crash.Pass)
+				case out.Invalid != nil:
+					prof.AddPassInvalid(out.Invalid.Pass)
+				case out.Err == nil:
+					prof.AddTrace(out.Result.Trace)
+				}
+				if !send(ctx, covCh, covRec{slot: u.seed, prog: u.prog, prof: prof, astFP: astFP}) {
+					return
+				}
 				switch {
 				case out.Err != nil:
 					e.compileErrors.Add(1)
@@ -420,6 +689,7 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 						Kind: FindingCrash, Seed: u.seed, Backend: e.cfg.Backend.String(),
 						Pass:     out.Crash.Pass,
 						Detail:   fmt.Sprintf("crash in %s: %s", out.Crash.Pass, out.Crash.Msg),
+						Origin:   originOf(u.mutated),
 						Program:  u.prog,
 						crashMsg: out.Crash.Msg,
 					}
@@ -432,6 +702,7 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 						Kind: FindingInvalidTransform, Seed: u.seed, Backend: e.cfg.Backend.String(),
 						Pass:     out.Invalid.Pass,
 						Detail:   out.Invalid.Error(),
+						Origin:   originOf(u.mutated),
 						Program:  u.prog,
 						crashMsg: out.Invalid.Error(),
 					}
@@ -448,7 +719,7 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 			}
 		}()
 	}
-	go func() { compWG.Wait(); close(compCh) }()
+	go func() { compWG.Wait(); close(compCh); close(covCh) }()
 
 	// Stage 3: oracle (translation validation + packet tests).
 	var oracleWG sync.WaitGroup
@@ -471,6 +742,7 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 						Kind: FindingMiscompilation, Seed: u.seed, Backend: e.cfg.Backend.String(),
 						Pass:    out.Failures[0].PassB,
 						Detail:  out.Failures[0].String(),
+						Origin:  originOf(u.mutated),
 						Program: u.prog,
 					}
 					if !send(ctx, candCh, f) {
@@ -481,6 +753,7 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 					f := Finding{
 						Kind: FindingMismatch, Seed: u.seed, Backend: e.cfg.Backend.String(),
 						Detail:  out.Mismatches[0],
+						Origin:  originOf(u.mutated),
 						Program: u.prog,
 					}
 					if !send(ctx, candCh, f) {
@@ -564,6 +837,9 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 		}
 		findings = append(findings, f)
 	}
+	// Let the collector fold the final round before Run returns, so the
+	// corpus callers see (save, fingerprint sets) is the finished one.
+	<-collectorDone
 	return findings
 }
 

@@ -198,6 +198,146 @@ func TestHuntMatchesSharedOracle(t *testing.T) {
 	}
 }
 
+// mutatingEngineConfig builds a corpus-mode engine config: seeded
+// defects, a small sync interval so mutation kicks in after the first
+// round, and a fixed master seed.
+func mutatingEngineConfig(t *testing.T, seeds int64, workers int, masterSeed int64) core.EngineConfig {
+	cfg := buggyEngineConfig(t, seeds, workers, "P4C-C-04", "P4C-C-13", "P4C-S-02")
+	cfg.Seed = masterSeed
+	cfg.MutateRatio = 0.5
+	cfg.SyncInterval = 8
+	return cfg
+}
+
+// TestEngineMutationDeterminism: with a fixed master seed, the
+// unique-finding set AND the final corpus coverage-fingerprint set must
+// be identical across worker counts — the round-fold barrier makes the
+// feedback loop a pure function of the configuration. Run under -race in
+// CI.
+func TestEngineMutationDeterminism(t *testing.T) {
+	type result struct {
+		findings []string
+		corpus   []uint64
+		mutated  uint64
+	}
+	run := func(workers int) result {
+		e := core.NewEngine(mutatingEngineConfig(t, 40, workers, 7))
+		fs := e.Run(context.Background())
+		return result{
+			findings: fingerprintSet(fs),
+			corpus:   e.Corpus().Fingerprints(),
+			mutated:  e.Stats().Mutated,
+		}
+	}
+	sequential := run(1)
+	parallel := run(8)
+	if sequential.mutated == 0 {
+		t.Fatal("no mutated programs: the corpus feedback loop never engaged")
+	}
+	if len(sequential.findings) == 0 {
+		t.Fatal("no findings: the seeded defects should fire within 40 slots")
+	}
+	if strings.Join(sequential.findings, "\n") != strings.Join(parallel.findings, "\n") {
+		t.Errorf("finding set differs between workers=1 and workers=8:\nworkers=1:\n  %s\nworkers=8:\n  %s",
+			strings.Join(sequential.findings, "\n  "), strings.Join(parallel.findings, "\n  "))
+	}
+	if fmt.Sprint(sequential.corpus) != fmt.Sprint(parallel.corpus) {
+		t.Errorf("corpus fingerprint set differs between workers=1 and workers=8:\nworkers=1: %x\nworkers=8: %x",
+			sequential.corpus, parallel.corpus)
+	}
+	if sequential.mutated != parallel.mutated {
+		t.Errorf("mutation schedule differs: %d vs %d mutated programs", sequential.mutated, parallel.mutated)
+	}
+}
+
+// TestEngineSeedReproducibility: the same master -seed replays the whole
+// run — schedule, findings, corpus — and a different seed yields a
+// different mutation schedule stream (the flag actually steers).
+func TestEngineSeedReproducibility(t *testing.T) {
+	run := func(masterSeed int64) ([]string, []uint64) {
+		e := core.NewEngine(mutatingEngineConfig(t, 30, 4, masterSeed))
+		fs := e.Run(context.Background())
+		return fingerprintSet(fs), e.Corpus().Fingerprints()
+	}
+	f1, c1 := run(11)
+	f2, c2 := run(11)
+	if strings.Join(f1, "\n") != strings.Join(f2, "\n") {
+		t.Errorf("same -seed, different findings:\nrun1:\n  %s\nrun2:\n  %s",
+			strings.Join(f1, "\n  "), strings.Join(f2, "\n  "))
+	}
+	if fmt.Sprint(c1) != fmt.Sprint(c2) {
+		t.Errorf("same -seed, different corpus:\nrun1: %x\nrun2: %x", c1, c2)
+	}
+}
+
+// TestEngineCorpusStats: corpus-mode accounting — every slot still yields
+// exactly one program, mutation engages, admission tracks coverage, and
+// the summary renders the corpus line.
+func TestEngineCorpusStats(t *testing.T) {
+	e := core.NewEngine(mutatingEngineConfig(t, 40, 4, 3))
+	e.Run(context.Background())
+	s := e.Stats()
+	if s.Generated != 40 {
+		t.Errorf("generated = %d, want 40 (every slot yields one program)", s.Generated)
+	}
+	if s.Mutated == 0 {
+		t.Error("no mutated programs despite mutate-ratio 0.5")
+	}
+	if s.Mutated >= s.Generated {
+		t.Errorf("mutated = %d of %d: fresh generation starved", s.Mutated, s.Generated)
+	}
+	if s.Crashes+s.InvalidTransforms+s.CompileErrors+s.Compiled != s.Generated {
+		t.Errorf("compile stage accounting broken: %+v", s)
+	}
+	if s.Corpus.Admitted == 0 {
+		t.Error("no corpus admissions over 40 programs")
+	}
+	if s.Corpus.Admitted+s.Corpus.Rejected != s.Generated {
+		t.Errorf("admission accounting: %d admitted + %d rejected != %d generated",
+			s.Corpus.Admitted, s.Corpus.Rejected, s.Generated)
+	}
+	if s.Corpus.Edges == 0 || s.Corpus.Fingerprints == 0 {
+		t.Errorf("coverage counters empty: %+v", s.Corpus)
+	}
+	if s.Corpus.Seeds == 0 || s.Corpus.Seeds != e.Corpus().Len() {
+		t.Errorf("corpus size mismatch: stats %d vs corpus %d", s.Corpus.Seeds, e.Corpus().Len())
+	}
+	if !strings.Contains(s.Summary(), "corpus:") {
+		t.Errorf("summary missing corpus line:\n%s", s.Summary())
+	}
+}
+
+// TestEngineCorpusPersistence: a corpus saved from one run primes the
+// next — loaded seeds pass the admission gate again and mutation can
+// engage from slot 0 of the second run.
+func TestEngineCorpusPersistence(t *testing.T) {
+	dir := t.TempDir()
+	first := core.NewEngine(mutatingEngineConfig(t, 24, 4, 5))
+	first.Run(context.Background())
+	if first.Corpus().Len() == 0 {
+		t.Fatal("first run admitted nothing")
+	}
+	if _, err := first.Corpus().Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := mutatingEngineConfig(t, 8, 4, 5)
+	cfg.Corpus = nil
+	cfg.MaxCorpus = 64
+	pre := core.NewEngine(cfg)
+	n, err := pre.Corpus().Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing loaded from the saved corpus")
+	}
+	pre.Run(context.Background())
+	if got := pre.Stats().Mutated; got == 0 {
+		t.Error("pre-loaded corpus did not enable mutation in the first round")
+	}
+}
+
 // TestEngineStats: the snapshot must account for every generated program
 // and surface the shared-cache and interner observability counters.
 func TestEngineStats(t *testing.T) {

@@ -1,0 +1,229 @@
+package corpus_test
+
+import (
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"gauntlet/internal/corpus"
+	"gauntlet/internal/coverage"
+	"gauntlet/internal/generator"
+)
+
+// admit generates programs for the given seeds and offers each to the
+// corpus, returning how many were admitted.
+func admit(t *testing.T, c *corpus.Corpus, seeds ...int64) int {
+	t.Helper()
+	n := 0
+	for _, s := range seeds {
+		prog := generator.Generate(generator.DefaultConfig(s))
+		if c.Add(prog, coverage.OfProgram(prog)) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestAdmissionRequiresNewCoverage: a program re-offered with an identical
+// profile must be rejected, and the counters must account for both.
+func TestAdmissionRequiresNewCoverage(t *testing.T) {
+	c := corpus.New(0)
+	prog := generator.Generate(generator.DefaultConfig(1))
+	if !c.Add(prog, coverage.OfProgram(prog)) {
+		t.Fatal("first program must be admitted (everything is new coverage)")
+	}
+	if c.Add(generator.Generate(generator.DefaultConfig(1)), coverage.OfProgram(prog)) {
+		t.Fatal("identical profile re-admitted")
+	}
+	s := c.Stats()
+	if s.Admitted != 1 || s.Rejected != 1 || s.Seeds != 1 {
+		t.Errorf("stats = %+v, want 1 admitted / 1 rejected / 1 seed", s)
+	}
+	if s.Edges == 0 || s.Fingerprints != 1 {
+		t.Errorf("edges=%d fingerprints=%d, want >0 and 1", s.Edges, s.Fingerprints)
+	}
+}
+
+// TestAdmissionRateDecays: over a stream of generated programs the
+// admission rate must fall — later programs mostly re-exercise seen
+// features, which is exactly the novelty signal the engine schedules on.
+func TestAdmissionRateDecays(t *testing.T) {
+	c := corpus.New(0)
+	var early, late int
+	for s := int64(0); s < 30; s++ {
+		prog := generator.Generate(generator.DefaultConfig(s))
+		ok := c.Add(prog, coverage.OfProgram(prog))
+		if ok && s < 15 {
+			early++
+		} else if ok {
+			late++
+		}
+	}
+	if early == 0 {
+		t.Fatal("no early admissions at all")
+	}
+	if late >= early {
+		t.Errorf("admission did not decay: %d early vs %d late", early, late)
+	}
+}
+
+// TestEvictionSizeBiased: with a cap of 2, admitting three seeds must
+// evict the largest, and the evicted seed's coverage stays claimed (no
+// re-admission of an equivalent profile).
+func TestEvictionSizeBiased(t *testing.T) {
+	c := corpus.New(2)
+	admitted := admit(t, c, 0, 1, 2, 3, 4, 5, 6, 7)
+	if admitted < 3 {
+		t.Skipf("only %d of 8 generated programs admitted; need ≥3 to exercise eviction", admitted)
+	}
+	s := c.Stats()
+	if s.Seeds != 2 {
+		t.Fatalf("corpus holds %d seeds, want cap 2", s.Seeds)
+	}
+	if s.Evicted != s.Admitted-2 {
+		t.Errorf("evicted = %d, want admitted-2 = %d", s.Evicted, s.Admitted-2)
+	}
+	// Every survivor must be no larger than the cap'th-smallest admitted
+	// size is hard to reconstruct here; instead check the policy's
+	// observable: re-offering a survivor's profile is still rejected.
+	r := rand.New(rand.NewSource(1))
+	sel := c.Select(r)
+	if sel == nil {
+		t.Fatal("select returned nil on a non-empty corpus")
+	}
+	if c.Add(sel.Program, sel.Profile) {
+		t.Error("survivor profile re-admitted: eviction leaked coverage")
+	}
+}
+
+// TestSelectEnergyWeighted: selection must be deterministic under a fixed
+// rand stream and must favour higher-energy seeds.
+func TestSelectEnergyWeighted(t *testing.T) {
+	c := corpus.New(0)
+	if admit(t, c, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9) < 3 {
+		t.Skip("too few admissions to test scheduling")
+	}
+	// Determinism: same stream, same picks.
+	picks := func(seed int64) []int {
+		r := rand.New(rand.NewSource(seed))
+		var out []int
+		for i := 0; i < 50; i++ {
+			out = append(out, c.Select(r).ID)
+		}
+		return out
+	}
+	a, b := picks(7), picks(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("selection not deterministic at draw %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Bias: the highest-energy seed should be drawn more often than the
+	// lowest over many draws.
+	counts := map[int]int{}
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		counts[c.Select(r).ID]++
+	}
+	var bestID, worstID int
+	var bestE, worstE = -1.0, -1.0
+	r2 := rand.New(rand.NewSource(0))
+	seen := map[int]*corpus.Seed{}
+	for i := 0; i < 500; i++ {
+		s := c.Select(r2)
+		seen[s.ID] = s
+	}
+	for id, s := range seen {
+		if bestE < 0 || s.Energy > bestE {
+			bestE, bestID = s.Energy, id
+		}
+		if worstE < 0 || s.Energy < worstE {
+			worstE, worstID = s.Energy, id
+		}
+	}
+	if bestID != worstID && bestE > 2*worstE && counts[bestID] <= counts[worstID] {
+		t.Errorf("energy bias missing: energy %.2f drawn %d times, energy %.2f drawn %d times",
+			bestE, counts[bestID], worstE, counts[worstID])
+	}
+}
+
+// TestSaveLoadRoundTrip: a saved corpus reloaded into a fresh corpus must
+// reproduce the same coverage-fingerprint set.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := corpus.New(0)
+	if admit(t, c, 0, 1, 2, 3, 4, 5) == 0 {
+		t.Fatal("nothing admitted")
+	}
+	dir := t.TempDir()
+	n, err := c.Save(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != c.Len() {
+		t.Fatalf("saved %d files for %d seeds", n, c.Len())
+	}
+
+	fresh := corpus.New(0)
+	loaded, err := fresh.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded == 0 {
+		t.Fatal("nothing loaded back")
+	}
+	// Loaded profiles lack pass-trace edges only if the original ones had
+	// them; here both sides are AST-only, so the fingerprint sets must
+	// match exactly.
+	a, b := c.Fingerprints(), fresh.Fingerprints()
+	if len(a) != len(b) {
+		t.Fatalf("fingerprint sets differ in size: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fingerprint %d differs: %016x vs %016x", i, a[i], b[i])
+		}
+	}
+
+	// Names are content-addressed, so re-saving the reloaded corpus must
+	// rewrite the same files, not accumulate duplicates.
+	before, _ := os.ReadDir(dir)
+	if _, err := fresh.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.ReadDir(dir)
+	if len(after) != len(before) {
+		t.Errorf("re-save grew the corpus directory: %d -> %d files", len(before), len(after))
+	}
+}
+
+// TestConcurrentAdd: parallel admission must be safe (run under -race in
+// CI) and account for every offer.
+func TestConcurrentAdd(t *testing.T) {
+	c := corpus.New(16)
+	const workers, per = 8, 10
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				prog := generator.Generate(generator.DefaultConfig(int64(w*per + i)))
+				c.Add(prog, coverage.OfProgram(prog))
+				c.Select(r)
+				c.Stats()
+				c.Fingerprints()
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Admitted+s.Rejected != workers*per {
+		t.Errorf("accounting: %d admitted + %d rejected != %d offers",
+			s.Admitted, s.Rejected, workers*per)
+	}
+	if s.Seeds > 16 {
+		t.Errorf("cap violated: %d seeds", s.Seeds)
+	}
+}

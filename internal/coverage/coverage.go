@@ -1,0 +1,348 @@
+// Package coverage computes the cheap, deterministic coverage signal the
+// corpus engine feeds on. Plain grammar fuzzing draws every program fresh
+// and learns nothing from one program to the next; a feedback loop needs a
+// way to say "this program exercised compiler behaviour the campaign has
+// not seen yet" without paying for real instrumentation. Two sources fold
+// into one Profile:
+//
+//   - an AST feature profile of the input program — node kinds, operator
+//     and width usage, declaration shapes (tables, actions, parser
+//     states), expression-depth buckets — all counts log-bucketed so
+//     "about the same amount" collapses to one edge while order-of-
+//     magnitude differences stay distinct;
+//   - the compiler's pass trace (compiler.Result.Trace): which passes
+//     rewrote the program and by how much, plus crash/invalid edges for
+//     abnormal terminations.
+//
+// A Profile is a set of uint64 "edges" (feature hashes). Profiles are
+// value-deterministic — the same program and trace always produce the same
+// edge set and the same Fingerprint, on any worker, in any order — which
+// is what lets corpus admission stay reproducible across worker counts.
+package coverage
+
+import (
+	"hash/fnv"
+	"math/bits"
+	"sort"
+
+	"gauntlet/internal/compiler"
+	"gauntlet/internal/p4/ast"
+)
+
+// Profile is one program's coverage signal: a set of feature edges plus
+// the size metrics seed scheduling wants. The zero value is not useful;
+// build with OfProgram. A Profile is not safe for concurrent mutation but
+// is safe for concurrent reads once fully built.
+type Profile struct {
+	edges map[uint64]struct{}
+	// stmts is the program's statement count (the corpus size metric).
+	stmts int
+}
+
+// edge hashes a feature path (a kind tag plus qualifiers) to an edge key.
+func edge(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// bucket collapses a count to a coarse log scale: exact for 0–4, then one
+// bucket per power of two. Keeps "about as many" identical while keeping
+// order-of-magnitude differences apart.
+func bucket(n int) int {
+	if n <= 4 {
+		return n
+	}
+	return 3 + bits.Len(uint(n))
+}
+
+var bucketNames = []string{"0", "1", "2", "3", "4", "5", "6", "7", "8", "9",
+	"10", "11", "12", "13", "14", "15", "16", "17", "18", "19", "20"}
+
+func bucketName(n int) string {
+	b := bucket(n)
+	if b < len(bucketNames) {
+		return bucketNames[b]
+	}
+	return "big"
+}
+
+func (p *Profile) add(parts ...string) {
+	p.edges[edge(parts...)] = struct{}{}
+}
+
+// Len returns the number of distinct edges in the profile.
+func (p *Profile) Len() int { return len(p.edges) }
+
+// Stmts returns the program's statement count (the seed-size metric).
+func (p *Profile) Stmts() int { return p.stmts }
+
+// Edges returns the profile's edge set, sorted.
+func (p *Profile) Edges() []uint64 {
+	out := make([]uint64, 0, len(p.edges))
+	for e := range p.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Fingerprint folds the sorted edge set into one stable hash: equal edge
+// sets (and only those) share a fingerprint, across runs and workers.
+func (p *Profile) Fingerprint() uint64 {
+	const prime = 1099511628211 // FNV-64 prime
+	h := uint64(14695981039346656037)
+	for _, e := range p.Edges() {
+		h = (h ^ e) * prime
+	}
+	return h
+}
+
+// AddTrace folds a compilation's pass trace into the profile: one edge per
+// pass that rewrote the program, plus a bucketed size-delta edge so "the
+// pass fired and halved the program" is new coverage relative to "the pass
+// fired and nudged one statement".
+func (p *Profile) AddTrace(trace []compiler.PassEffect) {
+	fired := 0
+	for _, t := range trace {
+		if !t.Rewrote {
+			continue
+		}
+		fired++
+		p.add("pass", t.Pass)
+		d := t.TextDelta
+		sign := "grow"
+		if d < 0 {
+			d, sign = -d, "shrink"
+		}
+		p.add("pass-delta", t.Pass, sign, bucketName(d))
+	}
+	p.add("passes-fired", bucketName(fired))
+}
+
+// AddPassCrash records an abnormal pass termination as coverage: a program
+// that crashes a pass the corpus has not crashed before is interesting
+// even though it never produced a pass trace.
+func (p *Profile) AddPassCrash(pass string) { p.add("pass-crash", pass) }
+
+// AddPassInvalid records an invalid transformation (the pass emitted an
+// unparsable or ill-typed program) as coverage.
+func (p *Profile) AddPassInvalid(pass string) { p.add("pass-invalid", pass) }
+
+// OfProgram computes the AST feature profile of a program: declaration
+// shape, statement and expression kind counts, operator and width usage,
+// expression-depth buckets, table and parser structure.
+func OfProgram(prog *ast.Program) *Profile {
+	p := &Profile{edges: make(map[uint64]struct{}, 64)}
+	if prog == nil {
+		return p
+	}
+
+	declCounts := map[string]int{}
+	stmtCounts := map[string]int{}
+	exprCounts := map[string]int{}
+	maxDepth := 0
+
+	countExpr := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		if d := exprDepth(e); d > maxDepth {
+			maxDepth = d
+		}
+		ast.Inspect(e, func(x ast.Expr) bool {
+			switch x := x.(type) {
+			case *ast.Ident:
+				exprCounts["ident"]++
+			case *ast.IntLit:
+				exprCounts["int"]++
+				p.add("width", bucketName(x.Width))
+			case *ast.BoolLit:
+				exprCounts["bool"]++
+			case *ast.UnaryExpr:
+				exprCounts["unary:"+x.Op.String()]++
+			case *ast.BinaryExpr:
+				exprCounts["binary:"+x.Op.String()]++
+			case *ast.MuxExpr:
+				exprCounts["mux"]++
+			case *ast.CastExpr:
+				exprCounts["cast"]++
+				if bt, ok := x.To.(*ast.BitType); ok {
+					p.add("cast-width", bucketName(bt.Width))
+				}
+			case *ast.MemberExpr:
+				exprCounts["member"]++
+			case *ast.SliceExpr:
+				exprCounts["slice"]++
+				p.add("slice-width", bucketName(x.Hi-x.Lo+1))
+			case *ast.CallExpr:
+				exprCounts["call"]++
+			}
+			return true
+		})
+	}
+	countStmts := func(body ast.Stmt) {
+		ast.InspectStmt(body, func(s ast.Stmt) bool {
+			p.stmts++
+			switch s := s.(type) {
+			case *ast.AssignStmt:
+				stmtCounts["assign"]++
+				if _, ok := s.LHS.(*ast.SliceExpr); ok {
+					stmtCounts["assign-slice"]++
+				}
+				countExpr(s.RHS)
+			case *ast.VarDeclStmt:
+				stmtCounts["vardecl"]++
+				if s.Init == nil {
+					stmtCounts["vardecl-undef"]++
+				}
+				countExpr(s.Init)
+			case *ast.ConstDeclStmt:
+				stmtCounts["constdecl"]++
+				countExpr(s.Value)
+			case *ast.IfStmt:
+				stmtCounts["if"]++
+				if s.Else != nil {
+					stmtCounts["if-else"]++
+				}
+				countExpr(s.Cond)
+			case *ast.BlockStmt:
+				p.stmts-- // containers, not statements
+			case *ast.CallStmt:
+				stmtCounts["call"]++
+				if m, ok := s.Call.Func.(*ast.MemberExpr); ok {
+					switch m.Member {
+					case "apply":
+						stmtCounts["table-apply"]++
+					case "setValid", "setInvalid":
+						stmtCounts["validity"]++
+					}
+				}
+				countExpr(s.Call)
+			case *ast.ReturnStmt:
+				stmtCounts["return"]++
+				countExpr(s.Value)
+			case *ast.ExitStmt:
+				stmtCounts["exit"]++
+			case *ast.SwitchStmt:
+				stmtCounts["switch"]++
+				p.add("switch-cases", bucketName(len(s.Cases)))
+				countExpr(s.Tag)
+			case *ast.EmptyStmt:
+				p.stmts--
+			}
+			return true
+		}, nil)
+	}
+
+	for _, d := range prog.Decls {
+		switch d := d.(type) {
+		case *ast.HeaderDecl:
+			declCounts["header"]++
+			p.add("header-fields", bucketName(len(d.Fields)))
+			for _, f := range d.Fields {
+				if bt, ok := f.Type.(*ast.BitType); ok {
+					p.add("field-width", bucketName(bt.Width))
+				}
+			}
+		case *ast.StructDecl:
+			declCounts["struct"]++
+		case *ast.ControlDecl:
+			declCounts["control"]++
+			for _, l := range d.Locals {
+				switch l := l.(type) {
+				case *ast.ActionDecl:
+					declCounts["action"]++
+					p.add("action-params", bucketName(len(l.Params)))
+					countStmts(l.Body)
+				case *ast.FunctionDecl:
+					declCounts["function"]++
+					countStmts(l.Body)
+				case *ast.TableDecl:
+					declCounts["table"]++
+					p.add("table-keys", bucketName(len(l.Keys)))
+					p.add("table-actions", bucketName(len(l.Actions)))
+				case *ast.VarDecl:
+					declCounts["control-var"]++
+					countExpr(l.Init)
+				}
+			}
+			countStmts(d.Apply)
+		case *ast.ParserDecl:
+			declCounts["parser"]++
+			p.add("parser-states", bucketName(len(d.States)))
+			for i := range d.States {
+				st := &d.States[i]
+				for _, s := range st.Stmts {
+					p.stmts++
+					if cs, ok := s.(*ast.CallStmt); ok {
+						countExpr(cs.Call)
+					}
+				}
+				switch tr := st.Trans.(type) {
+				case *ast.TransSelect:
+					p.add("parser-select", bucketName(len(tr.Cases)))
+					countExpr(tr.Expr)
+				}
+			}
+		case *ast.FunctionDecl:
+			declCounts["function"]++
+			countStmts(d.Body)
+		case *ast.ActionDecl:
+			declCounts["action"]++
+			countStmts(d.Body)
+		}
+	}
+
+	for k, n := range declCounts {
+		p.add("decl", k, bucketName(n))
+	}
+	for k, n := range stmtCounts {
+		p.add("stmt", k, bucketName(n))
+	}
+	for k, n := range exprCounts {
+		p.add("expr", k, bucketName(n))
+	}
+	p.add("expr-depth", bucketName(maxDepth))
+	p.add("size", bucketName(p.stmts))
+	return p
+}
+
+// exprDepth returns the height of an expression tree.
+func exprDepth(e ast.Expr) int {
+	max := func(a, b int) int {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	switch e := e.(type) {
+	case nil:
+		return 0
+	case *ast.Ident, *ast.IntLit, *ast.BoolLit:
+		return 1
+	case *ast.UnaryExpr:
+		return 1 + exprDepth(e.X)
+	case *ast.BinaryExpr:
+		return 1 + max(exprDepth(e.X), exprDepth(e.Y))
+	case *ast.MuxExpr:
+		return 1 + max(exprDepth(e.Cond), max(exprDepth(e.Then), exprDepth(e.Else)))
+	case *ast.CastExpr:
+		return 1 + exprDepth(e.X)
+	case *ast.MemberExpr:
+		return 1 + exprDepth(e.X)
+	case *ast.SliceExpr:
+		return 1 + exprDepth(e.X)
+	case *ast.CallExpr:
+		d := exprDepth(e.Func)
+		for _, a := range e.Args {
+			d = max(d, exprDepth(a))
+		}
+		return 1 + d
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,118 @@
+package coverage_test
+
+import (
+	"testing"
+
+	"gauntlet/internal/compiler"
+	"gauntlet/internal/coverage"
+	"gauntlet/internal/generator"
+	"gauntlet/internal/p4/ast"
+)
+
+// TestProfileDeterminism: the same program must always produce the same
+// edge set and fingerprint — including across structurally equal clones,
+// which is what admission determinism across workers rests on.
+func TestProfileDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		prog := generator.Generate(generator.DefaultConfig(seed))
+		a := coverage.OfProgram(prog)
+		b := coverage.OfProgram(ast.CloneProgram(prog))
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Fatalf("seed %d: clone fingerprint differs: %016x vs %016x",
+				seed, a.Fingerprint(), b.Fingerprint())
+		}
+		if a.Len() == 0 {
+			t.Fatalf("seed %d: empty profile", seed)
+		}
+		if a.Len() != b.Len() {
+			t.Fatalf("seed %d: clone edge count differs: %d vs %d", seed, a.Len(), b.Len())
+		}
+		if a.Stmts() == 0 {
+			t.Fatalf("seed %d: zero statement count", seed)
+		}
+	}
+}
+
+// TestProfileSensitivity: different generated programs should mostly have
+// different fingerprints — the signal must be able to tell programs apart,
+// not collapse everything into one bucket.
+func TestProfileSensitivity(t *testing.T) {
+	const n = 50
+	fps := map[uint64]bool{}
+	for seed := int64(0); seed < n; seed++ {
+		prog := generator.Generate(generator.DefaultConfig(seed))
+		fps[coverage.OfProgram(prog).Fingerprint()] = true
+	}
+	if len(fps) < n*3/4 {
+		t.Errorf("only %d distinct fingerprints over %d generated programs", len(fps), n)
+	}
+}
+
+// TestAddTrace: a compilation's pass trace must contribute edges — a
+// program that makes a pass fire is new coverage relative to the same AST
+// shape sailing through untouched.
+func TestAddTrace(t *testing.T) {
+	prog := generator.Generate(generator.DefaultConfig(3))
+	res, err := compiler.New(compiler.DefaultPasses()...).Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != len(compiler.DefaultPasses()) {
+		t.Fatalf("trace has %d entries, want one per pass (%d)",
+			len(res.Trace), len(compiler.DefaultPasses()))
+	}
+	rewrote := 0
+	for _, te := range res.Trace {
+		if te.Rewrote {
+			rewrote++
+		}
+	}
+	if rewrote == 0 {
+		t.Fatal("no pass rewrote a generated program — trace signal is dead")
+	}
+
+	base := coverage.OfProgram(prog)
+	traced := coverage.OfProgram(prog)
+	traced.AddTrace(res.Trace)
+	if traced.Len() <= base.Len() {
+		t.Errorf("trace added no edges: %d -> %d", base.Len(), traced.Len())
+	}
+	if traced.Fingerprint() == base.Fingerprint() {
+		t.Error("trace did not change the fingerprint")
+	}
+
+	// Trace folding is itself deterministic.
+	again := coverage.OfProgram(prog)
+	again.AddTrace(res.Trace)
+	if again.Fingerprint() != traced.Fingerprint() {
+		t.Error("trace folding is not deterministic")
+	}
+}
+
+// TestCrashAndInvalidEdges: abnormal terminations are their own coverage.
+func TestCrashAndInvalidEdges(t *testing.T) {
+	prog := generator.Generate(generator.DefaultConfig(1))
+	a := coverage.OfProgram(prog)
+	b := coverage.OfProgram(prog)
+	b.AddPassCrash("TypeChecking")
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("crash edge did not change the fingerprint")
+	}
+	c := coverage.OfProgram(prog)
+	c.AddPassInvalid("TypeChecking")
+	if c.Fingerprint() == b.Fingerprint() {
+		t.Error("crash and invalid edges collide")
+	}
+}
+
+// TestEdgesSorted: Edges must come back sorted and duplicate-free (the
+// fingerprint fold depends on it).
+func TestEdgesSorted(t *testing.T) {
+	prog := generator.Generate(generator.DefaultConfig(5))
+	edges := coverage.OfProgram(prog).Edges()
+	for i := 1; i < len(edges); i++ {
+		if edges[i-1] >= edges[i] {
+			t.Fatalf("edges not strictly sorted at %d: %016x >= %016x", i, edges[i-1], edges[i])
+		}
+	}
+}

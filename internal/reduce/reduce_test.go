@@ -210,3 +210,129 @@ func TestReducePreservesTypes(t *testing.T) {
 		t.Fatalf("trivial predicate left %d statements", reduce.Size(small))
 	}
 }
+
+// TestReduceIdempotent: reduction must reach a fixpoint — reducing a
+// reduced witness (declaration, field and parser-state pruning included)
+// is a no-op, and the witness still compiles through the clean reference
+// pipeline. A reducer that keeps finding work on its own output would
+// destabilize semantic fingerprints, which key on the reduced program.
+func TestReduceIdempotent(t *testing.T) {
+	src := `
+header Hdr1 {
+    bit<8> a;
+    bit<8> b;
+}
+header Hdr2 {
+    bit<16> c;
+}
+header Unused {
+    bit<4> u;
+}
+struct Hdr {
+    Hdr1 h1;
+    Hdr2 h2;
+}
+parser p(packet pkt, out Hdr hdr, inout bit<8> m) {
+    state start {
+        pkt.extract(hdr.h1);
+        transition select(hdr.h1.a) {
+            8w1 : parse_h2;
+            default : accept;
+        }
+    }
+    state parse_h2 {
+        pkt.extract(hdr.h2);
+        transition extra;
+    }
+    state extra {
+        m = m + 8w1;
+        transition accept;
+    }
+}
+control ig(inout Hdr hdr, inout bit<8> m) {
+    apply {
+        bit<8> t1 = hdr.h1.a + 8w3;
+        hdr.h1.b = t1 |+| 8w7;
+        m = m ^ 8w1;
+    }
+}
+V1Switch(p, ig) main;
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := types.Check(ast.CloneProgram(prog)); err != nil {
+		t.Fatal(err)
+	}
+	keep := func(p *ast.Program) bool {
+		return strings.Contains(printer.Print(p), "|+|")
+	}
+
+	reduced := reduce.Reduce(prog, keep, reduce.Options{})
+	out := printer.Print(reduced)
+	if strings.Contains(out, "Unused") {
+		t.Errorf("unreferenced header declaration survived:\n%s", out)
+	}
+	if strings.Contains(out, "m + 8w1") {
+		t.Errorf("prunable parser-state statement survived:\n%s", out)
+	}
+	if !keep(reduced) {
+		t.Fatal("property lost during reduction")
+	}
+
+	// Idempotence: a second reduction finds nothing left to do.
+	calls := 0
+	counting := func(p *ast.Program) bool { calls++; return keep(p) }
+	again := reduce.Reduce(reduced, counting, reduce.Options{})
+	if printer.Fingerprint(again) != printer.Fingerprint(reduced) {
+		t.Fatalf("reduction is not idempotent:\n--- first\n%s\n--- second\n%s",
+			out, printer.Print(again))
+	}
+	if calls == 0 {
+		t.Fatal("second reduction never consulted the predicate")
+	}
+
+	// The reduced witness must still compile through the clean reference
+	// pipeline (it is a real program, not just a type-checking artifact).
+	if _, err := compiler.New(compiler.DefaultPasses()...).Compile(reduced); err != nil {
+		t.Fatalf("reduced witness no longer compiles: %v\n%s", err, printer.Print(reduced))
+	}
+}
+
+// TestReduceIdempotentOnCrashWitness: the same fixpoint property over a
+// generated program reduced under a real crash predicate — the engine's
+// production regime.
+func TestReduceIdempotentOnCrashWitness(t *testing.T) {
+	reg := bugs.Load()
+	bug := reg.ByID("P4C-C-03") // concat crash
+	pl := bugs.Instrument(compiler.DefaultPasses(), []*bugs.Bug{bug})
+	crashes := func(p *ast.Program) bool {
+		_, err := compiler.New(pl...).Compile(ast.CloneProgram(p))
+		var crash *compiler.CrashError
+		return errors.As(err, &crash)
+	}
+	var prog *ast.Program
+	for seed := int64(0); seed < 40; seed++ {
+		cand := generator.Generate(generator.DefaultConfig(seed))
+		if crashes(cand) {
+			prog = cand
+			break
+		}
+	}
+	if prog == nil {
+		t.Skip("no generated program triggers the concat crash in 40 seeds")
+	}
+
+	reduced := reduce.Reduce(prog, crashes, reduce.Options{})
+	again := reduce.Reduce(reduced, crashes, reduce.Options{})
+	if printer.Fingerprint(again) != printer.Fingerprint(reduced) {
+		t.Fatalf("crash-witness reduction not idempotent:\n--- first\n%s\n--- second\n%s",
+			printer.Print(reduced), printer.Print(again))
+	}
+	// The witness crashes the instrumented pipeline (that is the bug), but
+	// must compile cleanly through the defect-free reference pipeline.
+	if _, err := compiler.New(compiler.DefaultPasses()...).Compile(reduced); err != nil {
+		t.Fatalf("reduced crash witness does not compile the clean pipeline: %v", err)
+	}
+}

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# bench_trajectory.sh — run the validation-hot-path benchmark suite and
-# emit BENCH_3.json (programs/sec, ns/equivalence-query, gate-reuse %).
+# bench_trajectory.sh — run the validation-hot-path and corpus-engine
+# benchmark suite and emit BENCH_4.json (programs/sec, ns/equivalence-
+# query, gate-reuse %, corpus admission rate and coverage-fingerprint
+# counts for generation vs mutation mode).
 #
 # The JSON conversion doubles as a smoke gate: it exits nonzero when a
-# headline benchmark is missing or the structural-hash path reports a
-# zero gate-reuse rate.
+# headline benchmark is missing, the structural-hash path reports a zero
+# gate-reuse rate, or mutation-mode throughput drops below half of
+# generation-mode.
 #
 #   BENCHTIME=5x scripts/bench_trajectory.sh      # more iterations
 #   scripts/bench_trajectory.sh                   # default 2x
@@ -12,11 +15,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-2x}"
-pattern='EquivalenceQuery|Sec52_PipelineThroughput|Table2_BugSummary|EngineFuzz|GateReuse'
+pattern='EquivalenceQuery|Sec52_PipelineThroughput|Table2_BugSummary|EngineFuzz|GateReuse|CorpusFuzz'
 out="$(mktemp)"
 trap 'rm -f "$out"' EXIT
 
 go test -run=NONE -bench="$pattern" -benchtime="$benchtime" . | tee "$out"
-go run ./cmd/benchjson < "$out" > BENCH_3.json
-echo "wrote BENCH_3.json:"
-cat BENCH_3.json
+go run ./cmd/benchjson < "$out" > BENCH_4.json
+echo "wrote BENCH_4.json:"
+cat BENCH_4.json
