@@ -13,6 +13,7 @@ import (
 	"gauntlet/internal/compiler"
 	"gauntlet/internal/core"
 	"gauntlet/internal/generator"
+	"gauntlet/internal/p4/ast"
 	"gauntlet/internal/p4/eval"
 	"gauntlet/internal/p4/parser"
 	"gauntlet/internal/p4/printer"
@@ -388,6 +389,59 @@ func BenchmarkCorpusFuzz(b *testing.B) {
 	}
 	b.Run("generation", func(b *testing.B) { run(b, 0) })
 	b.Run("mutation", func(b *testing.B) { run(b, 0.6) })
+}
+
+// BenchmarkServeEpochs measures the serve-mode memory contract at the
+// layer it is enforced: three context epochs, each running the identical
+// compile+validate workload (64 fixed-seed programs) in a fresh
+// smt.Context + validate.Cache pair — exactly what core.Engine's
+// rotation installs — and reporting every epoch's interner bytes. With
+// an identical workload, any epoch-over-epoch growth is state leaking
+// across rotations, so the trajectory gate (cmd/benchjson) fails CI when
+// an epoch exceeds its predecessor by more than 15%.
+//
+// The epochs are driven serially rather than through the streaming
+// engine on purpose: the pipeline runs ahead of the fold boundary, so
+// engine-side epoch attribution smears tens of percent of one epoch's
+// terms into its neighbours depending on scheduling — workload noise
+// that would swamp a 15% gate. (Engine-level rotation correctness —
+// determinism, drain, bounded live interner — is covered by the
+// race-enabled core tests.)
+func BenchmarkServeEpochs(b *testing.B) {
+	const perEpoch = 64
+	progs := make([]*ast.Program, perEpoch)
+	for i := range progs {
+		progs[i] = generator.Generate(generator.DefaultConfig(int64(i)))
+	}
+	comp := compiler.New(compiler.DefaultPasses()...)
+	var epochBytes [3]float64
+	var epochCount int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for epoch := 0; epoch < 3; epoch++ {
+			cache := validate.NewCacheIn(smt.NewContext())
+			opts := validate.Options{MaxConflicts: 20000, Cache: cache}
+			for _, prog := range progs {
+				res, err := comp.Compile(ast.CloneProgram(prog))
+				if err != nil {
+					b.Fatal(err)
+				}
+				verdicts, err := validate.Snapshots(res, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(validate.Failures(verdicts)) != 0 {
+					b.Fatal("reference pipeline flagged")
+				}
+			}
+			epochBytes[epoch] += float64(cache.Context().InternerStats().BytesEstimate)
+		}
+		epochCount++
+	}
+	b.ReportMetric(float64(3*perEpoch*epochCount)/b.Elapsed().Seconds(), "programs/sec")
+	for j := 0; j < 3; j++ {
+		b.ReportMetric(epochBytes[j]/float64(epochCount), fmt.Sprintf("epoch%d-ctx-bytes", j+1))
+	}
 }
 
 // BenchmarkSymbolicExecutionTests measures Figure 4's test generation +

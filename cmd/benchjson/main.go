@@ -1,21 +1,22 @@
 // Command benchjson converts `go test -bench` output (read from stdin)
-// into the repository's benchmark-trajectory artifact (BENCH_4.json,
+// into the repository's benchmark-trajectory artifact (BENCH_5.json,
 // written to stdout): one JSON object with the raw per-benchmark numbers
 // plus the headline metrics the trajectory tracks — programs/sec through
 // the validation pipeline, ns per equivalence query, the structural
-// gate-cache reuse rate, and the corpus engine's coverage metrics
+// gate-cache reuse rate, the corpus engine's coverage metrics
 // (admission rate, unique coverage fingerprints, mutation-mode
-// throughput).
+// throughput), and the serve mode's per-epoch context bytes.
 //
 // It doubles as the CI smoke gate: missing headline benchmarks, a zero
-// gate-reuse rate, or mutation-mode throughput below half of
-// generation-mode exit nonzero, so a regression in the structural-hash
-// path or the corpus scheduler fails the workflow instead of silently
-// flattening the trajectory.
+// gate-reuse rate, mutation-mode throughput below half of
+// generation-mode, or per-epoch context memory growing more than 15%
+// epoch-over-epoch (the serve-mode plateau: rotation must actually bound
+// steady-state memory) exit nonzero, so a regression fails the workflow
+// instead of silently flattening the trajectory.
 //
 // Usage:
 //
-//	go test -run=NONE -bench='...' . | go run ./cmd/benchjson > BENCH_4.json
+//	go test -run=NONE -bench='...' . | go run ./cmd/benchjson > BENCH_5.json
 package main
 
 import (
@@ -34,7 +35,7 @@ type Bench struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Artifact is the BENCH_4.json schema.
+// Artifact is the BENCH_5.json schema.
 type Artifact struct {
 	// Headline trajectory metrics.
 	ProgramsPerSec      float64 `json:"programs_per_sec"`
@@ -56,6 +57,14 @@ type Artifact struct {
 	CoverageFingerprintsGen float64 `json:"coverage_fingerprints_generation"`
 	CoverageFingerprintsMut float64 `json:"coverage_fingerprints_mutation"`
 	CorpusMutatedPerRun     float64 `json:"corpus_mutated_per_run"`
+
+	// Serve-mode epoch metrics (BenchmarkServeEpochs): the retired
+	// interner bytes of three consecutive epochs over a fixed
+	// 64-programs-per-epoch budget, and the worst epoch-over-epoch growth
+	// ratio. The plateau gate fails the build when any epoch exceeds the
+	// previous by more than 15%.
+	ServeEpochCtxBytes  []float64 `json:"serve_epoch_ctx_bytes"`
+	ServeEpochGrowthPct float64   `json:"serve_epoch_worst_growth_pct"`
 
 	// Raw parses, keyed by benchmark name (GOMAXPROCS suffix stripped).
 	Benchmarks map[string]Bench `json:"benchmarks"`
@@ -174,6 +183,39 @@ func main() {
 	}
 	if art.CorpusMutatedPerRun <= 0 {
 		fatalf("mutation mode mutated no programs: the corpus feedback loop is dead")
+	}
+	if b, ok := lookup["BenchmarkServeEpochs"]; !ok {
+		fatalf("missing headline benchmark: BenchmarkServeEpochs (the serve-mode plateau gate)")
+	} else {
+		for i := 1; ; i++ {
+			v, ok := b.Metrics[fmt.Sprintf("epoch%d-ctx-bytes", i)]
+			if !ok {
+				break
+			}
+			art.ServeEpochCtxBytes = append(art.ServeEpochCtxBytes, v)
+		}
+		if len(art.ServeEpochCtxBytes) < 2 {
+			fatalf("BenchmarkServeEpochs reported %d epochs; need at least 2 for the plateau gate", len(art.ServeEpochCtxBytes))
+		}
+		for i, v := range art.ServeEpochCtxBytes {
+			if v <= 0 {
+				fatalf("epoch %d context bytes are %v: rotation reported an empty epoch", i+1, v)
+			}
+		}
+		for i := 1; i < len(art.ServeEpochCtxBytes); i++ {
+			growth := (art.ServeEpochCtxBytes[i]/art.ServeEpochCtxBytes[i-1] - 1) * 100
+			if growth > art.ServeEpochGrowthPct {
+				art.ServeEpochGrowthPct = growth
+			}
+		}
+		// The serve-mode memory contract: context rotation bounds
+		// steady-state memory, so each epoch stays within 15% of its
+		// predecessor. Monotone growth here is the multi-day OOM in
+		// miniature.
+		if art.ServeEpochGrowthPct > 15 {
+			fatalf("per-epoch context bytes grew %.1f%% epoch-over-epoch (%v): rotation is not bounding memory",
+				art.ServeEpochGrowthPct, art.ServeEpochCtxBytes)
+		}
 	}
 
 	out, err := json.MarshalIndent(art, "", "  ")

@@ -14,12 +14,22 @@
 // mutation schedule included; -corpus persists the admitted seed pool
 // across campaigns.
 //
+// Serve mode is the long-running deployment shape: fuzz mode with
+// unbounded seeds by default, memory bounded by epoch rotation
+// (-epoch-programs N retires the solver stack's term interner, simplify
+// memo and verdict cache every N programs, at deterministic round
+// boundaries), periodic JSONL stats (including per-epoch context
+// bytes/entries) and a graceful SIGTERM/SIGINT drain: on signal the
+// pipeline stops scheduling, in-flight stages wind down, the corpus is
+// saved and a final stats record closes the stream.
+//
 // Usage:
 //
-//	p4gauntlet [-mode campaign|levels|fuzz] [-seeds N] [-workers N]
+//	p4gauntlet [-mode campaign|levels|fuzz|serve] [-seeds N] [-workers N]
 //	           [-duration D] [-backend v1model|tna] [-jsonl FILE]
 //	           [-packets] [-reduce] [-start N] [-seed N]
 //	           [-mutate-ratio F] [-corpus DIR] [-stats-interval D]
+//	           [-epoch-programs N]
 package main
 
 import (
@@ -31,6 +41,7 @@ import (
 	"os"
 	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"gauntlet/internal/core"
@@ -39,8 +50,8 @@ import (
 )
 
 func main() {
-	mode := flag.String("mode", "campaign", "campaign | levels | fuzz")
-	seeds := flag.Int64("seeds", 50, "random programs (fuzz mode, 0 = unbounded) / samples per class (levels mode)")
+	mode := flag.String("mode", "campaign", "campaign | levels | fuzz | serve")
+	seeds := flag.Int64("seeds", 50, "random programs (fuzz mode, 0 = unbounded; serve mode defaults to 0) / samples per class (levels mode)")
 	start := flag.Int64("start", 0, "first generator seed (fuzz mode)")
 	seed := flag.Int64("seed", 0, "master schedule seed (fuzz mode): the same -seed replays the whole run, mutation schedule included")
 	workers := flag.Int("workers", 0, "per-stage worker pool size (fuzz mode, 0 = GOMAXPROCS)")
@@ -51,20 +62,50 @@ func main() {
 	doReduce := flag.Bool("reduce", true, "auto-reduce each unique finding's witness")
 	mutateRatio := flag.Float64("mutate-ratio", 0.5, "fraction of programs drawn by mutating corpus seeds (fuzz mode, 0 = pure grammar generation)")
 	corpusDir := flag.String("corpus", "", "corpus directory: load seeds before the run and save the admitted corpus after (fuzz mode)")
-	statsInterval := flag.Duration("stats-interval", 0, "emit a periodic stats record to -jsonl every D (fuzz mode, 0 = final record only)")
+	statsInterval := flag.Duration("stats-interval", 0, "emit a periodic stats record to -jsonl every D (fuzz/serve mode; serve defaults to 30s, fuzz to final record only)")
+	epochPrograms := flag.Int("epoch-programs", 0, "rotate the solver context + caches every N programs, bounding per-epoch memory (serve mode defaults to 4096; 0 in fuzz mode = never)")
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	switch *mode {
 	case "campaign":
 		campaign()
 	case "levels":
 		fmt.Print(core.RunLevelStudy(int(*seeds)).Render())
-	case "fuzz":
-		fuzz(fuzzFlags{
+	case "fuzz", "serve":
+		ff := fuzzFlags{
 			seeds: *seeds, start: *start, seed: *seed, workers: *workers, duration: *duration,
 			backend: *backend, jsonl: *jsonl, packets: *packets, reduce: *doReduce,
 			mutateRatio: *mutateRatio, corpusDir: *corpusDir, statsInterval: *statsInterval,
-		})
+			epochPrograms: *epochPrograms,
+		}
+		if *mode == "serve" {
+			// Serve is fuzz shaped for multi-day runs: unbounded seed
+			// stream, bounded memory, observable by default.
+			ff.serve = true
+			if !explicit["seeds"] {
+				ff.seeds = 0
+			}
+			if !explicit["epoch-programs"] {
+				ff.epochPrograms = 4096
+			}
+			if !explicit["stats-interval"] {
+				ff.statsInterval = 30 * time.Second
+			}
+			if !explicit["jsonl"] {
+				// Observable by default: without an explicit sink the
+				// periodic stats, epoch and finding records stream to
+				// stdout — a multi-day run must never be silent until
+				// its final summary.
+				ff.jsonl = "-"
+			}
+			if ff.epochPrograms <= 0 {
+				fmt.Fprintln(os.Stderr, "p4gauntlet: serve mode requires -epoch-programs > 0 (memory would grow unbounded)")
+				os.Exit(2)
+			}
+		}
+		fuzz(ff)
 	default:
 		fmt.Fprintf(os.Stderr, "p4gauntlet: unknown mode %q\n", *mode)
 		os.Exit(2)
@@ -107,6 +148,8 @@ type fuzzFlags struct {
 	mutateRatio        float64
 	corpusDir          string
 	statsInterval      time.Duration
+	epochPrograms      int
+	serve              bool
 }
 
 // fuzz drives the streaming engine: the long-running bug-hunting service
@@ -121,6 +164,7 @@ func fuzz(ff fuzzFlags) {
 	cfg.PacketTests = ff.packets
 	cfg.Reduce = ff.reduce
 	cfg.MutateRatio = ff.mutateRatio
+	cfg.EpochPrograms = ff.epochPrograms
 	switch ff.backend {
 	case "v1model":
 		cfg.Backend = generator.V1Model
@@ -133,7 +177,7 @@ func fuzz(ff fuzzFlags) {
 	if ff.corpusDir != "" {
 		c := corpus.New(0)
 		if n, err := c.Load(ff.corpusDir); err == nil {
-			fmt.Printf("corpus: loaded %d seeds from %s\n", n, ff.corpusDir)
+			fmt.Fprintf(os.Stderr, "corpus: loaded %d seeds from %s\n", n, ff.corpusDir)
 		} else if !os.IsNotExist(err) {
 			fmt.Fprintf(os.Stderr, "p4gauntlet: corpus load: %v\n", err)
 			os.Exit(1)
@@ -142,10 +186,15 @@ func fuzz(ff fuzzFlags) {
 	}
 
 	var sink io.Writer
+	// human carries the progress lines (findings, epoch retirements,
+	// summary). When the JSONL stream owns stdout, they move to stderr so
+	// `p4gauntlet -mode serve | jq .` stays parseable.
+	human := io.Writer(os.Stdout)
 	switch ff.jsonl {
 	case "":
 	case "-":
 		sink = os.Stdout
+		human = os.Stderr
 	default:
 		f, err := os.OpenFile(ff.jsonl, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -179,25 +228,41 @@ func fuzz(ff fuzzFlags) {
 		Stats core.Stats `json:"stats"`
 		Final bool       `json:"final"`
 	}
+	// epochRecord marks one context rotation: the retiring epoch's
+	// interner/cache bytes and counters, so a JSONL stream shows the
+	// memory plateau epoch by epoch.
+	type epochRecord struct {
+		Epoch core.EpochStats `json:"epoch"`
+	}
+	cfg.OnEpoch = func(es core.EpochStats) {
+		fmt.Fprintf(human, "epoch %d retired: %d programs, %d terms (~%.1f MiB), simp %d entries, verdicts %d\n",
+			es.Index, es.Programs, es.Context.Interner.Entries,
+			float64(es.Context.Interner.BytesEstimate)/(1<<20),
+			es.Context.Simp.Entries, es.Cache.VerdictHits+es.Cache.VerdictMisses)
+		writeJSONL(epochRecord{Epoch: es}, fmt.Sprintf("epoch %d", es.Index))
+	}
 	cfg.OnFinding = func(f core.Finding) {
-		fmt.Printf("seed %d: %s", f.Seed, f.Kind)
+		fmt.Fprintf(human, "seed %d: %s", f.Seed, f.Kind)
 		if f.Pass != "" {
-			fmt.Printf(" in %s", f.Pass)
+			fmt.Fprintf(human, " in %s", f.Pass)
 		}
 		if f.Origin == "mutate" {
-			fmt.Printf(" [mutant]")
+			fmt.Fprintf(human, " [mutant]")
 		}
 		if f.SizeBefore != f.SizeAfter {
-			fmt.Printf(" (witness reduced %d -> %d stmts)", f.SizeBefore, f.SizeAfter)
+			fmt.Fprintf(human, " (witness reduced %d -> %d stmts)", f.SizeBefore, f.SizeAfter)
 		}
-		fmt.Printf(": %s\n", f.Detail)
+		fmt.Fprintf(human, ": %s\n", f.Detail)
 		writeJSONL(f, fmt.Sprintf("finding (seed %d)", f.Seed))
 	}
 	cfg.OnOracleError = func(seed int64, err error) {
 		fmt.Fprintf(os.Stderr, "seed %d: tool limitation: %v\n", seed, err)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM (the orchestrator's stop signal) and SIGINT both drain
+	// gracefully: cancellation stops the scheduler, the stages wind down,
+	// and the corpus/final stats still get written below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if ff.duration > 0 {
 		var cancel context.CancelFunc
@@ -224,7 +289,7 @@ func fuzz(ff fuzzFlags) {
 	findings := engine.Run(ctx)
 	close(tickerDone)
 	stats := engine.Stats()
-	fmt.Printf("\n%s\n", stats.Summary())
+	fmt.Fprintf(human, "\n%s\n", stats.Summary())
 	// Final run record: one JSON line with the full stats snapshot
 	// (throughput, corpus/admission counters, cache hit rates,
 	// simplification/gate-reuse counters, interner growth), so a JSONL
@@ -234,10 +299,13 @@ func fuzz(ff fuzzFlags) {
 		if n, err := engine.Corpus().Save(ff.corpusDir); err != nil {
 			fmt.Fprintf(os.Stderr, "p4gauntlet: corpus save: %v\n", err)
 		} else {
-			fmt.Printf("corpus: saved %d seeds to %s\n", n, ff.corpusDir)
+			fmt.Fprintf(human, "corpus: saved %d seeds to %s\n", n, ff.corpusDir)
 		}
 	}
-	if len(findings) > 0 {
+	// A drained serve run exits 0: findings were already streamed and a
+	// service stopping on SIGTERM is not a failure. Bounded fuzz runs
+	// keep the CI contract (nonzero on findings).
+	if len(findings) > 0 && !ff.serve {
 		os.Exit(1)
 	}
 }

@@ -111,13 +111,14 @@
 //
 //   - Hash-consing. Every smt.Term is interned by its smart constructor
 //     (internal/smt/intern.go): structurally equal terms are
-//     pointer-equal, carry stable IDs, and hash in O(1). The constructor
-//     folds that rely on pointer equality (Eq(x,x) → true, Ite collapse)
-//     therefore fire across independently built formulas — re-symbolizing
-//     an unchanged block yields the identical term objects, and a no-op
-//     pass transition's equivalence check folds away at construction.
-//     smt.InternerStats() reports entries, a bytes estimate and shard
-//     occupancy; the engine surfaces it so unbounded interner growth is
+//     pointer-equal within their smt.Context, carry process-unique IDs,
+//     and hash in O(1). The constructor folds that rely on pointer
+//     equality (Eq(x,x) → true, Ite collapse) therefore fire across
+//     independently built formulas — re-symbolizing an unchanged block
+//     yields the identical term objects, and a no-op pass transition's
+//     equivalence check folds away at construction. smt.InternerStats()
+//     reports entries, a bytes estimate and shard occupancy; the engine
+//     surfaces the current epoch's snapshot so interner growth is
 //     observable in long-running service mode.
 //   - Word-level simplification. smt.Simplify (internal/smt/simplify.go)
 //     canonicalizes terms through a memoized bottom-up rewriter (sharded
@@ -161,16 +162,51 @@
 //     simplification collapses and cache hits. Cache.Snapshot() counts
 //     the queries resolved with no solver call (SimpResolved).
 //
+// # Memory lifecycle
+//
+// Everything the solver stack accumulates while building and rewriting
+// terms — the hash-consing interner, the simplification/canonical-rank
+// memo, the validation block-formula and verdict caches — belongs to
+// exactly one scope: an smt.Context and the validate.Cache bound to it.
+// Construction is context-routed from the leaves up (leaf constructors
+// are Context methods; composite constructors infer the context from
+// their arguments; foreign constant/variable leaves are adopted, foreign
+// composites panic), so a formula built from context-owned leaves lives
+// entirely in that context without threading a handle through every call
+// site. The package-level constructors and smt.True/False remain as the
+// process-default context for tests, examples and campaign-scale runs.
+//
+// Long-running deployments bound memory by epoch-based reclamation:
+// core.Engine (EpochPrograms > 0, the p4gauntlet serve mode) owns one
+// context per epoch and rotates it at a SyncInterval-aligned round
+// boundary — the same deterministic fold point the corpus admissions use
+// — installing a fresh smt.Context + validate.Cache pair. In-flight
+// oracle calls finish on the pair they captured (Oracle.CacheFn resolves
+// it once per call), and the retired generation — terms, simplify memo,
+// verdicts, block formulas — becomes garbage when the last of them
+// drains. Nothing is evicted term-by-term and nothing is shared across
+// epochs except the corpus (plain ASTs: its live seed programs re-intern
+// their block formulas lazily on first touch in the new context) and the
+// process-global SAT gate counters (reported as per-epoch deltas).
+// Because caches only ever change cost, never verdicts, the finding set
+// for a fixed seed budget is identical across worker counts and epoch
+// sizes (tested, race-enabled); per-epoch context bytes plateau instead
+// of growing for the process lifetime (gated in CI).
+//
+// # Benchmarks
+//
 // BenchmarkValidateIncremental measures the warm steady state;
 // BenchmarkSec52_PipelineThroughput the cold end-to-end rate;
 // BenchmarkGateReuse the structural gate cache on a near-identical miter;
 // BenchmarkEngineFuzz the streaming engine against the sequential fuzz
-// loop it replaced; and BenchmarkCorpusFuzz the coverage-guided corpus
+// loop it replaced; BenchmarkCorpusFuzz the coverage-guided corpus
 // mode against pure generation on the same budget (throughput, admission
-// rate, distinct coverage fingerprints). scripts/bench_trajectory.sh runs
-// the headline set and writes BENCH_4.json; its benchjson gate fails CI
-// on a zero gate-reuse rate or mutation-mode throughput below half of
-// generation-mode:
+// rate, distinct coverage fingerprints); and BenchmarkServeEpochs the
+// per-epoch context bytes of the rotating serve shape.
+// scripts/bench_trajectory.sh runs the headline set and writes
+// BENCH_5.json; its benchjson gate fails CI on a zero gate-reuse rate,
+// mutation-mode throughput below half of generation-mode, or per-epoch
+// context bytes growing more than 15% epoch-over-epoch:
 //
-//	go test -bench='ValidateIncremental|Sec52|EngineFuzz|GateReuse|CorpusFuzz' .
+//	go test -bench='ValidateIncremental|Sec52|EngineFuzz|GateReuse|CorpusFuzz|ServeEpochs' .
 package gauntlet

@@ -170,7 +170,23 @@ type EngineConfig struct {
 	// candidates are kept depends on arrival order.
 	MaxReducePerPass int
 	// Cache is the shared validation cache (nil = new private cache).
+	// Incompatible with EpochPrograms > 0: a rotating engine owns its
+	// cache lifecycle and replaces the pair wholesale at every epoch
+	// boundary.
 	Cache *validate.Cache
+	// EpochPrograms bounds per-epoch memory: after this many programs
+	// have been folded at round boundaries, the engine rotates its
+	// smt.Context + validation cache — a fresh interner, simplify memo
+	// and verdict/block cache; the retired generation is reclaimed once
+	// in-flight oracle calls drain. Rotation happens only at the
+	// deterministic SyncInterval-aligned fold points, so the finding set
+	// for a fixed Seed budget is identical across worker counts and
+	// epoch sizes (verdicts are recomputed, never changed, by a fresh
+	// cache). 0 disables rotation (campaign-scale runs).
+	EpochPrograms int
+	// OnEpoch, when set, receives the retiring epoch's snapshot at each
+	// rotation (called from the collector goroutine).
+	OnEpoch func(EpochStats)
 	// QueueDepth bounds each inter-stage channel (0 = 2×Workers).
 	QueueDepth int
 	// OnFinding, when set, streams each unique finding as the report
@@ -245,20 +261,48 @@ type Stats struct {
 	// (plus hash-consing) answered outright: the canonicalized miter was
 	// the constant true, so no verdict lookup or solver call happened at
 	// all. (Constant-false miters still take the solver path to produce a
-	// counterexample and are not counted.)
+	// counterexample and are not counted.) Cumulative across epochs.
 	SimpResolved uint64
-	// Simp is the process-wide simplification-cache snapshot (memoized
-	// term rewrites; hit rate measures how much canonicalization work is
-	// shared across queries, workers and reduction candidates).
+	// Simp is the *current epoch's* simplification-cache snapshot. Epoch
+	// scoping is deliberate: a process-lifetime snapshot asymptotes to a
+	// stale rate on long runs, while a per-epoch one tracks the current
+	// regime (and is exactly the memory the next rotation reclaims).
 	Simp smt.SimplifyInfo
 	// GatesBuilt and GatesReused are the process-wide structural gate
 	// cache counters from the bit-blaster: gates encoded fresh versus gate
 	// constructions answered by an existing literal. A high reuse rate
 	// means near-identical circuits collapsed before CDCL search.
-	GatesBuilt, GatesReused uint64
-	// Interner is the process-wide term-interner snapshot (the ROADMAP's
-	// "growth is unbounded" observable).
+	// EpochGatesBuilt/EpochGatesReused are the same counters as deltas
+	// since the current epoch began — the rate long runs should watch.
+	GatesBuilt, GatesReused           uint64
+	EpochGatesBuilt, EpochGatesReused uint64
+	// Interner is the *current epoch's* term-interner snapshot — the
+	// memory-bound observable: with rotation enabled it plateaus instead
+	// of growing for the process lifetime.
 	Interner smt.InternerInfo
+	// Epoch is the current epoch index (0 until the first rotation) and
+	// EpochProgramCount the programs folded into the corpus during it.
+	Epoch             int
+	EpochProgramCount uint64
+}
+
+// EpochStats is the retiring epoch's snapshot, emitted at each context
+// rotation: how much term/cache memory the epoch accumulated (and the
+// rotation reclaimed), plus its share of the global counters.
+type EpochStats struct {
+	// Index is the retiring epoch's number (0-based).
+	Index int `json:"index"`
+	// Programs is how many programs were folded during the epoch.
+	Programs uint64 `json:"programs"`
+	// Context is the epoch's interner + simplify-memo snapshot at
+	// retirement: the bytes/entries reclaimed by the rotation.
+	Context smt.ContextStats `json:"context"`
+	// Cache is the epoch's validation-cache counters at retirement.
+	Cache validate.CacheStats `json:"cache"`
+	// GatesBuilt and GatesReused are the epoch's share of the structural
+	// gate-cache counters (deltas over the epoch).
+	GatesBuilt  uint64 `json:"gates_built"`
+	GatesReused uint64 `json:"gates_reused"`
 }
 
 // Summary renders the snapshot as a short multi-line report.
@@ -275,7 +319,7 @@ func (s Stats) Summary() string {
 			"corpus: %d seeds (%d admitted, %d rejected, %d evicted; %.1f%% admission); %d coverage edges, %d fingerprints; mutants rejected: %d invalid, %d stale\n"+
 			"caches: block %.1f%% hit, verdict %.1f%% hit; reduction predicate calls: %d\n"+
 			"solver: %d equivalence queries resolved by simplification alone; simp cache %.1f%% hit (%d entries); gates %d built, %d reused (%.1f%%)\n"+
-			"interner: %d terms (~%.1f MiB, %d/%d shards occupied)",
+			"epoch %d: %d programs, interner %d terms (~%.1f MiB, %d/%d shards occupied), gates %d built %d reused this epoch",
 		s.Generated, s.Mutated, s.Compiled, s.Clean, s.ProgramsPerSec, s.Elapsed.Round(time.Millisecond),
 		s.UniqueFindings, s.Crashes, s.InvalidTransforms, s.Miscompilations, s.Mismatches,
 		s.Duplicates, s.CompileErrors+s.OracleErrors,
@@ -285,8 +329,10 @@ func (s Stats) Summary() string {
 		rate(s.BlockHits, s.BlockMisses), rate(s.VerdictHits, s.VerdictMisses), s.ReducePredicateCalls,
 		s.SimpResolved, rate(s.Simp.Hits, s.Simp.Misses), s.Simp.Entries,
 		s.GatesBuilt, s.GatesReused, rate(s.GatesReused, s.GatesBuilt),
+		s.Epoch, s.EpochProgramCount,
 		s.Interner.Entries, float64(s.Interner.BytesEstimate)/(1<<20),
-		s.Interner.OccupiedShards, s.Interner.Shards)
+		s.Interner.OccupiedShards, s.Interner.Shards,
+		s.EpochGatesBuilt, s.EpochGatesReused)
 }
 
 // Engine is the streaming, stage-parallel fuzzing pipeline:
@@ -306,6 +352,27 @@ type Engine struct {
 	oracle *Oracle
 	corpus *corpus.Corpus
 
+	// epoch is the current (smt context, validation cache) pair. Oracle
+	// calls resolve it once per call through Oracle.CacheFn; the
+	// collector swaps it at EpochPrograms-aligned fold boundaries.
+	epoch atomic.Pointer[epochState]
+	// programsFolded counts programs folded into the corpus at round
+	// boundaries — the deterministic epoch clock.
+	programsFolded atomic.Uint64
+	// retiredMu orders epoch rotation against Stats reads: rotateEpoch
+	// folds and swaps under it, Stats loads the epoch pointer and reads
+	// the retired totals under it — so a rotation is atomic from Stats'
+	// view and no epoch is ever counted twice or missed. Only the most
+	// recently retired epoch's counter handle is kept live (a few
+	// atomics; the cache maps are never retained) so increments from
+	// oracle calls still in flight at its rotation keep counting; at the
+	// next rotation its final snapshot folds into retiredTotal. An
+	// in-flight call would have to span two whole epochs for its tail to
+	// be missed, and the state stays O(1) over a multi-day run.
+	retiredMu    sync.Mutex
+	retiredTotal validate.CacheStats
+	lastRetired  *validate.CacheCounters
+
 	startNano atomic.Int64
 	endNano   atomic.Int64
 
@@ -315,6 +382,18 @@ type Engine struct {
 	duplicates, unique                         atomic.Uint64
 	reduceCalls                                atomic.Uint64
 	mutated, mutateInvalid, mutateStale        atomic.Uint64
+}
+
+// epochState is one epoch's scoped solver-stack state: the smt context
+// all terms are built in and the validation cache bound to it, plus the
+// baselines needed to report per-epoch deltas of process-global
+// counters.
+type epochState struct {
+	index                           int
+	ctx                             *smt.Context
+	cache                           *validate.Cache
+	startPrograms                   uint64
+	baseGatesBuilt, baseGatesReused uint64
 }
 
 // NewEngine builds an engine, filling config defaults (worker count,
@@ -333,7 +412,21 @@ func NewEngine(cfg EngineConfig) *Engine {
 		cfg.MaxReducePerPass = 64
 	}
 	if cfg.Cache == nil {
-		cfg.Cache = validate.NewCache()
+		if cfg.EpochPrograms > 0 {
+			// A rotating engine owns its context lifecycle from the
+			// start: epoch 0 already lives in a private context, so the
+			// immortal default context sees no engine terms at all.
+			cfg.Cache = validate.NewCacheIn(smt.NewContext())
+		} else {
+			cfg.Cache = validate.NewCache()
+		}
+	} else if cfg.EpochPrograms > 0 {
+		// A caller-supplied cache cannot survive rotation (the engine
+		// would silently abandon it at the first epoch boundary while
+		// the caller keeps reading it, and a default-context cache would
+		// pin every term in the immortal default interner). Fail loudly:
+		// this is a configuration bug, not a tunable.
+		panic("core.NewEngine: EngineConfig.Cache and EpochPrograms > 0 are incompatible (a rotating engine owns its cache lifecycle)")
 	}
 	if cfg.MaxMutations <= 0 {
 		cfg.MaxMutations = 3
@@ -365,7 +458,7 @@ func NewEngine(cfg EngineConfig) *Engine {
 			return generator.Generate(gc)
 		}
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:    cfg,
 		corpus: cfg.Corpus,
 		oracle: &Oracle{
@@ -376,6 +469,64 @@ func NewEngine(cfg EngineConfig) *Engine {
 			PacketTests:  cfg.PacketTests,
 			Cache:        cfg.Cache,
 		},
+	}
+	gb, gr := solver.GateStats()
+	e.epoch.Store(&epochState{
+		ctx:            cfg.Cache.Context(),
+		cache:          cfg.Cache,
+		baseGatesBuilt: gb, baseGatesReused: gr,
+	})
+	// Oracle calls resolve the epoch pair per call, so a rotation never
+	// splits one Inspect across two contexts.
+	e.oracle.CacheFn = func() *validate.Cache { return e.epoch.Load().cache }
+	return e
+}
+
+// rotateEpoch retires the current epoch and installs a fresh smt context
+// + validation cache. Called only from the collector at a fold boundary;
+// in-flight oracle calls finish on the pair they captured, and the old
+// generation becomes garbage when the last of them drains. The fresh
+// context is re-seeded lazily: the corpus' live seed programs re-intern
+// their block formulas on first validation touch, and nothing else from
+// the retired epoch survives.
+func (e *Engine) rotateEpoch() {
+	old := e.epoch.Load()
+	// The epoch snapshot is point-in-time: oracle calls still in flight
+	// on the retiring pair may bump its counters after it, so the
+	// EpochStats record can slightly undercount the epoch's tail. The
+	// cumulative Stats do not: the retained counter handle keeps
+	// counting.
+	es := e.epochSnapshot(old)
+	ctx := smt.NewContext()
+	gb, gr := solver.GateStats()
+	e.retiredMu.Lock()
+	if e.lastRetired != nil {
+		e.retiredTotal.Add(e.lastRetired.Snapshot())
+	}
+	e.lastRetired = old.cache.Counters()
+	e.epoch.Store(&epochState{
+		index:          old.index + 1,
+		ctx:            ctx,
+		cache:          validate.NewCacheIn(ctx),
+		startPrograms:  e.programsFolded.Load(),
+		baseGatesBuilt: gb, baseGatesReused: gr,
+	})
+	e.retiredMu.Unlock()
+	if e.cfg.OnEpoch != nil {
+		e.cfg.OnEpoch(es)
+	}
+}
+
+// epochSnapshot captures one epoch's memory and counter state.
+func (e *Engine) epochSnapshot(ep *epochState) EpochStats {
+	gb, gr := solver.GateStats()
+	return EpochStats{
+		Index:       ep.index,
+		Programs:    e.programsFolded.Load() - ep.startPrograms,
+		Context:     ep.ctx.Stats(),
+		Cache:       ep.cache.Snapshot(),
+		GatesBuilt:  gb - ep.baseGatesBuilt,
+		GatesReused: gr - ep.baseGatesReused,
 	}
 }
 
@@ -407,14 +558,38 @@ func (e *Engine) Stats() Stats {
 		MutateInvalid:        e.mutateInvalid.Load(),
 		MutateStale:          e.mutateStale.Load(),
 		Corpus:               e.corpus.Stats(),
-		Simp:                 smt.SimplifyStats(),
-		Interner:             smt.InternerStats(),
 	}
-	s.GatesBuilt, s.GatesReused = solver.GateStats()
-	cs := e.cfg.Cache.Snapshot()
-	s.BlockHits, s.BlockMisses = cs.BlockHits, cs.BlockMisses
-	s.VerdictHits, s.VerdictMisses = cs.VerdictHits, cs.VerdictMisses
-	s.SimpResolved = cs.SimpResolved
+	// Load the epoch pointer and sum the retired counter handles under
+	// retiredMu, the same lock rotateEpoch appends+swaps under: a
+	// concurrent rotation is atomic from this read's view, so the
+	// retiring cache is counted exactly once (as live before the swap,
+	// as retired after).
+	e.retiredMu.Lock()
+	ep := e.epoch.Load()
+	ret := e.retiredTotal
+	if e.lastRetired != nil {
+		ret.Add(e.lastRetired.Snapshot())
+	}
+	cs := ep.cache.Snapshot()
+	// The epoch-scoped readings (fold count, gate counters) must come
+	// from inside the same critical section that loaded ep: rotation
+	// swaps baselines under this lock, so reading them outside would
+	// attribute the next epoch's activity to this epoch's baselines.
+	folded := e.programsFolded.Load()
+	gb, gr := solver.GateStats()
+	e.retiredMu.Unlock()
+	s.Epoch = ep.index
+	s.EpochProgramCount = folded - ep.startPrograms
+	s.Simp = ep.ctx.SimplifyStats()
+	s.Interner = ep.ctx.InternerStats()
+	s.GatesBuilt, s.GatesReused = gb, gr
+	s.EpochGatesBuilt = gb - ep.baseGatesBuilt
+	s.EpochGatesReused = gr - ep.baseGatesReused
+	s.BlockHits = ret.BlockHits + cs.BlockHits
+	s.BlockMisses = ret.BlockMisses + cs.BlockMisses
+	s.VerdictHits = ret.VerdictHits + cs.VerdictHits
+	s.VerdictMisses = ret.VerdictMisses + cs.VerdictMisses
+	s.SimpResolved = ret.SimpResolved + cs.SimpResolved
 	if start := e.startNano.Load(); start != 0 {
 		end := e.endNano.Load()
 		if end == 0 {
@@ -438,6 +613,9 @@ type unit struct {
 	res     *compiler.Result
 	prof    *coverage.Profile
 	mutated bool
+	// baseID is the corpus seed the program was mutated from (-1 for
+	// fresh generation): the dynamic-energy feedback target.
+	baseID int
 }
 
 // task is one scheduled program slot: fresh grammar generation from the
@@ -461,7 +639,24 @@ type covRec struct {
 	prog  *ast.Program
 	prof  *coverage.Profile
 	astFP uint64
+	// baseID is the mutation base's corpus seed ID (-1 = fresh
+	// generation) and crashed whether the program produced a
+	// crash/invalid-transform finding at the compile stage — the two
+	// deterministic inputs to the energy fold.
+	baseID  int
+	crashed bool
 }
+
+// Dynamic-energy bump fractions (of a seed's admission energy), folded
+// at round boundaries: a mutant earning corpus admission is mild
+// evidence its base is productive; a mutant producing a compile-stage
+// finding is strong evidence. Oracle-stage findings (miscompilations,
+// mismatches) surface after the fold barrier and would need a second
+// barrier to fold deterministically, so they do not feed energy.
+const (
+	admissionBump = 0.5
+	findingBump   = 1.0
+)
 
 // mix derives a per-slot rand seed from the master schedule seed
 // (splitmix64-style finalizer, so adjacent slots decorrelate).
@@ -590,11 +785,12 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 		go func() {
 			defer genWG.Done()
 			for t := range taskCh {
-				u := unit{seed: t.slot}
+				u := unit{seed: t.slot, baseID: -1}
 				u.prog, u.prof, u.mutated = e.materialize(t)
 				e.generated.Add(1)
 				if u.mutated {
 					e.mutated.Add(1)
+					u.baseID = t.base.ID
 				}
 				if !send(ctx, genCh, u) {
 					return
@@ -637,9 +833,33 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 				sort.Slice(recs, func(i, j int) bool { return recs[i].slot < recs[j].slot })
 				for _, rc := range recs {
 					e.corpus.RecordProgram(rc.astFP)
-					e.corpus.Add(rc.prog, rc.prof)
+					admitted := e.corpus.Add(rc.prog, rc.prof)
+					// Dynamic energy: reward the mutation base whose
+					// mutant earned admission or found a compile-stage
+					// bug — folded here, in canonical slot order, so
+					// scheduling stays replayable under cfg.Seed.
+					if rc.baseID >= 0 {
+						bump := 0.0
+						if admitted {
+							bump += admissionBump
+						}
+						if rc.crashed {
+							bump += findingBump
+						}
+						e.corpus.BumpEnergy(rc.baseID, bump)
+					}
 				}
+				e.programsFolded.Add(uint64(len(recs)))
 				next++
+				// Epoch rotation shares the admission fold's
+				// determinism: it fires at the first fold boundary at or
+				// past EpochPrograms, a pure function of the schedule.
+				if e.cfg.EpochPrograms > 0 {
+					ep := e.epoch.Load()
+					if e.programsFolded.Load()-ep.startPrograms >= uint64(e.cfg.EpochPrograms) {
+						e.rotateEpoch()
+					}
+				}
 				if e.cfg.MutateRatio > 0 {
 					select {
 					case foldCh <- struct{}{}:
@@ -674,7 +894,12 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 				case out.Err == nil:
 					prof.AddTrace(out.Result.Trace)
 				}
-				if !send(ctx, covCh, covRec{slot: u.seed, prog: u.prog, prof: prof, astFP: astFP}) {
+				rec := covRec{
+					slot: u.seed, prog: u.prog, prof: prof, astFP: astFP,
+					baseID:  u.baseID,
+					crashed: out.Crash != nil || out.Invalid != nil,
+				}
+				if !send(ctx, covCh, rec) {
 					return
 				}
 				switch {
@@ -879,8 +1104,32 @@ func (e *Engine) reduceFinding(ctx context.Context, f Finding) Finding {
 // keepPredicate builds the reduction invariant for a finding: the oracle,
 // re-run on the candidate, must reproduce the same symptom (same crashing
 // pass and message, same failing pass, or any packet mismatch).
+//
+// Crash-family findings take a fast path: reproducing a crash or an
+// invalid transform needs only the compile step (the symptom fires in a
+// pass, before validation or packet testing could even run), so their
+// predicates skip translation validation and packet testgen entirely —
+// far more candidates fit under the same MaxPredicateCalls budget.
 func (e *Engine) keepPredicate(f Finding) reduce.Predicate {
 	o := e.oracle
+	switch f.Kind {
+	case FindingCrash:
+		return func(cand *ast.Program) bool {
+			e.reduceCalls.Add(1)
+			out := o.Compile(cand)
+			return out.Crash != nil && out.Crash.Pass == f.Pass && out.Crash.Msg == f.crashMsg
+		}
+	case FindingInvalidTransform:
+		// Pin the full message like crashes do: the fingerprint and
+		// Detail carry it, so a candidate that makes the same pass fail
+		// differently is a different symptom, not a smaller witness of
+		// this one.
+		return func(cand *ast.Program) bool {
+			e.reduceCalls.Add(1)
+			out := o.Compile(cand)
+			return out.Invalid != nil && out.Invalid.Pass == f.Pass && out.Invalid.Error() == f.crashMsg
+		}
+	}
 	return func(cand *ast.Program) bool {
 		e.reduceCalls.Add(1)
 		// Reduction candidates must not be cancelled mid-predicate — the
@@ -889,14 +1138,6 @@ func (e *Engine) keepPredicate(f Finding) reduce.Predicate {
 		// engine's context between candidates.
 		out := o.Examine(context.Background(), cand)
 		switch f.Kind {
-		case FindingCrash:
-			return out.Crash != nil && out.Crash.Pass == f.Pass && out.Crash.Msg == f.crashMsg
-		case FindingInvalidTransform:
-			// Pin the full message like crashes do: the fingerprint and
-			// Detail carry it, so a candidate that makes the same pass
-			// fail differently is a different symptom, not a smaller
-			// witness of this one.
-			return out.Invalid != nil && out.Invalid.Pass == f.Pass && out.Invalid.Error() == f.crashMsg
 		case FindingMiscompilation:
 			for _, v := range out.Failures {
 				if v.PassB == f.Pass {

@@ -38,6 +38,21 @@ type Oracle struct {
 	// Cache memoizes block formulas and equivalence verdicts (optional;
 	// shared across goroutines when set).
 	Cache *validate.Cache
+	// CacheFn, when set, overrides Cache with a per-call lookup: the
+	// engine points it at its current epoch's (context, cache) pair so a
+	// rotation takes effect for new Examine/Inspect calls while in-flight
+	// ones keep the pair they captured — no partially-swapped state.
+	CacheFn func() *validate.Cache
+}
+
+// cache resolves the validation cache for one oracle call. Each
+// Inspect/Examine resolves it exactly once, so a single call never mixes
+// terms from two epochs.
+func (o *Oracle) cache() *validate.Cache {
+	if o.CacheFn != nil {
+		return o.CacheFn()
+	}
+	return o.Cache
 }
 
 // Outcome is the oracle's verdict on one program. At most one finding
@@ -94,9 +109,10 @@ func (o *Oracle) Compile(prog *ast.Program) Outcome {
 // Test expectations come from the initial snapshot (the type-checked clone
 // of the input program: name references resolved, untouched by any pass).
 func (o *Oracle) Inspect(ctx context.Context, out *Outcome) {
+	cache := o.cache()
 	if o.Validate {
 		verdicts, err := validate.SnapshotsContext(ctx, out.Result,
-			validate.Options{MaxConflicts: o.MaxConflicts, Cache: o.Cache})
+			validate.Options{MaxConflicts: o.MaxConflicts, Cache: cache})
 		if err != nil {
 			out.Err = err
 			return
@@ -109,6 +125,12 @@ func (o *Oracle) Inspect(ctx context.Context, out *Outcome) {
 	if o.PacketTests {
 		opts := o.TestOpts
 		opts.MaxConflicts = o.MaxConflicts
+		if cache != nil {
+			// Test generation builds its symbolic pipeline in the same
+			// epoch context as validation, so the whole call's terms
+			// retire together.
+			opts.SMT = cache.Context()
+		}
 		input := out.Result.Snapshots[0].Prog
 		cases, err := testgen.GenerateContext(ctx, input, opts)
 		if err != nil {

@@ -45,9 +45,20 @@ type Seed struct {
 	// Size is the statement count (the eviction bias).
 	Size int
 	// Energy is the scheduling weight: more new coverage and smaller size
-	// mean the seed is drawn more often as a mutation base.
+	// mean the seed is drawn more often as a mutation base. It starts at
+	// BaseEnergy and grows through BumpEnergy when the seed's mutants
+	// keep earning admissions or findings (AFL-style dynamic energy),
+	// bounded by maxEnergyMultiple so one hot seed cannot monopolize
+	// scheduling.
 	Energy float64
+	// BaseEnergy is the admission-time energy (the bump unit and cap
+	// base).
+	BaseEnergy float64
 }
+
+// maxEnergyMultiple caps dynamic energy at this multiple of the
+// admission energy.
+const maxEnergyMultiple = 4.0
 
 // Stats is a point-in-time snapshot of the corpus counters.
 type Stats struct {
@@ -63,6 +74,9 @@ type Stats struct {
 	// observed across all Add calls (admitted or not) — the campaign's
 	// behavioural-diversity metric.
 	Fingerprints int
+	// Bumps counts BumpEnergy calls that actually raised a live seed's
+	// energy (the dynamic-energy feedback observable).
+	Bumps uint64
 }
 
 // Corpus is a concurrency-safe coverage-keyed seed pool.
@@ -70,13 +84,14 @@ type Corpus struct {
 	mu       sync.Mutex
 	maxSeeds int
 	seeds    []*Seed
-	total    float64 // sum of seed energies
+	byID     map[int]*Seed // live seeds by admission ID (evicted removed)
+	total    float64       // sum of seed energies
 	edges    map[uint64]struct{}
 	fps      map[uint64]struct{}
 	astSeen  map[uint64]struct{}
 	nextID   int
 
-	admitted, rejected, evicted uint64
+	admitted, rejected, evicted, bumps uint64
 }
 
 // DefaultMaxSeeds caps the corpus when the caller passes 0.
@@ -90,6 +105,7 @@ func New(maxSeeds int) *Corpus {
 	}
 	return &Corpus{
 		maxSeeds: maxSeeds,
+		byID:     make(map[int]*Seed),
 		edges:    make(map[uint64]struct{}),
 		fps:      make(map[uint64]struct{}),
 		astSeen:  make(map[uint64]struct{}),
@@ -143,6 +159,7 @@ func (c *Corpus) Add(prog *ast.Program, prof *coverage.Profile) bool {
 	if size < 1 {
 		size = 1
 	}
+	energy := float64(fresh) / math.Sqrt(float64(size))
 	s := &Seed{
 		ID:       c.nextID,
 		Program:  prog,
@@ -152,11 +169,13 @@ func (c *Corpus) Add(prog *ast.Program, prof *coverage.Profile) bool {
 		// Energy rewards coverage yield and penalizes bulk sub-linearly: a
 		// seed twice the size needs well under twice the new edges to stay
 		// competitive, but a huge witness cannot dominate scheduling.
-		Energy: float64(fresh) / math.Sqrt(float64(size)),
+		Energy:     energy,
+		BaseEnergy: energy,
 	}
 	c.nextID++
 	c.admitted++
 	c.seeds = append(c.seeds, s)
+	c.byID[s.ID] = s
 	c.total += s.Energy
 	c.evict()
 	return true
@@ -186,8 +205,36 @@ func (c *Corpus) evict() {
 			}
 		}
 		c.total -= c.seeds[victim].Energy
+		delete(c.byID, c.seeds[victim].ID)
 		c.seeds = append(c.seeds[:victim], c.seeds[victim+1:]...)
 		c.evicted++
+	}
+}
+
+// BumpEnergy raises seed seedID's scheduling energy by frac of its
+// admission energy, capped at maxEnergyMultiple× that admission energy.
+// It is a no-op for evicted (or never-admitted) IDs. The engine calls it
+// only during the canonical round fold — bumps land in deterministic
+// order at deterministic points, so a schedule replayed under the same
+// master seed draws the same seeds even though energies move.
+func (c *Corpus) BumpEnergy(seedID int, frac float64) {
+	if frac <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.byID[seedID]
+	if !ok {
+		return
+	}
+	next := s.Energy + frac*s.BaseEnergy
+	if cap := maxEnergyMultiple * s.BaseEnergy; next > cap {
+		next = cap
+	}
+	if next > s.Energy {
+		c.total += next - s.Energy
+		s.Energy = next
+		c.bumps++
 	}
 }
 
@@ -230,6 +277,7 @@ func (c *Corpus) Stats() Stats {
 		Evicted:      c.evicted,
 		Edges:        len(c.edges),
 		Fingerprints: len(c.fps),
+		Bumps:        c.bumps,
 	}
 }
 

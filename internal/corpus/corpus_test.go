@@ -227,3 +227,56 @@ func TestConcurrentAdd(t *testing.T) {
 		t.Errorf("cap violated: %d seeds", s.Seeds)
 	}
 }
+
+// TestBumpEnergy pins the dynamic-energy contract: bumps add fractions
+// of the admission energy, saturate at the cap, skip unknown (evicted)
+// IDs, and every effective bump is counted.
+func TestBumpEnergy(t *testing.T) {
+	c := corpus.New(8)
+	if admit(t, c, 1, 2, 3) < 2 {
+		t.Fatal("seed programs did not admit")
+	}
+	seeds := map[int]*corpus.Seed{}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 256; i++ {
+		s := c.Select(r)
+		seeds[s.ID] = s
+	}
+	var target *corpus.Seed
+	for _, s := range seeds {
+		target = s
+		break
+	}
+	base := target.BaseEnergy
+	if base <= 0 || target.Energy != base {
+		t.Fatalf("admission energy not recorded: energy=%v base=%v", target.Energy, base)
+	}
+	c.BumpEnergy(target.ID, 0.5)
+	if got, want := target.Energy, 1.5*base; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("bump 0.5: energy %v, want %v", got, want)
+	}
+	// Saturate: many more bumps stop at the cap (4x admission energy).
+	for i := 0; i < 50; i++ {
+		c.BumpEnergy(target.ID, 1.0)
+	}
+	if got, cap := target.Energy, 4*base; got > cap+1e-9 {
+		t.Fatalf("energy %v exceeded cap %v", got, cap)
+	}
+	st := c.Stats()
+	if st.Bumps == 0 || st.Bumps > 8 {
+		t.Fatalf("bump count %d: want only the effective bumps counted", st.Bumps)
+	}
+	// Unknown / evicted IDs are a no-op.
+	beforeBumps := st.Bumps
+	c.BumpEnergy(99999, 1.0)
+	if c.Stats().Bumps != beforeBumps {
+		t.Fatal("bump of unknown seed ID was counted")
+	}
+	// A zero or negative fraction is a no-op too.
+	e := target.Energy
+	c.BumpEnergy(target.ID, 0)
+	c.BumpEnergy(target.ID, -1)
+	if target.Energy != e {
+		t.Fatal("non-positive bump changed energy")
+	}
+}

@@ -1,0 +1,217 @@
+package smt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestContextIsolation checks that two contexts hash-cons independently:
+// structurally equal terms are pointer-equal within a context, distinct
+// across contexts, and their IDs never collide (the global ID sequence).
+func TestContextIsolation(t *testing.T) {
+	c1, c2 := NewContext(), NewContext()
+	build := func(c *Context) *Term {
+		x := c.Var("x", 8)
+		y := c.Var("y", 8)
+		return Eq(Add(x, y), c.Const(7, 8))
+	}
+	a1, b1 := build(c1), build(c1)
+	a2 := build(c2)
+	if a1 != b1 {
+		t.Fatalf("same-context construction not hash-consed")
+	}
+	if a1 == a2 {
+		t.Fatalf("terms from different contexts are pointer-equal")
+	}
+	if a1.ID() == a2.ID() {
+		t.Fatalf("term IDs collide across contexts: %d", a1.ID())
+	}
+	if a1.Context() != c1 || a2.Context() != c2 {
+		t.Fatalf("terms report wrong owning context")
+	}
+	s1, s2 := c1.InternerStats(), c2.InternerStats()
+	if s1.Entries == 0 || s1.Entries != s2.Entries {
+		t.Fatalf("context interners should have identical entry counts, got %d vs %d", s1.Entries, s2.Entries)
+	}
+}
+
+// TestContextConstAdoption checks that constants (and variable leaves)
+// from another context are re-interned into the context of the composite
+// term they join, so epoch-context formulas never alias default-context
+// structure.
+func TestContextConstAdoption(t *testing.T) {
+	c := NewContext()
+	x := c.Var("x", 8)
+	// Package-level Const/True live in the default context.
+	sum := Add(x, Const(3, 8))
+	if sum.Context() != c {
+		t.Fatalf("composite adopted into wrong context")
+	}
+	for _, a := range sum.Args {
+		if a.Context() != c {
+			t.Fatalf("argument %s not adopted into composite's context", a)
+		}
+	}
+	// Boolean constants behave the same through the n-ary constructors.
+	conj := And(True, Eq(x, c.Const(1, 8)), False)
+	if !conj.IsFalse() || conj.Context() != c {
+		t.Fatalf("And with foreign constants misfolded: %s (ctx ok=%v)", conj, conj.Context() == c)
+	}
+	// Foreign variable leaves adopt too.
+	mixedVar := Add(x, Var("y", 8))
+	for _, a := range mixedVar.Args {
+		if a.Context() != c {
+			t.Fatalf("foreign variable leaf not adopted")
+		}
+	}
+}
+
+// TestContextCompositeMixPanics checks the guard: composing composite
+// terms from two contexts must panic rather than silently alias one
+// epoch's structure from another.
+func TestContextCompositeMixPanics(t *testing.T) {
+	c1, c2 := NewContext(), NewContext()
+	a := Add(c1.Var("x", 8), c1.Var("y", 8))
+	b := Add(c2.Var("x", 8), c2.Var("y", 8))
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("cross-context composite composition did not panic")
+		}
+	}()
+	_ = Eq(a, b)
+}
+
+// TestContextSimplifyDeterminism checks that simplification is
+// context-local (memoized per context) and produces the same canonical
+// structure in every context.
+func TestContextSimplifyDeterminism(t *testing.T) {
+	shape := func(c *Context) string {
+		x := c.Var("x", 8)
+		y := c.Var("y", 8)
+		miter := And(
+			Or(Eq(x, y), Not(Eq(x, y))),
+			Eq(Sub(Add(x, y), y), x),
+			Ule(c.Const(0, 8), x),
+		)
+		return Simplify(miter).String()
+	}
+	base := shape(DefaultContext())
+	for i := 0; i < 3; i++ {
+		c := NewContext()
+		if got := shape(c); got != base {
+			t.Fatalf("context %d canonical form differs:\n got %s\nwant %s", i, got, base)
+		}
+		if st := c.SimplifyStats(); st.Entries == 0 {
+			t.Fatalf("context simplify memo unused")
+		}
+	}
+}
+
+// TestContextRotationReclaims checks the serve-mode memory story at the
+// smt level: construction routed through a rotating context leaves the
+// retired context's interner untouched and the fresh context bounded,
+// with no growth of the default context.
+func TestContextRotationReclaims(t *testing.T) {
+	before := InternerStats().Entries
+	var perEpoch []uint64
+	for epoch := 0; epoch < 3; epoch++ {
+		c := NewContext()
+		for i := 0; i < 50; i++ {
+			x := c.Var(fmt.Sprintf("x%d", i), 16)
+			f := Eq(Add(x, c.Const(uint64(i), 16)), c.Const(3, 16))
+			_ = Simplify(f)
+		}
+		perEpoch = append(perEpoch, c.InternerStats().Entries)
+	}
+	for i := 1; i < len(perEpoch); i++ {
+		if perEpoch[i] != perEpoch[0] {
+			t.Fatalf("epoch %d interner entries %d != epoch 0's %d (same workload must cost the same per epoch)",
+				i, perEpoch[i], perEpoch[0])
+		}
+	}
+	if after := InternerStats().Entries; after != before {
+		t.Fatalf("context-routed construction leaked %d terms into the default interner", after-before)
+	}
+}
+
+// TestContextConcurrent hammers one fresh context from many goroutines
+// (run under -race): the interner and simplify memo must be safe and
+// value-deterministic.
+func TestContextConcurrent(t *testing.T) {
+	c := NewContext()
+	const workers = 8
+	results := make([]*Term, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var f *Term
+			for i := 0; i < 200; i++ {
+				x := c.Var(fmt.Sprintf("v%d", i%16), 8)
+				y := c.Var(fmt.Sprintf("v%d", (i+1)%16), 8)
+				f = Simplify(Or(Ult(x, y), Eq(x, y), Ult(y, x)))
+			}
+			results[w] = f
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if results[w] != results[0] {
+			t.Fatalf("concurrent construction diverged: %s vs %s", results[w], results[0])
+		}
+	}
+}
+
+// TestContextAdoptionOrderIndependent pins ctxOf's ownership rule:
+// default-context leaves mixed into an epoch formula route the node into
+// the epoch context regardless of argument order — a leading
+// default-context variable must neither panic against an epoch composite
+// nor drag an epoch leaf into the immortal default interner.
+func TestContextAdoptionOrderIndependent(t *testing.T) {
+	c := NewContext()
+	comp := Add(c.Var("a", 8), c.Var("b", 8))
+
+	// Composite second: the composite still pins ownership.
+	if got := Eq(Var("x", 8), comp); got.Context() != c {
+		t.Fatalf("Eq(defaultVar, epochComposite) landed in the wrong context")
+	}
+	if got := Eq(comp, Var("x", 8)); got.Context() != c {
+		t.Fatalf("Eq(epochComposite, defaultVar) landed in the wrong context")
+	}
+
+	// All-leaf mix: the non-default context wins either way.
+	before := InternerStats().Entries
+	if got := Eq(Var("y", 8), c.Var("z", 8)); got.Context() != c {
+		t.Fatalf("Eq(defaultVar, epochVar) landed in the default context")
+	}
+	if got := Eq(c.Var("z", 8), Var("y", 8)); got.Context() != c {
+		t.Fatalf("Eq(epochVar, defaultVar) landed in the default context")
+	}
+	// Only the default-context leaves themselves may exist there; the
+	// composite must not have been interned into the default table.
+	if after := InternerStats().Entries; after > before+1 {
+		t.Fatalf("leaf mix grew the default interner by %d entries (want at most the leaf itself)", after-before)
+	}
+}
+
+// TestContextDefaultCompositeCannotCaptureEpochTerms pins the remaining
+// ctxOf corner: a default-context composite combined with an
+// epoch-owned term must panic (the composite cannot migrate), never
+// silently intern the epoch term — and the node — into the immortal
+// default context.
+func TestContextDefaultCompositeCannotCaptureEpochTerms(t *testing.T) {
+	c := NewContext()
+	defComp := Add(Var("dc_a", 8), Var("dc_b", 8))
+	before := InternerStats().Entries
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Eq(defaultComposite, epochVar) did not panic")
+		}
+		if after := InternerStats().Entries; after != before {
+			t.Fatalf("default interner grew by %d entries on the failed mix", after-before)
+		}
+	}()
+	_ = Eq(defComp, c.Var("z", 8))
+}

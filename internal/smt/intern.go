@@ -16,10 +16,19 @@ import (
 // The interner is sharded and safe for concurrent use: parallel bug hunts
 // build terms from many goroutines and share every common subterm (packet
 // bit variables, standard-metadata leaves, architecture constraints).
+//
+// Every Context owns one interner; term IDs come from a single
+// process-wide counter, so IDs are unique across contexts and ID-keyed
+// caches can never confuse terms from different epochs.
 type Interner struct {
 	shards [internShards]internShard
-	nextID atomic.Uint64
 }
+
+// termIDSeq issues process-unique term IDs across all interners: a term
+// ID identifies one term in one context for the process lifetime, which
+// is what makes ID-keyed memo tables (simplify, verdict caches) safe
+// even while contexts rotate.
+var termIDSeq atomic.Uint64
 
 const internShards = 64
 
@@ -35,9 +44,9 @@ type internShard struct {
 	bytes uint64
 }
 
-// NewInterner creates an empty interning table. Most callers use the
-// package-level default shared by the smart constructors; separate
-// interners exist only for measurement.
+// NewInterner creates an empty interning table. Most callers go through
+// a Context (which owns one); free-standing interners exist only for
+// measurement.
 func NewInterner() *Interner {
 	in := &Interner{}
 	for i := range in.shards {
@@ -46,15 +55,11 @@ func NewInterner() *Interner {
 	return in
 }
 
-// defaultInterner backs all smart constructors. Package-level so that
-// terms built anywhere in the process share structure; initialized before
-// True/False (Go resolves package var dependencies).
-var defaultInterner = NewInterner()
-
-// Stats reports the interner's current size (distinct live terms) and the
-// cumulative hit count (constructions answered by an existing term).
+// Stats reports the default context's interner size (distinct live
+// terms) and cumulative hit count (constructions answered by an existing
+// term).
 func Stats() (size, hits uint64) {
-	return defaultInterner.Size(), defaultInterner.Hits()
+	return defaultCtx.in.Size(), defaultCtx.in.Hits()
 }
 
 // InternerInfo is a point-in-time snapshot of an interning table. Interner
@@ -78,9 +83,9 @@ type InternerInfo struct {
 	MaxShardEntries uint64
 }
 
-// InternerStats snapshots the default interner backing all smart
-// constructors.
-func InternerStats() InternerInfo { return defaultInterner.Info() }
+// InternerStats snapshots the default context's interner (the one behind
+// the package-level constructors).
+func InternerStats() InternerInfo { return defaultCtx.in.Info() }
 
 // Info snapshots one interner in O(shards): the per-shard counters are
 // maintained at intern time, so no bucket is ever walked. It takes each
@@ -195,7 +200,7 @@ func (in *Interner) Intern(t *Term) *Term {
 	s.mu.Unlock()
 	// Allocate the ID outside the shard lock, then re-check under it: a
 	// racing goroutine may have interned the same shape meanwhile.
-	t.id = in.nextID.Add(1)
+	t.id = termIDSeq.Add(1)
 	t.hash = h
 	s.mu.Lock()
 	for _, c := range s.table[h] {
@@ -211,6 +216,3 @@ func (in *Interner) Intern(t *Term) *Term {
 	s.mu.Unlock()
 	return t
 }
-
-// intern routes a freshly built term through the default interner.
-func intern(t *Term) *Term { return defaultInterner.Intern(t) }

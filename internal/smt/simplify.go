@@ -24,12 +24,14 @@ import (
 // and a miter that normalizes to a constant never reaches CDCL search.
 //
 // Results are memoized in a sharded cache keyed by the interned term ID
-// (the same discipline as the interner itself), so the cost of a
-// simplification is paid once per distinct subterm process-wide. Safe for
-// concurrent use; the function is deterministic within a process, so
-// racing goroutines store the same (pointer-identical) result.
+// (the same discipline as the interner itself), owned by the term's
+// Context — so the cost of a simplification is paid once per distinct
+// subterm per context, and rotating contexts reclaims the memo together
+// with the terms it indexes. Safe for concurrent use; the function is
+// deterministic within a process, so racing goroutines store the same
+// (pointer-identical) result.
 func Simplify(t *Term) *Term {
-	s := &simpTable[t.id%simpShards]
+	s := &t.ctx.simp[t.id%simpShards]
 	s.mu.Lock()
 	if r, ok := s.simplified[t.id]; ok {
 		s.hits++
@@ -51,7 +53,7 @@ func Simplify(t *Term) *Term {
 		// A simplified term is its own fixpoint: record it so callers that
 		// re-simplify results (validate does, after sym.Equivalent) get a
 		// cache hit instead of a re-walk.
-		rs := &simpTable[r.id%simpShards]
+		rs := &r.ctx.simp[r.id%simpShards]
 		rs.mu.Lock()
 		if rs.simplified == nil {
 			rs.simplified = map[uint64]*Term{}
@@ -66,9 +68,9 @@ func Simplify(t *Term) *Term {
 
 const simpShards = 64
 
-// simpShard holds one shard of the simplification memo and of the
-// canonical-rank memo. Two maps, one lock: both are keyed by term ID and
-// touched on the same paths.
+// simpShard holds one shard of a context's simplification memo and of
+// its canonical-rank memo. Two maps, one lock: both are keyed by term ID
+// and touched on the same paths.
 type simpShard struct {
 	mu         sync.Mutex
 	simplified map[uint64]*Term
@@ -76,8 +78,6 @@ type simpShard struct {
 	hits       uint64
 	misses     uint64
 }
-
-var simpTable [simpShards]simpShard
 
 // SimplifyInfo is a point-in-time snapshot of the simplification cache.
 type SimplifyInfo struct {
@@ -88,27 +88,17 @@ type SimplifyInfo struct {
 	Hits, Misses uint64
 }
 
-// SimplifyStats snapshots the process-wide simplification cache.
-func SimplifyStats() SimplifyInfo {
-	var info SimplifyInfo
-	for i := range simpTable {
-		s := &simpTable[i]
-		s.mu.Lock()
-		info.Entries += uint64(len(s.simplified))
-		info.Hits += s.hits
-		info.Misses += s.misses
-		s.mu.Unlock()
-	}
-	return info
-}
+// SimplifyStats snapshots the default context's simplification cache.
+func SimplifyStats() SimplifyInfo { return defaultCtx.SimplifyStats() }
 
 // canonRank returns a run-stable structural hash of the term: unlike
 // Term.Hash (which mixes interner IDs, assigned in construction order and
 // therefore scheduling-dependent), canonRank depends only on structure.
 // It orders commutative operands, so the canonical form of a formula is
-// identical across runs and worker counts. Memoized per term ID.
+// identical across runs and worker counts. Memoized per term ID in the
+// owning context.
 func canonRank(t *Term) uint64 {
-	s := &simpTable[t.id%simpShards]
+	s := &t.ctx.simp[t.id%simpShards]
 	s.mu.Lock()
 	if r, ok := s.canon[t.id]; ok {
 		s.mu.Unlock()
@@ -222,7 +212,7 @@ func neg(x *Term) *Term { return Simplify(Not(x)) }
 func simpNot(x *Term) *Term {
 	switch x.Op {
 	case OpConst:
-		return Bool(x.Val == 0)
+		return x.ctx.Bool(x.Val == 0)
 	case OpNot:
 		return x.Args[0]
 	case OpAnd:
@@ -269,18 +259,22 @@ func complementOf(x *Term) *Term {
 // (x ∧ ¬x ⇒ false, x ∨ ¬x ⇒ true), and sort by canonical rank. Args are
 // already simplified.
 func simpNaryBool(op Op, xs []*Term) *Term {
-	absorbing, neutral := False, True
+	c := ctxOf(xs...)
+	absorbing, neutral := c.False(), c.True()
 	if op == OpOr {
-		absorbing, neutral = True, False
+		absorbing, neutral = c.True(), c.False()
 	}
 	var flat []*Term
 	var flatten func([]*Term) bool
 	flatten = func(ys []*Term) bool {
 		for _, y := range ys {
-			if y == absorbing {
-				return false
-			}
-			if y == neutral {
+			// Structural constant checks, not pointer ones: an argument
+			// list may still carry a constant adopted from another
+			// context.
+			if y.IsConst() {
+				if y.Val == absorbing.Val {
+					return false
+				}
 				continue
 			}
 			if y.Op == op {
@@ -337,13 +331,13 @@ func simpCommutative(op Op, build func(a, b *Term) *Term, a, b *Term) *Term {
 // operators injective in one argument, and ite-absorption.
 func simpEq(a, b *Term) *Term {
 	if a == b {
-		return True
+		return a.ctx.True()
 	}
 	if rankLess(b, a) {
 		a, b = b, a
 	}
 	if a.IsConst() && b.IsConst() {
-		return Bool(a.Val == b.Val)
+		return a.ctx.Bool(a.Val == b.Val)
 	}
 	if a.IsBool() {
 		// Boolean identity/negation folds must go through the simplifier's
@@ -384,17 +378,17 @@ func simpEq(a, b *Term) *Term {
 			case OpBVConcat:
 				loW := x.Args[1].W
 				return simpNaryBool(OpAnd, []*Term{
-					simpEq(x.Args[0], Const(c.Val>>uint(loW), x.Args[0].W)),
-					simpEq(x.Args[1], Const(c.Val, loW)),
+					simpEq(x.Args[0], x.ctx.Const(c.Val>>uint(loW), x.Args[0].W)),
+					simpEq(x.Args[1], x.ctx.Const(c.Val, loW)),
 				})
 			case OpBVZext:
 				base := x.Args[0]
 				if base.W < 64 && c.Val>>uint(base.W) != 0 {
-					return False
+					return x.ctx.False()
 				}
-				return simpEq(base, Const(c.Val, base.W))
+				return simpEq(base, x.ctx.Const(c.Val, base.W))
 			case OpBVNot:
-				return simpEq(x.Args[0], Const(^c.Val, x.W))
+				return simpEq(x.Args[0], x.ctx.Const(^c.Val, x.W))
 			}
 		}
 		// ZExt = ZExt over equal base widths.
@@ -517,36 +511,36 @@ func maxOf(w int) uint64 { return mask(^uint64(0), w) }
 // simpUlt applies the unsigned-less-than constant-range rules.
 func simpUlt(a, b *Term) *Term {
 	if a == b {
-		return False
+		return a.ctx.False()
 	}
 	if a.IsConst() && b.IsConst() {
-		return Bool(a.Val < b.Val)
+		return a.ctx.Bool(a.Val < b.Val)
 	}
 	if b.IsConst() {
 		switch b.Val {
 		case 0:
-			return False
+			return ctxOf(a, b).False()
 		case 1:
-			return simpEq(a, Const(0, a.W))
+			return simpEq(a, ctxOf(a, b).Const(0, a.W))
 		case maxOf(a.W):
-			return neg(simpEq(a, Const(b.Val, a.W)))
+			return neg(simpEq(a, ctxOf(a, b).Const(b.Val, a.W)))
 		}
 		// a is zero-extended and always below the bound.
 		if a.Op == OpBVZext && a.Args[0].W < 64 && b.Val >= 1<<uint(a.Args[0].W) {
-			return True
+			return a.ctx.True()
 		}
 	}
 	if a.IsConst() {
 		switch a.Val {
 		case maxOf(b.W):
-			return False
+			return ctxOf(a, b).False()
 		case 0:
-			return neg(simpEq(b, Const(0, b.W)))
+			return neg(simpEq(b, ctxOf(a, b).Const(0, b.W)))
 		case maxOf(b.W) - 1:
-			return simpEq(b, Const(maxOf(b.W), b.W))
+			return simpEq(b, ctxOf(a, b).Const(maxOf(b.W), b.W))
 		}
 		if b.Op == OpBVZext && b.Args[0].W < 64 && a.Val >= (1<<uint(b.Args[0].W))-1 {
-			return False
+			return b.ctx.False()
 		}
 	}
 	return Ult(a, b)
@@ -555,31 +549,31 @@ func simpUlt(a, b *Term) *Term {
 // simpUle applies the unsigned-less-or-equal constant-range rules.
 func simpUle(a, b *Term) *Term {
 	if a == b {
-		return True
+		return a.ctx.True()
 	}
 	if a.IsConst() && b.IsConst() {
-		return Bool(a.Val <= b.Val)
+		return a.ctx.Bool(a.Val <= b.Val)
 	}
 	if b.IsConst() {
 		switch b.Val {
 		case maxOf(a.W):
-			return True
+			return ctxOf(a, b).True()
 		case 0:
-			return simpEq(a, Const(0, a.W))
+			return simpEq(a, ctxOf(a, b).Const(0, a.W))
 		}
 		if a.Op == OpBVZext && a.Args[0].W < 64 && b.Val >= (1<<uint(a.Args[0].W))-1 {
-			return True
+			return a.ctx.True()
 		}
 	}
 	if a.IsConst() {
 		switch a.Val {
 		case 0:
-			return True
+			return ctxOf(a, b).True()
 		case maxOf(b.W):
-			return simpEq(b, Const(a.Val, b.W))
+			return simpEq(b, ctxOf(a, b).Const(a.Val, b.W))
 		}
 		if b.Op == OpBVZext && b.Args[0].W < 64 && a.Val >= 1<<uint(b.Args[0].W) {
-			return False
+			return b.ctx.False()
 		}
 	}
 	return Ule(a, b)
@@ -603,10 +597,10 @@ func simpAdd(a, b *Term) *Term {
 	// (x + c1) + c2 ⇒ x + (c1+c2): constants bubble together.
 	if b.IsConst() && a.Op == OpBVAdd {
 		if c1 := a.Args[1]; c1.IsConst() {
-			return simpAdd(a.Args[0], Const(c1.Val+b.Val, a.W))
+			return simpAdd(a.Args[0], a.ctx.Const(c1.Val+b.Val, a.W))
 		}
 		if c1 := a.Args[0]; c1.IsConst() {
-			return simpAdd(a.Args[1], Const(c1.Val+b.Val, a.W))
+			return simpAdd(a.Args[1], a.ctx.Const(c1.Val+b.Val, a.W))
 		}
 	}
 	if a.IsConst() && b.Op == OpBVAdd {
@@ -620,7 +614,7 @@ func simpAdd(a, b *Term) *Term {
 // Add rules see one canonical shape.
 func simpSub(a, b *Term) *Term {
 	if a == b {
-		return Const(0, a.W)
+		return a.ctx.Const(0, a.W)
 	}
 	if a.Op == OpBVAdd {
 		if a.Args[0] == b {
@@ -634,7 +628,7 @@ func simpSub(a, b *Term) *Term {
 		return simpAdd(a, b.Args[0])
 	}
 	if b.IsConst() && b.Val != 0 {
-		return simpAdd(a, Const(^b.Val+1, a.W))
+		return simpAdd(a, a.ctx.Const(^b.Val+1, a.W))
 	}
 	if a.IsConst() && a.Val == 0 {
 		return simpBVNeg(b)
@@ -647,7 +641,7 @@ func simpBVAnd(a, b *Term) *Term {
 		return a
 	}
 	if (a.Op == OpBVNot && a.Args[0] == b) || (b.Op == OpBVNot && b.Args[0] == a) {
-		return Const(0, a.W)
+		return a.ctx.Const(0, a.W)
 	}
 	return simpCommutative(OpBVAnd, BVAnd, a, b)
 }
@@ -657,20 +651,20 @@ func simpBVOr(a, b *Term) *Term {
 		return a
 	}
 	if (a.Op == OpBVNot && a.Args[0] == b) || (b.Op == OpBVNot && b.Args[0] == a) {
-		return Const(maxOf(a.W), a.W)
+		return a.ctx.Const(maxOf(a.W), a.W)
 	}
 	return simpCommutative(OpBVOr, BVOr, a, b)
 }
 
 func simpBVXor(a, b *Term) *Term {
 	if a == b {
-		return Const(0, a.W)
+		return a.ctx.Const(0, a.W)
 	}
 	if a.IsConst() && b.IsConst() {
-		return Const(a.Val^b.Val, a.W)
+		return a.ctx.Const(a.Val^b.Val, a.W)
 	}
 	if (a.Op == OpBVNot && a.Args[0] == b) || (b.Op == OpBVNot && b.Args[0] == a) {
-		return Const(maxOf(a.W), a.W)
+		return a.ctx.Const(maxOf(a.W), a.W)
 	}
 	if a.Op == OpBVNot && b.Op == OpBVNot {
 		return simpBVXor(a.Args[0], b.Args[0])
@@ -682,10 +676,10 @@ func simpBVXor(a, b *Term) *Term {
 		}
 		if a.Op == OpBVXor {
 			if c1 := a.Args[1]; c1.IsConst() {
-				return simpBVXor(a.Args[0], Const(c1.Val^b.Val, a.W))
+				return simpBVXor(a.Args[0], a.ctx.Const(c1.Val^b.Val, a.W))
 			}
 			if c1 := a.Args[0]; c1.IsConst() {
-				return simpBVXor(a.Args[1], Const(c1.Val^b.Val, a.W))
+				return simpBVXor(a.Args[1], a.ctx.Const(c1.Val^b.Val, a.W))
 			}
 		}
 	}
@@ -725,13 +719,13 @@ func simpShift(x, amt *Term, left bool) *Term {
 	w := x.W
 	c := amt.Val
 	if c >= uint64(w) {
-		return Const(0, w)
+		return x.ctx.Const(0, w)
 	}
 	if c == 0 {
 		return x
 	}
 	if left {
-		return simpConcat(simpExtract(x, w-1-int(c), 0), Const(0, int(c)))
+		return simpConcat(simpExtract(x, w-1-int(c), 0), x.ctx.Const(0, int(c)))
 	}
 	return simpZExt(simpExtract(x, w-1, int(c)), w)
 }
@@ -757,7 +751,7 @@ func simpExtract(x *Term, hi, lo int) *Term {
 	}
 	switch x.Op {
 	case OpConst:
-		return Const(x.Val>>uint(lo), hi-lo+1)
+		return x.ctx.Const(x.Val>>uint(lo), hi-lo+1)
 	case OpBVConcat:
 		loPart := x.Args[1]
 		switch {
@@ -776,7 +770,7 @@ func simpExtract(x *Term, hi, lo int) *Term {
 		case hi < base.W:
 			return simpExtract(base, hi, lo)
 		case lo >= base.W:
-			return Const(0, hi-lo+1)
+			return x.ctx.Const(0, hi-lo+1)
 		default:
 			return simpZExt(simpExtract(base, base.W-1, lo), hi-lo+1)
 		}

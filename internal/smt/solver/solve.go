@@ -111,7 +111,13 @@ func SolvePreferNonZero(maxConflicts int, prefer []string, assertions ...*smt.Te
 	var prefs []*smt.Term
 	if len(prefer) > 0 {
 		// Collect widths of the preferred variables that actually occur
-		// (once, up front — not per trial).
+		// (once, up front — not per trial). Preference terms are built in
+		// the assertions' context so a rotating service never interns
+		// per-query variables into the immortal default context.
+		sctx := smt.DefaultContext()
+		if len(assertions) > 0 {
+			sctx = assertions[0].Context()
+		}
 		widths := map[string]int{}
 		for _, a := range assertions {
 			a.Vars(widths)
@@ -122,9 +128,9 @@ func SolvePreferNonZero(maxConflicts int, prefer []string, assertions ...*smt.Te
 				continue
 			}
 			if w == 0 {
-				prefs = append(prefs, smt.Var(name, 0))
+				prefs = append(prefs, sctx.Var(name, 0))
 			} else {
-				prefs = append(prefs, smt.Ne(smt.Var(name, w), smt.Const(0, w)))
+				prefs = append(prefs, smt.Ne(sctx.Var(name, w), sctx.Const(0, w)))
 			}
 		}
 	}
@@ -141,7 +147,7 @@ func SolvePreferTermsNonZero(maxConflicts int, prefer []*smt.Term, assertions ..
 		if t.IsBool() || t.IsConst() {
 			continue
 		}
-		prefs = append(prefs, smt.Ne(t, smt.Const(0, t.W)))
+		prefs = append(prefs, smt.Ne(t, t.Context().Const(0, t.W)))
 	}
 	return SolveWithPreferences(maxConflicts, prefs, assertions...)
 }

@@ -7,6 +7,12 @@
 // QF_BV internally, so decidability and model availability are preserved.
 //
 // Sorts: boolean (Width 0) and bitvectors of width 1..64.
+//
+// All construction is routed through a Context — the scoped owner of the
+// interner and simplification memo (see Context). Leaf constructors are
+// Context methods; composite constructors infer the context from their
+// arguments; the package-level constructors build in the process-default
+// context.
 package smt
 
 import (
@@ -65,9 +71,11 @@ var opNames = map[Op]string{
 // Term is an immutable SMT term. W is the bitvector width, or 0 for
 // booleans. Never mutate a Term after construction.
 //
-// Terms are hash-consed: the smart constructors intern every node, so
-// structurally equal terms are pointer-equal and carry a stable ID and a
-// precomputed structural hash. Build terms only through the constructors.
+// Terms are hash-consed per Context: the smart constructors intern every
+// node, so structurally equal terms *of one context* are pointer-equal
+// and carry a stable ID (unique process-wide, across contexts) and a
+// precomputed structural hash. Build terms only through the
+// constructors.
 type Term struct {
 	Op     Op
 	W      int
@@ -76,13 +84,15 @@ type Term struct {
 	Hi, Lo int    // OpBVExtract
 	Args   []*Term
 
-	id   uint64 // interner-assigned, stable for the process lifetime
-	hash uint64 // structural hash (shallow fields + child IDs)
+	id   uint64   // process-unique, stable for the process lifetime
+	hash uint64   // structural hash (shallow fields + child IDs)
+	ctx  *Context // owning context (set at intern time)
 }
 
-// ID returns the term's stable interning ID. Structurally equal terms
-// share an ID; IDs are dense, small and never reused, which makes them
-// good cache keys for formula-level memoization.
+// ID returns the term's stable interning ID. Structurally equal terms of
+// one context share an ID; IDs are small, never reused and unique across
+// contexts, which makes them good cache keys for formula-level
+// memoization even while contexts rotate.
 func (t *Term) ID() uint64 { return t.id }
 
 // Hash returns the term's structural hash (O(1): precomputed when the
@@ -179,34 +189,30 @@ func (t *Term) Vars(out map[string]int) {
 }
 
 // --- Constructors -----------------------------------------------------
+//
+// Leaf constructors (Var, Const, Bool) live on Context; the package
+// functions below build in the default context. Composite constructors
+// infer their context from the arguments via ctxOf, so a formula grown
+// from context-owned leaves stays in that context end to end.
 
-// Var creates a bitvector variable of the given width (or boolean when
-// width is 0).
-func Var(name string, width int) *Term {
-	return intern(&Term{Op: OpVar, W: width, Name: name})
-}
+// Var creates a bitvector variable of the given width in the default
+// context (or boolean when width is 0).
+func Var(name string, width int) *Term { return defaultCtx.Var(name, width) }
 
-// BoolVar creates a boolean variable.
-func BoolVar(name string) *Term { return Var(name, 0) }
+// BoolVar creates a boolean variable in the default context.
+func BoolVar(name string) *Term { return defaultCtx.Var(name, 0) }
 
-// Const creates a bitvector constant, masked to width.
-func Const(val uint64, width int) *Term {
-	return intern(&Term{Op: OpConst, W: width, Val: mask(val, width)})
-}
+// Const creates a bitvector constant in the default context, masked to
+// width.
+func Const(val uint64, width int) *Term { return defaultCtx.Const(val, width) }
 
-// Bool creates a boolean constant.
-func Bool(v bool) *Term {
-	val := uint64(0)
-	if v {
-		val = 1
-	}
-	return intern(&Term{Op: OpConst, W: 0, Val: val})
-}
+// Bool creates a boolean constant in the default context.
+func Bool(v bool) *Term { return defaultCtx.Bool(v) }
 
-// True and False are the boolean constants.
+// True and False are the default context's boolean constants.
 var (
-	True  = Bool(true)
-	False = Bool(false)
+	True  = defaultCtx.True()
+	False = defaultCtx.False()
 )
 
 func assertBool(t *Term, who string) {
@@ -231,21 +237,22 @@ func assertSameSort(a, b *Term, who string) {
 func Not(x *Term) *Term {
 	assertBool(x, "Not")
 	if x.IsConst() {
-		return Bool(x.Val == 0)
+		return x.ctx.Bool(x.Val == 0)
 	}
 	if x.Op == OpNot {
 		return x.Args[0]
 	}
-	return intern(&Term{Op: OpNot, Args: []*Term{x}})
+	return x.ctx.intern(&Term{Op: OpNot, Args: []*Term{x}})
 }
 
 // And conjoins boolean terms, folding constants.
 func And(xs ...*Term) *Term {
+	c := ctxOf(xs...)
 	var args []*Term
 	for _, x := range xs {
 		assertBool(x, "And")
 		if x.IsFalse() {
-			return False
+			return c.False()
 		}
 		if x.IsTrue() {
 			continue
@@ -258,20 +265,21 @@ func And(xs ...*Term) *Term {
 	}
 	switch len(args) {
 	case 0:
-		return True
+		return c.True()
 	case 1:
 		return args[0]
 	}
-	return intern(&Term{Op: OpAnd, Args: args})
+	return c.intern(&Term{Op: OpAnd, Args: args})
 }
 
 // Or disjoins boolean terms, folding constants.
 func Or(xs ...*Term) *Term {
+	c := ctxOf(xs...)
 	var args []*Term
 	for _, x := range xs {
 		assertBool(x, "Or")
 		if x.IsTrue() {
-			return True
+			return c.True()
 		}
 		if x.IsFalse() {
 			continue
@@ -284,11 +292,11 @@ func Or(xs ...*Term) *Term {
 	}
 	switch len(args) {
 	case 0:
-		return False
+		return c.False()
 	case 1:
 		return args[0]
 	}
-	return intern(&Term{Op: OpOr, Args: args})
+	return c.intern(&Term{Op: OpOr, Args: args})
 }
 
 // Implies builds (or (not a) b).
@@ -297,11 +305,12 @@ func Implies(a, b *Term) *Term { return Or(Not(a), b) }
 // Eq builds equality between two terms of the same sort.
 func Eq(a, b *Term) *Term {
 	assertSameSort(a, b, "Eq")
+	c := ctxOf(a, b)
 	if a.IsConst() && b.IsConst() {
-		return Bool(a.Val == b.Val)
+		return c.Bool(a.Val == b.Val)
 	}
 	if a == b {
-		return True
+		return c.True()
 	}
 	// Boolean equality with constant folds to identity/negation.
 	if a.IsBool() {
@@ -318,7 +327,7 @@ func Eq(a, b *Term) *Term {
 			return Not(a)
 		}
 	}
-	return intern(&Term{Op: OpEq, Args: []*Term{a, b}})
+	return c.intern(&Term{Op: OpEq, Args: []*Term{a, b}})
 }
 
 // Ne builds disequality.
@@ -361,27 +370,29 @@ func Ite(cond, then, els *Term) *Term {
 	if then == els {
 		return then
 	}
-	return intern(&Term{Op: OpIte, W: then.W, Args: []*Term{cond, then, els}})
+	return ctxOf(cond, then, els).intern(&Term{Op: OpIte, W: then.W, Args: []*Term{cond, then, els}})
 }
 
 // Ult builds unsigned less-than.
 func Ult(a, b *Term) *Term {
 	assertBV(a, "Ult")
 	assertSameSort(a, b, "Ult")
+	c := ctxOf(a, b)
 	if a.IsConst() && b.IsConst() {
-		return Bool(a.Val < b.Val)
+		return c.Bool(a.Val < b.Val)
 	}
-	return intern(&Term{Op: OpUlt, Args: []*Term{a, b}})
+	return c.intern(&Term{Op: OpUlt, Args: []*Term{a, b}})
 }
 
 // Ule builds unsigned less-or-equal.
 func Ule(a, b *Term) *Term {
 	assertBV(a, "Ule")
 	assertSameSort(a, b, "Ule")
+	c := ctxOf(a, b)
 	if a.IsConst() && b.IsConst() {
-		return Bool(a.Val <= b.Val)
+		return c.Bool(a.Val <= b.Val)
 	}
-	return intern(&Term{Op: OpUle, Args: []*Term{a, b}})
+	return c.intern(&Term{Op: OpUle, Args: []*Term{a, b}})
 }
 
 // Ugt and Uge are the flipped comparisons.
@@ -393,10 +404,11 @@ func Uge(a, b *Term) *Term { return Ule(b, a) }
 func bvBin(op Op, a, b *Term, fold func(x, y uint64) uint64) *Term {
 	assertBV(a, opNames[op])
 	assertSameSort(a, b, opNames[op])
+	c := ctxOf(a, b)
 	if a.IsConst() && b.IsConst() {
-		return Const(fold(a.Val, b.Val), a.W)
+		return c.Const(fold(a.Val, b.Val), a.W)
 	}
-	return intern(&Term{Op: op, W: a.W, Args: []*Term{a, b}})
+	return c.intern(&Term{Op: op, W: a.W, Args: []*Term{a, b}})
 }
 
 // Add builds bitvector addition (modular).
@@ -427,7 +439,7 @@ func Mul(a, b *Term) *Term {
 		return b
 	}
 	if (a.IsConst() && a.Val == 0) || (b.IsConst() && b.Val == 0) {
-		return Const(0, a.W)
+		return ctxOf(a, b).Const(0, a.W)
 	}
 	return bvBin(OpBVMul, a, b, func(x, y uint64) uint64 { return x * y })
 }
@@ -435,7 +447,7 @@ func Mul(a, b *Term) *Term {
 // BVAnd builds bitwise and.
 func BVAnd(a, b *Term) *Term {
 	if a.IsConst() && a.Val == 0 || b.IsConst() && b.Val == 0 {
-		return Const(0, a.W)
+		return ctxOf(a, b).Const(0, a.W)
 	}
 	if a.IsConst() && a.Val == mask(^uint64(0), a.W) {
 		return b
@@ -466,7 +478,7 @@ func BVXor(a, b *Term) *Term {
 		return a
 	}
 	if a == b {
-		return Const(0, a.W)
+		return a.ctx.Const(0, a.W)
 	}
 	return bvBin(OpBVXor, a, b, func(x, y uint64) uint64 { return x ^ y })
 }
@@ -475,21 +487,21 @@ func BVXor(a, b *Term) *Term {
 func BVNot(a *Term) *Term {
 	assertBV(a, "BVNot")
 	if a.IsConst() {
-		return Const(^a.Val, a.W)
+		return a.ctx.Const(^a.Val, a.W)
 	}
 	if a.Op == OpBVNot {
 		return a.Args[0]
 	}
-	return intern(&Term{Op: OpBVNot, W: a.W, Args: []*Term{a}})
+	return a.ctx.intern(&Term{Op: OpBVNot, W: a.W, Args: []*Term{a}})
 }
 
 // BVNeg builds two's-complement negation.
 func BVNeg(a *Term) *Term {
 	assertBV(a, "BVNeg")
 	if a.IsConst() {
-		return Const(^a.Val+1, a.W)
+		return a.ctx.Const(^a.Val+1, a.W)
 	}
-	return intern(&Term{Op: OpBVNeg, W: a.W, Args: []*Term{a}})
+	return a.ctx.intern(&Term{Op: OpBVNeg, W: a.W, Args: []*Term{a}})
 }
 
 // Shl builds a left shift. The shift amount b may have any width; amounts
@@ -497,36 +509,38 @@ func BVNeg(a *Term) *Term {
 func Shl(a, b *Term) *Term {
 	assertBV(a, "Shl")
 	assertBV(b, "Shl")
+	c := ctxOf(a, b)
 	if b.IsConst() {
 		if b.Val >= uint64(a.W) {
-			return Const(0, a.W)
+			return c.Const(0, a.W)
 		}
 		if b.Val == 0 {
 			return a
 		}
 		if a.IsConst() {
-			return Const(a.Val<<b.Val, a.W)
+			return c.Const(a.Val<<b.Val, a.W)
 		}
 	}
-	return intern(&Term{Op: OpBVShl, W: a.W, Args: []*Term{a, b}})
+	return c.intern(&Term{Op: OpBVShl, W: a.W, Args: []*Term{a, b}})
 }
 
 // Lshr builds a logical right shift with the same amount semantics as Shl.
 func Lshr(a, b *Term) *Term {
 	assertBV(a, "Lshr")
 	assertBV(b, "Lshr")
+	c := ctxOf(a, b)
 	if b.IsConst() {
 		if b.Val >= uint64(a.W) {
-			return Const(0, a.W)
+			return c.Const(0, a.W)
 		}
 		if b.Val == 0 {
 			return a
 		}
 		if a.IsConst() {
-			return Const(mask(a.Val, a.W)>>b.Val, a.W)
+			return c.Const(mask(a.Val, a.W)>>b.Val, a.W)
 		}
 	}
-	return intern(&Term{Op: OpBVLshr, W: a.W, Args: []*Term{a, b}})
+	return c.intern(&Term{Op: OpBVLshr, W: a.W, Args: []*Term{a, b}})
 }
 
 // Concat joins hi and lo into a wider vector (hi in the high bits).
@@ -537,10 +551,11 @@ func Concat(hi, lo *Term) *Term {
 	if w > 64 {
 		panic(fmt.Sprintf("smt.Concat: width %d exceeds 64", w))
 	}
+	c := ctxOf(hi, lo)
 	if hi.IsConst() && lo.IsConst() {
-		return Const(hi.Val<<uint(lo.W)|lo.Val, w)
+		return c.Const(hi.Val<<uint(lo.W)|lo.Val, w)
 	}
-	return intern(&Term{Op: OpBVConcat, W: w, Args: []*Term{hi, lo}})
+	return c.intern(&Term{Op: OpBVConcat, W: w, Args: []*Term{hi, lo}})
 }
 
 // Extract selects bits hi..lo (inclusive).
@@ -554,12 +569,12 @@ func Extract(x *Term, hi, lo int) *Term {
 	}
 	w := hi - lo + 1
 	if x.IsConst() {
-		return Const(x.Val>>uint(lo), w)
+		return x.ctx.Const(x.Val>>uint(lo), w)
 	}
 	if x.Op == OpBVExtract {
 		return Extract(x.Args[0], x.Lo+hi, x.Lo+lo)
 	}
-	return intern(&Term{Op: OpBVExtract, W: w, Hi: hi, Lo: lo, Args: []*Term{x}})
+	return x.ctx.intern(&Term{Op: OpBVExtract, W: w, Hi: hi, Lo: lo, Args: []*Term{x}})
 }
 
 // ZExt zero-extends x to the given width (identity when equal).
@@ -572,9 +587,9 @@ func ZExt(x *Term, width int) *Term {
 		return x
 	}
 	if x.IsConst() {
-		return Const(x.Val, width)
+		return x.ctx.Const(x.Val, width)
 	}
-	return intern(&Term{Op: OpBVZext, W: width, Args: []*Term{x}})
+	return x.ctx.intern(&Term{Op: OpBVZext, W: width, Args: []*Term{x}})
 }
 
 // Trunc truncates x to the given width (identity when equal).
@@ -589,18 +604,18 @@ func Trunc(x *Term, width int) *Term {
 func SatAdd(a, b *Term) *Term {
 	sum := Add(a, b)
 	overflow := Ult(sum, a) // wraparound detection for modular add
-	return Ite(overflow, Const(^uint64(0), a.W), sum)
+	return Ite(overflow, ctxOf(a, b).Const(^uint64(0), a.W), sum)
 }
 
 // SatSub builds saturating subtraction via compare-and-select.
 func SatSub(a, b *Term) *Term {
-	return Ite(Ult(a, b), Const(0, a.W), Sub(a, b))
+	return Ite(Ult(a, b), ctxOf(a, b).Const(0, a.W), Sub(a, b))
 }
 
 // BoolToBV converts a boolean to a bitvector 0/1 of the given width.
 func BoolToBV(b *Term, width int) *Term {
-	return Ite(b, Const(1, width), Const(0, width))
+	return Ite(b, b.ctx.Const(1, width), b.ctx.Const(0, width))
 }
 
 // BVToBool converts a bit<1> vector to a boolean.
-func BVToBool(x *Term) *Term { return Eq(x, Const(1, x.W)) }
+func BVToBool(x *Term) *Term { return Eq(x, x.ctx.Const(1, x.W)) }

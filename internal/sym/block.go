@@ -19,6 +19,8 @@ type NamedValue struct {
 type Block struct {
 	Name   string
 	Params []ast.Param
+	// Ctx is the smt context every term of this block lives in.
+	Ctx *smt.Context
 	// Out holds the final value of every out and inout parameter.
 	Out []NamedValue
 	// Reject is the condition under which a parser rejects the packet
@@ -71,9 +73,15 @@ func (b *Block) InputVars() map[string]int {
 // packet parameter act as deparsers: their emit sequence is recorded in
 // Emits.
 func ExecControl(prog *ast.Program, ctrl *ast.ControlDecl) (*Block, error) {
-	in := NewInterp(prog)
+	return ExecControlIn(smt.DefaultContext(), prog, ctrl)
+}
+
+// ExecControlIn is ExecControl with every term of the block form built
+// in the given smt context.
+func ExecControlIn(sctx *smt.Context, prog *ast.Program, ctrl *ast.ControlDecl) (*Block, error) {
+	in := NewInterpIn(sctx, prog)
 	in.ctrl = ctrl
-	s := newState()
+	s := newState(sctx)
 
 	global := s.env
 	if err := in.declareTopConsts(s, global); err != nil {
@@ -96,13 +104,13 @@ func ExecControl(prog *ast.Program, ctrl *ast.ControlDecl) (*Block, error) {
 		case ast.DirOut:
 			ctrlScope.declare(p.Name, NewUndefValue(p.Type, in.undef))
 		default:
-			v := FreshInput(p.Name, p.Type)
+			v := FreshInputIn(in.ctx, p.Name, p.Type)
 			ctrlScope.declare(p.Name, v)
 			Flatten(p.Name, v, &inputs)
 		}
 	}
 	if hasPacket {
-		in.pktLen = smt.Var("pkt_len", 32)
+		in.pktLen = in.ctx.Var("pkt_len", 32)
 	}
 
 	for _, l := range ctrl.Locals {
@@ -129,7 +137,7 @@ func ExecControl(prog *ast.Program, ctrl *ast.ControlDecl) (*Block, error) {
 	if err := in.execBlock(s, ctrl.Apply); err != nil {
 		return nil, err
 	}
-	b := in.finishBlock(ctrl.Name, ctrl.Params, s, smt.False)
+	b := in.finishBlock(ctrl.Name, ctrl.Params, s, in.ctx.False())
 	b.Inputs = inputs
 	return b, nil
 }
@@ -151,6 +159,7 @@ func (in *Interp) finishBlock(name string, params []ast.Param, s *state, reject 
 	b := &Block{
 		Name:        name,
 		Params:      params,
+		Ctx:         in.ctx,
 		Reject:      reject,
 		Emits:       in.emits,
 		BranchConds: in.branchConds,
@@ -176,10 +185,16 @@ func (in *Interp) finishBlock(name string, params []ast.Param, s *state, reject 
 // accepting states. Parser loops are an error, mirroring the P4 restriction
 // the paper leans on for decidability.
 func ExecParser(prog *ast.Program, pd *ast.ParserDecl) (*Block, error) {
-	in := NewInterp(prog)
-	in.pktLen = smt.Var("pkt_len", 32)
-	in.reject = smt.False
-	s := newState()
+	return ExecParserIn(smt.DefaultContext(), prog, pd)
+}
+
+// ExecParserIn is ExecParser with every term of the block form built in
+// the given smt context.
+func ExecParserIn(sctx *smt.Context, prog *ast.Program, pd *ast.ParserDecl) (*Block, error) {
+	in := NewInterpIn(sctx, prog)
+	in.pktLen = in.ctx.Var("pkt_len", 32)
+	in.reject = in.ctx.False()
+	s := newState(sctx)
 
 	global := s.env
 	if err := in.declareTopConsts(s, global); err != nil {
@@ -199,7 +214,7 @@ func ExecParser(prog *ast.Program, pd *ast.ParserDecl) (*Block, error) {
 		case ast.DirOut:
 			scope.declare(p.Name, NewUndefValue(p.Type, in.undef))
 		default:
-			v := FreshInput(p.Name, p.Type)
+			v := FreshInputIn(in.ctx, p.Name, p.Type)
 			scope.declare(p.Name, v)
 			Flatten(p.Name, v, &inputs)
 		}
@@ -252,7 +267,7 @@ func ExecParser(prog *ast.Program, pd *ast.ParserDecl) (*Block, error) {
 				return err
 			}
 			key := kv.(*BitVal).T
-			noPrior := smt.True
+			noPrior := in.ctx.True()
 			hasDefault := false
 			for _, c := range tr.Cases {
 				var cond *smt.Term
@@ -260,8 +275,12 @@ func ExecParser(prog *ast.Program, pd *ast.ParserDecl) (*Block, error) {
 					cond = noPrior
 					hasDefault = true
 				} else {
-					cond = smt.And(noPrior, smt.Eq(key, smt.Const(c.Value.Val, key.W)))
-					noPrior = smt.And(noPrior, smt.Not(smt.Eq(key, smt.Const(c.Value.Val, key.W))))
+					// Case literals are arbitrary generated-program
+					// constants: intern them in the epoch context, never
+					// the immortal default one.
+					caseEq := smt.Eq(key, in.ctx.Const(c.Value.Val, key.W))
+					cond = smt.And(noPrior, caseEq)
+					noPrior = smt.And(noPrior, smt.Not(caseEq))
 				}
 				in.noteBranch(cond)
 				child := s.clone()
@@ -309,14 +328,18 @@ func Equivalent(a, b *Block) *smt.Term {
 }
 
 func equivalentRaw(a, b *Block) *smt.Term {
+	sctx := a.Ctx
+	if sctx == nil {
+		sctx = smt.DefaultContext()
+	}
 	if len(a.Out) != len(b.Out) || len(a.Emits) != len(b.Emits) {
-		return smt.False
+		return sctx.False()
 	}
 	eq := smt.Eq(a.Reject, b.Reject)
-	outsEq := smt.True
+	outsEq := sctx.True()
 	for i := range a.Out {
 		if a.Out[i].Name != b.Out[i].Name {
-			return smt.False
+			return sctx.False()
 		}
 		outsEq = smt.And(outsEq, EqualValues(a.Out[i].Val, b.Out[i].Val))
 	}
@@ -325,9 +348,9 @@ func equivalentRaw(a, b *Block) *smt.Term {
 	for i := range a.Emits {
 		ea, eb := a.Emits[i], b.Emits[i]
 		if len(ea.Fields) != len(eb.Fields) {
-			return smt.False
+			return sctx.False()
 		}
-		fieldsEq := smt.True
+		fieldsEq := sctx.True()
 		for j := range ea.Fields {
 			fieldsEq = smt.And(fieldsEq, smt.Eq(ea.Fields[j].Term, eb.Fields[j].Term))
 		}

@@ -144,10 +144,10 @@ func (in *Interp) evalMethod(s *state, call *ast.CallExpr, m *ast.MemberExpr) (V
 				old := h.F[f.Name]
 				h.F[f.Name] = Merge(becameValid, NewUndefValue(f.Type, in.undef), old)
 			}
-			h.Valid = smt.Ite(s.live, smt.True, h.Valid)
+			h.Valid = smt.Ite(s.live, in.ctx.True(), h.Valid)
 			return nil, nil
 		case "setInvalid":
-			h.Valid = smt.Ite(s.live, smt.False, h.Valid)
+			h.Valid = smt.Ite(s.live, in.ctx.False(), h.Valid)
 			return nil, nil
 		default:
 			return &BoolVal{T: h.Valid}, nil
@@ -179,9 +179,9 @@ func (in *Interp) applyTable(s *state, name string) error {
 	prefix := in.ctrl.Name + "." + tbl.Name
 
 	// hit := AND_i (key_i == <symbolic key var i>)
-	hit := smt.True
+	hit := in.ctx.True()
 	if len(tbl.Keys) == 0 {
-		hit = smt.False // keyless tables never match entries
+		hit = in.ctx.False() // keyless tables never match entries
 	}
 	for i, k := range tbl.Keys {
 		kv, err := in.evalExpr(s, k.Expr)
@@ -192,23 +192,23 @@ func (in *Interp) applyTable(s *state, name string) error {
 		in.tableVars = append(in.tableVars, varName)
 		switch kv := kv.(type) {
 		case *BitVal:
-			hit = smt.And(hit, smt.Eq(kv.T, smt.Var(varName, kv.T.W)))
+			hit = smt.And(hit, smt.Eq(kv.T, in.ctx.Var(varName, kv.T.W)))
 		case *BoolVal:
-			hit = smt.And(hit, smt.Eq(kv.T, smt.BoolVar(varName)))
+			hit = smt.And(hit, smt.Eq(kv.T, in.ctx.BoolVar(varName)))
 		default:
 			return symErrorf("table %s key %d is not a leaf value", name, i)
 		}
 	}
 
-	actionVar := smt.Var(prefix+".action", 16)
+	actionVar := in.ctx.Var(prefix+".action", 16)
 	in.tableVars = append(in.tableVars, prefix+".action")
 	in.branchDepth++
 	defer func() { in.branchDepth-- }()
 	in.noteBranch(hit)
 
-	anyChosen := smt.False
+	anyChosen := in.ctx.False()
 	for idx, aref := range tbl.Actions {
-		chosen := smt.Eq(actionVar, smt.Const(uint64(idx+1), 16))
+		chosen := smt.Eq(actionVar, in.ctx.Const(uint64(idx+1), 16))
 		anyChosen = smt.Or(anyChosen, chosen)
 		eff := smt.And(hit, chosen)
 		in.noteBranch(eff)
@@ -254,7 +254,7 @@ func (in *Interp) runTableAction(s *state, tbl *ast.TableDecl, action, prefix st
 		for _, p := range ad.Params {
 			varName := fmt.Sprintf("%s.%s.arg_%s", prefix, action, p.Name)
 			in.tableVars = append(in.tableVars, varName)
-			cpArgs = append(cpArgs, smt.Var(varName, ast.BitWidth(p.Type)))
+			cpArgs = append(cpArgs, in.ctx.Var(varName, ast.BitWidth(p.Type)))
 		}
 	} else {
 		for _, a := range defaultArgs {
@@ -291,7 +291,7 @@ func (in *Interp) extract(s *state, call *ast.CallExpr) error {
 		total += ast.BitWidth(f.Type)
 	}
 	// Short-packet check: the remaining length must cover the header.
-	need := smt.Const(uint64(in.pktOff+total), 32)
+	need := in.ctx.Const(uint64(in.pktOff+total), 32)
 	okCond := smt.Ule(need, in.pktLen)
 	in.noteBranch(okCond)
 	in.reject = smt.Or(in.reject, smt.And(s.live, smt.Not(okCond)))
@@ -309,7 +309,7 @@ func (in *Interp) extract(s *state, call *ast.CallExpr) error {
 		h.F[f.Name] = Merge(s.live, &BitVal{T: t}, old)
 		off += w
 	}
-	h.Valid = smt.Ite(s.live, smt.True, h.Valid)
+	h.Valid = smt.Ite(s.live, in.ctx.True(), h.Valid)
 	in.pktOff = off
 	return nil
 }
@@ -318,7 +318,7 @@ func (in *Interp) extract(s *state, call *ast.CallExpr) error {
 // packet bit i.
 func (in *Interp) packetBit(i int) *smt.Term {
 	for len(in.pktBits) <= i {
-		in.pktBits = append(in.pktBits, smt.Var(fmt.Sprintf("pkt_%d", len(in.pktBits)), 1))
+		in.pktBits = append(in.pktBits, in.ctx.Var(fmt.Sprintf("pkt_%d", len(in.pktBits)), 1))
 	}
 	return in.pktBits[i]
 }

@@ -18,9 +18,9 @@ func (in *Interp) evalExpr(s *state, x ast.Expr) (Value, error) {
 		if w == 0 {
 			w = 64
 		}
-		return &BitVal{T: smt.Const(x.Val, w)}, nil
+		return &BitVal{T: in.ctx.Const(x.Val, w)}, nil
 	case *ast.BoolLit:
-		return &BoolVal{T: smt.Bool(x.Val)}, nil
+		return &BoolVal{T: in.ctx.Bool(x.Val)}, nil
 	case *ast.UnaryExpr:
 		v, err := in.evalExpr(s, x.X)
 		if err != nil {

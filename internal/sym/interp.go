@@ -34,8 +34,11 @@ type frame struct {
 	retVal Value // merged return value (nil for void)
 }
 
-// Interp converts programs into symbolic form. Create with NewInterp.
+// Interp converts programs into symbolic form. Create with NewInterp (or
+// NewInterpIn to route all term construction through a specific
+// smt.Context — the engine's epoch contexts enter here).
 type Interp struct {
+	ctx   *smt.Context
 	prog  *ast.Program
 	undef *Undef
 
@@ -72,9 +75,17 @@ type EmitRecord struct {
 }
 
 // NewInterp creates a symbolic interpreter for a resolved, type-checked
-// program.
+// program, building terms in the default smt context.
 func NewInterp(prog *ast.Program) *Interp {
-	return &Interp{prog: prog, undef: &Undef{}}
+	return NewInterpIn(smt.DefaultContext(), prog)
+}
+
+// NewInterpIn creates a symbolic interpreter whose terms — every
+// variable, constant and formula of the block forms it produces — live
+// in the given smt context, so a rotating service can retire them as one
+// generation.
+func NewInterpIn(sctx *smt.Context, prog *ast.Program) *Interp {
+	return &Interp{ctx: sctx, prog: prog, undef: &Undef{Ctx: sctx}}
 }
 
 func (in *Interp) noteBranch(cond *smt.Term) {
@@ -167,7 +178,7 @@ func (in *Interp) execStmt(s *state, st ast.Stmt) error {
 	case *ast.ReturnStmt:
 		if len(in.frames) == 0 {
 			// Return in a control apply terminates the block.
-			s.live = smt.False
+			s.live = in.ctx.False()
 			return nil
 		}
 		fr := in.frames[len(in.frames)-1]
@@ -182,11 +193,11 @@ func (in *Interp) execStmt(s *state, st ast.Stmt) error {
 				fr.retVal = Merge(s.live, v, fr.retVal)
 			}
 		}
-		s.live = smt.False
+		s.live = in.ctx.False()
 		return nil
 	case *ast.ExitStmt:
 		s.exited = smt.Or(s.exited, s.live)
-		s.live = smt.False
+		s.live = in.ctx.False()
 		return nil
 	case *ast.EmptyStmt:
 		return nil
@@ -206,7 +217,7 @@ func (in *Interp) execSwitch(s *state, st *ast.SwitchStmt) error {
 	in.branchDepth++
 	defer func() { in.branchDepth-- }()
 
-	noPrior := smt.True
+	noPrior := in.ctx.True()
 	var defaultBody *ast.BlockStmt
 	for i := range st.Cases {
 		c := &st.Cases[i]
@@ -214,7 +225,7 @@ func (in *Interp) execSwitch(s *state, st *ast.SwitchStmt) error {
 			defaultBody = c.Body
 			continue
 		}
-		match := smt.False
+		match := in.ctx.False()
 		for _, l := range c.Labels {
 			lv, err := in.evalExpr(s, l)
 			if err != nil {

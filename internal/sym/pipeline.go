@@ -13,6 +13,9 @@ import (
 // Black-box test generation (§6) works on this composition, since a
 // proprietary back end only exposes whole-pipeline behaviour.
 type Pipeline struct {
+	// Ctx is the smt context the pipeline's terms live in (the blocks'
+	// context); test generation builds its auxiliary constraints there.
+	Ctx *smt.Context
 	// Env maps flattened leaf names (hdr.h1.f1, sm.egress_spec,
 	// hdr.h1.$valid) to their final terms after all blocks.
 	Env map[string]*smt.Term
@@ -42,7 +45,11 @@ type Pipeline struct {
 // through identically-named parameters (the architecture contract: hdr,
 // sm).
 func ComposePipeline(blocks []*Block) (*Pipeline, error) {
-	p := &Pipeline{Env: map[string]*smt.Term{}, Reject: smt.False}
+	sctx := smt.DefaultContext()
+	if len(blocks) > 0 && blocks[0].Ctx != nil {
+		sctx = blocks[0].Ctx
+	}
+	p := &Pipeline{Ctx: sctx, Env: map[string]*smt.Term{}, Reject: sctx.False()}
 	seenHavoc := map[string]bool{}
 	for bi, b := range blocks {
 		// Substitution: this block's fresh inputs stand for the previous
@@ -101,6 +108,12 @@ func ComposePipeline(blocks []*Block) (*Pipeline, error) {
 // instantiation: parser, ingress, egress, deparser (the v1model / TNA
 // shape both generator back ends emit).
 func PipelineOf(prog *ast.Program) (*Pipeline, error) {
+	return PipelineOfIn(smt.DefaultContext(), prog)
+}
+
+// PipelineOfIn is PipelineOf with every term built in the given smt
+// context.
+func PipelineOfIn(sctx *smt.Context, prog *ast.Program) (*Pipeline, error) {
 	main := prog.Main()
 	if main == nil {
 		return nil, fmt.Errorf("sym: program has no main instantiation")
@@ -109,13 +122,13 @@ func PipelineOf(prog *ast.Program) (*Pipeline, error) {
 	for _, arg := range main.Args {
 		switch d := prog.DeclByName(arg).(type) {
 		case *ast.ParserDecl:
-			b, err := ExecParser(prog, d)
+			b, err := ExecParserIn(sctx, prog, d)
 			if err != nil {
 				return nil, err
 			}
 			blocks = append(blocks, b)
 		case *ast.ControlDecl:
-			b, err := ExecControl(prog, d)
+			b, err := ExecControlIn(sctx, prog, d)
 			if err != nil {
 				return nil, err
 			}

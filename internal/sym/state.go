@@ -92,8 +92,8 @@ type state struct {
 	exited *smt.Term
 }
 
-func newState() *state {
-	return &state{env: newEnv(nil), live: smt.True, exited: smt.False}
+func newState(sctx *smt.Context) *state {
+	return &state{env: newEnv(nil), live: sctx.True(), exited: sctx.False()}
 }
 
 func (s *state) clone() *state {

@@ -117,25 +117,31 @@ func Merge(cond *smt.Term, a, b Value) Value {
 }
 
 // FreshInput builds a symbolic value of type t whose leaves are input
-// variables named by dotted path (e.g. "hdr.h.a", "hdr.h.$valid").
-// Header validity bits are inputs too: the paper checks equivalence over
-// all header validity combinations.
+// variables named by dotted path (e.g. "hdr.h.a", "hdr.h.$valid"), in
+// the default smt context. Header validity bits are inputs too: the
+// paper checks equivalence over all header validity combinations.
 func FreshInput(name string, t ast.Type) Value {
+	return FreshInputIn(smt.DefaultContext(), name, t)
+}
+
+// FreshInputIn is FreshInput with the input variables interned in the
+// given smt context.
+func FreshInputIn(c *smt.Context, name string, t ast.Type) Value {
 	switch t := t.(type) {
 	case *ast.BitType:
-		return &BitVal{T: smt.Var(name, t.Width)}
+		return &BitVal{T: c.Var(name, t.Width)}
 	case *ast.BoolType:
-		return &BoolVal{T: smt.BoolVar(name)}
+		return &BoolVal{T: c.BoolVar(name)}
 	case *ast.HeaderType:
-		h := &HeaderVal{Type: t, Valid: smt.BoolVar(name + ".$valid"), F: map[string]Value{}}
+		h := &HeaderVal{Type: t, Valid: c.BoolVar(name + ".$valid"), F: map[string]Value{}}
 		for _, f := range t.Fields {
-			h.F[f.Name] = FreshInput(name+"."+f.Name, f.Type)
+			h.F[f.Name] = FreshInputIn(c, name+"."+f.Name, f.Type)
 		}
 		return h
 	case *ast.StructType:
 		s := &StructVal{Type: t, F: map[string]Value{}}
 		for _, f := range t.Fields {
-			s.F[f.Name] = FreshInput(name+"."+f.Name, f.Type)
+			s.F[f.Name] = FreshInputIn(c, name+"."+f.Name, f.Type)
 		}
 		return s
 	default:
@@ -155,7 +161,18 @@ func FreshInput(name string, t ast.Type) Value {
 // the false alarms §8 describes under "missing simulation relations";
 // a per-width constant is stable across translations.
 type Undef struct {
+	// Ctx is the smt context the havoc symbols are interned in (nil =
+	// the default context).
+	Ctx *smt.Context
+
 	widths map[int]bool
+}
+
+func (u *Undef) ctx() *smt.Context {
+	if u.Ctx != nil {
+		return u.Ctx
+	}
+	return smt.DefaultContext()
 }
 
 // Fresh returns the undefined symbol of the given width (0 = bool).
@@ -164,7 +181,7 @@ func (u *Undef) Fresh(width int) *smt.Term {
 		u.widths = map[int]bool{}
 	}
 	u.widths[width] = true
-	return smt.Var(fmt.Sprintf("havoc_%d", width), width)
+	return u.ctx().Var(fmt.Sprintf("havoc_%d", width), width)
 }
 
 // Names returns all havoc symbol names issued so far.
@@ -186,7 +203,7 @@ func NewUndefValue(t ast.Type, u *Undef) Value {
 	case *ast.BoolType:
 		return &BoolVal{T: u.Fresh(0)}
 	case *ast.HeaderType:
-		h := &HeaderVal{Type: t, Valid: smt.False, F: map[string]Value{}}
+		h := &HeaderVal{Type: t, Valid: u.ctx().False(), F: map[string]Value{}}
 		for _, f := range t.Fields {
 			h.F[f.Name] = NewUndefValue(f.Type, u)
 		}

@@ -55,6 +55,20 @@ type Options struct {
 	// large-value model steering and the complement second model — the
 	// ablation showing why §6.2 asks Z3 for non-zero pairs.
 	DisablePreferences bool
+	// SMT is the context the symbolic pipeline and every auxiliary
+	// constraint are built in (nil = the default context). The engine
+	// passes its current epoch context so test generation's terms are
+	// reclaimed with the epoch.
+	SMT *smt.Context
+}
+
+// smtCtx returns the configured smt context, defaulting to the
+// process-wide one.
+func (o Options) smtCtx() *smt.Context {
+	if o.SMT != nil {
+		return o.SMT
+	}
+	return smt.DefaultContext()
 }
 
 // DefaultOptions mirrors the paper's small-program regime.
@@ -82,7 +96,7 @@ func GenerateContext(ctx context.Context, prog *ast.Program, opts Options) (case
 			cases, err = nil, fmt.Errorf("testgen: symbolic pipeline: %v", r)
 		}
 	}()
-	pipe, perr := sym.PipelineOf(prog)
+	pipe, perr := sym.PipelineOfIn(opts.smtCtx(), prog)
 	if perr != nil {
 		return nil, perr
 	}
@@ -104,11 +118,17 @@ func FromPipelineContext(ctx context.Context, prog *ast.Program, pipe *sym.Pipel
 	// Base constraints: byte-aligned packet length within the parser's
 	// reach, and the target's undefined-value semantics pinned (§6.2
 	// choice 2: ascribe specific values and check conformance).
+	// Build every auxiliary term in the pipeline's context: the formula
+	// and its constraints retire together when the owning epoch does.
+	sctx := pipe.Ctx
+	if sctx == nil {
+		sctx = opts.smtCtx()
+	}
 	maxBits := ((pipe.PacketBits + 7) / 8) * 8
-	pktLen := smt.Var("pkt_len", 32)
+	pktLen := sctx.Var("pkt_len", 32)
 	base := []*smt.Term{
-		smt.Ule(pktLen, smt.Const(uint64(maxBits), 32)),
-		smt.Eq(smt.Extract(pktLen, 2, 0), smt.Const(0, 3)),
+		smt.Ule(pktLen, sctx.Const(uint64(maxBits), 32)),
+		smt.Eq(smt.Extract(pktLen, 2, 0), sctx.Const(0, 3)),
 	}
 	// Pipeline-entry state the target initializes (standard metadata):
 	// the device zero-fills it, so the formula's free inputs must be
@@ -123,12 +143,12 @@ func FromPipelineContext(ctx context.Context, prog *ast.Program, pipe *sym.Pipel
 			base = append(base, smt.Not(v))
 			continue
 		}
-		base = append(base, smt.Eq(v, smt.Const(opts.UndefValue, v.W)))
+		base = append(base, smt.Eq(v, sctx.Const(opts.UndefValue, v.W)))
 	}
 	for _, h := range pipe.HavocNames {
 		w := havocWidth(h)
 		if w == 0 {
-			v := smt.BoolVar(h)
+			v := sctx.BoolVar(h)
 			if opts.UndefValue&1 == 1 {
 				base = append(base, v)
 			} else {
@@ -136,7 +156,7 @@ func FromPipelineContext(ctx context.Context, prog *ast.Program, pipe *sym.Pipel
 			}
 			continue
 		}
-		base = append(base, smt.Eq(smt.Var(h, w), smt.Const(opts.UndefValue, w)))
+		base = append(base, smt.Eq(sctx.Var(h, w), sctx.Const(opts.UndefValue, w)))
 	}
 
 	conds := pipe.BranchConds
@@ -154,14 +174,14 @@ func FromPipelineContext(ctx context.Context, prog *ast.Program, pipe *sym.Pipel
 		if f.IsBool() || f.IsConst() {
 			continue
 		}
-		prefs = append(prefs, smt.Ne(f, smt.Const(0, f.W)))
+		prefs = append(prefs, smt.Ne(f, sctx.Const(0, f.W)))
 	}
 	for _, lit := range programLiterals(prog) {
 		for _, f := range pipe.FieldTerms {
 			if f.IsBool() || f.IsConst() {
 				continue
 			}
-			prefs = append(prefs, smt.Ne(f, smt.Const(lit, f.W)))
+			prefs = append(prefs, smt.Ne(f, sctx.Const(lit, f.W)))
 		}
 	}
 	// Prefer large values: saturating/overflowing arithmetic only
@@ -172,7 +192,7 @@ func FromPipelineContext(ctx context.Context, prog *ast.Program, pipe *sym.Pipel
 			continue
 		}
 		half := uint64(1) << uint(f.W-1)
-		prefs = append(prefs, smt.Uge(f, smt.Const(half, f.W)))
+		prefs = append(prefs, smt.Uge(f, sctx.Const(half, f.W)))
 	}
 	if len(prefs) > 48 {
 		prefs = prefs[:48]

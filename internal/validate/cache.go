@@ -3,6 +3,7 @@ package validate
 import (
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"gauntlet/internal/p4/ast"
 	"gauntlet/internal/p4/printer"
@@ -28,14 +29,43 @@ import (
 //
 // A Cache is safe for concurrent use and is shared across a campaign's
 // worker pool (core.Campaign threads one through every hunt).
+//
+// Every Cache is bound to one smt.Context: block formulas are symbolic
+// forms over that context's terms and verdicts key on that context's
+// term IDs, so cache and context form one unit of lifetime. A rotating
+// service (the engine's epochs) retires both together — allocate a
+// fresh context, wrap it in a fresh cache, swap, and the old pair is
+// reclaimed wholesale once in-flight queries drain. There is no partial
+// invalidation: formulas referencing retired terms must never outlive
+// their context.
 type Cache struct {
+	ctx      *smt.Context
 	mu       sync.RWMutex
 	blocks   map[uint64]*sym.Block
 	verdicts map[uint64]verdictEntry
-	// stats
-	blockHits, blockMisses     uint64
-	verdictHits, verdictMisses uint64
-	simpResolved               uint64
+	counters *CacheCounters
+}
+
+// CacheCounters is the cache's hit/miss accounting, detachable from the
+// cache itself: the counters are a few atomics, while the cache proper
+// holds the block/verdict maps. A rotating engine keeps each retired
+// epoch's *CacheCounters (so cumulative stats keep counting, including
+// increments from oracle calls still in flight on the retired pair)
+// while dropping the cache — the maps, the heavy part, still get
+// reclaimed.
+type CacheCounters struct {
+	blockHits, blockMisses     atomic.Uint64
+	verdictHits, verdictMisses atomic.Uint64
+	simpResolved               atomic.Uint64
+}
+
+// Snapshot reads the counters.
+func (cc *CacheCounters) Snapshot() CacheStats {
+	return CacheStats{
+		BlockHits: cc.blockHits.Load(), BlockMisses: cc.blockMisses.Load(),
+		VerdictHits: cc.verdictHits.Load(), VerdictMisses: cc.verdictMisses.Load(),
+		SimpResolved: cc.simpResolved.Load(),
+	}
 }
 
 type verdictEntry struct {
@@ -44,13 +74,28 @@ type verdictEntry struct {
 	counterexample smt.Assignment
 }
 
-// NewCache creates an empty validation cache.
-func NewCache() *Cache {
+// NewCache creates an empty validation cache bound to the default smt
+// context.
+func NewCache() *Cache { return NewCacheIn(smt.DefaultContext()) }
+
+// NewCacheIn creates an empty validation cache bound to the given smt
+// context: every block formula it computes is built there, and verdicts
+// key on that context's canonical term IDs.
+func NewCacheIn(sctx *smt.Context) *Cache {
 	return &Cache{
+		ctx:      sctx,
 		blocks:   map[uint64]*sym.Block{},
 		verdicts: map[uint64]verdictEntry{},
+		counters: &CacheCounters{},
 	}
 }
+
+// Context returns the smt context the cache is bound to.
+func (c *Cache) Context() *smt.Context { return c.ctx }
+
+// Counters returns the cache's detachable counter block (see
+// CacheCounters).
+func (c *Cache) Counters() *CacheCounters { return c.counters }
 
 // Stats reports hit/miss counters: block-formula cache first, then
 // verdict cache. Snapshot carries these plus the simplification counter.
@@ -73,14 +118,17 @@ type CacheStats struct {
 }
 
 // Snapshot returns all cache counters at once (the engine's Stats path).
-func (c *Cache) Snapshot() CacheStats {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return CacheStats{
-		BlockHits: c.blockHits, BlockMisses: c.blockMisses,
-		VerdictHits: c.verdictHits, VerdictMisses: c.verdictMisses,
-		SimpResolved: c.simpResolved,
-	}
+func (c *Cache) Snapshot() CacheStats { return c.counters.Snapshot() }
+
+// Add accumulates another snapshot into s, field by field — the single
+// place cumulative-across-epochs totals are folded, so a future counter
+// cannot be summed in one consumer and dropped in another.
+func (s *CacheStats) Add(o CacheStats) {
+	s.BlockHits += o.BlockHits
+	s.BlockMisses += o.BlockMisses
+	s.VerdictHits += o.VerdictHits
+	s.VerdictMisses += o.VerdictMisses
+	s.SimpResolved += o.SimpResolved
 }
 
 // contextKey hashes every top-level declaration a block's formula can
@@ -126,23 +174,21 @@ func (c *Cache) blockForm(prog *ast.Program, consts uint64, d ast.Decl) (*sym.Bl
 	b, ok := c.blocks[key]
 	c.mu.RUnlock()
 	if ok {
-		c.mu.Lock()
-		c.blockHits++
-		c.mu.Unlock()
+		c.counters.blockHits.Add(1)
 		return b, nil
 	}
 	var err error
 	switch d := d.(type) {
 	case *ast.ControlDecl:
-		b, err = sym.ExecControl(prog, d)
+		b, err = sym.ExecControlIn(c.ctx, prog, d)
 	case *ast.ParserDecl:
-		b, err = sym.ExecParser(prog, d)
+		b, err = sym.ExecParserIn(c.ctx, prog, d)
 	}
 	if err != nil {
 		return nil, err
 	}
+	c.counters.blockMisses.Add(1)
 	c.mu.Lock()
-	c.blockMisses++
 	if prev, ok := c.blocks[key]; ok {
 		b = prev // keep the first winner so pointer fast paths fire
 	} else {
@@ -169,9 +215,7 @@ func (c *Cache) equivalent(a, b *sym.Block, maxConflicts int) (bool, smt.Assignm
 		// The canonicalized miter is the constant true: hash-consing made
 		// the sides pointer-equal, or word-level simplification collapsed
 		// their differences. Either way the query never reaches a solver.
-		c.mu.Lock()
-		c.simpResolved++
-		c.mu.Unlock()
+		c.counters.simpResolved.Add(1)
 		return true, nil, solver.Unsat
 	}
 	// sym.Equivalent returns the simplified miter, so this ID is the
@@ -182,14 +226,12 @@ func (c *Cache) equivalent(a, b *sym.Block, maxConflicts int) (bool, smt.Assignm
 	e, ok := c.verdicts[key]
 	c.mu.RUnlock()
 	if ok {
-		c.mu.Lock()
-		c.verdictHits++
-		c.mu.Unlock()
+		c.counters.verdictHits.Add(1)
 		return e.equivalent, e.counterexample, e.status
 	}
 	equal, cex, st := solver.Equivalent(maxConflicts, eq, smt.True)
+	c.counters.verdictMisses.Add(1)
 	c.mu.Lock()
-	c.verdictMisses++
 	if st != solver.Unknown {
 		c.verdicts[key] = verdictEntry{equivalent: equal, status: st, counterexample: cex}
 	}

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# bench_trajectory.sh — run the validation-hot-path and corpus-engine
-# benchmark suite and emit BENCH_4.json (programs/sec, ns/equivalence-
-# query, gate-reuse %, corpus admission rate and coverage-fingerprint
-# counts for generation vs mutation mode).
+# bench_trajectory.sh — run the validation-hot-path, corpus-engine and
+# serve-mode benchmark suite and emit BENCH_5.json (programs/sec,
+# ns/equivalence-query, gate-reuse %, corpus admission rate and
+# coverage-fingerprint counts for generation vs mutation mode, and
+# per-epoch context bytes for the rotating engine).
 #
 # The JSON conversion doubles as a smoke gate: it exits nonzero when a
 # headline benchmark is missing, the structural-hash path reports a zero
-# gate-reuse rate, or mutation-mode throughput drops below half of
-# generation-mode.
+# gate-reuse rate, mutation-mode throughput drops below half of
+# generation-mode, or per-epoch context memory grows more than 15%
+# epoch-over-epoch (the serve-mode plateau gate).
 #
 #   BENCHTIME=5x scripts/bench_trajectory.sh      # more iterations
 #   scripts/bench_trajectory.sh                   # default 2x
@@ -15,11 +17,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-2x}"
-pattern='EquivalenceQuery|Sec52_PipelineThroughput|Table2_BugSummary|EngineFuzz|GateReuse|CorpusFuzz'
+pattern='EquivalenceQuery|Sec52_PipelineThroughput|Table2_BugSummary|EngineFuzz|GateReuse|CorpusFuzz|ServeEpochs'
 out="$(mktemp)"
 trap 'rm -f "$out"' EXIT
 
 go test -run=NONE -bench="$pattern" -benchtime="$benchtime" . | tee "$out"
-go run ./cmd/benchjson < "$out" > BENCH_4.json
-echo "wrote BENCH_4.json:"
-cat BENCH_4.json
+go run ./cmd/benchjson < "$out" > BENCH_5.json
+echo "wrote BENCH_5.json:"
+cat BENCH_5.json
