@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"gauntlet/internal/bugs"
 	"gauntlet/internal/compiler"
@@ -18,6 +19,7 @@ import (
 	"gauntlet/internal/p4/parser"
 	"gauntlet/internal/p4/printer"
 	"gauntlet/internal/p4/types"
+	"gauntlet/internal/persist"
 	"gauntlet/internal/smt"
 	"gauntlet/internal/smt/solver"
 	"gauntlet/internal/sym"
@@ -591,3 +593,70 @@ func BenchmarkEngineFuzz(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkResilientFuzz measures what the robustness layer costs on the
+// fuzz hot path: the same fixed-seed engine workload run plain (the
+// BenchmarkEngineFuzz configuration) and armed — stage watchdogs
+// (supervised goroutine per stage call), the oracle deadline ladder, and
+// durable state (fsynced findings journal plus periodic atomic corpus
+// checkpoints). The trajectory gate in cmd/benchjson fails CI when the
+// armed run gives up more than 5% of plain programs/sec.
+func BenchmarkResilientFuzz(b *testing.B) {
+	run := func(b *testing.B, arm func(b *testing.B, cfg *core.EngineConfig, engine **core.Engine)) float64 {
+		var engine *core.Engine
+		for i := 0; i < b.N; i++ {
+			cfg := core.DefaultEngineConfig()
+			cfg.StartSeed = int64(i) * fuzzBatch
+			cfg.Seeds = fuzzBatch
+			cfg.Workers = 8
+			cfg.Passes = compiler.DefaultPasses()
+			if arm != nil {
+				arm(b, &cfg, &engine)
+			}
+			engine = core.NewEngine(cfg)
+			if findings := engine.Run(context.Background()); len(findings) > 0 {
+				b.Fatalf("reference pipeline produced findings: %+v", findings[0])
+			}
+			if s := engine.Stats(); s.Quarantined != 0 {
+				b.Fatalf("clean workload quarantined %d programs", s.Quarantined)
+			}
+		}
+		rate := float64(b.N*fuzzBatch) / b.Elapsed().Seconds()
+		b.ReportMetric(rate, "programs/sec")
+		return rate
+	}
+	b.Run("plain", func(b *testing.B) {
+		resilientPlainRate = run(b, nil)
+	})
+	b.Run("armed", func(b *testing.B) {
+		st, err := persist.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		rate := run(b, func(b *testing.B, cfg *core.EngineConfig, engine **core.Engine) {
+			cfg.StageTimeout = 30 * time.Second
+			cfg.OracleTimeout = 10 * time.Second
+			cfg.CheckpointPrograms = 32
+			cfg.OnFinding = func(f core.Finding) {
+				if err := st.AppendFinding(f); err != nil {
+					b.Error(err)
+				}
+			}
+			seedVal := cfg.Seed
+			cfg.OnCheckpoint = func(next int64) {
+				err := st.SaveCheckpoint(&persist.Checkpoint{
+					NextSlot: next, Seed: seedVal, Corpus: (*engine).Corpus().Snapshot(),
+				})
+				if err != nil {
+					b.Error(err)
+				}
+			}
+		})
+		if resilientPlainRate > 0 {
+			b.ReportMetric((1-rate/resilientPlainRate)*100, "overhead-%")
+		}
+	})
+}
+
+var resilientPlainRate float64

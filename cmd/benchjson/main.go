@@ -1,5 +1,5 @@
 // Command benchjson converts `go test -bench` output (read from stdin)
-// into the repository's benchmark-trajectory artifact (BENCH_5.json,
+// into the repository's benchmark-trajectory artifact (BENCH_6.json,
 // written to stdout): one JSON object with the raw per-benchmark numbers
 // plus the headline metrics the trajectory tracks — programs/sec through
 // the validation pipeline, ns per equivalence query, the structural
@@ -9,14 +9,17 @@
 //
 // It doubles as the CI smoke gate: missing headline benchmarks, a zero
 // gate-reuse rate, mutation-mode throughput below half of
-// generation-mode, or per-epoch context memory growing more than 15%
+// generation-mode, per-epoch context memory growing more than 15%
 // epoch-over-epoch (the serve-mode plateau: rotation must actually bound
-// steady-state memory) exit nonzero, so a regression fails the workflow
-// instead of silently flattening the trajectory.
+// steady-state memory), or the robustness layer — stage watchdogs, the
+// oracle deadline ladder and the durable journal/checkpoint path —
+// costing more than 5% of plain fuzz throughput exit nonzero, so a
+// regression fails the workflow instead of silently flattening the
+// trajectory.
 //
 // Usage:
 //
-//	go test -run=NONE -bench='...' . | go run ./cmd/benchjson > BENCH_5.json
+//	go test -run=NONE -bench='...' . | go run ./cmd/benchjson > BENCH_6.json
 package main
 
 import (
@@ -35,7 +38,7 @@ type Bench struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Artifact is the BENCH_5.json schema.
+// Artifact is the BENCH_6.json schema.
 type Artifact struct {
 	// Headline trajectory metrics.
 	ProgramsPerSec      float64 `json:"programs_per_sec"`
@@ -65,6 +68,14 @@ type Artifact struct {
 	// previous by more than 15%.
 	ServeEpochCtxBytes  []float64 `json:"serve_epoch_ctx_bytes"`
 	ServeEpochGrowthPct float64   `json:"serve_epoch_worst_growth_pct"`
+
+	// Robustness overhead (BenchmarkResilientFuzz): the same engine
+	// workload plain versus armed with stage watchdogs, the oracle
+	// deadline ladder and durable journal/checkpointing. The gate fails
+	// the build when arming costs more than 5% of plain programs/sec.
+	ResilientPlainProgramsPerSec float64 `json:"resilient_plain_programs_per_sec"`
+	ResilientArmedProgramsPerSec float64 `json:"resilient_armed_programs_per_sec"`
+	ResilientOverheadPct         float64 `json:"resilient_overhead_pct"`
 
 	// Raw parses, keyed by benchmark name (GOMAXPROCS suffix stripped).
 	Benchmarks map[string]Bench `json:"benchmarks"`
@@ -216,6 +227,24 @@ func main() {
 			fatalf("per-epoch context bytes grew %.1f%% epoch-over-epoch (%v): rotation is not bounding memory",
 				art.ServeEpochGrowthPct, art.ServeEpochCtxBytes)
 		}
+	}
+
+	if b, ok := get("BenchmarkResilientFuzz/plain"); ok {
+		art.ResilientPlainProgramsPerSec = b.Metrics["programs/sec"]
+	}
+	if b, ok := get("BenchmarkResilientFuzz/armed"); ok {
+		art.ResilientArmedProgramsPerSec = b.Metrics["programs/sec"]
+		art.ResilientOverheadPct = b.Metrics["overhead-%"]
+	}
+	if len(missing) > 0 {
+		fatalf("missing headline benchmarks: %s", strings.Join(missing, ", "))
+	}
+	// The crash-resilience cost gate: watchdog supervision, the deadline
+	// ladder and fsynced journal/checkpoint writes must stay inside 5% of
+	// plain fuzz throughput, or robustness is taxing every finding.
+	if art.ResilientOverheadPct > 5 {
+		fatalf("robustness layer costs %.1f%% of plain fuzz throughput (%.1f vs %.1f programs/sec): above the 5%% gate",
+			art.ResilientOverheadPct, art.ResilientArmedProgramsPerSec, art.ResilientPlainProgramsPerSec)
 	}
 
 	out, err := json.MarshalIndent(art, "", "  ")

@@ -23,13 +23,30 @@
 // pipeline stops scheduling, in-flight stages wind down, the corpus is
 // saved and a final stats record closes the stream.
 //
+// Serve is also crash-resilient. Stage watchdogs (-stage-timeout, on by
+// default in serve) quarantine any program whose stage panics or stalls —
+// the witness, stage, and symptom land in DIR/quarantine — and the oracle
+// escalation ladder (-oracle-timeout) degrades over-budget verdicts to an
+// explicit Unknown instead of wedging a worker. With -state DIR every
+// finding is fsynced to an append-only journal before it is reported, and
+// the corpus plus seed watermark are checkpointed atomically at fold
+// boundaries; after a crash or kill -9, -resume DIR restores the corpus
+// and watermark and pre-seeds deduplication from the journal, so the
+// daemon continues where it stopped without re-reporting findings. SIGHUP
+// forces a checkpoint and a stats flush without draining. The -inject-*
+// flags drive the deterministic fault-injection harness used by the
+// chaos-smoke CI job.
+//
 // Usage:
 //
 //	p4gauntlet [-mode campaign|levels|fuzz|serve] [-seeds N] [-workers N]
 //	           [-duration D] [-backend v1model|tna] [-jsonl FILE]
 //	           [-packets] [-reduce] [-start N] [-seed N]
 //	           [-mutate-ratio F] [-corpus DIR] [-stats-interval D]
-//	           [-epoch-programs N]
+//	           [-epoch-programs N] [-state DIR | -resume DIR]
+//	           [-checkpoint-programs N] [-stage-timeout D]
+//	           [-oracle-timeout D] [-inject-every N] [-inject-seed N]
+//	           [-inject-stages LIST] [-inject-stall D]
 package main
 
 import (
@@ -40,13 +57,16 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"gauntlet/internal/core"
 	"gauntlet/internal/corpus"
+	"gauntlet/internal/faultinject"
 	"gauntlet/internal/generator"
+	"gauntlet/internal/persist"
 )
 
 func main() {
@@ -64,6 +84,15 @@ func main() {
 	corpusDir := flag.String("corpus", "", "corpus directory: load seeds before the run and save the admitted corpus after (fuzz mode)")
 	statsInterval := flag.Duration("stats-interval", 0, "emit a periodic stats record to -jsonl every D (fuzz/serve mode; serve defaults to 30s, fuzz to final record only)")
 	epochPrograms := flag.Int("epoch-programs", 0, "rotate the solver context + caches every N programs, bounding per-epoch memory (serve mode defaults to 4096; 0 in fuzz mode = never)")
+	stateDir := flag.String("state", "", "durable state directory (fuzz/serve mode): fsynced findings journal, periodic atomic checkpoints and quarantine records")
+	resumeDir := flag.String("resume", "", "resume a killed campaign from the durable state in DIR (implies -state DIR): restores the corpus and seed watermark from the checkpoint and pre-seeds dedup from the journal so reprocessed slots are never re-reported")
+	checkpointPrograms := flag.Int("checkpoint-programs", 0, "checkpoint cadence in folded programs (needs -state; 0 = every epoch, or every 256 programs when epochs are off)")
+	stageTimeout := flag.Duration("stage-timeout", 0, "per-program stall budget for each pipeline stage: a stage body exceeding it is abandoned and the program quarantined (serve mode defaults to 30s; 0 disables the watchdog)")
+	oracleTimeout := flag.Duration("oracle-timeout", 0, "wall-clock budget for one program's oracle inspection: on expiry the ladder retries once at doubled budgets, then degrades the verdict to Unknown (0 disables)")
+	injectEvery := flag.Int64("inject-every", 0, "fault injection for resilience testing: deterministically fault ~1/N units per stage (0 disables)")
+	injectSeed := flag.Int64("inject-seed", 1, "fault-injection plan seed (with -inject-every)")
+	injectStages := flag.String("inject-stages", "generate,compile,oracle,reduce", "comma-separated stages to inject into (with -inject-every)")
+	injectStall := flag.Duration("inject-stall", 5*time.Second, "injected stall duration (with -inject-every); set above -stage-timeout to exercise abandonment")
 	flag.Parse()
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
@@ -79,6 +108,11 @@ func main() {
 			backend: *backend, jsonl: *jsonl, packets: *packets, reduce: *doReduce,
 			mutateRatio: *mutateRatio, corpusDir: *corpusDir, statsInterval: *statsInterval,
 			epochPrograms: *epochPrograms,
+			stateDir:      *stateDir, resumeDir: *resumeDir, checkpointPrograms: *checkpointPrograms,
+			stageTimeout: *stageTimeout, oracleTimeout: *oracleTimeout,
+			injectEvery: *injectEvery, injectSeed: *injectSeed,
+			injectStages: *injectStages, injectStall: *injectStall,
+			explicit: explicit,
 		}
 		if *mode == "serve" {
 			// Serve is fuzz shaped for multi-day runs: unbounded seed
@@ -99,6 +133,11 @@ func main() {
 				// stdout — a multi-day run must never be silent until
 				// its final summary.
 				ff.jsonl = "-"
+			}
+			if !explicit["stage-timeout"] {
+				// A multi-day run must survive a single pathological
+				// program: watchdog on by default.
+				ff.stageTimeout = 30 * time.Second
 			}
 			if ff.epochPrograms <= 0 {
 				fmt.Fprintln(os.Stderr, "p4gauntlet: serve mode requires -epoch-programs > 0 (memory would grow unbounded)")
@@ -150,6 +189,16 @@ type fuzzFlags struct {
 	statsInterval      time.Duration
 	epochPrograms      int
 	serve              bool
+	stateDir           string
+	resumeDir          string
+	checkpointPrograms int
+	stageTimeout       time.Duration
+	oracleTimeout      time.Duration
+	injectEvery        int64
+	injectSeed         int64
+	injectStages       string
+	injectStall        time.Duration
+	explicit           map[string]bool
 }
 
 // fuzz drives the streaming engine: the long-running bug-hunting service
@@ -258,6 +307,156 @@ func fuzz(ff fuzzFlags) {
 	cfg.OnOracleError = func(seed int64, err error) {
 		fmt.Fprintf(os.Stderr, "seed %d: tool limitation: %v\n", seed, err)
 	}
+	cfg.OnQuarantine = func(rec core.QuarantineRecord) {
+		fmt.Fprintf(os.Stderr, "seed %d: quarantined at %s stage (%s): %s\n",
+			rec.Seed, rec.Stage, rec.Kind, rec.Symptom)
+	}
+	cfg.StageTimeout = ff.stageTimeout
+	cfg.OracleTimeout = ff.oracleTimeout
+
+	// Deterministic fault injection (resilience testing): the chaos-smoke
+	// harness runs serve with -inject-every and asserts that every fired
+	// fault became a quarantine record or tool-error count, never a death.
+	if ff.injectEvery > 0 {
+		plan := &faultinject.Plan{Seed: ff.injectSeed, Stages: map[string]faultinject.Spec{}}
+		for _, stage := range strings.Split(ff.injectStages, ",") {
+			stage = strings.TrimSpace(stage)
+			if stage == "" {
+				continue
+			}
+			plan.Stages[stage] = faultinject.Spec{Every: ff.injectEvery, StallFor: ff.injectStall}
+		}
+		cfg.FaultHook = plan.Hook()
+		defer func() {
+			p, s, e := plan.Fired()
+			fmt.Fprintf(os.Stderr, "faultinject: fired %d panics, %d stalls, %d errors\n", p, s, e)
+		}()
+	}
+
+	// Durable state: write-ahead findings journal, periodic atomic
+	// checkpoints at fold boundaries, quarantine records on disk. With
+	// -resume, restore the dead incarnation's corpus + watermark and
+	// pre-seed dedup from its journal.
+	var engine *core.Engine
+	var st *persist.State
+	baseTotals := persist.Totals{}
+	baseEpoch := 0
+	epochsThisRun := 0
+	dir := ff.stateDir
+	if ff.resumeDir != "" {
+		if dir != "" && dir != ff.resumeDir {
+			fmt.Fprintln(os.Stderr, "p4gauntlet: -state and -resume point at different directories")
+			os.Exit(2)
+		}
+		dir = ff.resumeDir
+	}
+	if dir != "" {
+		var err error
+		st, err = persist.Open(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p4gauntlet: state: %v\n", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		if ff.resumeDir != "" {
+			cp, err := st.LoadCheckpoint()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "p4gauntlet: resume: %v\n", err)
+				os.Exit(1)
+			}
+			if cp != nil {
+				// The corpus and watermark are functions of the schedule:
+				// refuse explicit flags that contradict the checkpoint,
+				// adopt its values otherwise.
+				if ff.explicit["seed"] && cfg.Seed != cp.Seed {
+					fmt.Fprintf(os.Stderr, "p4gauntlet: resume: -seed %d contradicts checkpoint seed %d\n", cfg.Seed, cp.Seed)
+					os.Exit(2)
+				}
+				if ff.explicit["mutate-ratio"] && cfg.MutateRatio != cp.MutateRatio {
+					fmt.Fprintf(os.Stderr, "p4gauntlet: resume: -mutate-ratio %g contradicts checkpoint %g\n", cfg.MutateRatio, cp.MutateRatio)
+					os.Exit(2)
+				}
+				cfg.Seed = cp.Seed
+				cfg.MutateRatio = cp.MutateRatio
+				cfg.StartSeed = cp.NextSlot
+				baseTotals = cp.Totals
+				baseEpoch = cp.Epoch
+				if cp.Corpus != nil {
+					c, err := corpus.FromSnapshot(cp.Corpus)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "p4gauntlet: resume: corpus: %v\n", err)
+						os.Exit(1)
+					}
+					cfg.Corpus = c
+				}
+			}
+			known, nrec, err := st.KnownFindings()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "p4gauntlet: resume: journal: %v\n", err)
+				os.Exit(1)
+			}
+			cfg.KnownFindings = known
+			fmt.Fprintf(os.Stderr, "resume: watermark slot %d, %d journaled findings pre-seeding dedup\n",
+				cfg.StartSeed, nrec)
+		}
+		// Write-ahead discipline: a finding hits the fsynced journal
+		// before it is streamed anywhere else, so anything the user ever
+		// saw survives a crash.
+		stream := cfg.OnFinding
+		cfg.OnFinding = func(f core.Finding) {
+			if err := st.AppendFinding(f); err != nil {
+				fmt.Fprintf(os.Stderr, "p4gauntlet: journal: %v\n", err)
+			}
+			stream(f)
+		}
+		warn := cfg.OnQuarantine
+		cfg.OnQuarantine = func(rec core.QuarantineRecord) {
+			warn(rec)
+			if err := st.WriteQuarantine(rec); err != nil {
+				fmt.Fprintf(os.Stderr, "p4gauntlet: quarantine record: %v\n", err)
+			}
+		}
+		cfg.CheckpointPrograms = ff.checkpointPrograms
+		if cfg.CheckpointPrograms <= 0 {
+			if ff.epochPrograms > 0 {
+				cfg.CheckpointPrograms = ff.epochPrograms
+			} else {
+				cfg.CheckpointPrograms = 256
+			}
+		}
+		cfg.OnCheckpoint = func(next int64) {
+			totals := baseTotals
+			s := engine.Stats()
+			totals.Add(persist.Totals{
+				Programs:        s.Generated,
+				Findings:        s.UniqueFindings,
+				Duplicates:      s.Duplicates,
+				ToolErrors:      s.CompileErrors + s.OracleErrors,
+				Quarantined:     s.Quarantined,
+				Timeouts:        s.Timeouts,
+				UnknownVerdicts: s.UnknownVerdicts,
+				Epochs:          epochsThisRun,
+			})
+			err := st.SaveCheckpoint(&persist.Checkpoint{
+				NextSlot:    next,
+				Seed:        cfg.Seed,
+				MutateRatio: cfg.MutateRatio,
+				Corpus:      engine.Corpus().Snapshot(),
+				Totals:      totals,
+				Epoch:       baseEpoch + epochsThisRun,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "p4gauntlet: checkpoint: %v\n", err)
+			}
+		}
+		// OnEpoch and OnCheckpoint both run on the engine's collector
+		// goroutine, so the plain counter is race-free.
+		epochStream := cfg.OnEpoch
+		cfg.OnEpoch = func(es core.EpochStats) {
+			epochsThisRun++
+			epochStream(es)
+		}
+	}
 
 	// SIGTERM (the orchestrator's stop signal) and SIGINT both drain
 	// gracefully: cancellation stops the scheduler, the stages wind down,
@@ -270,7 +469,26 @@ func fuzz(ff fuzzFlags) {
 		defer cancel()
 	}
 
-	engine := core.NewEngine(cfg)
+	engine = core.NewEngine(cfg)
+	// SIGHUP means "checkpoint and flush stats now" — no drain, no pause:
+	// the flag is read by the collector at its next fold boundary and the
+	// run carries on. Ops can snapshot a multi-day serve at will.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	hupDone := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-hupDone:
+				return
+			case <-hup:
+				engine.RequestCheckpoint()
+				writeJSONL(statsRecord{Stats: engine.Stats()}, "stats")
+				fmt.Fprintln(os.Stderr, "SIGHUP: checkpoint requested, stats flushed")
+			}
+		}
+	}()
 	tickerDone := make(chan struct{})
 	if sink != nil && ff.statsInterval > 0 {
 		go func() {
@@ -287,6 +505,7 @@ func fuzz(ff fuzzFlags) {
 		}()
 	}
 	findings := engine.Run(ctx)
+	close(hupDone)
 	close(tickerDone)
 	stats := engine.Stats()
 	fmt.Fprintf(human, "\n%s\n", stats.Summary())

@@ -193,6 +193,55 @@
 // sizes (tested, race-enabled); per-epoch context bytes plateau instead
 // of growing for the process lifetime (gated in CI).
 //
+// # Robustness
+//
+// The serve deployment treats a fuzzing campaign as state that must
+// survive its own process. Three layers:
+//
+// Watchdogs and graceful degradation. MaxConflicts bounds solver
+// conflicts, not wall-clock — one pathological miter can wedge a worker
+// inside a single budget — so Oracle.Timeout threads a deadline down
+// into the SAT inner loop (solver.SAT.Stop, polled beside the conflict
+// budget), where expiry degrades the running query to Unknown. The
+// oracle applies an escalation ladder per program: full-budget attempt →
+// one retry at doubled wall-clock and conflict budgets → an explicit
+// TimedOut outcome (Outcome.TimedOut, Stats.Timeouts), never a silent
+// miss and never a stuck worker. Budget-starved Unknown verdicts are
+// never cached: a later, larger-budget query on the same miter must
+// reach the solver. Cancellation returns partial results everywhere —
+// validate.SnapshotsContext and testgen.GenerateContext hand back
+// verdicts/cases gathered so far along with ctx.Err().
+//
+// Panic isolation and quarantine. Every engine stage body runs under a
+// supervisor (internal/core): a panic is recovered, a body exceeding
+// EngineConfig.StageTimeout is abandoned (the goroutine unwinds on
+// context at drain), and either way the program — not the process — is
+// quarantined: a QuarantineRecord (stage, seed, kind, symptom, witness
+// source) flows to OnQuarantine and, under serve, to DIR/quarantine/ on
+// disk. Quarantined slots still count toward the round-fold barrier, so
+// corpus admission order and scheduling replay stay deterministic. The
+// proof harness is internal/faultinject: a pure (seed, stage, slot) →
+// fault decision that injects panics, stalls and errors determinstically,
+// with race-enabled chaos tests asserting zero deaths, exact quarantine
+// accounting, and that the finding set over non-faulted programs is
+// unchanged by injection.
+//
+// Durable state (internal/persist). The journal (DIR/journal.jsonl) is
+// append-only JSONL, one fsync per finding, written before the finding
+// is streamed anywhere — replay tolerates a torn final line (crash
+// signature) but fails on interior corruption. Checkpoints
+// (DIR/checkpoint.json) are written atomically (temp file, fsync,
+// rename, fsync dir) from the collector at fold boundaries: a consistent
+// (corpus snapshot, NextSlot watermark, cumulative totals) triple, where
+// corpus.Snapshot preserves the exact feedback state (global edge set,
+// energies, fingerprints, counters). `p4gauntlet -mode serve -resume
+// DIR` restores the corpus and watermark, pre-seeds deduplication from
+// the journal's fingerprints, and reprocesses the slots between the
+// watermark and the death — at-least-once, with zero re-reported
+// findings. SIGHUP forces a checkpoint + stats flush without draining;
+// scripts/crash_resume_smoke.sh drives the whole loop (inject, SIGKILL,
+// resume) in CI.
+//
 // # Benchmarks
 //
 // BenchmarkValidateIncremental measures the warm steady state;
@@ -201,12 +250,14 @@
 // BenchmarkEngineFuzz the streaming engine against the sequential fuzz
 // loop it replaced; BenchmarkCorpusFuzz the coverage-guided corpus
 // mode against pure generation on the same budget (throughput, admission
-// rate, distinct coverage fingerprints); and BenchmarkServeEpochs the
-// per-epoch context bytes of the rotating serve shape.
-// scripts/bench_trajectory.sh runs the headline set and writes
-// BENCH_5.json; its benchjson gate fails CI on a zero gate-reuse rate,
-// mutation-mode throughput below half of generation-mode, or per-epoch
-// context bytes growing more than 15% epoch-over-epoch:
+// rate, distinct coverage fingerprints); BenchmarkServeEpochs the
+// per-epoch context bytes of the rotating serve shape; and
+// BenchmarkResilientFuzz the robustness layer's overhead (plain vs
+// watchdogs + journal/checkpoints armed). scripts/bench_trajectory.sh
+// runs the headline set and writes BENCH_6.json; its benchjson gate
+// fails CI on a zero gate-reuse rate, mutation-mode throughput below
+// half of generation-mode, per-epoch context bytes growing more than 15%
+// epoch-over-epoch, or a resilience overhead above 5%:
 //
-//	go test -bench='ValidateIncremental|Sec52|EngineFuzz|GateReuse|CorpusFuzz|ServeEpochs' .
+//	go test -bench='ValidateIncremental|Sec52|EngineFuzz|GateReuse|CorpusFuzz|ServeEpochs|ResilientFuzz' .
 package gauntlet

@@ -64,6 +64,23 @@ func (k FindingKind) String() string {
 // MarshalText renders the kind for JSONL finding streams.
 func (k FindingKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
 
+// UnmarshalText parses the rendered kind back (the journal replay path).
+func (k *FindingKind) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "crash":
+		*k = FindingCrash
+	case "invalid-transform":
+		*k = FindingInvalidTransform
+	case "miscompilation":
+		*k = FindingMiscompilation
+	case "packet-mismatch":
+		*k = FindingMismatch
+	default:
+		return fmt.Errorf("unknown finding kind %q", text)
+	}
+	return nil
+}
+
 // Finding is one unique bug surfaced by the engine: deduplicated by
 // Fingerprint and shrunk by the auto-reducer.
 type Finding struct {
@@ -196,6 +213,46 @@ type EngineConfig struct {
 	// (interpreter gaps, unsatisfiable test paths). They are always
 	// counted in Stats.
 	OnOracleError func(seed int64, err error)
+	// OracleTimeout is the wall-clock watchdog for each oracle
+	// inspection (0 = none). MaxConflicts bounds conflicts, not time; the
+	// deadline is threaded into the SAT inner loop and the verdict
+	// degrades along the ladder: full verdict → one retry at doubled
+	// budgets → Unknown/TimedOut → quarantine.
+	OracleTimeout time.Duration
+	// StageTimeout is the per-unit stall watchdog for the supervised
+	// stages (0 = none): a stage body exceeding it is abandoned and the
+	// unit quarantined, so a wedged interpreter or a pathological
+	// generator input costs one unit, never a worker. Stage bodies are
+	// compute-only closures, which is what makes abandonment safe. Set it
+	// well above OracleTimeout — the oracle ladder alone may legitimately
+	// use 3× OracleTimeout (first attempt plus doubled retry).
+	StageTimeout time.Duration
+	// OnQuarantine, when set, receives one record per contained fault
+	// (panic, stall, exhausted oracle ladder). Called from the faulting
+	// stage's worker goroutine; must be concurrency-safe. Faults are
+	// always counted in Stats regardless.
+	OnQuarantine func(QuarantineRecord)
+	// FaultHook, when set, runs at entry of every supervised stage body
+	// with that unit's (stage, slot) — the deterministic fault-injection
+	// point (internal/faultinject). An injected panic or stall is
+	// contained exactly like an organic one; a returned error takes the
+	// stage's tool-limitation path.
+	FaultHook func(ctx context.Context, stage string, slot int64) error
+	// KnownFindings pre-seeds the dedup fingerprint sets (the resume
+	// path): a finding whose fingerprint was already reported by an
+	// earlier incarnation is counted as a duplicate and never re-emitted.
+	KnownFindings []uint64
+	// OnCheckpoint, when set, is called from the collector goroutine at
+	// fold boundaries — every CheckpointPrograms folded programs, and
+	// whenever RequestCheckpoint was pending — with the next-slot
+	// watermark (every slot below it is folded; none above it is). The
+	// collector is the sole corpus mutator, so the callback reads a
+	// consistent corpus; it should return quickly (the fold barrier
+	// waits).
+	OnCheckpoint func(nextSlot int64)
+	// CheckpointPrograms is the periodic checkpoint cadence in folded
+	// programs (0 = only on RequestCheckpoint).
+	CheckpointPrograms int
 }
 
 // DefaultEngineConfig mirrors the sequential fuzz loop's settings on the
@@ -229,7 +286,9 @@ type Stats struct {
 	// oracle-stage ones (interpreter gaps, unsatisfiable test paths).
 	// The stage accounting invariants are:
 	//   Generated = Crashes + InvalidTransforms + CompileErrors + Compiled
+	//               + generate/compile-stage Quarantined
 	//   Compiled  = Clean + Miscompilations + Mismatches + OracleErrors
+	//               + oracle-stage Quarantined (Timeouts included)
 	// (modulo programs still in flight when a run is cancelled).
 	CompileErrors uint64
 	OracleErrors  uint64
@@ -246,6 +305,19 @@ type Stats struct {
 	Mutated       uint64
 	MutateInvalid uint64
 	MutateStale   uint64
+	// Robustness counters. Quarantined counts units the supervisor
+	// contained (panics, stalls and exhausted oracle ladders — Stalls and
+	// Timeouts are its by-kind subsets); UnknownVerdicts counts
+	// equivalence queries degraded to Unknown by budget or deadline; and
+	// OracleRetries counts inspections that went through the ladder's
+	// doubled-budget rung. Every fault is accounted here — a chaos run
+	// must end with injected faults = Quarantined + tool errors, and zero
+	// process deaths.
+	Quarantined     uint64
+	Stalls          uint64
+	Timeouts        uint64
+	UnknownVerdicts uint64
+	OracleRetries   uint64
 	// Corpus snapshots the coverage-keyed seed pool: size, admission /
 	// rejection / eviction counts, distinct coverage edges and distinct
 	// coverage fingerprints observed.
@@ -319,7 +391,8 @@ func (s Stats) Summary() string {
 			"corpus: %d seeds (%d admitted, %d rejected, %d evicted; %.1f%% admission); %d coverage edges, %d fingerprints; mutants rejected: %d invalid, %d stale\n"+
 			"caches: block %.1f%% hit, verdict %.1f%% hit; reduction predicate calls: %d\n"+
 			"solver: %d equivalence queries resolved by simplification alone; simp cache %.1f%% hit (%d entries); gates %d built, %d reused (%.1f%%)\n"+
-			"epoch %d: %d programs, interner %d terms (~%.1f MiB, %d/%d shards occupied), gates %d built %d reused this epoch",
+			"epoch %d: %d programs, interner %d terms (~%.1f MiB, %d/%d shards occupied), gates %d built %d reused this epoch\n"+
+			"robustness: %d quarantined (%d stalls, %d oracle timeouts), %d unknown verdicts, %d ladder retries",
 		s.Generated, s.Mutated, s.Compiled, s.Clean, s.ProgramsPerSec, s.Elapsed.Round(time.Millisecond),
 		s.UniqueFindings, s.Crashes, s.InvalidTransforms, s.Miscompilations, s.Mismatches,
 		s.Duplicates, s.CompileErrors+s.OracleErrors,
@@ -332,7 +405,8 @@ func (s Stats) Summary() string {
 		s.Epoch, s.EpochProgramCount,
 		s.Interner.Entries, float64(s.Interner.BytesEstimate)/(1<<20),
 		s.Interner.OccupiedShards, s.Interner.Shards,
-		s.EpochGatesBuilt, s.EpochGatesReused)
+		s.EpochGatesBuilt, s.EpochGatesReused,
+		s.Quarantined, s.Stalls, s.Timeouts, s.UnknownVerdicts, s.OracleRetries)
 }
 
 // Engine is the streaming, stage-parallel fuzzing pipeline:
@@ -382,6 +456,12 @@ type Engine struct {
 	duplicates, unique                         atomic.Uint64
 	reduceCalls                                atomic.Uint64
 	mutated, mutateInvalid, mutateStale        atomic.Uint64
+	quarantined, stalls, timeouts              atomic.Uint64
+	unknownVerdicts, oracleRetries             atomic.Uint64
+
+	// checkpointReq is the on-demand checkpoint flag (SIGHUP's path): the
+	// collector consumes it at the next fold boundary.
+	checkpointReq atomic.Bool
 }
 
 // epochState is one epoch's scoped solver-stack state: the smt context
@@ -468,6 +548,7 @@ func NewEngine(cfg EngineConfig) *Engine {
 			Validate:     true,
 			PacketTests:  cfg.PacketTests,
 			Cache:        cfg.Cache,
+			Timeout:      cfg.OracleTimeout,
 		},
 	}
 	gb, gr := solver.GateStats()
@@ -534,6 +615,12 @@ func (e *Engine) epochSnapshot(ep *epochState) EpochStats {
 // Campaign.Hunt builds per bug).
 func (e *Engine) Oracle() *Oracle { return e.oracle }
 
+// RequestCheckpoint asks the collector to fire OnCheckpoint at the next
+// fold boundary (the SIGHUP "snapshot now" path). Safe from any
+// goroutine; a no-op when OnCheckpoint is unset. The request coalesces:
+// several calls before the next fold produce one checkpoint.
+func (e *Engine) RequestCheckpoint() { e.checkpointReq.Store(true) }
+
 // Corpus exposes the engine's seed pool (for saving after a run, or for
 // inspecting the admitted coverage fingerprints).
 func (e *Engine) Corpus() *corpus.Corpus { return e.corpus }
@@ -557,6 +644,11 @@ func (e *Engine) Stats() Stats {
 		Mutated:              e.mutated.Load(),
 		MutateInvalid:        e.mutateInvalid.Load(),
 		MutateStale:          e.mutateStale.Load(),
+		Quarantined:          e.quarantined.Load(),
+		Stalls:               e.stalls.Load(),
+		Timeouts:             e.timeouts.Load(),
+		UnknownVerdicts:      e.unknownVerdicts.Load(),
+		OracleRetries:        e.oracleRetries.Load(),
 		Corpus:               e.corpus.Stats(),
 	}
 	// Load the epoch pointer and sum the retired counter handles under
@@ -616,6 +708,11 @@ type unit struct {
 	// baseID is the corpus seed the program was mutated from (-1 for
 	// fresh generation): the dynamic-energy feedback target.
 	baseID int
+	// skip marks a unit whose generate stage was quarantined: it still
+	// flows to the compile stage so its slot's covRec reaches the
+	// collector (the round-fold barrier counts slots, and a missing
+	// record would deadlock the fold), but no program is compiled.
+	skip bool
 }
 
 // task is one scheduled program slot: fresh grammar generation from the
@@ -631,9 +728,10 @@ type task struct {
 
 // covRec is a compile-stage coverage report flowing to the admission
 // collector: exactly one per scheduled slot that reaches the compile
-// stage (cancellation aside). astFP is the profile's fingerprint before
-// pass-trace edges were folded in — the novelty key the mutation
-// pre-filter tests against.
+// stage (cancellation aside) — including quarantined slots, which report
+// a nil prof that counts the fold but is never admitted. astFP is the
+// profile's fingerprint before pass-trace edges were folded in — the
+// novelty key the mutation pre-filter tests against.
 type covRec struct {
 	slot  int64
 	prog  *ast.Program
@@ -786,11 +884,35 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 			defer genWG.Done()
 			for t := range taskCh {
 				u := unit{seed: t.slot, baseID: -1}
-				u.prog, u.prof, u.mutated = e.materialize(t)
+				err, fault, cancelled := supervise(ctx, e.cfg.StageTimeout, func() error {
+					if err := e.injectFault(ctx, "generate", t.slot); err != nil {
+						return err
+					}
+					u.prog, u.prof, u.mutated = e.materialize(t)
+					return nil
+				})
+				if cancelled {
+					return
+				}
 				e.generated.Add(1)
-				if u.mutated {
-					e.mutated.Add(1)
-					u.baseID = t.base.ID
+				switch {
+				case fault != nil:
+					// The slot still ships downstream (skip) so its covRec
+					// reaches the fold barrier; only the program is lost.
+					e.quarantine("generate", t.slot, originOf(t.mutate), nil, fault)
+					u = unit{seed: t.slot, baseID: -1, skip: true}
+				case err != nil:
+					// Injected/stage error: a tool limitation, not a bug.
+					e.compileErrors.Add(1)
+					if e.cfg.OnOracleError != nil {
+						e.cfg.OnOracleError(t.slot, err)
+					}
+					u = unit{seed: t.slot, baseID: -1, skip: true}
+				default:
+					if u.mutated {
+						e.mutated.Add(1)
+						u.baseID = t.base.ID
+					}
 				}
 				if !send(ctx, genCh, u) {
 					return
@@ -820,6 +942,7 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 		}
 		pending := map[int64][]covRec{}
 		next := int64(0)
+		lastCheckpoint := uint64(0)
 		for rec := range covCh {
 			round := (rec.slot - e.cfg.StartSeed) / roundSize
 			pending[round] = append(pending[round], rec)
@@ -832,6 +955,11 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 				delete(pending, next)
 				sort.Slice(recs, func(i, j int) bool { return recs[i].slot < recs[j].slot })
 				for _, rc := range recs {
+					if rc.prof == nil {
+						// Quarantined or errored before profiling: the
+						// record exists only to count the fold.
+						continue
+					}
 					e.corpus.RecordProgram(rc.astFP)
 					admitted := e.corpus.Add(rc.prog, rc.prof)
 					// Dynamic energy: reward the mutation base whose
@@ -860,12 +988,38 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 						e.rotateEpoch()
 					}
 				}
+				// Checkpoints fire only here, from the sole corpus-mutating
+				// goroutine, at a fold boundary: the snapshot is a
+				// consistent (corpus, watermark) pair — every slot below
+				// the watermark folded, none above it.
+				if e.cfg.OnCheckpoint != nil {
+					folded := e.programsFolded.Load()
+					fire := e.checkpointReq.Swap(false)
+					if e.cfg.CheckpointPrograms > 0 &&
+						folded-lastCheckpoint >= uint64(e.cfg.CheckpointPrograms) {
+						fire = true
+					}
+					if fire {
+						lastCheckpoint = folded
+						e.cfg.OnCheckpoint(e.cfg.StartSeed + int64(folded))
+					}
+				}
 				if e.cfg.MutateRatio > 0 {
 					select {
 					case foldCh <- struct{}{}:
 					default:
 					}
 				}
+			}
+		}
+		// Shutdown checkpoint: covCh is closed, so every fold that will
+		// happen has happened and the watermark is final. A graceful
+		// drain thus resumes exactly where it stopped; only a hard kill
+		// falls back to the last periodic checkpoint and reprocesses the
+		// gap (at-least-once, deduplicated by the journal).
+		if e.cfg.OnCheckpoint != nil {
+			if folded := e.programsFolded.Load(); folded > lastCheckpoint {
+				e.cfg.OnCheckpoint(e.cfg.StartSeed + int64(folded))
 			}
 		}
 	}()
@@ -880,19 +1034,51 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 		go func() {
 			defer compWG.Done()
 			for u := range genCh {
-				out := e.oracle.Compile(u.prog)
-				prof := u.prof
-				if prof == nil {
-					prof = coverage.OfProgram(u.prog)
+				if u.skip {
+					// Quarantined upstream: the slot's covRec still counts
+					// the fold, with nothing to admit.
+					if !send(ctx, covCh, covRec{slot: u.seed, baseID: -1}) {
+						return
+					}
+					continue
 				}
-				astFP := prof.Fingerprint()
-				switch {
-				case out.Crash != nil:
-					prof.AddPassCrash(out.Crash.Pass)
-				case out.Invalid != nil:
-					prof.AddPassInvalid(out.Invalid.Pass)
-				case out.Err == nil:
-					prof.AddTrace(out.Result.Trace)
+				var out Outcome
+				var prof *coverage.Profile
+				var astFP uint64
+				err, fault, cancelled := supervise(ctx, e.cfg.StageTimeout, func() error {
+					if err := e.injectFault(ctx, "compile", u.seed); err != nil {
+						return err
+					}
+					out = e.oracle.Compile(u.prog)
+					prof = u.prof
+					if prof == nil {
+						prof = coverage.OfProgram(u.prog)
+					}
+					astFP = prof.Fingerprint()
+					switch {
+					case out.Crash != nil:
+						prof.AddPassCrash(out.Crash.Pass)
+					case out.Invalid != nil:
+						prof.AddPassInvalid(out.Invalid.Pass)
+					case out.Err == nil:
+						prof.AddTrace(out.Result.Trace)
+					}
+					return out.Err
+				})
+				if cancelled {
+					return
+				}
+				if fault != nil {
+					e.quarantine("compile", u.seed, originOf(u.mutated), u.prog, fault)
+					if !send(ctx, covCh, covRec{slot: u.seed, baseID: -1}) {
+						return
+					}
+					continue
+				}
+				if err != nil {
+					// fn returns out.Err, so this only rewrites it when the
+					// error was injected before compilation produced one.
+					out.Err = err
 				}
 				rec := covRec{
 					slot: u.seed, prog: u.prog, prof: prof, astFP: astFP,
@@ -954,8 +1140,38 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 			defer oracleWG.Done()
 			for u := range compCh {
 				out := Outcome{Result: u.res}
-				e.oracle.Inspect(ctx, &out)
+				err, fault, cancelled := supervise(ctx, e.cfg.StageTimeout, func() error {
+					if err := e.injectFault(ctx, "oracle", u.seed); err != nil {
+						return err
+					}
+					e.oracle.InspectLadder(ctx, &out)
+					return nil
+				})
+				if cancelled {
+					return
+				}
+				if fault != nil {
+					// Do not touch out: an abandoned (stalled) invocation
+					// may still be writing it. Quarantine on the unit's
+					// identity alone.
+					e.quarantine("oracle", u.seed, originOf(u.mutated), u.prog, fault)
+					continue
+				}
+				if err != nil {
+					out = Outcome{Result: u.res, Err: err}
+				}
+				if out.Unknowns > 0 {
+					e.unknownVerdicts.Add(uint64(out.Unknowns))
+				}
+				if out.Retried {
+					e.oracleRetries.Add(1)
+				}
 				switch {
+				case out.TimedOut:
+					// The escalation ladder bottomed out: an explicit
+					// weakened verdict, quarantined for offline triage.
+					e.timeouts.Add(1)
+					e.quarantineTimeout(u.seed, originOf(u.mutated), u.prog)
 				case out.Err != nil:
 					if ctx.Err() != nil {
 						return
@@ -1001,6 +1217,11 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 	go func() {
 		defer close(redCh)
 		seen := map[uint64]bool{}
+		for _, fp := range e.cfg.KnownFindings {
+			// Resume path: crash-family findings an earlier incarnation
+			// already reported dedup here, before the reducer.
+			seen[fp] = true
+		}
 		perPass := map[string]int{}
 		for f := range candCh {
 			if f.Kind == FindingCrash || f.Kind == FindingInvalidTransform {
@@ -1032,7 +1253,36 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 		go func() {
 			defer redWG.Done()
 			for f := range redCh {
-				if !send(ctx, outCh, e.reduceFinding(ctx, f)) {
+				var got Finding
+				err, fault, cancelled := supervise(ctx, e.cfg.StageTimeout, func() error {
+					if err := e.injectFault(ctx, "reduce", f.Seed); err != nil {
+						return err
+					}
+					got = e.reduceFinding(ctx, f)
+					return nil
+				})
+				if cancelled {
+					return
+				}
+				out := f
+				if err == nil && fault == nil {
+					out = got
+				} else {
+					// The finding is real — only its shrink failed. Emit
+					// the unreduced witness (ReduceContext never mutates
+					// its input, so f.Program is intact even after an
+					// abandoned stall) and quarantine the fault.
+					if fault != nil {
+						e.quarantine("reduce", f.Seed, f.Origin, f.Program, fault)
+					} else {
+						e.oracleError(f.Seed, err)
+					}
+					if f.Program != nil {
+						out.SizeBefore = reduce.Size(f.Program)
+						out.SizeAfter = out.SizeBefore
+					}
+				}
+				if !send(ctx, outCh, out) {
 					return
 				}
 			}
@@ -1044,6 +1294,11 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 	// reduced witness), final dedup, streaming callback.
 	var findings []Finding
 	seen := map[uint64]bool{}
+	for _, fp := range e.cfg.KnownFindings {
+		// Resume path: a finding journaled before the crash is a
+		// duplicate here, so a resumed daemon never re-reports it.
+		seen[fp] = true
+	}
 	for f := range outCh {
 		if f.Kind == FindingMiscompilation || f.Kind == FindingMismatch {
 			f.Fingerprint = semanticFingerprint(f.Kind, f.Pass, f.Program)

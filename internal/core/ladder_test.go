@@ -1,0 +1,119 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gauntlet/internal/compiler"
+	"gauntlet/internal/core"
+	"gauntlet/internal/p4/parser"
+	"gauntlet/internal/p4/types"
+	"gauntlet/internal/testgen"
+)
+
+const ladderProg = `
+header Eth { bit<16> kind; bit<16> val; }
+struct Headers { Eth eth; }
+control ig(inout Headers hdr) {
+    action bump() { hdr.eth.val = hdr.eth.val * 16w4 + 16w0; }
+    table t {
+        key = { hdr.eth.kind : exact; }
+        actions = { bump; NoAction; }
+        default_action = NoAction();
+    }
+    apply {
+        t.apply();
+        if (hdr.eth.kind == 16w1 + 16w1) {
+            hdr.eth.val = (hdr.eth.val + 16w0) * 16w2;
+        }
+    }
+}
+V1Switch(ig) main;
+`
+
+func ladderOracle(t *testing.T) (*core.Oracle, *core.Outcome) {
+	t.Helper()
+	prog, err := parser.Parse(ladderProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := types.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	o := &core.Oracle{
+		Passes:       compiler.DefaultPasses(),
+		MaxConflicts: 20000,
+		TestOpts:     testgen.DefaultOptions(),
+		Validate:     true,
+		PacketTests:  true,
+	}
+	out := o.Compile(prog)
+	if out.Err != nil || out.Crash != nil {
+		t.Fatalf("clean program failed to compile: %+v", out)
+	}
+	return o, &out
+}
+
+// TestExamineParentCancellation: when the *caller's* context is cancelled
+// (an engine drain, not a per-program deadline), the ladder must not
+// retry and must surface the cancellation as Outcome.Err with partial
+// results — never as a TimedOut verdict, which would misfile a drain as a
+// pathological program.
+func TestExamineParentCancellation(t *testing.T) {
+	o, out := ladderOracle(t)
+	o.Timeout = time.Minute // ladder armed, but the parent dies first
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o.InspectLadder(ctx, out)
+	if !errors.Is(out.Err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", out.Err)
+	}
+	if out.TimedOut {
+		t.Fatal("parent cancellation misreported as a per-program timeout")
+	}
+	if out.Retried {
+		t.Fatal("ladder retried on parent cancellation; retry is for per-program deadlines only")
+	}
+}
+
+// TestExamineLadderDegradesToTimedOut: a per-program wall-clock budget far
+// too small for any inspection must walk the full ladder — attempt, one
+// doubled-budget retry — and come out as an explicit TimedOut outcome
+// with Err cleared: an accounted degradation, not a tool error and not a
+// wedged worker.
+func TestExamineLadderDegradesToTimedOut(t *testing.T) {
+	o, out := ladderOracle(t)
+	o.Timeout = time.Nanosecond
+	o.InspectLadder(context.Background(), out)
+	if out.Err != nil {
+		t.Fatalf("TimedOut outcome must clear Err, got %v", out.Err)
+	}
+	if !out.TimedOut {
+		t.Fatal("nanosecond budget did not degrade to TimedOut")
+	}
+	if !out.Retried {
+		t.Fatal("ladder skipped the doubled-budget retry")
+	}
+	if out.Finding() {
+		t.Fatalf("clean program produced a finding under starvation: %+v", out)
+	}
+}
+
+// TestExamineLadderUnaffectedWithHeadroom: with a generous budget the
+// ladder is invisible — same verdicts as no ladder at all, no retry, no
+// timeout.
+func TestExamineLadderUnaffectedWithHeadroom(t *testing.T) {
+	o, out := ladderOracle(t)
+	base := *out
+	o.Inspect(context.Background(), &base)
+	o.Timeout = time.Minute
+	o.InspectLadder(context.Background(), out)
+	if out.TimedOut || out.Retried || out.Err != nil {
+		t.Fatalf("ladder fired with a minute of headroom: %+v", out)
+	}
+	if out.Finding() != base.Finding() || len(out.Failures) != len(base.Failures) {
+		t.Fatalf("ladder changed the verdict: %+v vs %+v", out, base)
+	}
+}

@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"errors"
+	"time"
 
 	"gauntlet/internal/compiler"
 	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/smt/solver"
 	"gauntlet/internal/testgen"
 	"gauntlet/internal/validate"
 )
@@ -43,6 +45,15 @@ type Oracle struct {
 	// rotation takes effect for new Examine/Inspect calls while in-flight
 	// ones keep the pair they captured — no partially-swapped state.
 	CacheFn func() *validate.Cache
+	// Timeout is the wall-clock watchdog for one Examine's inspection
+	// (0 = none). MaxConflicts bounds conflicts, not time — one
+	// pathological miter can stall a worker for minutes inside a single
+	// budget — so the deadline is threaded down into the SAT inner loop,
+	// where expiry degrades the running query to Unknown. Examine applies
+	// the escalation ladder: full verdict → one retry at doubled budgets
+	// (wall-clock and conflicts) → explicit TimedOut outcome. Quarantine
+	// of repeat offenders is the engine's call, not the oracle's.
+	Timeout time.Duration
 }
 
 // cache resolves the validation cache for one oracle call. Each
@@ -75,6 +86,19 @@ type Outcome struct {
 	Result *compiler.Result
 	// Err is an infrastructure/tool-limitation error.
 	Err error
+	// Unknowns counts equivalence verdicts degraded to Unknown by budget
+	// exhaustion or the wall-clock watchdog. Not bug evidence — an
+	// accounting of weakened coverage, so chaos runs can prove every
+	// fault surfaced as a quarantine record or an Unknown, never a hang.
+	Unknowns int
+	// TimedOut marks an inspection that hit the oracle's wall-clock
+	// watchdog even after the doubled-budget retry. Partial evidence
+	// gathered before the deadline (failures, mismatches) is still
+	// populated and still counts.
+	TimedOut bool
+	// Retried marks an inspection that went through the ladder's
+	// doubled-budget retry (whether or not the retry then completed).
+	Retried bool
 }
 
 // Finding reports whether the outcome contains any bug evidence.
@@ -113,11 +137,18 @@ func (o *Oracle) Inspect(ctx context.Context, out *Outcome) {
 	if o.Validate {
 		verdicts, err := validate.SnapshotsContext(ctx, out.Result,
 			validate.Options{MaxConflicts: o.MaxConflicts, Cache: cache})
+		// Verdicts gathered before a deadline still count: Sat ones are
+		// findings, Unknown ones are weakened-coverage accounting.
+		for _, v := range verdicts {
+			if v.Err == nil && v.Status == solver.Unknown {
+				out.Unknowns++
+			}
+		}
+		out.Failures = validate.Failures(verdicts)
 		if err != nil {
 			out.Err = err
 			return
 		}
-		out.Failures = validate.Failures(verdicts)
 		if len(out.Failures) > 0 {
 			return
 		}
@@ -132,9 +163,9 @@ func (o *Oracle) Inspect(ctx context.Context, out *Outcome) {
 			opts.SMT = cache.Context()
 		}
 		input := out.Result.Snapshots[0].Prog
-		cases, err := testgen.GenerateContext(ctx, input, opts)
-		if err != nil {
-			out.Err = err
+		cases, cerr := testgen.GenerateContext(ctx, input, opts)
+		if len(cases) == 0 && cerr != nil {
+			out.Err = cerr
 			return
 		}
 		dev, err := deviceFromResult(out.Result)
@@ -148,16 +179,62 @@ func (o *Oracle) Inspect(ctx context.Context, out *Outcome) {
 			return
 		}
 		out.Mismatches = mismatches
+		// A deadline mid-enumeration still ran the partial suite above;
+		// surface the cancellation alongside whatever it caught.
+		out.Err = cerr
 	}
 }
 
 // Examine compiles prog and inspects the result — the full shared oracle
-// stage.
+// stage. With Timeout set it applies the degradation ladder: a first
+// inspection under the wall-clock watchdog, one retry at doubled budgets
+// when the watchdog (not the caller) expired without producing bug
+// evidence, and finally an explicit TimedOut outcome. The verdict only
+// ever weakens — a deadline can never hang a worker or fabricate a
+// finding.
 func (o *Oracle) Examine(ctx context.Context, prog *ast.Program) Outcome {
 	out := o.Compile(prog)
 	if out.Err != nil || out.Crash != nil || out.Invalid != nil {
 		return out
 	}
-	o.Inspect(ctx, &out)
+	o.InspectLadder(ctx, &out)
 	return out
+}
+
+// InspectLadder is Inspect wrapped in the degradation ladder (see
+// Oracle.Timeout). With no Timeout configured it is plain Inspect.
+func (o *Oracle) InspectLadder(ctx context.Context, out *Outcome) {
+	if o.Timeout <= 0 {
+		o.Inspect(ctx, out)
+		return
+	}
+	attempt := func(budget time.Duration, conflicts int) (Outcome, bool) {
+		ictx, cancel := context.WithTimeout(ctx, budget)
+		defer cancel()
+		try := *o
+		try.MaxConflicts = conflicts
+		a := Outcome{Result: out.Result}
+		try.Inspect(ictx, &a)
+		// Watchdog expiry only: a cancelled parent context means the run
+		// is draining, not that this program is slow.
+		hit := ctx.Err() == nil && errors.Is(a.Err, context.DeadlineExceeded)
+		return a, hit
+	}
+	a, hit := attempt(o.Timeout, o.MaxConflicts)
+	if hit && !a.Finding() {
+		// Rung two: double both budgets and try once more. Unknowns from
+		// the abandoned attempt are superseded, not summed — the retry
+		// re-poses the same queries.
+		a, hit = attempt(2*o.Timeout, 2*o.MaxConflicts)
+		a.Retried = true
+	}
+	if hit {
+		// The ladder is exhausted (or the deadline fired after evidence
+		// was already in hand). Convert the deadline error into the
+		// explicit TimedOut/Unknown degradation so the engine accounts it
+		// as a weakened verdict — or a quarantine — never a tool error.
+		a.Err = nil
+		a.TimedOut = !a.Finding()
+	}
+	*out = a
 }

@@ -101,6 +101,19 @@ func (p *Profile) Fingerprint() uint64 {
 	return h
 }
 
+// FromEdges reconstructs a profile from a saved edge set and statement
+// count — the checkpoint-restore path. Unlike re-profiling the parsed
+// program (which loses pass-trace and crash edges), the restored profile
+// is edge-for-edge identical to the one snapshotted, so its Fingerprint
+// and its admission behaviour survive a daemon restart exactly.
+func FromEdges(edges []uint64, stmts int) *Profile {
+	p := &Profile{edges: make(map[uint64]struct{}, len(edges)), stmts: stmts}
+	for _, e := range edges {
+		p.edges[e] = struct{}{}
+	}
+	return p
+}
+
 // AddTrace folds a compilation's pass trace into the profile: one edge per
 // pass that rewrote the program, plus a bucketed size-delta edge so "the
 // pass fired and halved the program" is new coverage relative to "the pass

@@ -1,0 +1,175 @@
+// Package faultinject provides deterministic, seed-driven fault
+// injection for the engine's supervised stages: the proof harness behind
+// the robustness layer. A Plan decides purely from (plan seed, stage,
+// slot) whether a stage body panics, stalls or errors, so a chaos run is
+// replayable — the same plan injects the same faults at the same slots on
+// any worker count — and enumerable: a test can list exactly which slots
+// will fault and assert that the supervisor accounted for every one of
+// them, and that the finding set over the non-faulted slots is unchanged.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is the injected fault class.
+type Kind int
+
+const (
+	// Panic makes the stage body panic (supervisor: quarantine record of
+	// kind "panic", worker continues).
+	Panic Kind = iota
+	// Stall blocks the stage body past its stall budget (supervisor:
+	// goroutine abandoned, quarantine record of kind "stall"). The block
+	// is context-aware, so an abandoned stall still unwinds when the run
+	// drains instead of leaking past process exit.
+	Stall
+	// Error makes the stage body return an error (the stage's
+	// tool-limitation path: counted, never a finding, never a death).
+	Error
+)
+
+// String renders the kind.
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case Stall:
+		return "stall"
+	default:
+		return "error"
+	}
+}
+
+// Spec configures injection for one stage.
+type Spec struct {
+	// Every injects at slots whose plan hash is ≡ 0 (mod Every): on
+	// average one slot in Every faults. 0 disables the stage.
+	Every int64
+	// Kinds is the fault mix, picked deterministically by hash
+	// (nil = all three kinds).
+	Kinds []Kind
+	// StallFor bounds an injected stall's sleep (0 = 30s); set it above
+	// the engine's StageTimeout so the supervisor must abandon, and rely
+	// on context cancellation — not the timer — to unwind at drain.
+	StallFor time.Duration
+}
+
+// Plan is a deterministic fault schedule plus fired-fault accounting.
+// The decision function is pure; the counters (how many faults actually
+// fired, by kind) exist because not every planned fault executes — a
+// stage is only consulted for units that reach it — and containment
+// proofs must compare against what fired, not what was planned.
+type Plan struct {
+	// Seed keys the decision hash: two plans with different seeds fault
+	// different slots.
+	Seed int64
+	// Stages maps engine stage names ("generate", "compile", "oracle",
+	// "reduce") to their injection spec.
+	Stages map[string]Spec
+
+	panics, stalls, errors atomic.Uint64
+}
+
+// hash mixes (seed, stage, slot) into the decision word (FNV-1a over the
+// three fields; stable across processes, unlike maphash).
+func (p *Plan) hash(stage string, slot int64) uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(p.Seed) >> (8 * i))
+		buf[8+i] = byte(uint64(slot) >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(stage))
+	return h.Sum64()
+}
+
+var allKinds = []Kind{Panic, Stall, Error}
+
+// At is the pure decision: the fault this plan injects at (stage, slot),
+// if any.
+func (p *Plan) At(stage string, slot int64) (Kind, bool) {
+	spec, ok := p.Stages[stage]
+	if !ok || spec.Every <= 0 {
+		return 0, false
+	}
+	h := p.hash(stage, slot)
+	if h%uint64(spec.Every) != 0 {
+		return 0, false
+	}
+	kinds := spec.Kinds
+	if len(kinds) == 0 {
+		kinds = allKinds
+	}
+	return kinds[(h/uint64(spec.Every))%uint64(len(kinds))], true
+}
+
+// Slots enumerates the slots in [start, start+n) where the plan faults
+// stage — the test-side oracle for "which programs should be missing".
+func (p *Plan) Slots(stage string, start, n int64) []int64 {
+	var out []int64
+	for s := start; s < start+n; s++ {
+		if _, ok := p.At(stage, s); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FaultedAnywhere reports whether any configured stage faults this slot —
+// the invariance tests' "this program's verdict may legitimately be
+// missing" predicate.
+func (p *Plan) FaultedAnywhere(slot int64) bool {
+	for stage := range p.Stages {
+		if _, ok := p.At(stage, slot); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Hook adapts the plan to core.EngineConfig.FaultHook. It executes the
+// planned fault: panics panic, stalls block (context-aware) for StallFor,
+// errors return a recognizable error. Fired counters update before the
+// fault executes, so even a panic is counted.
+func (p *Plan) Hook() func(ctx context.Context, stage string, slot int64) error {
+	return func(ctx context.Context, stage string, slot int64) error {
+		kind, ok := p.At(stage, slot)
+		if !ok {
+			return nil
+		}
+		switch kind {
+		case Panic:
+			p.panics.Add(1)
+			panic(fmt.Sprintf("faultinject: injected panic at %s slot %d", stage, slot))
+		case Stall:
+			p.stalls.Add(1)
+			d := p.Stages[stage].StallFor
+			if d <= 0 {
+				d = 30 * time.Second
+			}
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+			}
+			// The supervisor abandoned this invocation long ago (or the
+			// run drained); the return value is never read.
+			return nil
+		default:
+			p.errors.Add(1)
+			return fmt.Errorf("faultinject: injected error at %s slot %d", stage, slot)
+		}
+	}
+}
+
+// Fired reports how many injected faults actually executed, by kind.
+func (p *Plan) Fired() (panics, stalls, errors uint64) {
+	return p.panics.Load(), p.stalls.Load(), p.errors.Load()
+}

@@ -1,0 +1,130 @@
+package faultinject
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// At is a pure function of (seed, stage, slot): repeated queries agree,
+// different seeds give different schedules, and Slots enumerates exactly
+// the slots At admits.
+func TestPlanDeterminism(t *testing.T) {
+	p := &Plan{Seed: 3, Stages: map[string]Spec{"compile": {Every: 4}}}
+	for slot := int64(0); slot < 256; slot++ {
+		k1, ok1 := p.At("compile", slot)
+		k2, ok2 := p.At("compile", slot)
+		if k1 != k2 || ok1 != ok2 {
+			t.Fatalf("At not pure at slot %d", slot)
+		}
+		if _, ok := p.At("oracle", slot); ok {
+			t.Fatalf("unconfigured stage faulted at slot %d", slot)
+		}
+	}
+	slots := p.Slots("compile", 0, 256)
+	if len(slots) == 0 {
+		t.Fatal("Every=4 over 256 slots fired nothing")
+	}
+	want := map[int64]bool{}
+	for _, s := range slots {
+		want[s] = true
+	}
+	for slot := int64(0); slot < 256; slot++ {
+		if _, ok := p.At("compile", slot); ok != want[slot] {
+			t.Fatalf("Slots and At disagree at %d", slot)
+		}
+		if p.FaultedAnywhere(slot) != want[slot] {
+			t.Fatalf("FaultedAnywhere and At disagree at %d", slot)
+		}
+	}
+	other := &Plan{Seed: 4, Stages: p.Stages}
+	if same := other.Slots("compile", 0, 256); len(same) == len(slots) {
+		identical := true
+		for i := range same {
+			if same[i] != slots[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Fatal("different seeds produced the identical schedule")
+		}
+	}
+}
+
+// The hook executes what At plans — panic/stall/error — and Fired counts
+// only executed faults.
+func TestHookFiresPlannedKinds(t *testing.T) {
+	p := &Plan{Seed: 9, Stages: map[string]Spec{
+		"oracle": {Every: 3, StallFor: time.Millisecond},
+	}}
+	hook := p.Hook()
+	ctx := context.Background()
+	var wantPanics, wantStalls, wantErrors uint64
+	for slot := int64(0); slot < 60; slot++ {
+		kind, ok := p.At("oracle", slot)
+		if !ok {
+			if err := hook(ctx, "oracle", slot); err != nil {
+				t.Fatalf("unplanned slot %d returned %v", slot, err)
+			}
+			continue
+		}
+		switch kind {
+		case Panic:
+			wantPanics++
+			func() {
+				defer func() {
+					r := recover()
+					if r == nil {
+						t.Fatalf("slot %d: planned panic did not fire", slot)
+					}
+					if !strings.Contains(r.(string), "injected panic") {
+						t.Fatalf("slot %d: unexpected panic %v", slot, r)
+					}
+				}()
+				hook(ctx, "oracle", slot)
+			}()
+		case Stall:
+			wantStalls++
+			if err := hook(ctx, "oracle", slot); err != nil {
+				t.Fatalf("slot %d: stall returned %v", slot, err)
+			}
+		case Error:
+			wantErrors++
+			err := hook(ctx, "oracle", slot)
+			if err == nil || !strings.Contains(err.Error(), "injected error") {
+				t.Fatalf("slot %d: planned error got %v", slot, err)
+			}
+		}
+	}
+	panics, stalls, errors := p.Fired()
+	if panics != wantPanics || stalls != wantStalls || errors != wantErrors {
+		t.Fatalf("Fired() = (%d,%d,%d), executed (%d,%d,%d)",
+			panics, stalls, errors, wantPanics, wantStalls, wantErrors)
+	}
+	if wantPanics == 0 || wantStalls == 0 || wantErrors == 0 {
+		t.Fatalf("kind mix too sparse over 60 slots: (%d,%d,%d)", wantPanics, wantStalls, wantErrors)
+	}
+}
+
+// An injected stall must unwind on context cancellation, not only on its
+// timer — that is what keeps abandoned supervisor goroutines from
+// outliving the run.
+func TestStallUnwindsOnCancel(t *testing.T) {
+	p := &Plan{Seed: 1, Stages: map[string]Spec{
+		"compile": {Every: 1, Kinds: []Kind{Stall}, StallFor: time.Hour},
+	}}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		p.Hook()(ctx, "compile", 0)
+		close(done)
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stall ignored context cancellation")
+	}
+}

@@ -1,0 +1,169 @@
+package persist
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gauntlet/internal/core"
+)
+
+func TestJournalAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{11, 22, 33}
+	for _, fp := range want {
+		if err := st.AppendFinding(core.Finding{Fingerprint: fp, Detail: "d"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got, n, err := st2.KnownFindings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) {
+		t.Fatalf("replayed %d records, want %d", n, len(want))
+	}
+	for i, fp := range want {
+		if got[i] != fp {
+			t.Fatalf("fingerprint %d = %d, want %d", i, got[i], fp)
+		}
+	}
+}
+
+// A crash mid-Append can only tear the final line; replay must deliver
+// every intact record and silently drop the torn tail.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(map[string]int{"a": 2}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Torn write: half a record, no newline.
+	if _, err := f.WriteString(`{"a": 3, "tr`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	n, err := Replay(path, func([]byte) error { return nil })
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated, got %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("replayed %d records, want 2", n)
+	}
+}
+
+// Interior corruption — a malformed line with intact records after it —
+// is not a crash signature and must fail loudly.
+func TestJournalInteriorCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	content := "{\"a\":1}\nnot json at all\n{\"a\":2}\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(path, func([]byte) error { return nil }); err == nil {
+		t.Fatal("interior corruption must be an error")
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	n, err := Replay(filepath.Join(t.TempDir(), "nope.jsonl"), func([]byte) error { return nil })
+	if err != nil || n != 0 {
+		t.Fatalf("missing journal = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if cp, err := st.LoadCheckpoint(); err != nil || cp != nil {
+		t.Fatalf("fresh dir checkpoint = (%v, %v), want (nil, nil)", cp, err)
+	}
+	in := &Checkpoint{
+		NextSlot: 96, Seed: 42, MutateRatio: 0.5,
+		Totals: Totals{Programs: 96, Findings: 3, Quarantined: 2},
+		Epoch:  1,
+	}
+	if err := st.SaveCheckpoint(in); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite (the atomic-replace path), then read back the newer one.
+	in.NextSlot = 128
+	in.Totals.Programs = 128
+	if err := st.SaveCheckpoint(in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := st.LoadCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(in)
+	b, _ := json.Marshal(out)
+	if string(a) != string(b) {
+		t.Fatalf("checkpoint round-trip mismatch:\n%s\n%s", a, b)
+	}
+	// No temp litter from the atomic ritual.
+	matches, _ := filepath.Glob(filepath.Join(dir, "checkpoint.json.tmp*"))
+	if len(matches) != 0 {
+		t.Fatalf("temp files left behind: %v", matches)
+	}
+}
+
+func TestWriteQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rec := core.QuarantineRecord{
+		Stage: "oracle", Seed: 7, Kind: "panic",
+		Symptom: "boom", Source: "// prog\n",
+	}
+	if err := st.WriteQuarantine(rec); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "quarantine", "oracle_7_panic.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back core.QuarantineRecord
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != rec {
+		t.Fatalf("quarantine round-trip mismatch: %+v != %+v", back, rec)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", "oracle_7_panic.p4")); err != nil {
+		t.Fatalf("witness source not written: %v", err)
+	}
+}

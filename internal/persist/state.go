@@ -1,0 +1,101 @@
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gauntlet/internal/core"
+)
+
+// State manages one serve campaign's durable directory:
+//
+//	DIR/journal.jsonl    append-only findings journal (source of truth)
+//	DIR/checkpoint.json  latest atomic checkpoint (corpus + watermark)
+//	DIR/quarantine/      one JSON record + one .p4 witness per contained fault
+//
+// Open both creates a fresh directory and reopens an existing one; the
+// caller decides whether to resume from what it finds.
+type State struct {
+	Dir     string
+	Journal *Journal
+}
+
+// Open creates (or reopens) the campaign directory and its journal.
+func Open(dir string) (*State, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "quarantine"), 0o755); err != nil {
+		return nil, err
+	}
+	j, err := OpenJournal(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	return &State{Dir: dir, Journal: j}, nil
+}
+
+// Close releases the journal.
+func (s *State) Close() error { return s.Journal.Close() }
+
+// checkpointPath is the single checkpoint file (atomically replaced).
+func (s *State) checkpointPath() string { return filepath.Join(s.Dir, "checkpoint.json") }
+
+// AppendFinding journals one finding durably before returning. The
+// engine's OnFinding callback runs on the reporting goroutine, so by the
+// time a finding is visible anywhere else it is already on disk — the
+// invariant resume's no-duplicates guarantee needs.
+func (s *State) AppendFinding(f core.Finding) error {
+	return s.Journal.Append(f)
+}
+
+// KnownFindings replays the journal and returns every reported finding
+// fingerprint (the engine's dedup pre-seed) plus the record count.
+func (s *State) KnownFindings() ([]uint64, int, error) {
+	var fps []uint64
+	n, err := Replay(filepath.Join(s.Dir, "journal.jsonl"), func(line []byte) error {
+		var f core.Finding
+		if err := json.Unmarshal(line, &f); err != nil {
+			return err
+		}
+		fps = append(fps, f.Fingerprint)
+		return nil
+	})
+	if err != nil {
+		return nil, n, err
+	}
+	return fps, n, nil
+}
+
+// SaveCheckpoint atomically replaces the checkpoint.
+func (s *State) SaveCheckpoint(cp *Checkpoint) error {
+	return WriteCheckpoint(s.checkpointPath(), cp)
+}
+
+// LoadCheckpoint reads the current checkpoint; (nil, nil) when the
+// campaign has not checkpointed yet (resume then starts from scratch,
+// guided only by the journal's fingerprints).
+func (s *State) LoadCheckpoint() (*Checkpoint, error) {
+	return LoadCheckpoint(s.checkpointPath())
+}
+
+// WriteQuarantine preserves one contained fault: the record as JSON and,
+// when the program printed, the witness source as a sibling .p4 file.
+// Quarantined inputs are findings-adjacent artifacts for offline triage —
+// names are stage_seed_kind so a chaos soak can account for every
+// injected fault by listing the directory. Quarantine writes are not
+// fsynced: losing one to a crash costs an artifact, not correctness.
+func (s *State) WriteQuarantine(rec core.QuarantineRecord) error {
+	base := filepath.Join(s.Dir, "quarantine",
+		fmt.Sprintf("%s_%d_%s", rec.Stage, rec.Seed, rec.Kind))
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(base+".json", data, 0o644); err != nil {
+		return err
+	}
+	if rec.Source != "" {
+		return os.WriteFile(base+".p4", []byte(rec.Source), 0o644)
+	}
+	return nil
+}

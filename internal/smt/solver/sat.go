@@ -77,6 +77,15 @@ type SAT struct {
 	// incremental session does not starve later queries); 0 means
 	// unbounded. Exceeding it yields Unknown.
 	MaxConflicts int
+	// Stop is the wall-clock watchdog hook: when set it is polled at
+	// every conflict (next to the MaxConflicts check) and at every
+	// restart, and a true return aborts the search with Unknown — the
+	// same explicit degradation as conflict-budget exhaustion, so a
+	// deadline can never hang a query, only weaken its verdict.
+	// solver.Session wires a context.Context's Err() here; the check is
+	// conflict-paced because conflict-free work between two conflicts is
+	// polynomially bounded, so the poll adds no inner-loop cost.
+	Stop func() bool
 
 	// assumps holds the current solve-under-assumptions literals; they
 	// are decided first (in order) and a falsified assumption makes the
@@ -409,6 +418,9 @@ func (s *SAT) SolveAssuming(assumps ...Lit) Status {
 			if s.MaxConflicts > 0 && s.Conflicts-startConflicts > s.MaxConflicts {
 				return Unknown
 			}
+			if s.Stop != nil && s.Stop() {
+				return Unknown
+			}
 			if s.decisionLevel() == 0 {
 				s.unsat = true
 				return Unsat
@@ -430,6 +442,9 @@ func (s *SAT) SolveAssuming(assumps ...Lit) Status {
 		if conflictsHere >= budget {
 			// Restart (assumptions are re-established by the decision
 			// loop below).
+			if s.Stop != nil && s.Stop() {
+				return Unknown
+			}
 			conflictsHere = 0
 			restart++
 			budget = 100 * luby(restart)

@@ -1,6 +1,10 @@
 package solver
 
-import "gauntlet/internal/smt"
+import (
+	"context"
+
+	"gauntlet/internal/smt"
+)
 
 // Result is the outcome of a Solve call.
 type Result struct {
@@ -19,6 +23,26 @@ func Solve(maxConflicts int, assertions ...*smt.Term) Result {
 	return s.Solve()
 }
 
+// SolveContext is Solve under a wall-clock watchdog: the context's
+// deadline/cancellation is polled inside the CDCL search (next to the
+// conflict-budget check), and an expired context degrades the verdict to
+// Unknown instead of hanging the query.
+func SolveContext(ctx context.Context, maxConflicts int, assertions ...*smt.Term) Result {
+	s := NewSessionContext(ctx, maxConflicts)
+	s.Assert(assertions...)
+	return s.Solve()
+}
+
+// stopFor derives the SAT watchdog poll from a context. Contexts that can
+// never be cancelled (Background, TODO) yield nil so the search loop
+// skips the poll entirely.
+func stopFor(ctx context.Context) func() bool {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
+}
+
 // Session is an incremental solving session: one Blaster over one SAT
 // instance, queried many times. The formula is bit-blasted exactly once —
 // the blaster's memo tables are keyed by interned term, so every shared
@@ -35,6 +59,16 @@ type Session struct {
 func NewSession(maxConflicts int) *Session {
 	s := &Session{b: NewBlaster()}
 	s.b.SAT().MaxConflicts = maxConflicts
+	return s
+}
+
+// NewSessionContext is NewSession with a wall-clock watchdog: every query
+// on the session polls the context at each conflict and degrades to
+// Unknown once it expires. A non-cancellable context adds no hook at all,
+// so the plain and context paths share one solver loop.
+func NewSessionContext(ctx context.Context, maxConflicts int) *Session {
+	s := NewSession(maxConflicts)
+	s.b.SAT().Stop = stopFor(ctx)
 	return s
 }
 
@@ -180,7 +214,15 @@ func SolveWithPreferences(maxConflicts int, prefs []*smt.Term, assertions ...*sm
 // identical. When they differ it returns a distinguishing assignment —
 // the counterexample translation validation reports (§5.2).
 func Equivalent(maxConflicts int, a, b *smt.Term) (bool, smt.Assignment, Status) {
-	res := Solve(maxConflicts, smt.Ne(a, b))
+	return EquivalentContext(context.Background(), maxConflicts, a, b)
+}
+
+// EquivalentContext is Equivalent under a wall-clock watchdog: an expired
+// context aborts the search with Unknown — the same explicit degradation
+// as conflict-budget exhaustion — instead of letting one pathological
+// miter stall its caller indefinitely.
+func EquivalentContext(ctx context.Context, maxConflicts int, a, b *smt.Term) (bool, smt.Assignment, Status) {
+	res := SolveContext(ctx, maxConflicts, smt.Ne(a, b))
 	switch res.Status {
 	case Unsat:
 		return true, nil, Unsat

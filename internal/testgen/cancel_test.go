@@ -1,0 +1,59 @@
+package testgen_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"gauntlet/internal/testgen"
+)
+
+// flipCtx cancels itself deterministically after a fixed number of Err()
+// polls (Done stays nil so the solver watchdog is inert) — the clock-free
+// way to stop path enumeration mid-walk.
+type flipCtx struct {
+	context.Context
+	polls, after int
+}
+
+func (c *flipCtx) Done() <-chan struct{} { return nil }
+func (c *flipCtx) Err() error {
+	c.polls++
+	if c.polls > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestGenerateContextPartial: cancellation mid-enumeration must hand back
+// the cases gathered so far alongside ctx.Err() — a truncated suite still
+// catches bugs, and the caller decides what the truncation means.
+func TestGenerateContextPartial(t *testing.T) {
+	prog := mustProg(t, twoPath)
+	full, err := testgen.Generate(prog, testgen.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 2 {
+		t.Fatalf("need ≥2 cases for a meaningful partial run, got %d", len(full))
+	}
+
+	// Scan the poll budget upward until the flip lands strictly
+	// mid-enumeration, so the test doesn't depend on the exact number of
+	// context checks per path.
+	for after := 1; ; after++ {
+		cases, err := testgen.GenerateContext(
+			&flipCtx{Context: context.Background(), after: after}, prog, testgen.DefaultOptions())
+		if err == nil {
+			t.Fatalf("no poll budget ≤%d produced a mid-enumeration cancellation (full suite has %d cases)",
+				after, len(full))
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled run returned err = %v, want context.Canceled", err)
+		}
+		if len(cases) == 0 || len(cases) >= len(full) {
+			continue // flipped before the first case or after the last; poll later
+		}
+		return
+	}
+}

@@ -82,9 +82,10 @@ func Generate(prog *ast.Program, opts Options) ([]Case, error) {
 }
 
 // GenerateContext is Generate with cancellation: the context is checked at
-// every node of the path enumeration (each solver probe stays bounded by
-// MaxConflicts), and ctx.Err() is returned when the deadline fires before
-// any case is found.
+// every node of the path enumeration and polled inside each solver probe
+// (a deadline degrades the probe to Unknown mid-search), and when it fires
+// mid-stream the cases gathered so far are returned together with
+// ctx.Err().
 //
 // Programs outside the symbolic subset (e.g. named-type locals the
 // pipeline composer cannot model) surface as errors, not panics: like an
@@ -207,7 +208,7 @@ func FromPipelineContext(ctx context.Context, prog *ast.Program, pipe *sym.Pipel
 	// probe or path solve is a solve-under-assumptions on the shared SAT
 	// instance. Learnt clauses from one path prune the others, which is
 	// what makes deep path enumeration affordable.
-	sess := solver.NewSession(opts.MaxConflicts)
+	sess := solver.NewSessionContext(ctx, opts.MaxConflicts)
 	sess.Assert(base...)
 	condLits := make([]solver.Lit, len(conds))
 	for i, c := range conds {
@@ -295,10 +296,14 @@ func FromPipelineContext(ctx context.Context, prog *ast.Program, pipe *sym.Pipel
 		}
 	}
 	walk(0, nil, "")
+	if err := ctx.Err(); err != nil {
+		// Deadline fired mid-enumeration: hand back every case gathered so
+		// far together with the cancellation cause, so a caller under a
+		// watchdog can still use the partial suite (mirrors
+		// validate.SnapshotsContext).
+		return cases, err
+	}
 	if len(cases) == 0 {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
 		return nil, fmt.Errorf("testgen: no satisfiable path found")
 	}
 	return cases, nil

@@ -1,6 +1,7 @@
 package validate
 
 import (
+	"context"
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
@@ -205,7 +206,11 @@ func (c *Cache) blockForm(prog *ast.Program, consts uint64, d ast.Decl) (*sym.Bl
 // per-pair circuits overlap too little for learnt-clause reuse to beat
 // the cost of propagating over an accumulated instance), so unlike
 // testgen's path enumeration this query stays one-shot.
-func (c *Cache) equivalent(a, b *sym.Block, maxConflicts int) (bool, smt.Assignment, solver.Status) {
+// A context deadline degrades the verdict to Unknown mid-search, and —
+// like conflict-budget exhaustion — an Unknown is never cached: a timeout
+// under one budget must not poison the verdict for a later, larger-budget
+// query keyed on the same simplified miter.
+func (c *Cache) equivalent(ctx context.Context, a, b *sym.Block, maxConflicts int) (bool, smt.Assignment, solver.Status) {
 	if a == b {
 		// Same interned formula object: equal by construction.
 		return true, nil, solver.Unsat
@@ -229,7 +234,7 @@ func (c *Cache) equivalent(a, b *sym.Block, maxConflicts int) (bool, smt.Assignm
 		c.counters.verdictHits.Add(1)
 		return e.equivalent, e.counterexample, e.status
 	}
-	equal, cex, st := solver.Equivalent(maxConflicts, eq, smt.True)
+	equal, cex, st := solver.EquivalentContext(ctx, maxConflicts, eq, smt.True)
 	c.counters.verdictMisses.Add(1)
 	c.mu.Lock()
 	if st != solver.Unknown {

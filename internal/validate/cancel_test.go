@@ -1,0 +1,96 @@
+package validate_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"gauntlet/internal/compiler"
+	"gauntlet/internal/validate"
+)
+
+// flipCtx cancels itself deterministically after a fixed number of Err()
+// polls — a clock-free stand-in for "the deadline fired mid-stream". Done
+// returns nil so solver watchdogs stay out of the way; only the
+// between-comparison checks observe the flip.
+type flipCtx struct {
+	context.Context
+	polls, after int
+}
+
+func (c *flipCtx) Done() <-chan struct{} { return nil }
+func (c *flipCtx) Err() error {
+	c.polls++
+	if c.polls > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// A program whose pipeline run produces several changed snapshots, so
+// validation makes multiple comparisons and can be cancelled between
+// them.
+const multiPassProg = `
+header Eth { bit<16> kind; bit<16> val; }
+struct Headers { Eth eth; }
+control ig(inout Headers hdr) {
+    action bump() { hdr.eth.val = hdr.eth.val * 16w4 + 16w0; }
+    table t {
+        key = { hdr.eth.kind : exact; }
+        actions = { bump; NoAction; }
+        default_action = NoAction();
+    }
+    apply {
+        t.apply();
+        if (hdr.eth.kind == 16w1 + 16w1) {
+            hdr.eth.val = (hdr.eth.val + 16w0) * 16w2;
+        }
+    }
+}
+V1Switch(ig) main;
+`
+
+// TestSnapshotsContextPartial: cancellation mid-validation must hand back
+// the verdicts gathered so far — a prefix of the full run — together with
+// ctx.Err(), not drop them. The poll budget is scanned upward until the
+// flip lands strictly mid-stream, so the test doesn't depend on the exact
+// number of context checks per comparison.
+func TestSnapshotsContextPartial(t *testing.T) {
+	prog := mustProg(t, multiPassProg)
+	res, err := compiler.New(compiler.DefaultPasses()...).Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := validate.Snapshots(res, validate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 2 {
+		t.Fatalf("need ≥2 verdicts for a meaningful partial run, got %d", len(full))
+	}
+
+	for after := 1; ; after++ {
+		partial, err := validate.SnapshotsContext(
+			&flipCtx{Context: context.Background(), after: after}, res, validate.Options{})
+		if err == nil {
+			t.Fatalf("no poll budget ≤%d produced a mid-stream cancellation (full run has %d verdicts)",
+				after, len(full))
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled run returned err = %v, want context.Canceled", err)
+		}
+		if len(partial) == 0 {
+			continue // flipped before the first comparison; poll later
+		}
+		if len(partial) >= len(full) {
+			t.Fatalf("cancellation after %d polls lost no work (%d of %d verdicts) without ever landing mid-stream",
+				after, len(partial), len(full))
+		}
+		if !reflect.DeepEqual(partial, full[:len(partial)]) {
+			t.Fatalf("partial verdicts are not a prefix of the full run:\n  %v\n  %v",
+				partial, full[:len(partial)])
+		}
+		return
+	}
+}

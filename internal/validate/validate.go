@@ -149,7 +149,7 @@ func SnapshotsContext(ctx context.Context, res *compiler.Result, opts Options) (
 				continue // block introduced by the pass (not in subset)
 			}
 			v := Verdict{PassA: prevPass, PassB: snap.Pass, Block: name}
-			v.Equivalent, v.Counterexample, v.Status = cache.equivalent(a, b, opts.MaxConflicts)
+			v.Equivalent, v.Counterexample, v.Status = cache.equivalent(ctx, a, b, opts.MaxConflicts)
 			out = append(out, v)
 		}
 		prevForms, prevPass, prevHash = forms, snap.Pass, snap.Hash
@@ -187,7 +187,7 @@ func Pair(a, b *ast.Program, opts Options) ([]Verdict, error) {
 			continue
 		}
 		v := Verdict{PassA: "A", PassB: "B", Block: name}
-		v.Equivalent, v.Counterexample, v.Status = cache.equivalent(formsA[name], fb, opts.MaxConflicts)
+		v.Equivalent, v.Counterexample, v.Status = cache.equivalent(context.Background(), formsA[name], fb, opts.MaxConflicts)
 		out = append(out, v)
 	}
 	return out, nil

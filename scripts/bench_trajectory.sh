@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
-# bench_trajectory.sh — run the validation-hot-path, corpus-engine and
-# serve-mode benchmark suite and emit BENCH_5.json (programs/sec,
-# ns/equivalence-query, gate-reuse %, corpus admission rate and
-# coverage-fingerprint counts for generation vs mutation mode, and
-# per-epoch context bytes for the rotating engine).
+# bench_trajectory.sh — run the validation-hot-path, corpus-engine,
+# serve-mode and resilience benchmark suite and emit BENCH_6.json
+# (programs/sec, ns/equivalence-query, gate-reuse %, corpus admission
+# rate and coverage-fingerprint counts for generation vs mutation mode,
+# per-epoch context bytes for the rotating engine, and the robustness
+# layer's throughput overhead).
 #
 # The JSON conversion doubles as a smoke gate: it exits nonzero when a
 # headline benchmark is missing, the structural-hash path reports a zero
 # gate-reuse rate, mutation-mode throughput drops below half of
-# generation-mode, or per-epoch context memory grows more than 15%
-# epoch-over-epoch (the serve-mode plateau gate).
+# generation-mode, per-epoch context memory grows more than 15%
+# epoch-over-epoch (the serve-mode plateau gate), or arming the
+# robustness layer (watchdogs + journal/checkpointing) costs more than
+# 5% of plain fuzz throughput.
 #
 #   BENCHTIME=5x scripts/bench_trajectory.sh      # more iterations
 #   scripts/bench_trajectory.sh                   # default 2x
@@ -17,11 +20,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-2x}"
-pattern='EquivalenceQuery|Sec52_PipelineThroughput|Table2_BugSummary|EngineFuzz|GateReuse|CorpusFuzz|ServeEpochs'
+pattern='EquivalenceQuery|Sec52_PipelineThroughput|Table2_BugSummary|EngineFuzz|GateReuse|CorpusFuzz|ServeEpochs|ResilientFuzz'
+artifact="BENCH_6.json"
 out="$(mktemp)"
-trap 'rm -f "$out"' EXIT
+# On any failure, remove the scratch file AND any partially-written
+# artifact: a truncated BENCH_*.json must never survive to be read as a
+# real trajectory point.
+trap 'status=$?; rm -f "$out"; if [ "$status" -ne 0 ]; then rm -f "$artifact"; fi' EXIT
 
 go test -run=NONE -bench="$pattern" -benchtime="$benchtime" . | tee "$out"
-go run ./cmd/benchjson < "$out" > BENCH_5.json
-echo "wrote BENCH_5.json:"
-cat BENCH_5.json
+go run ./cmd/benchjson < "$out" > "$artifact"
+echo "wrote $artifact:"
+cat "$artifact"

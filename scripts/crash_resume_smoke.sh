@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# crash_resume_smoke.sh — end-to-end chaos soak for the crash-resilient
+# serve path, the CI job behind the "kill -9 survives" claim:
+#
+#   1. Start `p4gauntlet -mode serve` with durable state and deterministic
+#      fault injection (panics, stalls, errors at every stage). The
+#      process must absorb every fault as a quarantine record or tool
+#      error — zero deaths.
+#   2. SIGHUP it mid-campaign (forced checkpoint + stats flush, no drain),
+#      then SIGKILL it. No shutdown path runs: whatever the journal and
+#      the last checkpoint hold is all that survives, exactly like a
+#      crash.
+#   3. Resume from the state directory with a bounded budget. The resumed
+#      run must pick up past the checkpoint watermark and report no
+#      finding fingerprint the first incarnation already journaled.
+#
+# (In-process goroutine-leak and finding-set-invariance checks live in
+# the race-enabled chaos tests in internal/core; this script covers the
+# process-boundary half: real signals, real fsync, real re-exec.)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dir="$(mktemp -d)"
+trap 'rm -rf "$dir"' EXIT
+bin="$dir/p4gauntlet"
+go build -o "$bin" ./cmd/p4gauntlet
+
+echo "--- phase 1: serve under injected faults, then SIGHUP + SIGKILL"
+"$bin" -mode serve -seed 7 -reduce=false -state "$dir/state" \
+  -epoch-programs 48 -checkpoint-programs 16 -stats-interval 2s \
+  -stage-timeout 2s -inject-every 7 -inject-seed 3 -inject-stall 5s \
+  -jsonl "$dir/run1.jsonl" 2>"$dir/run1.err" &
+pid=$!
+sleep 25
+if ! kill -0 "$pid" 2>/dev/null; then
+  echo "FAIL: serve died under fault injection"
+  cat "$dir/run1.err"
+  exit 1
+fi
+kill -HUP "$pid"
+sleep 5
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+
+grep -q "SIGHUP: checkpoint requested" "$dir/run1.err" \
+  || { echo "FAIL: SIGHUP was not handled"; cat "$dir/run1.err"; exit 1; }
+test -f "$dir/state/checkpoint.json" \
+  || { echo "FAIL: no checkpoint written"; exit 1; }
+quar=$(ls "$dir/state/quarantine"/*.json 2>/dev/null | wc -l)
+if [ "$quar" -eq 0 ]; then
+  echo "FAIL: injected panics/stalls produced no quarantine records"
+  cat "$dir/run1.err"
+  exit 1
+fi
+echo "phase 1 ok: $quar quarantine records, checkpoint present"
+
+echo "--- phase 2: resume from the killed daemon's state"
+"$bin" -mode fuzz -seeds 64 -reduce=false -resume "$dir/state" \
+  -jsonl "$dir/run2.jsonl" 2>"$dir/run2.err" \
+  || { echo "FAIL: resume run failed"; cat "$dir/run2.err"; exit 1; }
+watermark=$(sed -n 's/^resume: watermark slot \([0-9]*\).*/\1/p' "$dir/run2.err")
+if [ -z "$watermark" ] || [ "$watermark" -le 0 ]; then
+  echo "FAIL: resume did not restore a positive watermark (got '${watermark:-none}')"
+  cat "$dir/run2.err"
+  exit 1
+fi
+
+# Dedup across the kill: no finding fingerprint may appear in both
+# incarnations' streams.
+fp() { grep -o '"fingerprint":[0-9]*' "$1" 2>/dev/null | sort -u || true; }
+dups=$(comm -12 <(fp "$dir/run1.jsonl") <(fp "$dir/run2.jsonl") | wc -l)
+if [ "$dups" -ne 0 ]; then
+  echo "FAIL: $dups finding fingerprint(s) re-reported after resume"
+  comm -12 <(fp "$dir/run1.jsonl") <(fp "$dir/run2.jsonl")
+  exit 1
+fi
+echo "phase 2 ok: resumed at slot $watermark, no re-reported findings"
+echo "crash-resume smoke: PASS"
