@@ -314,6 +314,93 @@ func BenchmarkEquivalenceQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkConcolicFalsify measures the bit-parallel concrete fast path
+// in the regime it exists for — equivalence queries with a real
+// counterexample, the mismatch-verdict and reduction-candidate hot path.
+// The harvest phase compiles fixed-seed programs through a pass pipeline
+// instrumented with two miscompiling mutations and keeps the
+// (input, final) pairs the defects made inequivalent; the timed runs
+// re-validate those pairs through fresh caches with the tape stage off
+// (every verdict goes to the solver) and on. Both report
+// ns/equivalence-query; on also reports tape throughput (packets/sec)
+// and the fraction of fresh verdicts a concrete counterexample settled
+// before any solver call. The trajectory gate (cmd/benchjson) fails CI
+// when that fraction is zero or when the fast path costs more than 5%
+// over solver-only.
+func BenchmarkConcolicFalsify(b *testing.B) {
+	reg := bugs.Load()
+	var active []*bugs.Bug
+	for _, id := range []string{"P4C-S-02", "P4C-S-06"} {
+		bug := reg.ByID(id)
+		if bug == nil {
+			b.Fatalf("registry has no bug %s", id)
+		}
+		active = append(active, bug)
+	}
+	comp := compiler.New(bugs.Instrument(compiler.DefaultPasses(), active)...)
+	type progPair struct{ in, out *ast.Program }
+	var pairs []progPair
+	harvest := validate.NewCache()
+	for seed := int64(0); len(pairs) < 8 && seed < 64; seed++ {
+		res, err := comp.Compile(generator.Generate(generator.DefaultConfig(seed)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		in, out := res.Snapshots[0].Prog, res.Final
+		verdicts, err := validate.Pair(in, out, validate.Options{
+			MaxConflicts: 20000, Cache: harvest})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(validate.Failures(verdicts)) > 0 {
+			pairs = append(pairs, progPair{in, out})
+		}
+	}
+	if len(pairs) < 4 {
+		b.Fatalf("only %d inequivalent pairs harvested; the seeded defects should fire more often", len(pairs))
+	}
+	run := func(b *testing.B, con validate.Concolic) float64 {
+		var queries, misses, falsified, packets, fails uint64
+		for i := 0; i < b.N; i++ {
+			cache := validate.NewCache()
+			for _, p := range pairs {
+				verdicts, err := validate.Pair(p.in, p.out, validate.Options{
+					MaxConflicts: 20000, Cache: cache, Concolic: con})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fails += uint64(len(validate.Failures(verdicts)))
+			}
+			s := cache.Snapshot()
+			queries += s.VerdictHits + s.VerdictMisses
+			misses += s.VerdictMisses
+			falsified += s.ConcolicFalsified
+			packets += s.ConcolicPackets
+		}
+		if fails == 0 {
+			b.Fatal("harvested inequivalent pairs produced no inequivalence verdicts")
+		}
+		nsPerQuery := float64(b.Elapsed().Nanoseconds()) / float64(queries)
+		b.ReportMetric(nsPerQuery, "ns/equivalence-query")
+		if !con.Disable {
+			b.ReportMetric(float64(packets)/b.Elapsed().Seconds(), "packets/sec")
+			b.ReportMetric(float64(falsified)/float64(misses)*100, "falsified-%")
+		}
+		return nsPerQuery
+	}
+	b.Run("off", func(b *testing.B) {
+		concolicOffNs = run(b, validate.Concolic{Disable: true})
+	})
+	b.Run("on", func(b *testing.B) {
+		ns := run(b, validate.Concolic{})
+		if concolicOffNs > 0 {
+			b.ReportMetric(ns/concolicOffNs, "x-vs-off")
+		}
+	})
+}
+
+var concolicOffNs float64
+
 // BenchmarkGateReuse measures structural gate-cache reuse while blasting
 // a near-identical miter — the reduction-candidate regime, where the two
 // sides differ in one buried leaf. The reuse rate must be nonzero (the CI

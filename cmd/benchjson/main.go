@@ -1,25 +1,28 @@
 // Command benchjson converts `go test -bench` output (read from stdin)
-// into the repository's benchmark-trajectory artifact (BENCH_6.json,
+// into the repository's benchmark-trajectory artifact (BENCH_7.json,
 // written to stdout): one JSON object with the raw per-benchmark numbers
 // plus the headline metrics the trajectory tracks — programs/sec through
 // the validation pipeline, ns per equivalence query, the structural
 // gate-cache reuse rate, the corpus engine's coverage metrics
 // (admission rate, unique coverage fingerprints, mutation-mode
-// throughput), and the serve mode's per-epoch context bytes.
+// throughput), the serve mode's per-epoch context bytes, and the
+// concolic fast path's falsification rate and per-query cost.
 //
 // It doubles as the CI smoke gate: missing headline benchmarks, a zero
 // gate-reuse rate, mutation-mode throughput below half of
 // generation-mode, per-epoch context memory growing more than 15%
 // epoch-over-epoch (the serve-mode plateau: rotation must actually bound
-// steady-state memory), or the robustness layer — stage watchdogs, the
+// steady-state memory), the robustness layer — stage watchdogs, the
 // oracle deadline ladder and the durable journal/checkpoint path —
-// costing more than 5% of plain fuzz throughput exit nonzero, so a
-// regression fails the workflow instead of silently flattening the
-// trajectory.
+// costing more than 5% of plain fuzz throughput, a zero concrete
+// falsification rate on the defect-seeded workload, or the concolic
+// stage costing more than 5% over solver-only ns/equivalence-query exit
+// nonzero, so a regression fails the workflow instead of silently
+// flattening the trajectory.
 //
 // Usage:
 //
-//	go test -run=NONE -bench='...' . | go run ./cmd/benchjson > BENCH_6.json
+//	go test -run=NONE -bench='...' . | go run ./cmd/benchjson > BENCH_7.json
 package main
 
 import (
@@ -38,7 +41,7 @@ type Bench struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Artifact is the BENCH_6.json schema.
+// Artifact is the BENCH_7.json schema.
 type Artifact struct {
 	// Headline trajectory metrics.
 	ProgramsPerSec      float64 `json:"programs_per_sec"`
@@ -68,6 +71,17 @@ type Artifact struct {
 	// previous by more than 15%.
 	ServeEpochCtxBytes  []float64 `json:"serve_epoch_ctx_bytes"`
 	ServeEpochGrowthPct float64   `json:"serve_epoch_worst_growth_pct"`
+
+	// Concolic fast-path metrics (BenchmarkConcolicFalsify): the same
+	// defect-seeded validation workload with the bit-parallel tape stage
+	// off and on. The gate fails the build when the on-mode falsification
+	// rate is zero (the tape never preempted a solver call) or when the
+	// on-mode ns/equivalence-query exceeds solver-only by more than 5%.
+	ConcolicOffNsPerQuery float64 `json:"concolic_off_ns_per_equivalence_query"`
+	ConcolicOnNsPerQuery  float64 `json:"concolic_on_ns_per_equivalence_query"`
+	ConcolicOnVsOffX      float64 `json:"concolic_on_vs_off_x"`
+	ConcolicFalsifiedPct  float64 `json:"concolic_falsified_pct"`
+	ConcolicPacketsPerSec float64 `json:"concolic_packets_per_sec"`
 
 	// Robustness overhead (BenchmarkResilientFuzz): the same engine
 	// workload plain versus armed with stage watchdogs, the oracle
@@ -229,6 +243,16 @@ func main() {
 		}
 	}
 
+	if b, ok := get("BenchmarkConcolicFalsify/off"); ok {
+		art.ConcolicOffNsPerQuery = b.Metrics["ns/equivalence-query"]
+	}
+	if b, ok := get("BenchmarkConcolicFalsify/on"); ok {
+		art.ConcolicOnNsPerQuery = b.Metrics["ns/equivalence-query"]
+		art.ConcolicFalsifiedPct = b.Metrics["falsified-%"]
+		art.ConcolicPacketsPerSec = b.Metrics["packets/sec"]
+		art.ConcolicOnVsOffX = b.Metrics["x-vs-off"]
+	}
+
 	if b, ok := get("BenchmarkResilientFuzz/plain"); ok {
 		art.ResilientPlainProgramsPerSec = b.Metrics["programs/sec"]
 	}
@@ -245,6 +269,19 @@ func main() {
 	if art.ResilientOverheadPct > 5 {
 		fatalf("robustness layer costs %.1f%% of plain fuzz throughput (%.1f vs %.1f programs/sec): above the 5%% gate",
 			art.ResilientOverheadPct, art.ResilientArmedProgramsPerSec, art.ResilientPlainProgramsPerSec)
+	}
+
+	// The concolic fast-path gates: on the defect-seeded workload some
+	// fresh verdicts must resolve from a concrete counterexample with zero
+	// solver calls, and the tape stage must pay for itself — on-mode may
+	// cost at most 5% over solver-only per equivalence query.
+	if art.ConcolicFalsifiedPct <= 0 {
+		fatalf("concolic falsification rate is %v%%: the tape never preempted a solver call on a defect-seeded workload",
+			art.ConcolicFalsifiedPct)
+	}
+	if art.ConcolicOnVsOffX > 1.05 {
+		fatalf("concolic fast path costs %.2fx solver-only ns/equivalence-query (%.0f vs %.0f): above the 1.05x gate",
+			art.ConcolicOnVsOffX, art.ConcolicOnNsPerQuery, art.ConcolicOffNsPerQuery)
 	}
 
 	out, err := json.MarshalIndent(art, "", "  ")

@@ -79,6 +79,7 @@ func main() {
 	backend := flag.String("backend", "v1model", "generator/pipeline backend: v1model | tna")
 	jsonl := flag.String("jsonl", "", "append unique findings as JSON lines to FILE (\"-\" = stdout)")
 	packets := flag.Bool("packets", true, "run symbolic-execution packet tests in addition to translation validation")
+	concolic := flag.Bool("concolic", true, "bit-parallel concrete falsification under every equivalence query plus trace-steered test enumeration; -concolic=false sends every verdict straight to the solver (bisection / invariance checking)")
 	doReduce := flag.Bool("reduce", true, "auto-reduce each unique finding's witness")
 	mutateRatio := flag.Float64("mutate-ratio", 0.5, "fraction of programs drawn by mutating corpus seeds (fuzz mode, 0 = pure grammar generation)")
 	corpusDir := flag.String("corpus", "", "corpus directory: load seeds before the run and save the admitted corpus after (fuzz mode)")
@@ -105,7 +106,7 @@ func main() {
 	case "fuzz", "serve":
 		ff := fuzzFlags{
 			seeds: *seeds, start: *start, seed: *seed, workers: *workers, duration: *duration,
-			backend: *backend, jsonl: *jsonl, packets: *packets, reduce: *doReduce,
+			backend: *backend, jsonl: *jsonl, packets: *packets, reduce: *doReduce, concolic: *concolic,
 			mutateRatio: *mutateRatio, corpusDir: *corpusDir, statsInterval: *statsInterval,
 			epochPrograms: *epochPrograms,
 			stateDir:      *stateDir, resumeDir: *resumeDir, checkpointPrograms: *checkpointPrograms,
@@ -184,6 +185,7 @@ type fuzzFlags struct {
 	jsonl              string
 	packets            bool
 	reduce             bool
+	concolic           bool
 	mutateRatio        float64
 	corpusDir          string
 	statsInterval      time.Duration
@@ -212,6 +214,7 @@ func fuzz(ff fuzzFlags) {
 	cfg.Workers = ff.workers
 	cfg.PacketTests = ff.packets
 	cfg.Reduce = ff.reduce
+	cfg.ConcolicOff = !ff.concolic
 	cfg.MutateRatio = ff.mutateRatio
 	cfg.EpochPrograms = ff.epochPrograms
 	switch ff.backend {

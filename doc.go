@@ -146,6 +146,27 @@
 //     solver.GateStats() reports built/reused counters, surfaced with the
 //     simplification stats in engine Stats() and the p4gauntlet -jsonl
 //     run record.
+//   - Concolic falsification. Before any solver runs on a fresh
+//     equivalence query, the simplified miter is compiled once into a
+//     flat topo-ordered instruction tape (smt.CompileTape) and executed
+//     bit-parallel — 64 deterministic pseudo-random packets per machine
+//     word, inputs derived purely from (seed, miter structure) — so an
+//     inequivalent miter usually refutes itself concretely
+//     (smt.Tape.Falsify) and the Sat verdict plus witness costs zero
+//     solver work; only unfalsified queries fall through to CDCL
+//     (solver.EquivalentConcolic). The same tape replays a remembered
+//     counterexample in one packet: reduction predicates thread the
+//     original finding's witness through validate.Concolic.Hints
+//     (miscompilations) or re-inject the cached mismatch case
+//     (core.Oracle.ReplayMismatch), so most reduction candidates are
+//     decided for the price of a compile. Concrete root traces also
+//     steer testgen's path enumeration toward the rarer branch polarity
+//     (minority-first) instead of enumerating blindly. The whole layer
+//     is an optimization, never a verdict change: findings are
+//     byte-identical with it on or off (EngineConfig.ConcolicOff,
+//     tested), hint-derived verdicts are never cached (which hint a
+//     caller holds is history, not miter structure), and cached
+//     witnesses are pure functions of (seed, structure, rounds).
 //   - Incremental solving. The SAT core supports solve-under-assumptions
 //     (solver.Session): a formula is bit-blasted once and each branch
 //     polarity or soft model preference is decided as an assumption on
@@ -253,11 +274,16 @@
 // rate, distinct coverage fingerprints); BenchmarkServeEpochs the
 // per-epoch context bytes of the rotating serve shape; and
 // BenchmarkResilientFuzz the robustness layer's overhead (plain vs
-// watchdogs + journal/checkpoints armed). scripts/bench_trajectory.sh
-// runs the headline set and writes BENCH_6.json; its benchjson gate
-// fails CI on a zero gate-reuse rate, mutation-mode throughput below
-// half of generation-mode, per-epoch context bytes growing more than 15%
-// epoch-over-epoch, or a resilience overhead above 5%:
+// watchdogs + journal/checkpoints armed); and BenchmarkConcolicFalsify
+// the bit-parallel tape against solver-only verdicts on defect-seeded
+// inequivalent pairs (ns/equivalence-query on vs off, packets/sec,
+// fraction falsified concretely). scripts/bench_trajectory.sh runs the
+// headline set and writes BENCH_7.json; its benchjson gate fails CI on a
+// zero gate-reuse rate, mutation-mode throughput below half of
+// generation-mode, per-epoch context bytes growing more than 15%
+// epoch-over-epoch, a resilience overhead above 5%, a zero concrete
+// falsification rate, or the concolic stage costing more than 5% over
+// solver-only per equivalence query:
 //
-//	go test -bench='ValidateIncremental|Sec52|EngineFuzz|GateReuse|CorpusFuzz|ServeEpochs|ResilientFuzz' .
+//	go test -bench='ValidateIncremental|Sec52|EngineFuzz|GateReuse|CorpusFuzz|ServeEpochs|ResilientFuzz|ConcolicFalsify' .
 package gauntlet

@@ -19,13 +19,16 @@ func deviceFromResult(res *compiler.Result) (*device.Device, error) {
 	return device.New(res.Final, eval.ZeroUndef), nil
 }
 
-// runCases injects every test case and collects mismatch descriptions.
-func runCases(dev *device.Device, cases []testgen.Case) ([]string, error) {
+// runCases injects every test case and collects mismatch descriptions
+// together with the cases that produced them (same order), so a reducer
+// can replay one concrete counterexample instead of regenerating a suite.
+func runCases(dev *device.Device, cases []testgen.Case) ([]string, []testgen.Case, error) {
 	var out []string
+	var bad []testgen.Case
 	for _, c := range cases {
 		obs, err := dev.Inject(c.Config, c.Packet)
 		if err != nil {
-			return out, err
+			return out, bad, err
 		}
 		want := device.Result{Drop: c.ExpectDrop, Packet: c.ExpectPacket}
 		if !device.Equal(want, obs) {
@@ -34,7 +37,8 @@ func runCases(dev *device.Device, cases []testgen.Case) ([]string, error) {
 				Expected:    want,
 				Observed:    obs,
 			}.String())
+			bad = append(bad, c)
 		}
 	}
-	return out, nil
+	return out, bad, nil
 }

@@ -118,6 +118,16 @@ type Finding struct {
 	// Detail so fingerprints and reduction predicates don't depend on
 	// presentation.
 	crashMsg string
+	// cex is a miscompilation's distinguishing assignment (the validation
+	// counterexample). The reduction predicate replays it as a hint — one
+	// packet through the candidate's compiled miter tape — so most
+	// candidates re-prove the inequivalence without a solver call.
+	cex smt.Assignment
+	// replay is a mismatch finding's concrete failing test case. The
+	// reduction predicate re-injects it (packet + table config, expected
+	// output re-derived from the candidate's own formula under the cached
+	// model) before falling back to full test generation.
+	replay *testgen.Case
 }
 
 // EngineConfig parameterizes one streaming fuzzing run.
@@ -170,8 +180,21 @@ type EngineConfig struct {
 	// TestOpts configures packet-test generation.
 	TestOpts testgen.Options
 	// PacketTests enables the symbolic-execution packet-test oracle in
-	// addition to translation validation (which is always on).
+	// addition to translation validation (which is on unless BlackBox).
 	PacketTests bool
+	// BlackBox disables translation validation, treating the whole
+	// pipeline as opaque — the paper's back-end campaign mode, where the
+	// only observable is packet behavior (§6). Defects then surface as
+	// packet mismatches instead of pass-pinpointed miscompilations;
+	// combine with PacketTests or no semantic oracle runs at all.
+	BlackBox bool
+	// ConcolicOff disables the bit-parallel concrete fast path end to
+	// end: no tape falsification or hint replay under equivalence queries
+	// and no concrete-trace steering in test generation — every verdict
+	// goes straight to the solver, every suite enumerates in static
+	// order (the PR 3–6 behavior). The finding set must be byte-identical
+	// either way; this switch exists for that proof and for bisection.
+	ConcolicOff bool
 	// Reduce enables automatic witness shrinking of unique findings;
 	// ReduceOpts bounds each reduction (its predicate re-runs the
 	// oracle, so MaxPredicateCalls is the real budget).
@@ -335,6 +358,21 @@ type Stats struct {
 	// all. (Constant-false miters still take the solver path to produce a
 	// counterexample and are not counted.) Cumulative across epochs.
 	SimpResolved uint64
+	// Concolic fast-path counters (cumulative across epochs, folded with
+	// the other cache counters). TapesCompiled counts miters compiled to
+	// bit-parallel tapes; ConcolicFalsified counts equivalence queries
+	// answered by a concrete counterexample before any solver session was
+	// built; ConcolicPackets counts concrete assignments executed (64 per
+	// batch); CexReplayHits counts reduction-predicate queries decided by
+	// replaying a finding's cached counterexample (miscompilation hints
+	// through the tape plus mismatch test-case re-injections); and
+	// SolverCallsAvoided is the sum of queries that skipped the solver
+	// outright (falsified concretely or decided by replay).
+	TapesCompiled      uint64
+	ConcolicFalsified  uint64
+	ConcolicPackets    uint64
+	CexReplayHits      uint64
+	SolverCallsAvoided uint64
 	// Simp is the *current epoch's* simplification-cache snapshot. Epoch
 	// scoping is deliberate: a process-lifetime snapshot asymptotes to a
 	// stale rate on long runs, while a per-epoch one tracks the current
@@ -391,6 +429,7 @@ func (s Stats) Summary() string {
 			"corpus: %d seeds (%d admitted, %d rejected, %d evicted; %.1f%% admission); %d coverage edges, %d fingerprints; mutants rejected: %d invalid, %d stale\n"+
 			"caches: block %.1f%% hit, verdict %.1f%% hit; reduction predicate calls: %d\n"+
 			"solver: %d equivalence queries resolved by simplification alone; simp cache %.1f%% hit (%d entries); gates %d built, %d reused (%.1f%%)\n"+
+			"concolic: %d tapes compiled, %d queries falsified concretely (%d packets), %d counterexample replays; %d solver calls avoided\n"+
 			"epoch %d: %d programs, interner %d terms (~%.1f MiB, %d/%d shards occupied), gates %d built %d reused this epoch\n"+
 			"robustness: %d quarantined (%d stalls, %d oracle timeouts), %d unknown verdicts, %d ladder retries",
 		s.Generated, s.Mutated, s.Compiled, s.Clean, s.ProgramsPerSec, s.Elapsed.Round(time.Millisecond),
@@ -402,6 +441,8 @@ func (s Stats) Summary() string {
 		rate(s.BlockHits, s.BlockMisses), rate(s.VerdictHits, s.VerdictMisses), s.ReducePredicateCalls,
 		s.SimpResolved, rate(s.Simp.Hits, s.Simp.Misses), s.Simp.Entries,
 		s.GatesBuilt, s.GatesReused, rate(s.GatesReused, s.GatesBuilt),
+		s.TapesCompiled, s.ConcolicFalsified, s.ConcolicPackets,
+		s.CexReplayHits, s.SolverCallsAvoided,
 		s.Epoch, s.EpochProgramCount,
 		s.Interner.Entries, float64(s.Interner.BytesEstimate)/(1<<20),
 		s.Interner.OccupiedShards, s.Interner.Shards,
@@ -458,6 +499,7 @@ type Engine struct {
 	mutated, mutateInvalid, mutateStale        atomic.Uint64
 	quarantined, stalls, timeouts              atomic.Uint64
 	unknownVerdicts, oracleRetries             atomic.Uint64
+	mismatchReplays                            atomic.Uint64
 
 	// checkpointReq is the on-demand checkpoint flag (SIGHUP's path): the
 	// collector consumes it at the next fold boundary.
@@ -538,6 +580,9 @@ func NewEngine(cfg EngineConfig) *Engine {
 			return generator.Generate(gc)
 		}
 	}
+	if cfg.ConcolicOff {
+		cfg.TestOpts.DisableSteering = true
+	}
 	e := &Engine{
 		cfg:    cfg,
 		corpus: cfg.Corpus,
@@ -545,10 +590,13 @@ func NewEngine(cfg EngineConfig) *Engine {
 			Passes:       cfg.Passes,
 			MaxConflicts: cfg.MaxConflicts,
 			TestOpts:     cfg.TestOpts,
-			Validate:     true,
+			Validate:     !cfg.BlackBox,
 			PacketTests:  cfg.PacketTests,
 			Cache:        cfg.Cache,
 			Timeout:      cfg.OracleTimeout,
+			// Concolic batch inputs derive from (Seed, miter structure)
+			// only — the same batches on every worker, every run.
+			Concolic: validate.Concolic{Disable: cfg.ConcolicOff, Seed: uint64(cfg.Seed)},
 		},
 	}
 	gb, gr := solver.GateStats()
@@ -682,6 +730,11 @@ func (e *Engine) Stats() Stats {
 	s.VerdictHits = ret.VerdictHits + cs.VerdictHits
 	s.VerdictMisses = ret.VerdictMisses + cs.VerdictMisses
 	s.SimpResolved = ret.SimpResolved + cs.SimpResolved
+	s.TapesCompiled = ret.TapesCompiled + cs.TapesCompiled
+	s.ConcolicFalsified = ret.ConcolicFalsified + cs.ConcolicFalsified
+	s.ConcolicPackets = ret.ConcolicPackets + cs.ConcolicPackets
+	s.CexReplayHits = ret.ReplayHits + cs.ReplayHits + e.mismatchReplays.Load()
+	s.SolverCallsAvoided = s.ConcolicFalsified + s.CexReplayHits
 	if start := e.startNano.Load(); start != 0 {
 		end := e.endNano.Load()
 		if end == 0 {
@@ -1185,6 +1238,7 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 						Detail:  out.Failures[0].String(),
 						Origin:  originOf(u.mutated),
 						Program: u.prog,
+						cex:     out.Failures[0].Counterexample,
 					}
 					if !send(ctx, candCh, f) {
 						return
@@ -1196,6 +1250,10 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 						Detail:  out.Mismatches[0],
 						Origin:  originOf(u.mutated),
 						Program: u.prog,
+					}
+					if len(out.MismatchCases) > 0 {
+						mc := out.MismatchCases[0]
+						f.replay = &mc
 					}
 					if !send(ctx, candCh, f) {
 						return
@@ -1385,24 +1443,45 @@ func (e *Engine) keepPredicate(f Finding) reduce.Predicate {
 			return out.Invalid != nil && out.Invalid.Pass == f.Pass && out.Invalid.Error() == f.crashMsg
 		}
 	}
-	return func(cand *ast.Program) bool {
-		e.reduceCalls.Add(1)
-		// Reduction candidates must not be cancelled mid-predicate — the
-		// budget in ReduceOpts bounds the work — so the oracle re-runs
-		// under the background context; ReduceContext itself observes the
-		// engine's context between candidates.
-		out := o.Examine(context.Background(), cand)
-		switch f.Kind {
-		case FindingMiscompilation:
+	if f.Kind == FindingMiscompilation {
+		// Replay the finding's counterexample as a concolic hint: the
+		// candidate's miter tape evaluates it in one packet, so candidates
+		// that still fail on the original distinguishing input (most of
+		// them) re-prove the inequivalence with zero solver work. A miss
+		// falls through to the normal batch-falsify → solver ladder inside
+		// the same Examine call.
+		ho := o.WithHints(f.cex)
+		return func(cand *ast.Program) bool {
+			e.reduceCalls.Add(1)
+			out := ho.Examine(context.Background(), cand)
 			for _, v := range out.Failures {
 				if v.PassB == f.Pass {
 					return true
 				}
 			}
 			return false
-		default:
-			return len(out.Mismatches) > 0
 		}
+	}
+	return func(cand *ast.Program) bool {
+		e.reduceCalls.Add(1)
+		// Replay the cached failing case first: one compile plus one
+		// concrete injection decides most candidates, versus a full
+		// symbolic test-generation session. Replay runs regardless of
+		// ConcolicOff — it involves no tape or solver shortcut, just a
+		// remembered input — so the reduction trajectory is identical with
+		// the fast path on or off.
+		if f.replay != nil {
+			if hit, err := o.ReplayMismatch(cand, *f.replay); err == nil && hit {
+				e.mismatchReplays.Add(1)
+				return true
+			}
+		}
+		// Reduction candidates must not be cancelled mid-predicate — the
+		// budget in ReduceOpts bounds the work — so the oracle re-runs
+		// under the background context; ReduceContext itself observes the
+		// engine's context between candidates.
+		out := o.Examine(context.Background(), cand)
+		return len(out.Mismatches) > 0
 	}
 }
 

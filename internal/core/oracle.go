@@ -7,7 +7,9 @@ import (
 
 	"gauntlet/internal/compiler"
 	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/smt"
 	"gauntlet/internal/smt/solver"
+	"gauntlet/internal/sym"
 	"gauntlet/internal/testgen"
 	"gauntlet/internal/validate"
 )
@@ -45,6 +47,11 @@ type Oracle struct {
 	// rotation takes effect for new Examine/Inspect calls while in-flight
 	// ones keep the pair they captured — no partially-swapped state.
 	CacheFn func() *validate.Cache
+	// Concolic configures the bit-parallel concrete fast path under every
+	// equivalence query (zero value = enabled with defaults; see
+	// validate.Concolic). Reduction predicates use WithHints to thread a
+	// finding's counterexample through it.
+	Concolic validate.Concolic
 	// Timeout is the wall-clock watchdog for one Examine's inspection
 	// (0 = none). MaxConflicts bounds conflicts, not time — one
 	// pathological miter can stall a worker for minutes inside a single
@@ -81,6 +88,11 @@ type Outcome struct {
 	// Mismatches describe packet tests whose observed output differed
 	// from the symbolic expectation.
 	Mismatches []string
+	// MismatchCases are the concrete test cases behind Mismatches (same
+	// order). A reducer replays one of these — input packet, table config
+	// and solver model — against each candidate instead of re-running
+	// full test generation.
+	MismatchCases []testgen.Case
 	// Result is the compilation result (nil when compilation failed
 	// before producing one).
 	Result *compiler.Result
@@ -136,7 +148,7 @@ func (o *Oracle) Inspect(ctx context.Context, out *Outcome) {
 	cache := o.cache()
 	if o.Validate {
 		verdicts, err := validate.SnapshotsContext(ctx, out.Result,
-			validate.Options{MaxConflicts: o.MaxConflicts, Cache: cache})
+			validate.Options{MaxConflicts: o.MaxConflicts, Cache: cache, Concolic: o.Concolic})
 		// Verdicts gathered before a deadline still count: Sat ones are
 		// findings, Unknown ones are weakened-coverage accounting.
 		for _, v := range verdicts {
@@ -173,12 +185,13 @@ func (o *Oracle) Inspect(ctx context.Context, out *Outcome) {
 			out.Err = err
 			return
 		}
-		mismatches, err := runCases(dev, cases)
+		mismatches, mcases, err := runCases(dev, cases)
 		if err != nil {
 			out.Err = err
 			return
 		}
 		out.Mismatches = mismatches
+		out.MismatchCases = mcases
 		// A deadline mid-enumeration still ran the partial suite above;
 		// surface the cancellation alongside whatever it caught.
 		out.Err = cerr
@@ -199,6 +212,57 @@ func (o *Oracle) Examine(ctx context.Context, prog *ast.Program) Outcome {
 	}
 	o.InspectLadder(ctx, &out)
 	return out
+}
+
+// WithHints returns a copy of the oracle whose equivalence queries
+// replay the given counterexample assignments (one tape packet each)
+// before any batch falsification or solver work. A reduction predicate
+// passes the original finding's counterexample: most candidates still
+// fail on it, so the inequivalence re-proves itself in one packet.
+func (o *Oracle) WithHints(hints ...smt.Assignment) *Oracle {
+	try := *o
+	try.Concolic.Hints = nil
+	for _, h := range hints {
+		if h != nil {
+			try.Concolic.Hints = append(try.Concolic.Hints, h)
+		}
+	}
+	return &try
+}
+
+// ReplayMismatch re-checks one cached mismatch case against a reduction
+// candidate with zero solver work: compile the candidate, re-derive the
+// expected output by evaluating the candidate's own symbolic pipeline
+// under the cached model (concrete evaluation, no path enumeration), and
+// inject the same packet and table state into the compiled device. A true
+// return means the candidate still disagrees with its spec on that input
+// — the mismatch symptom, reproduced from one packet. A false return is
+// not a verdict: the candidate may mismatch on other inputs, so callers
+// fall back to the full oracle.
+func (o *Oracle) ReplayMismatch(cand *ast.Program, c testgen.Case) (bool, error) {
+	out := o.Compile(cand)
+	if out.Err != nil || out.Crash != nil || out.Invalid != nil || out.Result == nil {
+		return false, out.Err
+	}
+	sctx := smt.DefaultContext()
+	if cache := o.cache(); cache != nil {
+		sctx = cache.Context()
+	}
+	input := out.Result.Snapshots[0].Prog
+	pipe, err := sym.PipelineOfIn(sctx, input)
+	if err != nil {
+		return false, err
+	}
+	replay := testgen.CaseFromModel(input, pipe, c.Model, c.PathID)
+	dev, err := deviceFromResult(out.Result)
+	if err != nil {
+		return false, err
+	}
+	mismatches, _, err := runCases(dev, []testgen.Case{replay})
+	if err != nil {
+		return false, err
+	}
+	return len(mismatches) > 0, nil
 }
 
 // InspectLadder is Inspect wrapped in the degradation ladder (see

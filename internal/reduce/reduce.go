@@ -27,6 +27,15 @@ import (
 
 // Predicate reports whether a candidate program still exhibits the
 // behaviour being isolated. It is never called with an ill-typed program.
+//
+// Predicates dominate reduction cost, so callers should layer them
+// cheapest-first: a remembered concrete counterexample (replay one input
+// through the candidate — core.Oracle.ReplayMismatch, or a concolic hint
+// that settles the equivalence query in one tape packet) decides most
+// candidates for the price of a compile, and only candidates the cheap
+// tier cannot confirm fall through to the full oracle. The cheap tier
+// must only ever short-circuit towards "keep": a counterexample that no
+// longer fires is not evidence the behaviour is gone.
 type Predicate func(*ast.Program) bool
 
 // Options bounds the reduction loop.

@@ -8,9 +8,40 @@ type Assignment map[string]uint64
 // Eval evaluates a term under an assignment. Unassigned variables read as
 // zero. Booleans evaluate to 0 or 1. Shared subterms (terms are DAGs
 // after branch merging) are evaluated once via a memo table.
+//
+// Width discipline, pinned by TestWidthEdgeSemantics and shared with the
+// compiled Tape: every intermediate value is masked to its term's width
+// (for W == 64 the machine word is the mask), boolean variables read only
+// the least-significant bit of their assigned value, and shifts whose
+// amount is >= the operand width yield zero. Callers on a hot path should
+// prefer an Evaluator (reusable memo) or a compiled Tape (64 assignments
+// per run) — Eval allocates a fresh memo every call.
 func Eval(t *Term, a Assignment) uint64 {
 	memo := make(map[*Term]uint64)
 	return eval(t, a, memo)
+}
+
+// Evaluator is a reusable Eval: it keeps one memo table across calls and
+// clears it instead of reallocating, so steady-state evaluation does not
+// allocate at all (the map's buckets persist). Not safe for concurrent
+// use — workers own their evaluator, per the isolate-first-then-share
+// discipline.
+type Evaluator struct {
+	memo map[*Term]uint64
+}
+
+// NewEvaluator returns an evaluator with a warm memo table.
+func NewEvaluator() *Evaluator {
+	return &Evaluator{memo: make(map[*Term]uint64, 256)}
+}
+
+// Eval is Eval with the evaluator's reusable memo.
+func (ev *Evaluator) Eval(t *Term, a Assignment) uint64 {
+	if ev.memo == nil {
+		ev.memo = make(map[*Term]uint64, 256)
+	}
+	clear(ev.memo)
+	return eval(t, a, ev.memo)
 }
 
 func eval(t *Term, a Assignment, memo map[*Term]uint64) uint64 {
@@ -20,11 +51,23 @@ func eval(t *Term, a Assignment, memo map[*Term]uint64) uint64 {
 	var out uint64
 	switch t.Op {
 	case OpVar:
-		out = mask(a[t.Name], t.W)
+		if t.W == 0 {
+			// Boolean variables read the least-significant bit: mask(v, 0)
+			// would pass the raw value through, and a non-0/1 boolean breaks
+			// every downstream operator that assumes the 0/1 contract
+			// (Not's complement, Or's ==1 test). Solver models always assign
+			// 0/1; hand-built assignments get normalized here.
+			out = a[t.Name] & 1
+		} else {
+			out = mask(a[t.Name], t.W)
+		}
 	case OpConst:
 		out = t.Val
 	case OpNot:
-		out = 1 - eval(t.Args[0], a, memo)
+		// Operands are boolean by construction and evaluate to 0/1 (see
+		// OpVar), so complement is a xor — unlike 1-x it cannot underflow
+		// if that invariant is ever violated.
+		out = eval(t.Args[0], a, memo) ^ 1
 	case OpAnd:
 		out = 1
 		for _, x := range t.Args {

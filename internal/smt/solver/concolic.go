@@ -1,0 +1,51 @@
+package solver
+
+import (
+	"context"
+
+	"gauntlet/internal/smt"
+)
+
+// ConcolicResult reports how one equivalence query moved through the
+// concrete-first pipeline: whether the bit-parallel tape falsified it
+// (zero solver work) and how many concrete packets were spent trying.
+type ConcolicResult struct {
+	// Falsified is true when the tape found a concrete counterexample;
+	// the query never reached the SAT solver.
+	Falsified bool
+	// Packets is the number of concrete input assignments executed
+	// (64 per tape batch).
+	Packets uint64
+}
+
+// EquivalentConcolic decides a miter the concrete-first way: run the
+// compiled bit-parallel tape over `rounds` batches of deterministic
+// pseudo-random assignments (64 packets per batch, inputs derived from
+// (seed, tape fingerprint) — never wall clock or a global RNG), and only
+// fall back to the symbolic solver when no batch falsifies. This is the
+// fallback boundary between the concolic fast path and the SAT stack:
+// a concrete counterexample is a definitive Sat verdict — it is an
+// assignment the caller can replay — while a survived tape proves
+// nothing and hands the query to EquivalentContext unchanged.
+//
+// The witness is re-checked against smt.Eval before it is trusted, so a
+// tape/Eval divergence degrades to the solver path instead of reporting
+// a bogus counterexample.
+func EquivalentConcolic(ctx context.Context, maxConflicts int, eq *smt.Term, tp *smt.Tape, seed uint64, rounds int) (bool, smt.Assignment, Status, ConcolicResult) {
+	var cr ConcolicResult
+	if tp != nil && rounds > 0 {
+		cex, packets, ok := tp.Falsify(seed, rounds)
+		cr.Packets = packets
+		if ok {
+			if smt.Eval(eq, cex) == 0 {
+				cr.Falsified = true
+				return false, cex, Sat, cr
+			}
+			// Divergence between tape and Eval: never report it as a
+			// verdict — fall through to the solver. (Differential fuzz
+			// keeps this branch dead; it exists as a safety net.)
+		}
+	}
+	equal, model, st := EquivalentContext(ctx, maxConflicts, eq, smt.True)
+	return equal, model, st, cr
+}

@@ -10,6 +10,7 @@ package testgen
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"gauntlet/internal/bitstream"
@@ -55,6 +56,15 @@ type Options struct {
 	// large-value model steering and the complement second model — the
 	// ablation showing why §6.2 asks Z3 for non-zero pairs.
 	DisablePreferences bool
+	// DisableSteering turns off concrete-trace branch ordering: by
+	// default, two 64-packet batches of deterministic pseudo-random
+	// inputs run through a bit-parallel tape over the toggled branch
+	// conditions, and each condition's rarely-taken polarity is probed
+	// first — so under a binding MaxCases budget the suite covers the
+	// paths random execution would miss, instead of re-deriving the
+	// common ones. Ordering is a pure function of the condition terms'
+	// structure, so it is identical across runs and worker counts.
+	DisableSteering bool
 	// SMT is the context the symbolic pipeline and every auxiliary
 	// constraint are built in (nil = the default context). The engine
 	// passes its current epoch context so test generation's terms are
@@ -234,6 +244,15 @@ func FromPipelineContext(ctx context.Context, prog *ast.Program, pipe *sym.Pipel
 		return g
 	}
 
+	// Concrete trace steering: which polarity to probe first, per
+	// condition (true = the true side is common under random inputs, so
+	// probe the false side first).
+	var bias []bool
+	if !opts.DisableSteering {
+		bias = steerBias(conds)
+	}
+
+	ev := smt.NewEvaluator()
 	var cases []Case
 	seen := map[string]bool{}
 	// DFS over branch polarities, pruning unsatisfiable prefixes: real
@@ -249,7 +268,7 @@ func FromPipelineContext(ctx context.Context, prog *ast.Program, pipe *sym.Pipel
 				return
 			}
 			add := func(m smt.Assignment) {
-				c := buildCase(prog, pipe, m, id)
+				c := buildCase(prog, pipe, m, id, ev)
 				key := fmt.Sprintf("%x|%v|%v", c.Packet, c.ExpectDrop, c.ExpectPacket)
 				if !seen[key] {
 					seen[key] = true
@@ -270,7 +289,7 @@ func FromPipelineContext(ctx context.Context, prog *ast.Program, pipe *sym.Pipel
 					if f.IsBool() || f.IsConst() {
 						continue
 					}
-					v := smt.Eval(f, res.Model)
+					v := ev.Eval(f, res.Model)
 					compl = append(compl, pinField(f, ^v))
 				}
 				res2 := sess.SolveAssumingSoft(fixed, compl)
@@ -281,17 +300,20 @@ func FromPipelineContext(ctx context.Context, prog *ast.Program, pipe *sym.Pipel
 			return
 		}
 		// Quick feasibility probe per polarity (an incremental query, not
-		// a fresh solver).
-		for pi, lit := range [2]solver.Lit{condLits[idx], condLits[idx].Neg()} {
+		// a fresh solver). The PathID mark records the polarity actually
+		// taken, so steering reorders exploration without renaming paths.
+		pair := [2]solver.Lit{condLits[idx], condLits[idx].Neg()}
+		marks := [2]string{"1", "0"}
+		if bias != nil && bias[idx] {
+			pair[0], pair[1] = pair[1], pair[0]
+			marks[0], marks[1] = marks[1], marks[0]
+		}
+		for pi, lit := range pair {
 			if len(cases) >= opts.MaxCases {
 				return
 			}
 			if sess.SolveAssuming(append(fixed, lit)...).Status == solver.Sat {
-				mark := "1"
-				if pi == 1 {
-					mark = "0"
-				}
-				walk(idx+1, append(fixed, lit), id+mark)
+				walk(idx+1, append(fixed, lit), id+marks[pi])
 			}
 		}
 	}
@@ -342,9 +364,58 @@ func havocWidth(name string) int {
 	return w
 }
 
+// steerSeed keys the deterministic input batches used for branch-bias
+// measurement. A fixed constant: the batches themselves still vary per
+// program because the tape fingerprint (structural, run-stable) is mixed
+// into every derivation.
+const steerSeed = 0x5ee7a11c0113c0de
+
+// steerRounds is the concrete budget for bias measurement: two 64-packet
+// batches per program. More rounds sharpen the estimate but the sign of
+// the bias — all enumeration needs — stabilizes almost immediately on
+// the skewed conditions that matter.
+const steerRounds = 2
+
+// steerBias executes the toggled branch conditions bit-parallel over
+// deterministic pseudo-random packets and reports, per condition, whether
+// random concrete execution mostly takes the true side. Enumeration then
+// probes the minority side first: those are the branches random traces
+// leave unexplored.
+func steerBias(conds []*smt.Term) []bool {
+	if len(conds) == 0 {
+		return nil
+	}
+	tp := smt.CompileTape(conds...)
+	e := tp.Exec()
+	defer tp.Release(e)
+	taken := make([]int, len(conds))
+	for r := 0; r < steerRounds; r++ {
+		e.FillRound(steerSeed, r)
+		e.Run()
+		for i := range conds {
+			taken[i] += bits.OnesCount64(e.RootBits(i))
+		}
+	}
+	bias := make([]bool, len(conds))
+	for i, n := range taken {
+		bias[i] = 2*n > steerRounds*64
+	}
+	return bias
+}
+
+// CaseFromModel materializes one already-solved (or cached) model into a
+// concrete test case. It is the replay entry point: a mismatch-reduction
+// predicate holds the original finding's Case.Model and re-derives the
+// expected output against a reduction candidate's pipeline without any
+// solver work.
+func CaseFromModel(prog *ast.Program, pipe *sym.Pipeline, m smt.Assignment, id string) Case {
+	return buildCase(prog, pipe, m, id, smt.NewEvaluator())
+}
+
 // buildCase materializes one model into packet bytes, table entries and
-// the expected output.
-func buildCase(prog *ast.Program, pipe *sym.Pipeline, m smt.Assignment, id string) Case {
+// the expected output. The evaluator is reused across cases so the per-
+// case term walks stop allocating memo tables.
+func buildCase(prog *ast.Program, pipe *sym.Pipeline, m smt.Assignment, id string, ev *smt.Evaluator) Case {
 	c := Case{Model: m, PathID: id}
 
 	// Input packet.
@@ -361,17 +432,17 @@ func buildCase(prog *ast.Program, pipe *sym.Pipeline, m smt.Assignment, id strin
 	c.Config = ConfigFromModel(prog, m)
 
 	// Expected output.
-	if smt.Eval(pipe.Reject, m) == 1 {
+	if ev.Eval(pipe.Reject, m) == 1 {
 		c.ExpectDrop = true
 		return c
 	}
 	ow := bitstream.NewWriter()
 	for _, e := range pipe.Emits {
-		if smt.Eval(e.Cond, m) != 1 {
+		if ev.Eval(e.Cond, m) != 1 {
 			continue
 		}
 		for _, f := range e.Fields {
-			_ = ow.WriteBits(smt.Eval(f.Term, m), f.Term.W)
+			_ = ow.WriteBits(ev.Eval(f.Term, m), f.Term.W)
 		}
 	}
 	c.ExpectPacket = ow.Bytes()

@@ -44,6 +44,7 @@ type Cache struct {
 	mu       sync.RWMutex
 	blocks   map[uint64]*sym.Block
 	verdicts map[uint64]verdictEntry
+	tapes    map[uint64]*smt.Tape
 	counters *CacheCounters
 }
 
@@ -58,6 +59,12 @@ type CacheCounters struct {
 	blockHits, blockMisses     atomic.Uint64
 	verdictHits, verdictMisses atomic.Uint64
 	simpResolved               atomic.Uint64
+
+	tapesCompiled     atomic.Uint64
+	concolicFalsified atomic.Uint64
+	concolicPackets   atomic.Uint64
+	replayHits        atomic.Uint64
+	solverFallbacks   atomic.Uint64
 }
 
 // Snapshot reads the counters.
@@ -65,7 +72,12 @@ func (cc *CacheCounters) Snapshot() CacheStats {
 	return CacheStats{
 		BlockHits: cc.blockHits.Load(), BlockMisses: cc.blockMisses.Load(),
 		VerdictHits: cc.verdictHits.Load(), VerdictMisses: cc.verdictMisses.Load(),
-		SimpResolved: cc.simpResolved.Load(),
+		SimpResolved:      cc.simpResolved.Load(),
+		TapesCompiled:     cc.tapesCompiled.Load(),
+		ConcolicFalsified: cc.concolicFalsified.Load(),
+		ConcolicPackets:   cc.concolicPackets.Load(),
+		ReplayHits:        cc.replayHits.Load(),
+		SolverFallbacks:   cc.solverFallbacks.Load(),
 	}
 }
 
@@ -87,6 +99,7 @@ func NewCacheIn(sctx *smt.Context) *Cache {
 		ctx:      sctx,
 		blocks:   map[uint64]*sym.Block{},
 		verdicts: map[uint64]verdictEntry{},
+		tapes:    map[uint64]*smt.Tape{},
 		counters: &CacheCounters{},
 	}
 }
@@ -116,6 +129,25 @@ type CacheStats struct {
 	// a proven inequivalence — still takes the solver path, because the
 	// report needs a counterexample assignment.
 	SimpResolved uint64
+	// TapesCompiled counts miters compiled to bit-parallel tapes (each
+	// simplified miter compiles once per cache lifetime; reruns hit the
+	// tape map).
+	TapesCompiled uint64
+	// ConcolicFalsified counts equivalence queries answered by a concrete
+	// counterexample from the tape — mismatch verdicts that cost zero
+	// solver work.
+	ConcolicFalsified uint64
+	// ConcolicPackets counts concrete input assignments executed by the
+	// tape (64 per batch), across falsified and survived queries alike.
+	ConcolicPackets uint64
+	// ReplayHits counts queries decided by replaying a caller-provided
+	// counterexample hint (one packet) through the tape — the
+	// mismatch-reduction fast path. Hint verdicts are never cached: which
+	// hint a caller holds depends on its history, not on the miter.
+	ReplayHits uint64
+	// SolverFallbacks counts queries where the concolic stage ran and
+	// failed to falsify, so a full solver session was built after all.
+	SolverFallbacks uint64
 }
 
 // Snapshot returns all cache counters at once (the engine's Stats path).
@@ -130,6 +162,11 @@ func (s *CacheStats) Add(o CacheStats) {
 	s.VerdictHits += o.VerdictHits
 	s.VerdictMisses += o.VerdictMisses
 	s.SimpResolved += o.SimpResolved
+	s.TapesCompiled += o.TapesCompiled
+	s.ConcolicFalsified += o.ConcolicFalsified
+	s.ConcolicPackets += o.ConcolicPackets
+	s.ReplayHits += o.ReplayHits
+	s.SolverFallbacks += o.SolverFallbacks
 }
 
 // contextKey hashes every top-level declaration a block's formula can
@@ -210,7 +247,17 @@ func (c *Cache) blockForm(prog *ast.Program, consts uint64, d ast.Decl) (*sym.Bl
 // like conflict-budget exhaustion — an Unknown is never cached: a timeout
 // under one budget must not poison the verdict for a later, larger-budget
 // query keyed on the same simplified miter.
-func (c *Cache) equivalent(ctx context.Context, a, b *sym.Block, maxConflicts int) (bool, smt.Assignment, solver.Status) {
+//
+// Between the verdict cache and the solver sits the concolic fast path
+// (unless con.Disable): the simplified miter is compiled once into a
+// bit-parallel tape, caller-provided counterexample hints are replayed
+// first (one packet each; a hit is an immediate Sat that is NOT cached,
+// because which hint a caller holds depends on its history, not on the
+// miter), then batches of deterministic pseudo-random packets try to
+// falsify it before any solver.Session is built. Tape-found verdicts ARE
+// cached: the witness is a pure function of (seed, miter structure,
+// rounds), so every worker that would compute it computes the same one.
+func (c *Cache) equivalent(ctx context.Context, a, b *sym.Block, maxConflicts int, con Concolic) (bool, smt.Assignment, solver.Status) {
 	if a == b {
 		// Same interned formula object: equal by construction.
 		return true, nil, solver.Unsat
@@ -234,7 +281,25 @@ func (c *Cache) equivalent(ctx context.Context, a, b *sym.Block, maxConflicts in
 		c.counters.verdictHits.Add(1)
 		return e.equivalent, e.counterexample, e.status
 	}
-	equal, cex, st := solver.EquivalentContext(ctx, maxConflicts, eq, smt.True)
+	var tp *smt.Tape
+	rounds := 0
+	if !con.Disable {
+		tp = c.tape(key, eq)
+		for _, h := range con.Hints {
+			if h != nil && tp.EvalOnce(h) == 0 {
+				c.counters.replayHits.Add(1)
+				return false, tp.Restrict(h), solver.Sat
+			}
+		}
+		rounds = con.rounds()
+	}
+	equal, cex, st, cr := solver.EquivalentConcolic(ctx, maxConflicts, eq, tp, con.Seed, rounds)
+	c.counters.concolicPackets.Add(cr.Packets)
+	if cr.Falsified {
+		c.counters.concolicFalsified.Add(1)
+	} else if tp != nil {
+		c.counters.solverFallbacks.Add(1)
+	}
 	c.counters.verdictMisses.Add(1)
 	c.mu.Lock()
 	if st != solver.Unknown {
@@ -242,4 +307,28 @@ func (c *Cache) equivalent(ctx context.Context, a, b *sym.Block, maxConflicts in
 	}
 	c.mu.Unlock()
 	return equal, cex, st
+}
+
+// tape returns the compiled bit-parallel tape for a simplified miter,
+// compiling and memoizing on miss. Tapes key on the same canonical ID as
+// verdicts and share the cache's lifetime: epoch rotation retires the
+// tape map together with its context, so a tape never outlives the terms
+// it was compiled from.
+func (c *Cache) tape(key uint64, eq *smt.Term) *smt.Tape {
+	c.mu.RLock()
+	tp, ok := c.tapes[key]
+	c.mu.RUnlock()
+	if ok {
+		return tp
+	}
+	tp = smt.CompileTape(eq)
+	c.counters.tapesCompiled.Add(1)
+	c.mu.Lock()
+	if prev, ok := c.tapes[key]; ok {
+		tp = prev // keep the first winner; its executor pool is warm
+	} else {
+		c.tapes[key] = tp
+	}
+	c.mu.Unlock()
+	return tp
 }

@@ -1,0 +1,215 @@
+package validate_test
+
+import (
+	"testing"
+
+	"gauntlet/internal/smt"
+	"gauntlet/internal/smt/solver"
+	"gauntlet/internal/validate"
+)
+
+const satSrc = `
+control ig(inout bit<8> x) {
+    apply { x = x |+| 8w200; }
+}`
+
+const wrapSrc = `
+control ig(inout bit<8> x) {
+    apply { x = x + 8w200; }
+}`
+
+// TestConcolicFalsifySameVerdictAsSolver is the regression bar from the
+// fast-path design: a miter the tape falsifies concretely must yield the
+// same Verdict as the solver path — same equivalence bit, same status —
+// and a witness that genuinely distinguishes the programs.
+func TestConcolicFalsifySameVerdictAsSolver(t *testing.T) {
+	check := func(name string, con validate.Concolic) validate.Verdict {
+		cache := validate.NewCache()
+		a := mustProg(t, satSrc)
+		b := mustProg(t, wrapSrc)
+		verdicts, err := validate.Pair(a, b, validate.Options{Cache: cache, Concolic: con})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fails := validate.Failures(verdicts)
+		if len(fails) != 1 {
+			t.Fatalf("%s: saturating vs wrapping add should differ: %v", name, verdicts)
+		}
+		v := fails[0]
+		if v.Status != solver.Sat || v.Equivalent {
+			t.Fatalf("%s: want Sat inequivalence, got %+v", name, v)
+		}
+		// Any true witness makes the addition overflow (that is the only
+		// input region where saturating and wrapping add differ).
+		if x := v.Counterexample["x"]; x+200 <= 255 {
+			t.Errorf("%s: counterexample x=%d does not overflow", name, x)
+		}
+		return v
+	}
+	fast := check("concolic", validate.Concolic{})
+	slow := check("solver", validate.Concolic{Disable: true})
+	if fast.Equivalent != slow.Equivalent || fast.Status != slow.Status {
+		t.Errorf("verdicts diverge: concolic %+v vs solver %+v", fast, slow)
+	}
+}
+
+// TestConcolicCounters pins the accounting: a falsifiable miter bumps
+// TapesCompiled and ConcolicFalsified (no solver fallback), and the
+// verdict — witness included — is cached, so the rerun is a pure hit.
+func TestConcolicCounters(t *testing.T) {
+	cache := validate.NewCache()
+	a := mustProg(t, satSrc)
+	b := mustProg(t, wrapSrc)
+	opts := validate.Options{Cache: cache}
+	if _, err := validate.Pair(a, b, opts); err != nil {
+		t.Fatal(err)
+	}
+	s := cache.Snapshot()
+	if s.TapesCompiled == 0 {
+		t.Errorf("no tapes compiled: %+v", s)
+	}
+	if s.ConcolicFalsified == 0 {
+		t.Errorf("falsifiable miter not falsified concretely: %+v", s)
+	}
+	if s.ConcolicPackets == 0 {
+		t.Errorf("no packets accounted: %+v", s)
+	}
+	first, err := validate.Pair(a, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := cache.Snapshot()
+	if s2.VerdictHits == 0 {
+		t.Errorf("second query missed the verdict cache: %+v", s2)
+	}
+	if s2.TapesCompiled != s.TapesCompiled {
+		t.Errorf("rerun recompiled tapes: %d -> %d", s.TapesCompiled, s2.TapesCompiled)
+	}
+	if x := validate.Failures(first)[0].Counterexample["x"]; x+200 <= 255 {
+		t.Errorf("cached witness x=%d does not overflow", x)
+	}
+}
+
+// TestConcolicEquivalentPairFallsBack: an equivalent pair can never be
+// falsified, so unless simplification already resolved it the query falls
+// back to the solver — and is never misreported as a mismatch.
+func TestConcolicEquivalentPairFallsBack(t *testing.T) {
+	cache := validate.NewCache()
+	a := mustProg(t, `
+control ig(inout bit<8> x) {
+    apply { x = x * 8w2; }
+}`)
+	b := mustProg(t, `
+control ig(inout bit<8> x) {
+    apply { x = x << 8w1; }
+}`)
+	verdicts, err := validate.Pair(a, b, validate.Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(validate.Failures(verdicts)) != 0 {
+		t.Fatalf("equivalent pair flagged: %v", verdicts)
+	}
+	s := cache.Snapshot()
+	if s.ConcolicFalsified != 0 {
+		t.Errorf("equivalent miter reported falsified: %+v", s)
+	}
+	if s.SimpResolved == 0 && s.SolverFallbacks == 0 {
+		t.Errorf("equivalent pair resolved neither by simplifier nor solver: %+v", s)
+	}
+}
+
+// TestConcolicHintReplay: a caller-provided counterexample decides the
+// query in one packet (ReplayHits), and hint-derived verdicts are never
+// written to the verdict cache — a later hint-free query computes the
+// canonical verdict instead of inheriting history-dependent state.
+func TestConcolicHintReplay(t *testing.T) {
+	a := mustProg(t, satSrc)
+	b := mustProg(t, wrapSrc)
+
+	// Harvest a genuine witness from a canonical run.
+	seedCache := validate.NewCache()
+	verdicts, err := validate.Pair(a, b, validate.Options{Cache: seedCache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cex := validate.Failures(verdicts)[0].Counterexample
+	if cex == nil {
+		t.Fatal("no counterexample harvested")
+	}
+
+	cache := validate.NewCache()
+	opts := validate.Options{Cache: cache, Concolic: validate.Concolic{Hints: []smt.Assignment{cex}}}
+	hinted, err := validate.Pair(mustProg(t, satSrc), mustProg(t, wrapSrc), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := validate.Failures(hinted)
+	if len(fails) != 1 {
+		t.Fatalf("hinted query missed the inequivalence: %v", hinted)
+	}
+	if x := fails[0].Counterexample["x"]; x+200 <= 255 {
+		t.Errorf("replayed witness x=%d does not overflow", x)
+	}
+	s := cache.Snapshot()
+	if s.ReplayHits != 1 {
+		t.Errorf("want 1 replay hit, got %+v", s)
+	}
+	if s.ConcolicFalsified != 0 || s.SolverFallbacks != 0 {
+		t.Errorf("hint hit should preempt batches and solver: %+v", s)
+	}
+	// Not cached: the same query replays the hint again rather than
+	// hitting the verdict cache.
+	if _, err := validate.Pair(mustProg(t, satSrc), mustProg(t, wrapSrc), opts); err != nil {
+		t.Fatal(err)
+	}
+	s2 := cache.Snapshot()
+	if s2.ReplayHits != 2 {
+		t.Errorf("hint verdict was cached (want second replay): %+v", s2)
+	}
+	if s2.VerdictHits != 0 {
+		t.Errorf("hint verdict leaked into the verdict cache: %+v", s2)
+	}
+}
+
+// TestConcolicDisabled: Disable must keep the tape machinery fully cold.
+func TestConcolicDisabled(t *testing.T) {
+	cache := validate.NewCache()
+	opts := validate.Options{Cache: cache, Concolic: validate.Concolic{Disable: true,
+		Hints: []smt.Assignment{{"x": 255}}}}
+	verdicts, err := validate.Pair(mustProg(t, satSrc), mustProg(t, wrapSrc), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(validate.Failures(verdicts)) != 1 {
+		t.Fatalf("solver path missed the inequivalence: %v", verdicts)
+	}
+	s := cache.Snapshot()
+	if s.TapesCompiled != 0 || s.ConcolicFalsified != 0 || s.ReplayHits != 0 || s.ConcolicPackets != 0 {
+		t.Errorf("disabled concolic stage still ran: %+v", s)
+	}
+}
+
+// TestConcolicWitnessDeterministic: the falsifying witness is a pure
+// function of (seed, miter structure) — two fresh caches over the same
+// pair produce byte-identical counterexamples.
+func TestConcolicWitnessDeterministic(t *testing.T) {
+	get := func() smt.Assignment {
+		cache := validate.NewCache()
+		verdicts, err := validate.Pair(mustProg(t, satSrc), mustProg(t, wrapSrc),
+			validate.Options{Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return validate.Failures(verdicts)[0].Counterexample
+	}
+	a, b := get(), get()
+	if len(a) != len(b) {
+		t.Fatalf("witnesses differ in shape: %v vs %v", a, b)
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("witnesses differ at %s: %d vs %d", k, v, b[k])
+		}
+	}
+}

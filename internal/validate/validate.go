@@ -52,10 +52,52 @@ func (v Verdict) String() string {
 type Options struct {
 	// MaxConflicts bounds each solver call (0 = unbounded).
 	MaxConflicts int
-	// Cache memoizes block formulas and equivalence verdicts. Optional:
-	// nil gives each call a private cache (intra-compilation reuse only).
-	// A campaign shares one cache across hunts and worker goroutines.
+	// Cache memoizes block formulas, equivalence verdicts and compiled
+	// miter tapes. Optional: nil gives each call a private cache
+	// (intra-compilation reuse only). A campaign shares one cache across
+	// hunts and worker goroutines.
 	Cache *Cache
+	// Concolic configures the bit-parallel concrete fast path that runs
+	// under every equivalence query. The zero value enables it with the
+	// default budget.
+	Concolic Concolic
+}
+
+// DefaultConcolicRounds is the concrete budget per fresh equivalence
+// query: rounds × 64 packets through the compiled tape before the solver
+// is consulted. Four batches (256 packets) falsify the overwhelming
+// majority of falsifiable miters — defect-injected pass pairs diverge on
+// dense input regions — while costing microseconds on survived queries.
+const DefaultConcolicRounds = 4
+
+// Concolic configures the concrete falsification stage of equivalence
+// checking. The zero value means "enabled, default budget, seed 0" —
+// deterministic across runs and worker counts by construction, because
+// batch inputs derive only from (Seed, miter structure), never from wall
+// clock or a global RNG.
+type Concolic struct {
+	// Disable skips the tape entirely: every fresh query goes straight to
+	// the solver (the PR 3 behavior). Used by the differential tests that
+	// prove finding-set invariance, and available for bisection.
+	Disable bool
+	// Rounds is the number of 64-packet batches per query (0 =
+	// DefaultConcolicRounds).
+	Rounds int
+	// Seed perturbs the deterministic input derivation. Campaigns keep it
+	// fixed so every worker derives identical batches for a given miter.
+	Seed uint64
+	// Hints are known counterexample assignments to replay first, one
+	// packet each — a reduction predicate holds the original program's
+	// witness and most reduction candidates still fail on it. A hint hit
+	// answers the query without batches and without the solver.
+	Hints []smt.Assignment
+}
+
+func (c Concolic) rounds() int {
+	if c.Rounds <= 0 {
+		return DefaultConcolicRounds
+	}
+	return c.Rounds
 }
 
 func (o Options) cache() *Cache {
@@ -149,7 +191,7 @@ func SnapshotsContext(ctx context.Context, res *compiler.Result, opts Options) (
 				continue // block introduced by the pass (not in subset)
 			}
 			v := Verdict{PassA: prevPass, PassB: snap.Pass, Block: name}
-			v.Equivalent, v.Counterexample, v.Status = cache.equivalent(ctx, a, b, opts.MaxConflicts)
+			v.Equivalent, v.Counterexample, v.Status = cache.equivalent(ctx, a, b, opts.MaxConflicts, opts.Concolic)
 			out = append(out, v)
 		}
 		prevForms, prevPass, prevHash = forms, snap.Pass, snap.Hash
@@ -187,7 +229,7 @@ func Pair(a, b *ast.Program, opts Options) ([]Verdict, error) {
 			continue
 		}
 		v := Verdict{PassA: "A", PassB: "B", Block: name}
-		v.Equivalent, v.Counterexample, v.Status = cache.equivalent(context.Background(), formsA[name], fb, opts.MaxConflicts)
+		v.Equivalent, v.Counterexample, v.Status = cache.equivalent(context.Background(), formsA[name], fb, opts.MaxConflicts, opts.Concolic)
 		out = append(out, v)
 	}
 	return out, nil

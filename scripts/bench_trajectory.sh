@@ -1,18 +1,21 @@
 #!/usr/bin/env bash
 # bench_trajectory.sh — run the validation-hot-path, corpus-engine,
-# serve-mode and resilience benchmark suite and emit BENCH_6.json
-# (programs/sec, ns/equivalence-query, gate-reuse %, corpus admission
-# rate and coverage-fingerprint counts for generation vs mutation mode,
-# per-epoch context bytes for the rotating engine, and the robustness
-# layer's throughput overhead).
+# serve-mode, resilience and concolic benchmark suite and emit
+# BENCH_7.json (programs/sec, ns/equivalence-query, gate-reuse %, corpus
+# admission rate and coverage-fingerprint counts for generation vs
+# mutation mode, per-epoch context bytes for the rotating engine, the
+# robustness layer's throughput overhead, and the concolic fast path's
+# falsification rate, packets/sec and on-vs-off per-query cost).
 #
 # The JSON conversion doubles as a smoke gate: it exits nonzero when a
 # headline benchmark is missing, the structural-hash path reports a zero
 # gate-reuse rate, mutation-mode throughput drops below half of
 # generation-mode, per-epoch context memory grows more than 15%
-# epoch-over-epoch (the serve-mode plateau gate), or arming the
-# robustness layer (watchdogs + journal/checkpointing) costs more than
-# 5% of plain fuzz throughput.
+# epoch-over-epoch (the serve-mode plateau gate), arming the robustness
+# layer (watchdogs + journal/checkpointing) costs more than 5% of plain
+# fuzz throughput, the concolic tape falsifies nothing on the
+# defect-seeded workload, or the fast path costs more than 5% over
+# solver-only ns/equivalence-query.
 #
 #   BENCHTIME=5x scripts/bench_trajectory.sh      # more iterations
 #   scripts/bench_trajectory.sh                   # default 2x
@@ -20,8 +23,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-2x}"
-pattern='EquivalenceQuery|Sec52_PipelineThroughput|Table2_BugSummary|EngineFuzz|GateReuse|CorpusFuzz|ServeEpochs|ResilientFuzz'
-artifact="BENCH_6.json"
+pattern='EquivalenceQuery|Sec52_PipelineThroughput|Table2_BugSummary|EngineFuzz|GateReuse|CorpusFuzz|ServeEpochs|ResilientFuzz|ConcolicFalsify'
+artifact="BENCH_7.json"
 out="$(mktemp)"
 # On any failure, remove the scratch file AND any partially-written
 # artifact: a truncated BENCH_*.json must never survive to be read as a
