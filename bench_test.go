@@ -5,7 +5,9 @@ package gauntlet_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -20,6 +22,7 @@ import (
 	"gauntlet/internal/p4/printer"
 	"gauntlet/internal/p4/types"
 	"gauntlet/internal/persist"
+	"gauntlet/internal/reduce"
 	"gauntlet/internal/smt"
 	"gauntlet/internal/smt/solver"
 	"gauntlet/internal/sym"
@@ -747,3 +750,97 @@ func BenchmarkResilientFuzz(b *testing.B) {
 }
 
 var resilientPlainRate float64
+
+// BenchmarkParallelReduce measures speculative reduction on harvested
+// compile-crash witnesses: a window of 1 (exact serial ddmin) against a
+// window of 8 over the same findings, one finding at a time, so
+// within-finding speculation is the only parallelism in play. The
+// benchjson CI gate requires witness-diff == 0 at any core count — the
+// reduced programs must be byte-identical, speculation may only buy or
+// cost time — and scales its speedup floor with GOMAXPROCS: ≈linear on
+// ≥8 cores, while on a single-core runner speculation cannot pay and the
+// gate only bounds the waste overhead (see the procs metric).
+func BenchmarkParallelReduce(b *testing.B) {
+	reg := bugs.Load()
+	var active []*bugs.Bug
+	for _, id := range []string{"P4C-C-04", "P4C-C-13"} {
+		bug := reg.ByID(id)
+		if bug == nil {
+			b.Fatalf("registry has no bug %s", id)
+		}
+		active = append(active, bug)
+	}
+	comp := compiler.New(bugs.Instrument(compiler.DefaultPasses(), active)...)
+	type witness struct {
+		prog *ast.Program
+		pass string
+	}
+	var wits []witness
+	for seed := int64(0); len(wits) < 6 && seed < 96; seed++ {
+		prog := generator.Generate(generator.DefaultConfig(seed))
+		if _, err := comp.Compile(prog); err != nil {
+			var ce *compiler.CrashError
+			if errors.As(err, &ce) {
+				wits = append(wits, witness{prog, ce.Pass})
+			}
+		}
+	}
+	if len(wits) < 4 {
+		b.Fatalf("only %d crash witnesses harvested; the seeded defects should fire more often", len(wits))
+	}
+	keepFor := func(w witness) reduce.PredicateCtx {
+		return func(_ context.Context, cand *ast.Program) bool {
+			_, err := comp.Compile(cand)
+			var ce *compiler.CrashError
+			return errors.As(err, &ce) && ce.Pass == w.pass
+		}
+	}
+	run := func(b *testing.B, par int) (float64, []string) {
+		var outs []string
+		var agg reduce.Stats
+		for i := 0; i < b.N; i++ {
+			outs = outs[:0]
+			for _, w := range wits {
+				red, st := reduce.ReduceStats(context.Background(), w.prog, keepFor(w),
+					reduce.Options{MaxRounds: 3, MaxPredicateCalls: 400, Parallelism: par})
+				outs = append(outs, printer.Print(red))
+				agg.SerialCalls += st.SerialCalls
+				agg.Launched += st.Launched
+				agg.Wasted += st.Wasted
+			}
+		}
+		perWitness := float64(b.N * len(wits))
+		ns := float64(b.Elapsed().Nanoseconds()) / perWitness
+		b.ReportMetric(ns, "ns/witness")
+		b.ReportMetric(float64(agg.SerialCalls)/perWitness, "serial-calls/witness")
+		if agg.Launched > 0 {
+			b.ReportMetric(float64(agg.Wasted)/float64(agg.Launched)*100, "wasted-%")
+		}
+		return ns, append([]string(nil), outs...)
+	}
+	b.Run("serial", func(b *testing.B) {
+		parReduceSerialNs, parReduceSerialOut = run(b, 1)
+	})
+	b.Run("spec8", func(b *testing.B) {
+		ns, outs := run(b, 8)
+		diff := 0
+		switch {
+		case len(parReduceSerialOut) != len(outs):
+			diff = len(outs)
+		default:
+			for i := range outs {
+				if outs[i] != parReduceSerialOut[i] {
+					diff++
+				}
+			}
+		}
+		b.ReportMetric(float64(diff), "witness-diff")
+		if parReduceSerialNs > 0 {
+			b.ReportMetric(parReduceSerialNs/ns, "x-vs-serial")
+		}
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "procs")
+	})
+}
+
+var parReduceSerialNs float64
+var parReduceSerialOut []string

@@ -1,12 +1,13 @@
 // Command benchjson converts `go test -bench` output (read from stdin)
-// into the repository's benchmark-trajectory artifact (BENCH_7.json,
+// into the repository's benchmark-trajectory artifact (BENCH_8.json,
 // written to stdout): one JSON object with the raw per-benchmark numbers
 // plus the headline metrics the trajectory tracks — programs/sec through
 // the validation pipeline, ns per equivalence query, the structural
 // gate-cache reuse rate, the corpus engine's coverage metrics
 // (admission rate, unique coverage fingerprints, mutation-mode
-// throughput), the serve mode's per-epoch context bytes, and the
-// concolic fast path's falsification rate and per-query cost.
+// throughput), the serve mode's per-epoch context bytes, the concolic
+// fast path's falsification rate and per-query cost, and the speculative
+// reducer's speedup and waste over exact serial ddmin.
 //
 // It doubles as the CI smoke gate: missing headline benchmarks, a zero
 // gate-reuse rate, mutation-mode throughput below half of
@@ -15,14 +16,16 @@
 // steady-state memory), the robustness layer — stage watchdogs, the
 // oracle deadline ladder and the durable journal/checkpoint path —
 // costing more than 5% of plain fuzz throughput, a zero concrete
-// falsification rate on the defect-seeded workload, or the concolic
-// stage costing more than 5% over solver-only ns/equivalence-query exit
-// nonzero, so a regression fails the workflow instead of silently
-// flattening the trajectory.
+// falsification rate on the defect-seeded workload, the concolic
+// stage costing more than 5% over solver-only ns/equivalence-query, a
+// speculatively reduced witness differing by even one byte from the
+// serial reduction, or speculative reduction falling below its
+// core-count-scaled speedup floor exit nonzero, so a regression fails
+// the workflow instead of silently flattening the trajectory.
 //
 // Usage:
 //
-//	go test -run=NONE -bench='...' . | go run ./cmd/benchjson > BENCH_7.json
+//	go test -run=NONE -bench='...' . | go run ./cmd/benchjson > BENCH_8.json
 package main
 
 import (
@@ -41,7 +44,7 @@ type Bench struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Artifact is the BENCH_7.json schema.
+// Artifact is the BENCH_8.json schema.
 type Artifact struct {
 	// Headline trajectory metrics.
 	ProgramsPerSec      float64 `json:"programs_per_sec"`
@@ -90,6 +93,19 @@ type Artifact struct {
 	ResilientPlainProgramsPerSec float64 `json:"resilient_plain_programs_per_sec"`
 	ResilientArmedProgramsPerSec float64 `json:"resilient_armed_programs_per_sec"`
 	ResilientOverheadPct         float64 `json:"resilient_overhead_pct"`
+
+	// Speculative-reduction metrics (BenchmarkParallelReduce): exact
+	// serial ddmin vs a speculation window of 8 over the same harvested
+	// crash witnesses. The byte-identity gate fails the build on any
+	// witness diff; the speedup gate scales with the runner's cores —
+	// ≥2x on 8+ procs, ≥1.1x on 2+, and within 2x of serial (≥0.5x) on a
+	// single-core runner, where speculation can only cost waste.
+	ReduceSerialNsPerWitness float64 `json:"reduce_serial_ns_per_witness"`
+	ReduceSpec8NsPerWitness  float64 `json:"reduce_spec8_ns_per_witness"`
+	ReduceSpec8XVsSerial     float64 `json:"reduce_spec8_x_vs_serial"`
+	ReduceWastedProbesPct    float64 `json:"reduce_wasted_probes_pct"`
+	ReduceWitnessDiff        float64 `json:"reduce_witness_diff"`
+	ReduceProcs              float64 `json:"reduce_procs"`
 
 	// Raw parses, keyed by benchmark name (GOMAXPROCS suffix stripped).
 	Benchmarks map[string]Bench `json:"benchmarks"`
@@ -260,6 +276,16 @@ func main() {
 		art.ResilientArmedProgramsPerSec = b.Metrics["programs/sec"]
 		art.ResilientOverheadPct = b.Metrics["overhead-%"]
 	}
+	if b, ok := get("BenchmarkParallelReduce/serial"); ok {
+		art.ReduceSerialNsPerWitness = b.Metrics["ns/witness"]
+	}
+	if b, ok := get("BenchmarkParallelReduce/spec8"); ok {
+		art.ReduceSpec8NsPerWitness = b.Metrics["ns/witness"]
+		art.ReduceSpec8XVsSerial = b.Metrics["x-vs-serial"]
+		art.ReduceWastedProbesPct = b.Metrics["wasted-%"]
+		art.ReduceWitnessDiff = b.Metrics["witness-diff"]
+		art.ReduceProcs = b.Metrics["procs"]
+	}
 	if len(missing) > 0 {
 		fatalf("missing headline benchmarks: %s", strings.Join(missing, ", "))
 	}
@@ -282,6 +308,29 @@ func main() {
 	if art.ConcolicOnVsOffX > 1.05 {
 		fatalf("concolic fast path costs %.2fx solver-only ns/equivalence-query (%.0f vs %.0f): above the 1.05x gate",
 			art.ConcolicOnVsOffX, art.ConcolicOnNsPerQuery, art.ConcolicOffNsPerQuery)
+	}
+
+	// The speculative-reduction gates. Byte identity is unconditional:
+	// speculation commits in canonical candidate order, so a diverging
+	// witness means the reducer's determinism argument is broken, not
+	// that the machine was slow. The speedup floor scales with the cores
+	// actually available to speculate on.
+	if art.ReduceWitnessDiff != 0 {
+		fatalf("speculative reduction produced %v witnesses differing from serial ddmin: commit-order determinism is broken",
+			art.ReduceWitnessDiff)
+	}
+	reduceFloor := 0.5
+	switch {
+	case art.ReduceProcs >= 8:
+		reduceFloor = 2.0
+	case art.ReduceProcs >= 2:
+		reduceFloor = 1.1
+	}
+	if art.ReduceSpec8XVsSerial < reduceFloor {
+		fatalf("speculative reduction is %.2fx serial on %.0f procs (%.0f vs %.0f ns/witness, %.1f%% probes wasted): below the %.1fx floor",
+			art.ReduceSpec8XVsSerial, art.ReduceProcs,
+			art.ReduceSpec8NsPerWitness, art.ReduceSerialNsPerWitness,
+			art.ReduceWastedProbesPct, reduceFloor)
 	}
 
 	out, err := json.MarshalIndent(art, "", "  ")

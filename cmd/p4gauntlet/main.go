@@ -41,7 +41,7 @@
 //
 //	p4gauntlet [-mode campaign|levels|fuzz|serve] [-seeds N] [-workers N]
 //	           [-duration D] [-backend v1model|tna] [-jsonl FILE]
-//	           [-packets] [-reduce] [-start N] [-seed N]
+//	           [-packets] [-reduce] [-reduce-workers N] [-start N] [-seed N]
 //	           [-mutate-ratio F] [-corpus DIR] [-stats-interval D]
 //	           [-epoch-programs N] [-state DIR | -resume DIR]
 //	           [-checkpoint-programs N] [-stage-timeout D]
@@ -81,6 +81,7 @@ func main() {
 	packets := flag.Bool("packets", true, "run symbolic-execution packet tests in addition to translation validation")
 	concolic := flag.Bool("concolic", true, "bit-parallel concrete falsification under every equivalence query plus trace-steered test enumeration; -concolic=false sends every verdict straight to the solver (bisection / invariance checking)")
 	doReduce := flag.Bool("reduce", true, "auto-reduce each unique finding's witness")
+	reduceWorkers := flag.Int("reduce-workers", 0, "speculative reduction window: candidates probed concurrently per finding (0 = -workers; the reduced witnesses are byte-identical at any value)")
 	mutateRatio := flag.Float64("mutate-ratio", 0.5, "fraction of programs drawn by mutating corpus seeds (fuzz mode, 0 = pure grammar generation)")
 	corpusDir := flag.String("corpus", "", "corpus directory: load seeds before the run and save the admitted corpus after (fuzz mode)")
 	statsInterval := flag.Duration("stats-interval", 0, "emit a periodic stats record to -jsonl every D (fuzz/serve mode; serve defaults to 30s, fuzz to final record only)")
@@ -107,6 +108,7 @@ func main() {
 		ff := fuzzFlags{
 			seeds: *seeds, start: *start, seed: *seed, workers: *workers, duration: *duration,
 			backend: *backend, jsonl: *jsonl, packets: *packets, reduce: *doReduce, concolic: *concolic,
+			reduceWorkers: *reduceWorkers,
 			mutateRatio: *mutateRatio, corpusDir: *corpusDir, statsInterval: *statsInterval,
 			epochPrograms: *epochPrograms,
 			stateDir:      *stateDir, resumeDir: *resumeDir, checkpointPrograms: *checkpointPrograms,
@@ -185,6 +187,7 @@ type fuzzFlags struct {
 	jsonl              string
 	packets            bool
 	reduce             bool
+	reduceWorkers      int
 	concolic           bool
 	mutateRatio        float64
 	corpusDir          string
@@ -214,6 +217,7 @@ func fuzz(ff fuzzFlags) {
 	cfg.Workers = ff.workers
 	cfg.PacketTests = ff.packets
 	cfg.Reduce = ff.reduce
+	cfg.ReduceOpts.Parallelism = ff.reduceWorkers
 	cfg.ConcolicOff = !ff.concolic
 	cfg.MutateRatio = ff.mutateRatio
 	cfg.EpochPrograms = ff.epochPrograms

@@ -39,7 +39,17 @@
 //     and packet mismatches hash (failing pass, alpha-renamed reduced
 //     witness) — and every unique finding is shrunk by internal/reduce
 //     with a predicate that re-runs the oracle, automating the manual
-//     reduction §8 calls a limitation.
+//     reduction §8 calls a limitation. Reduction is speculative and
+//     parallel (reduce.Options.Parallelism, p4gauntlet -reduce-workers):
+//     a window of delta-debugging candidates is probed concurrently but
+//     results are consumed strictly in enumeration order and the first
+//     success commits, so the reduced witness is byte-identical to
+//     serial ddmin at any window width — speculation buys wall-clock,
+//     never a different answer. Candidate findings themselves are
+//     released to dedup in canonical (round, slot) order at the
+//     collector's fold boundaries, so which concrete program represents
+//     a fingerprint — and hence the witness bytes — is independent of
+//     worker interleaving too.
 //
 // The concurrency discipline is "isolate first, then share": each worker
 // owns its compiler instance and solver sessions outright, and the only
@@ -274,16 +284,21 @@
 // rate, distinct coverage fingerprints); BenchmarkServeEpochs the
 // per-epoch context bytes of the rotating serve shape; and
 // BenchmarkResilientFuzz the robustness layer's overhead (plain vs
-// watchdogs + journal/checkpoints armed); and BenchmarkConcolicFalsify
+// watchdogs + journal/checkpoints armed); BenchmarkConcolicFalsify
 // the bit-parallel tape against solver-only verdicts on defect-seeded
 // inequivalent pairs (ns/equivalence-query on vs off, packets/sec,
-// fraction falsified concretely). scripts/bench_trajectory.sh runs the
-// headline set and writes BENCH_7.json; its benchjson gate fails CI on a
+// fraction falsified concretely); and BenchmarkParallelReduce the
+// speculative reducer against exact serial ddmin on harvested crash
+// witnesses (speedup, wasted-probe ratio, and a witness-diff count that
+// must be zero). scripts/bench_trajectory.sh runs the
+// headline set and writes BENCH_8.json; its benchjson gate fails CI on a
 // zero gate-reuse rate, mutation-mode throughput below half of
 // generation-mode, per-epoch context bytes growing more than 15%
 // epoch-over-epoch, a resilience overhead above 5%, a zero concrete
-// falsification rate, or the concolic stage costing more than 5% over
-// solver-only per equivalence query:
+// falsification rate, the concolic stage costing more than 5% over
+// solver-only per equivalence query, any speculative-reduction witness
+// diff, or speculative reduction below its core-count-scaled speedup
+// floor:
 //
-//	go test -bench='ValidateIncremental|Sec52|EngineFuzz|GateReuse|CorpusFuzz|ServeEpochs|ResilientFuzz|ConcolicFalsify' .
+//	go test -bench='ValidateIncremental|Sec52|EngineFuzz|GateReuse|CorpusFuzz|ServeEpochs|ResilientFuzz|ConcolicFalsify|ParallelReduce' .
 package gauntlet

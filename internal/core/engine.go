@@ -128,6 +128,13 @@ type Finding struct {
 	// output re-derived from the candidate's own formula under the cached
 	// model) before falling back to full test generation.
 	replay *testgen.Case
+	// order is the candidate's position in the canonical release
+	// sequence (crash-family findings in (round, slot) order at their
+	// round's fold; oracle findings one round late). The report stage
+	// re-sequences reduced findings by it, so final dedup — and with it
+	// which witness bytes survive — is independent of how long each
+	// reduction took.
+	order int64
 }
 
 // EngineConfig parameterizes one streaming fuzzing run.
@@ -198,6 +205,11 @@ type EngineConfig struct {
 	// Reduce enables automatic witness shrinking of unique findings;
 	// ReduceOpts bounds each reduction (its predicate re-runs the
 	// oracle, so MaxPredicateCalls is the real budget).
+	// ReduceOpts.Parallelism is the speculative probe window per finding
+	// (0 = Workers); the engine installs a shared gate sized Workers so
+	// concurrent reductions cannot oversubscribe the pool, and the
+	// reduced witness set is byte-identical at any width (serial commit
+	// order, serial-equivalent budgets).
 	Reduce     bool
 	ReduceOpts reduce.Options
 	// MaxReducePerPass bounds how many semantic candidates per
@@ -227,6 +239,15 @@ type EngineConfig struct {
 	// OnEpoch, when set, receives the retiring epoch's snapshot at each
 	// rotation (called from the collector goroutine).
 	OnEpoch func(EpochStats)
+	// PrewarmSeeds is how many of the corpus' top-energy seeds have their
+	// block formulas re-interned into the fresh cache at each epoch
+	// rotation (0 = default 8, negative = disabled). Warming happens at
+	// the fold point, from the collector, so the warmed set is a pure
+	// function of the schedule; it is cost-only (verdicts are recomputed
+	// identically either way) and exists so post-rotation validation
+	// latency doesn't dip while an empty cache re-derives the formulas of
+	// the seeds most likely to be scheduled next.
+	PrewarmSeeds int
 	// QueueDepth bounds each inter-stage channel (0 = 2×Workers).
 	QueueDepth int
 	// OnFinding, when set, streams each unique finding as the report
@@ -315,10 +336,19 @@ type Stats struct {
 	// (modulo programs still in flight when a run is cancelled).
 	CompileErrors uint64
 	OracleErrors  uint64
-	// Dedup/reduce counters.
+	// Dedup/reduce counters. ReducePredicateCalls counts predicate
+	// invocations that actually ran (wall-clock work, speculative
+	// overshoot included); ReduceSerialCalls counts the serial-equivalent
+	// candidates consumed against MaxPredicateCalls budgets — identical
+	// at any reduction parallelism. ReduceProbesLaunched/Wasted are the
+	// speculation accounting: probes started, and probes whose results
+	// were discarded because an earlier candidate committed first.
 	Duplicates           uint64
 	UniqueFindings       uint64
 	ReducePredicateCalls uint64
+	ReduceSerialCalls    uint64
+	ReduceProbesLaunched uint64
+	ReduceProbesWasted   uint64
 	// Mutated counts programs produced by corpus mutation (a subset of
 	// Generated); MutateInvalid counts mutants the type checker rejected
 	// before they could reach the oracle, and MutateStale mutants
@@ -427,7 +457,7 @@ func (s Stats) Summary() string {
 		"programs: %d generated (%d by mutation), %d compiled, %d clean (%.1f/sec over %v)\n"+
 			"findings: %d unique (%d crash, %d invalid-transform, %d miscompilation, %d packet-mismatch raw; %d duplicates), %d tool limitations\n"+
 			"corpus: %d seeds (%d admitted, %d rejected, %d evicted; %.1f%% admission); %d coverage edges, %d fingerprints; mutants rejected: %d invalid, %d stale\n"+
-			"caches: block %.1f%% hit, verdict %.1f%% hit; reduction predicate calls: %d\n"+
+			"caches: block %.1f%% hit, verdict %.1f%% hit; reduction: %d predicate calls (%d serial-equivalent, %d probes launched, %d wasted)\n"+
 			"solver: %d equivalence queries resolved by simplification alone; simp cache %.1f%% hit (%d entries); gates %d built, %d reused (%.1f%%)\n"+
 			"concolic: %d tapes compiled, %d queries falsified concretely (%d packets), %d counterexample replays; %d solver calls avoided\n"+
 			"epoch %d: %d programs, interner %d terms (~%.1f MiB, %d/%d shards occupied), gates %d built %d reused this epoch\n"+
@@ -438,7 +468,8 @@ func (s Stats) Summary() string {
 		s.Corpus.Seeds, s.Corpus.Admitted, s.Corpus.Rejected, s.Corpus.Evicted,
 		rate(s.Corpus.Admitted, s.Corpus.Rejected), s.Corpus.Edges, s.Corpus.Fingerprints,
 		s.MutateInvalid, s.MutateStale,
-		rate(s.BlockHits, s.BlockMisses), rate(s.VerdictHits, s.VerdictMisses), s.ReducePredicateCalls,
+		rate(s.BlockHits, s.BlockMisses), rate(s.VerdictHits, s.VerdictMisses),
+		s.ReducePredicateCalls, s.ReduceSerialCalls, s.ReduceProbesLaunched, s.ReduceProbesWasted,
 		s.SimpResolved, rate(s.Simp.Hits, s.Simp.Misses), s.Simp.Entries,
 		s.GatesBuilt, s.GatesReused, rate(s.GatesReused, s.GatesBuilt),
 		s.TapesCompiled, s.ConcolicFalsified, s.ConcolicPackets,
@@ -496,6 +527,7 @@ type Engine struct {
 	compileErrors, oracleErrors                atomic.Uint64
 	duplicates, unique                         atomic.Uint64
 	reduceCalls                                atomic.Uint64
+	reduceSerial, probesLaunched, probesWasted atomic.Uint64
 	mutated, mutateInvalid, mutateStale        atomic.Uint64
 	quarantined, stalls, timeouts              atomic.Uint64
 	unknownVerdicts, oracleRetries             atomic.Uint64
@@ -504,6 +536,11 @@ type Engine struct {
 	// checkpointReq is the on-demand checkpoint flag (SIGHUP's path): the
 	// collector consumes it at the next fold boundary.
 	checkpointReq atomic.Bool
+
+	// reduceGate bounds concurrent reduction-predicate executions across
+	// all findings reducing at once: per-finding speculation widens the
+	// probe window, the gate keeps the total at the worker-pool size.
+	reduceGate chan struct{}
 }
 
 // epochState is one epoch's scoped solver-stack state: the smt context
@@ -532,6 +569,12 @@ func NewEngine(cfg EngineConfig) *Engine {
 	}
 	if cfg.MaxReducePerPass <= 0 {
 		cfg.MaxReducePerPass = 64
+	}
+	if cfg.ReduceOpts.Parallelism <= 0 {
+		cfg.ReduceOpts.Parallelism = cfg.Workers
+	}
+	if cfg.PrewarmSeeds == 0 {
+		cfg.PrewarmSeeds = 8
 	}
 	if cfg.Cache == nil {
 		if cfg.EpochPrograms > 0 {
@@ -608,6 +651,10 @@ func NewEngine(cfg EngineConfig) *Engine {
 	// Oracle calls resolve the epoch pair per call, so a rotation never
 	// splits one Inspect across two contexts.
 	e.oracle.CacheFn = func() *validate.Cache { return e.epoch.Load().cache }
+	// The gate is sized to the worker pool, not to Parallelism×findings:
+	// however many findings reduce at once, at most Workers predicates
+	// run concurrently.
+	e.reduceGate = make(chan struct{}, cfg.Workers)
 	return e
 }
 
@@ -641,6 +688,18 @@ func (e *Engine) rotateEpoch() {
 		baseGatesBuilt: gb, baseGatesReused: gr,
 	})
 	e.retiredMu.Unlock()
+	// Pre-warm the fresh cache with the corpus' top-energy seeds — the
+	// programs the next rounds are most likely to schedule as mutation
+	// bases. Runs synchronously at the fold point (the collector is the
+	// sole corpus mutator, so TopEnergy reads a consistent ranking that is
+	// a pure function of the schedule) and only ever changes cost: a
+	// warmed formula is the one a later miss would compute anyway.
+	if n := e.cfg.PrewarmSeeds; n > 0 {
+		fresh := e.epoch.Load().cache
+		for _, p := range e.corpus.TopEnergy(n) {
+			fresh.Warm(p)
+		}
+	}
 	if e.cfg.OnEpoch != nil {
 		e.cfg.OnEpoch(es)
 	}
@@ -689,6 +748,9 @@ func (e *Engine) Stats() Stats {
 		Duplicates:           e.duplicates.Load(),
 		UniqueFindings:       e.unique.Load(),
 		ReducePredicateCalls: e.reduceCalls.Load(),
+		ReduceSerialCalls:    e.reduceSerial.Load(),
+		ReduceProbesLaunched: e.probesLaunched.Load(),
+		ReduceProbesWasted:   e.probesWasted.Load(),
 		Mutated:              e.mutated.Load(),
 		MutateInvalid:        e.mutateInvalid.Load(),
 		MutateStale:          e.mutateStale.Load(),
@@ -796,14 +858,41 @@ type covRec struct {
 	// deterministic inputs to the energy fold.
 	baseID  int
 	crashed bool
+	// toOracle marks a unit forwarded to the oracle stage: the collector
+	// counts these per round so the one-round-late oracle-energy fold
+	// knows when a round's oracle verdicts are complete.
+	toOracle bool
+	// finding carries the slot's crash/invalid-transform candidate, if
+	// any. Candidates ride the coverage record instead of a free-running
+	// channel so the collector can release them in canonical (round,
+	// slot) order — which concrete program represents a deduplicated
+	// fingerprint, and hence the reduced witness bytes, must not depend
+	// on worker interleaving.
+	finding *Finding
+}
+
+// orRec is an oracle-stage verdict report flowing to the admission
+// collector: exactly one per unit the compile stage forwarded to the
+// oracle (cancellation aside), including quarantined and errored units,
+// which report a nil finding so the fold barrier still counts them.
+// Oracle findings (miscompilations, mismatches) surface after their own
+// round has already folded, so both their energy and their candidate
+// programs fold one round late — at the next boundary, in canonical
+// slot order — preserving -seed replay and worker-count determinism.
+type orRec struct {
+	slot    int64
+	baseID  int
+	finding *Finding
 }
 
 // Dynamic-energy bump fractions (of a seed's admission energy), folded
 // at round boundaries: a mutant earning corpus admission is mild
-// evidence its base is productive; a mutant producing a compile-stage
-// finding is strong evidence. Oracle-stage findings (miscompilations,
-// mismatches) surface after the fold barrier and would need a second
-// barrier to fold deterministically, so they do not feed energy.
+// evidence its base is productive; a mutant producing a finding —
+// compile-stage or oracle-stage — is strong evidence. Compile-stage
+// findings fold with their own round's admissions; oracle-stage findings
+// (miscompilations, mismatches) surface after that fold has passed, so
+// they fold one round late, at the next boundary, behind their own
+// completeness barrier (see orRec).
 const (
 	admissionBump = 0.5
 	findingBump   = 1.0
@@ -890,6 +979,7 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 	roundSize := int64(e.cfg.SyncInterval)
 	taskCh := make(chan task, qd)
 	covCh := make(chan covRec, qd)
+	orCh := make(chan orRec, qd)
 	// foldCh carries "round folded" signals from the collector to the
 	// scheduler. At most one signal is ever outstanding (the scheduler
 	// consumes fold r before emitting round r+1, and fold r+1 cannot
@@ -983,6 +1073,21 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 	collectorDone := make(chan struct{})
 	go func() {
 		defer close(collectorDone)
+		// The collector is the sole producer of finding candidates: it
+		// releases them to dedup in canonical (round, slot) order at fold
+		// boundaries, so the candidate sequence — and with it which
+		// concrete program represents each deduplicated fingerprint — is
+		// a pure function of the schedule.
+		defer close(candCh)
+		live := true
+		release := func(f *Finding) {
+			if f == nil || !live {
+				return
+			}
+			if !send(ctx, candCh, *f) {
+				live = false // cancelled: stop releasing, keep folding
+			}
+		}
 		expected := func(round int64) int64 {
 			if e.cfg.Seeds <= 0 {
 				return roundSize
@@ -994,20 +1099,64 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 			return rem
 		}
 		pending := map[int64][]covRec{}
+		// One-round-late oracle energy: round r's admission fold also
+		// requires round r-1's oracle verdicts (counted at r-1's own fold
+		// via toOracle) to be complete, and applies their finding bumps —
+		// slot-sorted — before r's admissions. Oracle verdicts of the very
+		// last round have no following fold and are dropped; that too is a
+		// pure function of the schedule.
+		pendingOr := map[int64][]orRec{}
+		oracleExpected := map[int64]int{}
 		next := int64(0)
 		lastCheckpoint := uint64(0)
-		for rec := range covCh {
-			round := (rec.slot - e.cfg.StartSeed) / roundSize
-			pending[round] = append(pending[round], rec)
+		covIn, orIn := covCh, orCh
+		for covIn != nil || orIn != nil {
+			select {
+			case rec, ok := <-covIn:
+				if !ok {
+					covIn = nil
+					continue
+				}
+				round := (rec.slot - e.cfg.StartSeed) / roundSize
+				pending[round] = append(pending[round], rec)
+			case rec, ok := <-orIn:
+				if !ok {
+					orIn = nil
+					continue
+				}
+				round := (rec.slot - e.cfg.StartSeed) / roundSize
+				pendingOr[round] = append(pendingOr[round], rec)
+			}
 			for {
 				exp := expected(next)
 				if exp <= 0 || int64(len(pending[next])) < exp {
 					break
 				}
+				if next > 0 {
+					oexp, folded := oracleExpected[next-1]
+					if !folded || len(pendingOr[next-1]) < oexp {
+						break // previous round's oracle verdicts still in flight
+					}
+					ors := pendingOr[next-1]
+					delete(pendingOr, next-1)
+					delete(oracleExpected, next-1)
+					sort.Slice(ors, func(i, j int) bool { return ors[i].slot < ors[j].slot })
+					for _, o := range ors {
+						if o.finding != nil && o.baseID >= 0 {
+							e.corpus.BumpEnergy(o.baseID, findingBump)
+						}
+						release(o.finding)
+					}
+				}
 				recs := pending[next]
 				delete(pending, next)
 				sort.Slice(recs, func(i, j int) bool { return recs[i].slot < recs[j].slot })
+				nOracle := 0
 				for _, rc := range recs {
+					if rc.toOracle {
+						nOracle++
+					}
+					release(rc.finding)
 					if rc.prof == nil {
 						// Quarantined or errored before profiling: the
 						// record exists only to count the fold.
@@ -1031,6 +1180,7 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 					}
 				}
 				e.programsFolded.Add(uint64(len(recs)))
+				oracleExpected[next] = nOracle
 				next++
 				// Epoch rotation shares the admission fold's
 				// determinism: it fires at the first fold boundary at or
@@ -1065,6 +1215,27 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 				}
 			}
 		}
+		// Tail release: the final folded round's oracle verdicts arrive
+		// after its fold has passed and no later fold exists, so their
+		// energy is dropped (a pure function of the schedule) — but their
+		// candidates must still surface. Release them in (round, slot)
+		// order, folded rounds only: an unfolded round sits above the
+		// checkpoint watermark and is reprocessed on resume, so dropping
+		// its partial candidates keeps bounded runs deterministic.
+		var tail []int64
+		for round := range pendingOr {
+			if round < next {
+				tail = append(tail, round)
+			}
+		}
+		sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+		for _, round := range tail {
+			ors := pendingOr[round]
+			sort.Slice(ors, func(i, j int) bool { return ors[i].slot < ors[j].slot })
+			for _, o := range ors {
+				release(o.finding)
+			}
+		}
 		// Shutdown checkpoint: covCh is closed, so every fold that will
 		// happen has happened and the watermark is final. A graceful
 		// drain thus resumes exactly where it stopped; only a hard kill
@@ -1077,10 +1248,12 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 		}
 	}()
 
-	// Stage 2: compile. Crash and invalid-transform findings short-cut
-	// straight to dedup; clean compilations flow to the oracle stage.
-	// Every unit also reports its coverage profile — AST features plus the
-	// pass trace (or a crash/invalid edge) — to the admission collector.
+	// Stage 2: compile. Crash and invalid-transform candidates ride the
+	// coverage record to the collector, which releases them to dedup at
+	// the round's fold in slot order; clean compilations flow to the
+	// oracle stage. Every unit also reports its coverage profile — AST
+	// features plus the pass trace (or a crash/invalid edge) — to the
+	// admission collector.
 	var compWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		compWG.Add(1)
@@ -1135,8 +1308,34 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 				}
 				rec := covRec{
 					slot: u.seed, prog: u.prog, prof: prof, astFP: astFP,
-					baseID:  u.baseID,
-					crashed: out.Crash != nil || out.Invalid != nil,
+					baseID:   u.baseID,
+					crashed:  out.Crash != nil || out.Invalid != nil,
+					toOracle: out.Err == nil && out.Crash == nil && out.Invalid == nil,
+				}
+				// Crash-family candidates ride the coverage record: the
+				// collector releases them at the round's fold, in slot
+				// order, so dedup sees a worker-count-independent sequence.
+				switch {
+				case out.Crash != nil:
+					e.crashes.Add(1)
+					rec.finding = &Finding{
+						Kind: FindingCrash, Seed: u.seed, Backend: e.cfg.Backend.String(),
+						Pass:     out.Crash.Pass,
+						Detail:   fmt.Sprintf("crash in %s: %s", out.Crash.Pass, out.Crash.Msg),
+						Origin:   originOf(u.mutated),
+						Program:  u.prog,
+						crashMsg: out.Crash.Msg,
+					}
+				case out.Invalid != nil:
+					e.invalids.Add(1)
+					rec.finding = &Finding{
+						Kind: FindingInvalidTransform, Seed: u.seed, Backend: e.cfg.Backend.String(),
+						Pass:     out.Invalid.Pass,
+						Detail:   out.Invalid.Error(),
+						Origin:   originOf(u.mutated),
+						Program:  u.prog,
+						crashMsg: out.Invalid.Error(),
+					}
 				}
 				if !send(ctx, covCh, rec) {
 					return
@@ -1147,32 +1346,8 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 					if e.cfg.OnOracleError != nil {
 						e.cfg.OnOracleError(u.seed, out.Err)
 					}
-				case out.Crash != nil:
-					e.crashes.Add(1)
-					f := Finding{
-						Kind: FindingCrash, Seed: u.seed, Backend: e.cfg.Backend.String(),
-						Pass:     out.Crash.Pass,
-						Detail:   fmt.Sprintf("crash in %s: %s", out.Crash.Pass, out.Crash.Msg),
-						Origin:   originOf(u.mutated),
-						Program:  u.prog,
-						crashMsg: out.Crash.Msg,
-					}
-					if !send(ctx, candCh, f) {
-						return
-					}
-				case out.Invalid != nil:
-					e.invalids.Add(1)
-					f := Finding{
-						Kind: FindingInvalidTransform, Seed: u.seed, Backend: e.cfg.Backend.String(),
-						Pass:     out.Invalid.Pass,
-						Detail:   out.Invalid.Error(),
-						Origin:   originOf(u.mutated),
-						Program:  u.prog,
-						crashMsg: out.Invalid.Error(),
-					}
-					if !send(ctx, candCh, f) {
-						return
-					}
+				case out.Crash != nil, out.Invalid != nil:
+					// The candidate travelled with the covRec above.
 				default:
 					e.compiled.Add(1)
 					u.res = out.Result
@@ -1203,11 +1378,20 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 				if cancelled {
 					return
 				}
+				// Every unit reports exactly one orRec — finding or not,
+				// quarantined or not — so the collector's one-round-late
+				// energy barrier can count a round's oracle verdicts
+				// complete. Candidates ride the record and are released by
+				// the collector one round late, in slot order.
+				var cand *Finding
 				if fault != nil {
 					// Do not touch out: an abandoned (stalled) invocation
 					// may still be writing it. Quarantine on the unit's
 					// identity alone.
 					e.quarantine("oracle", u.seed, originOf(u.mutated), u.prog, fault)
+					if !send(ctx, orCh, orRec{slot: u.seed, baseID: u.baseID}) {
+						return
+					}
 					continue
 				}
 				if err != nil {
@@ -1232,7 +1416,7 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 					e.oracleError(u.seed, out.Err)
 				case len(out.Failures) > 0:
 					e.miscompiles.Add(1)
-					f := Finding{
+					cand = &Finding{
 						Kind: FindingMiscompilation, Seed: u.seed, Backend: e.cfg.Backend.String(),
 						Pass:    out.Failures[0].PassB,
 						Detail:  out.Failures[0].String(),
@@ -1240,12 +1424,9 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 						Program: u.prog,
 						cex:     out.Failures[0].Counterexample,
 					}
-					if !send(ctx, candCh, f) {
-						return
-					}
 				case len(out.Mismatches) > 0:
 					e.mismatches.Add(1)
-					f := Finding{
+					cand = &Finding{
 						Kind: FindingMismatch, Seed: u.seed, Backend: e.cfg.Backend.String(),
 						Detail:  out.Mismatches[0],
 						Origin:  originOf(u.mutated),
@@ -1253,18 +1434,18 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 					}
 					if len(out.MismatchCases) > 0 {
 						mc := out.MismatchCases[0]
-						f.replay = &mc
-					}
-					if !send(ctx, candCh, f) {
-						return
+						cand.replay = &mc
 					}
 				default:
 					e.clean.Add(1)
 				}
+				if !send(ctx, orCh, orRec{slot: u.seed, baseID: u.baseID, finding: cand}) {
+					return
+				}
 			}
 		}()
 	}
-	go func() { compWG.Wait(); oracleWG.Wait(); close(candCh) }()
+	go func() { compWG.Wait(); oracleWG.Wait(); close(orCh) }()
 
 	// Stage 4: fingerprint/dedup. Crash-family findings have stable
 	// fingerprints before reduction, so duplicates are dropped here and
@@ -1272,6 +1453,11 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 	// fingerprinted by their *reduced* witness, so they dedup in the
 	// report stage instead — capped per (kind, pass) so one hot defect
 	// firing on most seeds cannot turn the pipeline into a reducer farm.
+	// Candidates arrive from the collector in canonical (round, slot)
+	// order, so the program that wins each fingerprint — the one that
+	// gets reduced and printed — is deterministic; each survivor is
+	// stamped with its position so the report stage can re-sequence
+	// findings after parallel reduction scrambles completion order.
 	go func() {
 		defer close(redCh)
 		seen := map[uint64]bool{}
@@ -1281,6 +1467,7 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 			seen[fp] = true
 		}
 		perPass := map[string]int{}
+		order := int64(0)
 		for f := range candCh {
 			if f.Kind == FindingCrash || f.Kind == FindingInvalidTransform {
 				f.Fingerprint = crashFingerprint(f.Kind, f.Pass, f.crashMsg)
@@ -1297,6 +1484,8 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 				}
 				perPass[key]++
 			}
+			f.order = order
+			order++
 			if !send(ctx, redCh, f) {
 				return
 			}
@@ -1349,7 +1538,11 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 	go func() { redWG.Wait(); close(outCh) }()
 
 	// Stage 6: report. Final fingerprints (semantic findings key on the
-	// reduced witness), final dedup, streaming callback.
+	// reduced witness), final dedup, streaming callback. Reduced findings
+	// complete in whatever order their reductions finish; re-sequencing
+	// by the dedup stamp makes the final dedup — and the report/journal
+	// order — deterministic again. The buffer is bounded by the number of
+	// findings in flight through the reducer pool.
 	var findings []Finding
 	seen := map[uint64]bool{}
 	for _, fp := range e.cfg.KnownFindings {
@@ -1357,13 +1550,13 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 		// duplicate here, so a resumed daemon never re-reports it.
 		seen[fp] = true
 	}
-	for f := range outCh {
+	report := func(f Finding) {
 		if f.Kind == FindingMiscompilation || f.Kind == FindingMismatch {
 			f.Fingerprint = semanticFingerprint(f.Kind, f.Pass, f.Program)
 		}
 		if seen[f.Fingerprint] {
 			e.duplicates.Add(1)
-			continue
+			return
 		}
 		seen[f.Fingerprint] = true
 		e.unique.Add(1)
@@ -1375,6 +1568,22 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 		}
 		findings = append(findings, f)
 	}
+	reorder := map[int64]Finding{}
+	nextOrder := int64(0)
+	for f := range outCh {
+		reorder[f.order] = f
+		for {
+			g, ok := reorder[nextOrder]
+			if !ok {
+				break
+			}
+			delete(reorder, nextOrder)
+			nextOrder++
+			report(g)
+		}
+	}
+	// A cancelled reducer leaves a gap in the sequence; findings past it
+	// stay buffered and are dropped here — the run is aborting anyway.
 	// Let the collector fold the final round before Run returns, so the
 	// corpus callers see (save, fingerprint sets) is the finished one.
 	<-collectorDone
@@ -1399,7 +1608,10 @@ func (e *Engine) oracleError(seed int64, err error) {
 }
 
 // reduceFinding shrinks a finding's witness while the oracle keeps
-// reproducing the same symptom.
+// reproducing the same symptom. Candidates are probed speculatively on
+// the shared reduction gate (ReduceOpts.Parallelism wide per finding,
+// Workers wide in total); the committed trajectory and the reduced
+// witness are byte-identical to a serial reduction.
 func (e *Engine) reduceFinding(ctx context.Context, f Finding) Finding {
 	if f.Program == nil {
 		return f
@@ -1409,7 +1621,13 @@ func (e *Engine) reduceFinding(ctx context.Context, f Finding) Finding {
 	if !e.cfg.Reduce {
 		return f
 	}
-	f.Program = reduce.ReduceContext(ctx, f.Program, e.keepPredicate(f), e.cfg.ReduceOpts)
+	opts := e.cfg.ReduceOpts
+	opts.Gate = e.reduceGate
+	prog, rs := reduce.ReduceStats(ctx, f.Program, e.keepPredicate(f), opts)
+	e.reduceSerial.Add(uint64(rs.SerialCalls))
+	e.probesLaunched.Add(uint64(rs.Launched))
+	e.probesWasted.Add(uint64(rs.Wasted))
+	f.Program = prog
 	f.SizeAfter = reduce.Size(f.Program)
 	return f
 }
@@ -1423,11 +1641,17 @@ func (e *Engine) reduceFinding(ctx context.Context, f Finding) Finding {
 // pass, before validation or packet testing could even run), so their
 // predicates skip translation validation and packet testgen entirely —
 // far more candidates fit under the same MaxPredicateCalls budget.
-func (e *Engine) keepPredicate(f Finding) reduce.Predicate {
+//
+// Predicates receive the probe's context: it is cancelled when the
+// candidate's verdict can no longer matter (an earlier candidate in the
+// window committed, or the reduction was cancelled), so solver-backed
+// probes abandon dead speculative work early. They may run concurrently
+// — the oracle, its caches and the counters are all concurrency-safe.
+func (e *Engine) keepPredicate(f Finding) reduce.PredicateCtx {
 	o := e.oracle
 	switch f.Kind {
 	case FindingCrash:
-		return func(cand *ast.Program) bool {
+		return func(_ context.Context, cand *ast.Program) bool {
 			e.reduceCalls.Add(1)
 			out := o.Compile(cand)
 			return out.Crash != nil && out.Crash.Pass == f.Pass && out.Crash.Msg == f.crashMsg
@@ -1437,7 +1661,7 @@ func (e *Engine) keepPredicate(f Finding) reduce.Predicate {
 		// Detail carry it, so a candidate that makes the same pass fail
 		// differently is a different symptom, not a smaller witness of
 		// this one.
-		return func(cand *ast.Program) bool {
+		return func(_ context.Context, cand *ast.Program) bool {
 			e.reduceCalls.Add(1)
 			out := o.Compile(cand)
 			return out.Invalid != nil && out.Invalid.Pass == f.Pass && out.Invalid.Error() == f.crashMsg
@@ -1449,11 +1673,13 @@ func (e *Engine) keepPredicate(f Finding) reduce.Predicate {
 		// that still fail on the original distinguishing input (most of
 		// them) re-prove the inequivalence with zero solver work. A miss
 		// falls through to the normal batch-falsify → solver ladder inside
-		// the same Examine call.
+		// the same Examine call. The probe context only ever cancels
+		// discarded speculation, so the committed trajectory never sees a
+		// cancelled predicate and stays budget-bounded as before.
 		ho := o.WithHints(f.cex)
-		return func(cand *ast.Program) bool {
+		return func(pctx context.Context, cand *ast.Program) bool {
 			e.reduceCalls.Add(1)
-			out := ho.Examine(context.Background(), cand)
+			out := ho.Examine(pctx, cand)
 			for _, v := range out.Failures {
 				if v.PassB == f.Pass {
 					return true
@@ -1462,7 +1688,7 @@ func (e *Engine) keepPredicate(f Finding) reduce.Predicate {
 			return false
 		}
 	}
-	return func(cand *ast.Program) bool {
+	return func(pctx context.Context, cand *ast.Program) bool {
 		e.reduceCalls.Add(1)
 		// Replay the cached failing case first: one compile plus one
 		// concrete injection decides most candidates, versus a full
@@ -1476,11 +1702,7 @@ func (e *Engine) keepPredicate(f Finding) reduce.Predicate {
 				return true
 			}
 		}
-		// Reduction candidates must not be cancelled mid-predicate — the
-		// budget in ReduceOpts bounds the work — so the oracle re-runs
-		// under the background context; ReduceContext itself observes the
-		// engine's context between candidates.
-		out := o.Examine(context.Background(), cand)
+		out := o.Examine(pctx, cand)
 		return len(out.Mismatches) > 0
 	}
 }

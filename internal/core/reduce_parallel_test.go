@@ -1,0 +1,152 @@
+package core_test
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"testing"
+
+	"gauntlet/internal/core"
+)
+
+// sortedSources returns each finding's printed reduced witness, sorted —
+// the byte-identity observable across reduction parallelism levels
+// (fingerprints alone could mask a source-level divergence).
+func sortedSources(fs []core.Finding) []string {
+	out := make([]string, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, f.Source)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestEngineReduceParallelismDeterminism is the tentpole acceptance test
+// at the engine level: for a fixed seed budget, the reduced-witness set —
+// the printed sources, byte for byte, not just the fingerprints — is
+// identical across reduction parallelism 1/4/8 and engine worker counts
+// 1/8. The speculative executor commits in canonical candidate order and
+// budgets count serial-equivalent calls only, so speculation must be
+// invisible in everything but wall-clock. Run under -race in CI.
+func TestEngineReduceParallelismDeterminism(t *testing.T) {
+	ids := []string{"P4C-C-04", "P4C-C-13", "P4C-S-02"}
+	run := func(workers, par int) ([]string, []string) {
+		cfg := buggyEngineConfig(t, 18, workers, ids...)
+		cfg.ReduceOpts.Parallelism = par
+		fs := core.NewEngine(cfg).Run(context.Background())
+		return fingerprintSet(fs), sortedSources(fs)
+	}
+	refFP, refSrc := run(1, 1)
+	if len(refFP) == 0 {
+		t.Fatal("no findings: the seeded defects should fire within 18 seeds")
+	}
+	for _, workers := range []int{1, 8} {
+		for _, par := range []int{1, 4, 8} {
+			if workers == 1 && par == 1 {
+				continue
+			}
+			fp, src := run(workers, par)
+			if strings.Join(fp, "\n") != strings.Join(refFP, "\n") {
+				t.Errorf("finding set differs at workers=%d parallelism=%d:\nref:\n  %s\ngot:\n  %s",
+					workers, par, strings.Join(refFP, "\n  "), strings.Join(fp, "\n  "))
+				continue
+			}
+			if strings.Join(src, "\n===\n") != strings.Join(refSrc, "\n===\n") {
+				t.Errorf("reduced witnesses differ at workers=%d parallelism=%d despite equal fingerprints:\n--- ref\n%s\n--- got\n%s",
+					workers, par, strings.Join(refSrc, "\n===\n"), strings.Join(src, "\n===\n"))
+			}
+		}
+	}
+}
+
+// TestEngineReduceSpeculationStats: under parallel reduction the engine
+// must account speculation — serial-equivalent calls bounded by the
+// per-finding budget, launches at least as many as serial calls, and the
+// wasted count consistent with both.
+func TestEngineReduceSpeculationStats(t *testing.T) {
+	cfg := buggyEngineConfig(t, 12, 4, "P4C-C-04", "P4C-S-02")
+	cfg.ReduceOpts.Parallelism = 8
+	e := core.NewEngine(cfg)
+	fs := e.Run(context.Background())
+	if len(fs) == 0 {
+		t.Fatal("no findings to reduce")
+	}
+	s := e.Stats()
+	if s.ReduceSerialCalls == 0 {
+		t.Error("reduction ran but ReduceSerialCalls is 0")
+	}
+	if s.ReduceProbesLaunched < s.ReduceSerialCalls {
+		t.Errorf("launched %d probes < %d serial-equivalent calls", s.ReduceProbesLaunched, s.ReduceSerialCalls)
+	}
+	if s.ReduceProbesWasted > s.ReduceProbesLaunched-s.ReduceSerialCalls {
+		t.Errorf("wasted %d > launched-serial %d", s.ReduceProbesWasted, s.ReduceProbesLaunched-s.ReduceSerialCalls)
+	}
+}
+
+// TestEngineOracleEnergyDeterminism: oracle-stage findings now feed
+// corpus energy one round late, behind their own completeness barrier —
+// the whole run (finding set, corpus, bump count) must stay a pure
+// function of the master seed at any worker count, and runs whose seed
+// budget is not a multiple of SyncInterval must still drain (the tail
+// round's oracle verdicts are deliberately dropped, never waited on
+// past the final fold).
+func TestEngineOracleEnergyDeterminism(t *testing.T) {
+	run := func(workers int) ([]string, []uint64, uint64, uint64) {
+		cfg := buggyEngineConfig(t, 30, workers, "P4C-S-02") // semantic: findings surface at the oracle stage
+		cfg.Seed = 7
+		cfg.MutateRatio = 0.7
+		cfg.SyncInterval = 8 // 30 seeds: a partial tail round
+		e := core.NewEngine(cfg)
+		fs := e.Run(context.Background())
+		st := e.Stats()
+		return fingerprintSet(fs), e.Corpus().Fingerprints(), st.Corpus.Bumps, st.Miscompilations
+	}
+	f1, c1, b1, m1 := run(1)
+	f8, c8, b8, m8 := run(8)
+	if m1 == 0 {
+		t.Fatal("no oracle-stage findings: the seeded semantic defect should fire within 30 seeds")
+	}
+	if strings.Join(f1, "\n") != strings.Join(f8, "\n") {
+		t.Errorf("finding set differs across worker counts with oracle energy enabled:\nw1:\n  %s\nw8:\n  %s",
+			strings.Join(f1, "\n  "), strings.Join(f8, "\n  "))
+	}
+	if len(c1) != len(c8) {
+		t.Fatalf("corpus size differs: %d vs %d seeds", len(c1), len(c8))
+	}
+	for i := range c1 {
+		if c1[i] != c8[i] {
+			t.Fatalf("corpus fingerprint %d differs: %016x vs %016x", i, c1[i], c8[i])
+		}
+	}
+	if b1 != b8 {
+		t.Errorf("energy bumps differ across worker counts: %d vs %d", b1, b8)
+	}
+	if m1 != m8 {
+		t.Errorf("miscompilation count differs across worker counts: %d vs %d", m1, m8)
+	}
+}
+
+// TestEnginePrewarmInvariance: epoch-cache pre-warming is cost-only. The
+// finding set for a rotating run must be identical with warming disabled,
+// at the default width, and warming the whole corpus.
+func TestEnginePrewarmInvariance(t *testing.T) {
+	run := func(prewarm int) []string {
+		cfg := buggyEngineConfig(t, 24, 4, "P4C-C-04", "P4C-S-02")
+		cfg.Seed = 11
+		cfg.MutateRatio = 0.5
+		cfg.SyncInterval = 8
+		cfg.EpochPrograms = 8
+		cfg.PrewarmSeeds = prewarm
+		return fingerprintSet(core.NewEngine(cfg).Run(context.Background()))
+	}
+	ref := run(-1) // disabled
+	if len(ref) == 0 {
+		t.Fatal("no findings: the seeded defects should fire within 24 seeds")
+	}
+	for _, prewarm := range []int{8, 64} {
+		if got := run(prewarm); strings.Join(got, "\n") != strings.Join(ref, "\n") {
+			t.Errorf("finding set differs with PrewarmSeeds=%d:\nref:\n  %s\ngot:\n  %s",
+				prewarm, strings.Join(ref, "\n  "), strings.Join(got, "\n  "))
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package reduce_test
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gauntlet/internal/generator"
+	"gauntlet/internal/p4/ast"
+	"gauntlet/internal/p4/printer"
+	"gauntlet/internal/p4/types"
+	"gauntlet/internal/reduce"
+)
+
+// TestReduceParallelByteIdentical is the tentpole invariant: the reduced
+// witness and the serial-equivalent call count are byte-identical at any
+// speculative window width, because the executor commits the first
+// success in canonical candidate order and discards speculation past the
+// commit point. Run under -race in CI.
+func TestReduceParallelByteIdentical(t *testing.T) {
+	keep := func(_ context.Context, p *ast.Program) bool {
+		return strings.Contains(printer.Print(p), "|+|")
+	}
+	exercised := 0
+	for _, seed := range []int64{3, 17, 29} {
+		prog := generator.Generate(generator.DefaultConfig(seed))
+		if err := types.Check(ast.CloneProgram(prog)); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(printer.Print(prog), "|+|") {
+			continue // this seed has nothing to keep; the predicate would fail at entry
+		}
+		exercised++
+		var refOut string
+		var refStats reduce.Stats
+		for _, par := range []int{1, 4, 8} {
+			out, stats := reduce.ReduceStats(context.Background(), prog, keep,
+				reduce.Options{Parallelism: par})
+			if par == 1 {
+				refOut, refStats = printer.Print(out), stats
+				continue
+			}
+			if got := printer.Print(out); got != refOut {
+				t.Fatalf("seed %d: reduced witness differs at Parallelism=%d:\n--- serial\n%s\n--- parallel\n%s",
+					seed, par, refOut, got)
+			}
+			if stats.SerialCalls != refStats.SerialCalls {
+				t.Errorf("seed %d: SerialCalls differ at Parallelism=%d: serial=%d parallel=%d",
+					seed, par, refStats.SerialCalls, stats.SerialCalls)
+			}
+			if stats.Launched < stats.SerialCalls {
+				t.Errorf("seed %d: launched %d probes but consumed %d serial calls (launches can't be fewer)",
+					seed, stats.Launched, stats.SerialCalls)
+			}
+			if stats.Wasted > stats.Launched-stats.SerialCalls {
+				t.Errorf("seed %d: wasted %d > launched-serial %d", seed, stats.Wasted, stats.Launched-stats.SerialCalls)
+			}
+		}
+	}
+	if exercised == 0 {
+		t.Fatal("no generator seed produced a program with the kept construct; pick different seeds")
+	}
+}
+
+// TestReduceBudgetIdentityUnderSpeculation: MaxPredicateCalls counts only
+// serial-equivalent consumed candidates, so a budgeted reduction exhausts
+// at the same candidate — and returns the same program — at any window
+// width, with or without a shared gate.
+func TestReduceBudgetIdentityUnderSpeculation(t *testing.T) {
+	prog := generator.Generate(generator.DefaultConfig(3))
+	if err := types.Check(ast.CloneProgram(prog)); err != nil {
+		t.Fatal(err)
+	}
+	keep := func(_ context.Context, p *ast.Program) bool { return true }
+	for _, budget := range []int{1, 7, 25} {
+		var refOut string
+		var refCalls int
+		for _, par := range []int{1, 4, 8} {
+			gate := make(chan struct{}, 4) // deliberately narrower than the window
+			out, stats := reduce.ReduceStats(context.Background(), prog, keep,
+				reduce.Options{MaxPredicateCalls: budget, Parallelism: par, Gate: gate})
+			if stats.SerialCalls > budget {
+				t.Errorf("budget %d, Parallelism=%d: consumed %d serial-equivalent calls",
+					budget, par, stats.SerialCalls)
+			}
+			if par == 1 {
+				refOut, refCalls = printer.Print(out), stats.SerialCalls
+				continue
+			}
+			if got := printer.Print(out); got != refOut {
+				t.Fatalf("budget %d: result differs at Parallelism=%d:\n--- serial\n%s\n--- parallel\n%s",
+					budget, par, refOut, got)
+			}
+			if stats.SerialCalls != refCalls {
+				t.Errorf("budget %d: SerialCalls differ at Parallelism=%d: %d vs %d",
+					budget, par, refCalls, stats.SerialCalls)
+			}
+		}
+	}
+}
+
+// TestReduceCancelMidSpeculationNoLeaks cancels the reduction while a
+// window of speculative probes is blocked inside the predicate. The
+// executor must cancel each probe's context, drain every goroutine it
+// launched, and return the input program.
+func TestReduceCancelMidSpeculationNoLeaks(t *testing.T) {
+	prog := generator.Generate(generator.DefaultConfig(4))
+	if err := types.Check(ast.CloneProgram(prog)); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	started := make(chan struct{}, 64)
+	keep := func(pctx context.Context, p *ast.Program) bool {
+		if calls.Add(1) == 1 {
+			return true // the initial property check must pass
+		}
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-pctx.Done() // block until the probe is cancelled
+		return false
+	}
+	done := make(chan struct{})
+	var out *ast.Program
+	var stats reduce.Stats
+	go func() {
+		defer close(done)
+		out, stats = reduce.ReduceStats(ctx, prog, keep, reduce.Options{Parallelism: 8})
+	}()
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("no speculative probe ever reached the predicate")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("ReduceStats did not return after cancellation")
+	}
+	if printer.Fingerprint(out) != printer.Fingerprint(prog) {
+		t.Error("cancelled reduction altered the program")
+	}
+	if stats.Launched == 0 {
+		t.Error("no probes launched before cancellation")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before+1 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("probe goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
