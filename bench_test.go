@@ -21,6 +21,7 @@ import (
 	"gauntlet/internal/p4/parser"
 	"gauntlet/internal/p4/printer"
 	"gauntlet/internal/p4/types"
+	"gauntlet/internal/obs"
 	"gauntlet/internal/persist"
 	"gauntlet/internal/reduce"
 	"gauntlet/internal/smt"
@@ -750,6 +751,47 @@ func BenchmarkResilientFuzz(b *testing.B) {
 }
 
 var resilientPlainRate float64
+
+// BenchmarkObsOverhead measures what the introspection plane costs on
+// the fuzz hot path: the same fixed-seed engine workload run plain and
+// with a metrics registry installed (per-stage latency histograms,
+// per-tier equivalence-query histograms, the stats collector).
+// Provenance traces are assembled in both arms — they are always on —
+// so the delta isolates the instrument writes. The trajectory gate in
+// cmd/benchjson fails CI when the instrumented run gives up more than
+// 5% of plain programs/sec.
+func BenchmarkObsOverhead(b *testing.B) {
+	run := func(b *testing.B, instrument bool) float64 {
+		for i := 0; i < b.N; i++ {
+			cfg := core.DefaultEngineConfig()
+			cfg.StartSeed = int64(i) * fuzzBatch
+			cfg.Seeds = fuzzBatch
+			cfg.Workers = 8
+			cfg.Passes = compiler.DefaultPasses()
+			if instrument {
+				cfg.Obs = obs.NewRegistry()
+			}
+			engine := core.NewEngine(cfg)
+			if findings := engine.Run(context.Background()); len(findings) > 0 {
+				b.Fatalf("reference pipeline produced findings: %+v", findings[0])
+			}
+		}
+		rate := float64(b.N*fuzzBatch) / b.Elapsed().Seconds()
+		b.ReportMetric(rate, "programs/sec")
+		return rate
+	}
+	b.Run("plain", func(b *testing.B) {
+		obsPlainRate = run(b, false)
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		rate := run(b, true)
+		if obsPlainRate > 0 {
+			b.ReportMetric((1-rate/obsPlainRate)*100, "overhead-%")
+		}
+	})
+}
+
+var obsPlainRate float64
 
 // BenchmarkParallelReduce measures speculative reduction on harvested
 // compile-crash witnesses: a window of 1 (exact serial ddmin) against a

@@ -1,5 +1,5 @@
 // Command benchjson converts `go test -bench` output (read from stdin)
-// into the repository's benchmark-trajectory artifact (BENCH_8.json,
+// into the repository's benchmark-trajectory artifact (BENCH_9.json,
 // written to stdout): one JSON object with the raw per-benchmark numbers
 // plus the headline metrics the trajectory tracks — programs/sec through
 // the validation pipeline, ns per equivalence query, the structural
@@ -15,7 +15,9 @@
 // epoch-over-epoch (the serve-mode plateau: rotation must actually bound
 // steady-state memory), the robustness layer — stage watchdogs, the
 // oracle deadline ladder and the durable journal/checkpoint path —
-// costing more than 5% of plain fuzz throughput, a zero concrete
+// costing more than 5% of plain fuzz throughput, the introspection
+// plane (metrics registry plus provenance assembly) costing more than
+// 5% of uninstrumented throughput, a zero concrete
 // falsification rate on the defect-seeded workload, the concolic
 // stage costing more than 5% over solver-only ns/equivalence-query, a
 // speculatively reduced witness differing by even one byte from the
@@ -25,7 +27,7 @@
 //
 // Usage:
 //
-//	go test -run=NONE -bench='...' . | go run ./cmd/benchjson > BENCH_8.json
+//	go test -run=NONE -bench='...' . | go run ./cmd/benchjson > BENCH_9.json
 package main
 
 import (
@@ -44,7 +46,7 @@ type Bench struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Artifact is the BENCH_8.json schema.
+// Artifact is the BENCH_9.json schema.
 type Artifact struct {
 	// Headline trajectory metrics.
 	ProgramsPerSec      float64 `json:"programs_per_sec"`
@@ -93,6 +95,16 @@ type Artifact struct {
 	ResilientPlainProgramsPerSec float64 `json:"resilient_plain_programs_per_sec"`
 	ResilientArmedProgramsPerSec float64 `json:"resilient_armed_programs_per_sec"`
 	ResilientOverheadPct         float64 `json:"resilient_overhead_pct"`
+
+	// Introspection-plane overhead (BenchmarkObsOverhead): the same
+	// engine workload plain versus with the metrics registry installed
+	// (per-stage and per-tier latency histograms plus the stats
+	// collector; provenance assembly runs in both arms). The gate fails
+	// the build when instrumenting costs more than 5% of plain
+	// programs/sec — the contract that observation changes cost only.
+	ObsPlainProgramsPerSec        float64 `json:"obs_plain_programs_per_sec"`
+	ObsInstrumentedProgramsPerSec float64 `json:"obs_instrumented_programs_per_sec"`
+	ObsOverheadPct                float64 `json:"obs_overhead_pct"`
 
 	// Speculative-reduction metrics (BenchmarkParallelReduce): exact
 	// serial ddmin vs a speculation window of 8 over the same harvested
@@ -276,6 +288,13 @@ func main() {
 		art.ResilientArmedProgramsPerSec = b.Metrics["programs/sec"]
 		art.ResilientOverheadPct = b.Metrics["overhead-%"]
 	}
+	if b, ok := get("BenchmarkObsOverhead/plain"); ok {
+		art.ObsPlainProgramsPerSec = b.Metrics["programs/sec"]
+	}
+	if b, ok := get("BenchmarkObsOverhead/instrumented"); ok {
+		art.ObsInstrumentedProgramsPerSec = b.Metrics["programs/sec"]
+		art.ObsOverheadPct = b.Metrics["overhead-%"]
+	}
 	if b, ok := get("BenchmarkParallelReduce/serial"); ok {
 		art.ReduceSerialNsPerWitness = b.Metrics["ns/witness"]
 	}
@@ -295,6 +314,14 @@ func main() {
 	if art.ResilientOverheadPct > 5 {
 		fatalf("robustness layer costs %.1f%% of plain fuzz throughput (%.1f vs %.1f programs/sec): above the 5%% gate",
 			art.ResilientOverheadPct, art.ResilientArmedProgramsPerSec, art.ResilientPlainProgramsPerSec)
+	}
+
+	// The introspection cost gate: sharded atomic instrument writes on
+	// the hot path must stay inside 5% of uninstrumented throughput, or
+	// watching the fuzzer is slowing the fuzzer.
+	if art.ObsOverheadPct > 5 {
+		fatalf("introspection plane costs %.1f%% of plain fuzz throughput (%.1f vs %.1f programs/sec): above the 5%% gate",
+			art.ObsOverheadPct, art.ObsInstrumentedProgramsPerSec, art.ObsPlainProgramsPerSec)
 	}
 
 	// The concolic fast-path gates: on the defect-seeded workload some

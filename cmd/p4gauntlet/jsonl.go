@@ -1,0 +1,40 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// jsonlWriter serializes JSON-line records from concurrent producers
+// (the engine's report goroutine, the stats ticker, the SIGHUP handler)
+// under one lock. A failed marshal or write invokes onDrop and the
+// record is lost — the process never dies over a sick sink, but the
+// drop is counted, not just logged.
+type jsonlWriter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	onDrop func(what string, err error)
+}
+
+func newJSONLWriter(w io.Writer, onDrop func(what string, err error)) *jsonlWriter {
+	return &jsonlWriter{w: w, onDrop: onDrop}
+}
+
+// write appends v as one JSON line. A nil writer (no -jsonl sink) is a
+// no-op; what names the record kind for the drop report.
+func (jw *jsonlWriter) write(v any, what string) {
+	if jw == nil || jw.w == nil {
+		return
+	}
+	line, err := json.Marshal(v)
+	if err == nil {
+		jw.mu.Lock()
+		_, err = fmt.Fprintf(jw.w, "%s\n", line)
+		jw.mu.Unlock()
+	}
+	if err != nil && jw.onDrop != nil {
+		jw.onDrop(what, err)
+	}
+}

@@ -37,6 +37,13 @@
 // flags drive the deterministic fault-injection harness used by the
 // chaos-smoke CI job.
 //
+// With -http ADDR (fuzz and serve modes) the process serves an admin
+// plane for live introspection: /metrics (Prometheus text format, with
+// per-stage and per-solver-tier latency histograms), /statusz (JSON:
+// stats, health, recent epochs, recent quarantines), /healthz (liveness
+// keyed off round-fold progress — a wedged pipeline reports 503) and
+// /debug/pprof/*. The listener drains gracefully when the run ends.
+//
 // Usage:
 //
 //	p4gauntlet [-mode campaign|levels|fuzz|serve] [-seeds N] [-workers N]
@@ -45,13 +52,12 @@
 //	           [-mutate-ratio F] [-corpus DIR] [-stats-interval D]
 //	           [-epoch-programs N] [-state DIR | -resume DIR]
 //	           [-checkpoint-programs N] [-stage-timeout D]
-//	           [-oracle-timeout D] [-inject-every N] [-inject-seed N]
-//	           [-inject-stages LIST] [-inject-stall D]
+//	           [-oracle-timeout D] [-http ADDR] [-inject-every N]
+//	           [-inject-seed N] [-inject-stages LIST] [-inject-stall D]
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -66,6 +72,7 @@ import (
 	"gauntlet/internal/corpus"
 	"gauntlet/internal/faultinject"
 	"gauntlet/internal/generator"
+	"gauntlet/internal/obs"
 	"gauntlet/internal/persist"
 )
 
@@ -91,6 +98,7 @@ func main() {
 	checkpointPrograms := flag.Int("checkpoint-programs", 0, "checkpoint cadence in folded programs (needs -state; 0 = every epoch, or every 256 programs when epochs are off)")
 	stageTimeout := flag.Duration("stage-timeout", 0, "per-program stall budget for each pipeline stage: a stage body exceeding it is abandoned and the program quarantined (serve mode defaults to 30s; 0 disables the watchdog)")
 	oracleTimeout := flag.Duration("oracle-timeout", 0, "wall-clock budget for one program's oracle inspection: on expiry the ladder retries once at doubled budgets, then degrades the verdict to Unknown (0 disables)")
+	httpAddr := flag.String("http", "", "serve the admin/introspection endpoints (/metrics, /statusz, /healthz, /debug/pprof) on ADDR (fuzz/serve mode; e.g. 127.0.0.1:8080, \"\" disables)")
 	injectEvery := flag.Int64("inject-every", 0, "fault injection for resilience testing: deterministically fault ~1/N units per stage (0 disables)")
 	injectSeed := flag.Int64("inject-seed", 1, "fault-injection plan seed (with -inject-every)")
 	injectStages := flag.String("inject-stages", "generate,compile,oracle,reduce", "comma-separated stages to inject into (with -inject-every)")
@@ -113,6 +121,7 @@ func main() {
 			epochPrograms: *epochPrograms,
 			stateDir:      *stateDir, resumeDir: *resumeDir, checkpointPrograms: *checkpointPrograms,
 			stageTimeout: *stageTimeout, oracleTimeout: *oracleTimeout,
+			httpAddr:    *httpAddr,
 			injectEvery: *injectEvery, injectSeed: *injectSeed,
 			injectStages: *injectStages, injectStall: *injectStall,
 			explicit: explicit,
@@ -199,11 +208,26 @@ type fuzzFlags struct {
 	checkpointPrograms int
 	stageTimeout       time.Duration
 	oracleTimeout      time.Duration
+	httpAddr           string
 	injectEvery        int64
 	injectSeed         int64
 	injectStages       string
 	injectStall        time.Duration
 	explicit           map[string]bool
+}
+
+// statuszPayload is the /statusz JSON document: one self-describing
+// snapshot of a live daemon — stats (corpus summary included), health,
+// and bounded rings of recent epoch retirements and quarantines.
+type statuszPayload struct {
+	Mode       string                  `json:"mode"`
+	PID        int                     `json:"pid"`
+	Started    time.Time               `json:"started"`
+	Now        time.Time               `json:"now"`
+	Health     core.Health             `json:"health"`
+	Stats      core.Stats              `json:"stats"`
+	Epochs     []core.EpochStats       `json:"epochs,omitempty"`
+	Quarantine []core.QuarantineRecord `json:"quarantine,omitempty"`
 }
 
 // fuzz drives the streaming engine: the long-running bug-hunting service
@@ -260,23 +284,21 @@ func fuzz(ff fuzzFlags) {
 		defer f.Close()
 		sink = f
 	}
+	// The engine is declared here (assigned after configuration below) so
+	// the JSONL drop path can count lost records on it.
+	var engine *core.Engine
 	// Findings stream from the engine's report goroutine and stats records
-	// from the ticker below, so JSONL lines need one writer lock.
-	var sinkMu sync.Mutex
-	writeJSONL := func(v any, what string) {
-		if sink == nil {
-			return
+	// from the ticker below, so JSONL lines share one locked writer. A
+	// failed write is counted (Stats.RecordsDropped, /statusz) as well as
+	// logged — a long-lived daemon's sick sink must be visible to a
+	// scraper, not only to whoever tails stderr.
+	jw := newJSONLWriter(sink, func(what string, err error) {
+		if engine != nil {
+			engine.NoteDroppedRecord()
 		}
-		line, err := json.Marshal(v)
-		if err == nil {
-			sinkMu.Lock()
-			_, err = fmt.Fprintf(sink, "%s\n", line)
-			sinkMu.Unlock()
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "p4gauntlet: jsonl %s record lost: %v\n", what, err)
-		}
-	}
+		fmt.Fprintf(os.Stderr, "p4gauntlet: jsonl %s record lost: %v\n", what, err)
+	})
+	writeJSONL := jw.write
 	// statsRecord is the self-describing stats line: periodic records
 	// (Final=false) make long campaigns observable mid-flight; the final
 	// record closes the stream.
@@ -321,6 +343,40 @@ func fuzz(ff fuzzFlags) {
 	cfg.StageTimeout = ff.stageTimeout
 	cfg.OracleTimeout = ff.oracleTimeout
 
+	// Admin/introspection plane (-http): a metrics registry feeds
+	// /metrics, and bounded rings of recent epoch retirements and
+	// quarantine records feed /statusz. The rings wrap the base callbacks
+	// here so later wrappers (the persist layer's) compose on top.
+	var reg *obs.Registry
+	var introMu sync.Mutex
+	var recentEpochs []core.EpochStats
+	var recentQuarantine []core.QuarantineRecord
+	if ff.httpAddr != "" {
+		reg = obs.NewRegistry()
+		cfg.Obs = reg
+		const keepRecent = 64
+		prevEpoch := cfg.OnEpoch
+		cfg.OnEpoch = func(es core.EpochStats) {
+			introMu.Lock()
+			recentEpochs = append(recentEpochs, es)
+			if len(recentEpochs) > keepRecent {
+				recentEpochs = recentEpochs[len(recentEpochs)-keepRecent:]
+			}
+			introMu.Unlock()
+			prevEpoch(es)
+		}
+		prevQuar := cfg.OnQuarantine
+		cfg.OnQuarantine = func(rec core.QuarantineRecord) {
+			introMu.Lock()
+			recentQuarantine = append(recentQuarantine, rec)
+			if len(recentQuarantine) > keepRecent {
+				recentQuarantine = recentQuarantine[len(recentQuarantine)-keepRecent:]
+			}
+			introMu.Unlock()
+			prevQuar(rec)
+		}
+	}
+
 	// Deterministic fault injection (resilience testing): the chaos-smoke
 	// harness runs serve with -inject-every and asserts that every fired
 	// fault became a quarantine record or tool-error count, never a death.
@@ -344,7 +400,6 @@ func fuzz(ff fuzzFlags) {
 	// checkpoints at fold boundaries, quarantine records on disk. With
 	// -resume, restore the dead incarnation's corpus + watermark and
 	// pre-seed dedup from its journal.
-	var engine *core.Engine
 	var st *persist.State
 	baseTotals := persist.Totals{}
 	baseEpoch := 0
@@ -477,6 +532,59 @@ func fuzz(ff fuzzFlags) {
 	}
 
 	engine = core.NewEngine(cfg)
+
+	// Start the admin server once the engine exists (its Health/Status
+	// hooks read it). Binding eagerly means a bad -http address fails the
+	// run at startup, not at first scrape.
+	var admin *obs.Admin
+	if ff.httpAddr != "" {
+		// Liveness window: the collector folds a round every SyncInterval
+		// programs, so a healthy pipeline folds continuously. Five minutes
+		// (or four stats intervals, whichever is larger) without fold
+		// progress on a running engine reports unhealthy.
+		window := 5 * time.Minute
+		if w := 4 * ff.statsInterval; w > window {
+			window = w
+		}
+		modeName := "fuzz"
+		if ff.serve {
+			modeName = "serve"
+		}
+		started := time.Now()
+		var err error
+		admin, err = obs.StartAdmin(ff.httpAddr, obs.AdminConfig{
+			Metrics: reg,
+			Health: func() error {
+				h := engine.Health()
+				if !h.Running {
+					return nil
+				}
+				if since := time.Since(h.LastProgress); since > window {
+					return fmt.Errorf("no round-fold progress for %s (%d programs folded)",
+						since.Round(time.Second), h.ProgramsFolded)
+				}
+				return nil
+			},
+			Status: func() any {
+				introMu.Lock()
+				eps := append([]core.EpochStats(nil), recentEpochs...)
+				qs := append([]core.QuarantineRecord(nil), recentQuarantine...)
+				introMu.Unlock()
+				return statuszPayload{
+					Mode: modeName, PID: os.Getpid(),
+					Started: started, Now: time.Now(),
+					Health: engine.Health(), Stats: engine.Stats(),
+					Epochs: eps, Quarantine: qs,
+				}
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p4gauntlet: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "admin: serving /metrics /statusz /healthz /debug/pprof on http://%s\n", admin.Addr())
+	}
+
 	// SIGHUP means "checkpoint and flush stats now" — no drain, no pause:
 	// the flag is read by the collector at its next fold boundary and the
 	// run carries on. Ops can snapshot a multi-day serve at will.
@@ -491,8 +599,12 @@ func fuzz(ff fuzzFlags) {
 				return
 			case <-hup:
 				engine.RequestCheckpoint()
-				writeJSONL(statsRecord{Stats: engine.Stats()}, "stats")
+				s := engine.Stats()
+				writeJSONL(statsRecord{Stats: s}, "stats")
 				fmt.Fprintln(os.Stderr, "SIGHUP: checkpoint requested, stats flushed")
+				// One-line human summary on stderr: operators without a
+				// JSONL tail get the same signal.
+				fmt.Fprintln(os.Stderr, "SIGHUP: "+s.OneLine())
 			}
 		}
 	}()
@@ -521,6 +633,16 @@ func fuzz(ff fuzzFlags) {
 	// simplification/gate-reuse counters, interner growth), so a JSONL
 	// stream is self-describing without scraping the human summary.
 	writeJSONL(statsRecord{Stats: stats, Final: true}, "stats")
+	// Drain the admin listener after the final records: a scraper racing
+	// the shutdown sees either live data or a closed port, never a
+	// half-dead server.
+	if admin != nil {
+		sdCtx, sdCancel := context.WithTimeout(context.Background(), 3*time.Second)
+		if err := admin.Shutdown(sdCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "p4gauntlet: admin shutdown: %v\n", err)
+		}
+		sdCancel()
+	}
 	if ff.corpusDir != "" {
 		if n, err := engine.Corpus().Save(ff.corpusDir); err != nil {
 			fmt.Fprintf(os.Stderr, "p4gauntlet: corpus save: %v\n", err)

@@ -269,9 +269,58 @@
 // DIR` restores the corpus and watermark, pre-seeds deduplication from
 // the journal's fingerprints, and reprocesses the slots between the
 // watermark and the death — at-least-once, with zero re-reported
-// findings. SIGHUP forces a checkpoint + stats flush without draining;
+// findings. SIGHUP forces a checkpoint + stats flush without draining
+// (and logs a one-line human summary to stderr);
 // scripts/crash_resume_smoke.sh drives the whole loop (inject, SIGKILL,
 // resume) in CI.
+//
+// # Observability
+//
+// The introspection plane (internal/obs) makes a live daemon — or a
+// finished finding — explain itself without perturbing it. Three pieces:
+//
+// Metrics. A dependency-free registry of counters, gauges and
+// log2-bucketed latency histograms, all named gauntlet_* (counters end
+// in _total; histograms are _seconds with cumulative le buckets).
+// Hot-path instruments are sharded per worker and merged only on
+// scrape; because a histogram's bucket is a pure function of the
+// observed duration and shard merging is element-wise addition
+// (associative and commutative), the merged view of a given event
+// stream is identical at any worker count. The engine times every heavy
+// stage (gauntlet_stage_duration_seconds{stage=generate|compile|oracle|
+// dedup|reduce}) and every equivalence query by the solver-stack tier
+// that resolved it (gauntlet_equivalence_query_duration_seconds{tier=
+// simplified|cache-hit|hint-replay|concolic-falsified|cdcl}); a
+// collector renders the cumulative core.Stats counters on each scrape.
+//
+// Provenance. Every reported finding carries a lineage trace
+// (core.Provenance, serialized as the additive "provenance" JSON field
+// in JSONL reports and the durable journal — old journals replay
+// unchanged with a nil trace): schedule slot and round, origin
+// (generate vs mutate) with the applied mutation stack, per-stage
+// wall-clock (generate/compile/oracle/reduce ns), reduction effort
+// (serial-equivalent calls, probes launched and wasted) and per-tier
+// equivalence-query counts. Schedule fields are pure functions of the
+// run configuration; wall-clock fields are observation-only.
+//
+// Admin endpoint. `p4gauntlet -http ADDR` (fuzz and serve) serves
+// /metrics (Prometheus text exposition 0.0.4, deterministic ordering),
+// /statusz (one JSON document: stats with corpus summary, health,
+// recent epoch retirements and quarantines), /healthz (200 "ok" while
+// round folds progress, 503 with the stall age once progress stops) and
+// /debug/pprof/* on a private mux. The listener binds eagerly (bad
+// address fails at startup) and drains gracefully after the final
+// stats record. JSONL records that fail to serialize or write are
+// counted (Stats.RecordsDropped, gauntlet_records_dropped_total,
+// /statusz) as well as logged.
+//
+// The invariance contract, race-tested in internal/core: installing the
+// registry changes cost only — finding set, witness bytes, report order
+// and corpus are byte-identical with obs on and off at any worker
+// count. Measured cost on the BenchmarkObsOverhead workload is noise
+// (≤~3%, gated at 5% in BENCH_9.json). Negative: nothing in obs makes
+// scheduling decisions — health is keyed off fold progress but only
+// reports it, and provenance timings never feed back into the engine.
 //
 // # Benchmarks
 //
@@ -290,15 +339,17 @@
 // fraction falsified concretely); and BenchmarkParallelReduce the
 // speculative reducer against exact serial ddmin on harvested crash
 // witnesses (speedup, wasted-probe ratio, and a witness-diff count that
-// must be zero). scripts/bench_trajectory.sh runs the
-// headline set and writes BENCH_8.json; its benchjson gate fails CI on a
+// must be zero); and BenchmarkObsOverhead the introspection plane's
+// cost (plain vs metrics-registry-instrumented on the same workload).
+// scripts/bench_trajectory.sh runs the
+// headline set and writes BENCH_9.json; its benchjson gate fails CI on a
 // zero gate-reuse rate, mutation-mode throughput below half of
 // generation-mode, per-epoch context bytes growing more than 15%
 // epoch-over-epoch, a resilience overhead above 5%, a zero concrete
 // falsification rate, the concolic stage costing more than 5% over
 // solver-only per equivalence query, any speculative-reduction witness
-// diff, or speculative reduction below its core-count-scaled speedup
-// floor:
+// diff, speculative reduction below its core-count-scaled speedup
+// floor, or an introspection overhead above 5%:
 //
-//	go test -bench='ValidateIncremental|Sec52|EngineFuzz|GateReuse|CorpusFuzz|ServeEpochs|ResilientFuzz|ConcolicFalsify|ParallelReduce' .
+//	go test -bench='ValidateIncremental|Sec52|EngineFuzz|GateReuse|CorpusFuzz|ServeEpochs|ResilientFuzz|ConcolicFalsify|ParallelReduce|ObsOverhead' .
 package gauntlet

@@ -17,6 +17,7 @@ import (
 	"gauntlet/internal/coverage"
 	"gauntlet/internal/generator"
 	"gauntlet/internal/mutate"
+	"gauntlet/internal/obs"
 	"gauntlet/internal/p4/ast"
 	"gauntlet/internal/p4/lexer"
 	"gauntlet/internal/p4/printer"
@@ -111,6 +112,12 @@ type Finding struct {
 	SizeAfter  int `json:"size_after,omitempty"`
 	// Source is the printed (reduced) witness program.
 	Source string `json:"source,omitempty"`
+	// Provenance is the finding's lineage trace: where the triggering
+	// program came from and what each pipeline stage spent on it. Always
+	// populated by the engine; nil on findings replayed from journals
+	// written before the provenance schema existed (the field is
+	// additive, so old records parse unchanged).
+	Provenance *Provenance `json:"provenance,omitempty"`
 	// Program is the (reduced) witness AST.
 	Program *ast.Program `json:"-"`
 
@@ -135,6 +142,41 @@ type Finding struct {
 	// which witness bytes survive — is independent of how long each
 	// reduction took.
 	order int64
+}
+
+// Provenance traces one finding's lineage through the pipeline: the
+// schedule position that produced the triggering program, how it was
+// materialized, what each heavy stage spent on it, and how its
+// equivalence queries were resolved. Wall-clock fields are observation
+// only — they vary run to run and carry no determinism contract; the
+// schedule fields (Slot, Round, Origin, Mutations) are pure functions
+// of the configuration.
+type Provenance struct {
+	// Slot is the schedule slot (== Finding.Seed); Round is the
+	// SyncInterval-aligned admission round it folded in.
+	Slot  int64 `json:"slot"`
+	Round int64 `json:"round"`
+	// Origin is "generate" or "mutate"; Mutations lists the applied
+	// mutator names, innermost first, when Origin is "mutate".
+	Origin    string   `json:"origin"`
+	Mutations []string `json:"mutations,omitempty"`
+	// Per-stage wall clock, in nanoseconds, as measured around the
+	// supervised stage body (watchdog and fault-injection overhead
+	// included — this is the latency an operator would observe).
+	GenerateNs int64 `json:"generate_ns"`
+	CompileNs  int64 `json:"compile_ns,omitempty"`
+	OracleNs   int64 `json:"oracle_ns,omitempty"`
+	ReduceNs   int64 `json:"reduce_ns,omitempty"`
+	// Reduction accounting for this finding (see Stats for the global
+	// definitions): serial-equivalent candidates consumed, speculative
+	// probes launched, and probes whose results were discarded.
+	ReduceSerialCalls    int `json:"reduce_serial_calls,omitempty"`
+	ReduceProbesLaunched int `json:"reduce_probes_launched,omitempty"`
+	ReduceProbesWasted   int `json:"reduce_probes_wasted,omitempty"`
+	// QueryTiers counts the triggering program's oracle-stage
+	// equivalence queries by the solver-stack tier that resolved them
+	// (validate.Tier* names).
+	QueryTiers map[string]uint64 `json:"query_tiers,omitempty"`
 }
 
 // EngineConfig parameterizes one streaming fuzzing run.
@@ -297,6 +339,13 @@ type EngineConfig struct {
 	// CheckpointPrograms is the periodic checkpoint cadence in folded
 	// programs (0 = only on RequestCheckpoint).
 	CheckpointPrograms int
+	// Obs, when set, receives the engine's metrics: per-stage latency
+	// histograms, equivalence-query latency by resolution tier, and a
+	// snapshot-on-read collector over Stats. Observation only — the
+	// invariance contract (race-tested) is that enabling it changes
+	// cost, never the finding set, witness bytes, report order or
+	// corpus.
+	Obs *obs.Registry
 }
 
 // DefaultEngineConfig mirrors the sequential fuzz loop's settings on the
@@ -371,6 +420,10 @@ type Stats struct {
 	Timeouts        uint64
 	UnknownVerdicts uint64
 	OracleRetries   uint64
+	// RecordsDropped counts JSONL/journal records the embedding process
+	// failed to persist (NoteDroppedRecord) — surfaced here and on
+	// /statusz so a sick sink is visible beyond a stderr line.
+	RecordsDropped uint64
 	// Corpus snapshots the coverage-keyed seed pool: size, admission /
 	// rejection / eviction counts, distinct coverage edges and distinct
 	// coverage fingerprints observed.
@@ -461,7 +514,7 @@ func (s Stats) Summary() string {
 			"solver: %d equivalence queries resolved by simplification alone; simp cache %.1f%% hit (%d entries); gates %d built, %d reused (%.1f%%)\n"+
 			"concolic: %d tapes compiled, %d queries falsified concretely (%d packets), %d counterexample replays; %d solver calls avoided\n"+
 			"epoch %d: %d programs, interner %d terms (~%.1f MiB, %d/%d shards occupied), gates %d built %d reused this epoch\n"+
-			"robustness: %d quarantined (%d stalls, %d oracle timeouts), %d unknown verdicts, %d ladder retries",
+			"robustness: %d quarantined (%d stalls, %d oracle timeouts), %d unknown verdicts, %d ladder retries, %d records dropped",
 		s.Generated, s.Mutated, s.Compiled, s.Clean, s.ProgramsPerSec, s.Elapsed.Round(time.Millisecond),
 		s.UniqueFindings, s.Crashes, s.InvalidTransforms, s.Miscompilations, s.Mismatches,
 		s.Duplicates, s.CompileErrors+s.OracleErrors,
@@ -478,7 +531,18 @@ func (s Stats) Summary() string {
 		s.Interner.Entries, float64(s.Interner.BytesEstimate)/(1<<20),
 		s.Interner.OccupiedShards, s.Interner.Shards,
 		s.EpochGatesBuilt, s.EpochGatesReused,
-		s.Quarantined, s.Stalls, s.Timeouts, s.UnknownVerdicts, s.OracleRetries)
+		s.Quarantined, s.Stalls, s.Timeouts, s.UnknownVerdicts, s.OracleRetries,
+		s.RecordsDropped)
+}
+
+// OneLine renders the snapshot as a single human-readable line — the
+// SIGHUP stderr summary, for operators without a JSONL tail.
+func (s Stats) OneLine() string {
+	return fmt.Sprintf(
+		"programs=%d (%.1f/sec) findings=%d dups=%d corpus=%d epoch=%d quarantined=%d timeouts=%d dropped=%d elapsed=%s",
+		s.Generated, s.ProgramsPerSec, s.UniqueFindings, s.Duplicates,
+		s.Corpus.Seeds, s.Epoch, s.Quarantined, s.Timeouts, s.RecordsDropped,
+		s.Elapsed.Round(time.Second))
 }
 
 // Engine is the streaming, stage-parallel fuzzing pipeline:
@@ -532,6 +596,17 @@ type Engine struct {
 	quarantined, stalls, timeouts              atomic.Uint64
 	unknownVerdicts, oracleRetries             atomic.Uint64
 	mismatchReplays                            atomic.Uint64
+	recordsDropped                             atomic.Uint64
+
+	// lastFoldNano is the wall-clock time of the most recent round fold
+	// (or Run start) — the liveness signal behind Health: a wedged
+	// pipeline stops folding, a healthy one folds every round.
+	lastFoldNano atomic.Int64
+
+	// metrics is the optional introspection plane (EngineConfig.Obs):
+	// per-stage and per-tier latency histograms. Nil when no registry is
+	// attached; every hot-path touch is behind one nil check.
+	metrics *engineMetrics
 
 	// checkpointReq is the on-demand checkpoint flag (SIGHUP's path): the
 	// collector consumes it at the next fold boundary.
@@ -655,8 +730,147 @@ func NewEngine(cfg EngineConfig) *Engine {
 	// however many findings reduce at once, at most Workers predicates
 	// run concurrently.
 	e.reduceGate = make(chan struct{}, cfg.Workers)
+	if cfg.Obs != nil {
+		e.metrics = newEngineMetrics(cfg.Obs)
+		cfg.Obs.Collect(e.emitStats)
+	}
 	return e
 }
+
+// Stage indices for the per-stage latency histograms.
+const (
+	stageGenerate = iota
+	stageCompile
+	stageOracle
+	stageDedup
+	stageReduce
+	numStages
+)
+
+var stageNames = [numStages]string{"generate", "compile", "oracle", "dedup", "reduce"}
+
+// engineMetrics holds the engine's eagerly registered histograms,
+// resolved once at construction so the hot path never takes the
+// registry lock. The maps/arrays are read-only after newEngineMetrics;
+// the histograms themselves are sharded and concurrency-safe.
+type engineMetrics struct {
+	stageDur [numStages]*obs.Histogram
+	tierDur  map[string]*obs.Histogram
+}
+
+func newEngineMetrics(r *obs.Registry) *engineMetrics {
+	m := &engineMetrics{tierDur: make(map[string]*obs.Histogram, 5)}
+	for i, name := range stageNames {
+		m.stageDur[i] = r.Histogram("gauntlet_stage_duration_seconds",
+			"Wall-clock latency of one unit through each engine stage (supervised body, watchdog included).",
+			obs.Labels{"stage": name})
+	}
+	for _, tier := range []string{
+		validate.TierSimplified, validate.TierCacheHit, validate.TierHintReplay,
+		validate.TierConcolic, validate.TierCDCL,
+	} {
+		m.tierDur[tier] = r.Histogram("gauntlet_equivalence_query_duration_seconds",
+			"Equivalence-query latency split by the solver-stack tier that resolved the query.",
+			obs.Labels{"tier": tier})
+	}
+	return m
+}
+
+// observeQuery feeds the per-tier histogram; shaped as a method so it
+// plugs straight into Oracle.QueryObs.
+func (m *engineMetrics) observeQuery(tier string, d time.Duration) {
+	if h := m.tierDur[tier]; h != nil {
+		h.Observe(d)
+	}
+}
+
+// emitStats is the registry collector: one Stats snapshot per scrape,
+// re-emitted as gauntlet_* series. Counter vs gauge follows whether the
+// underlying field is monotonic.
+func (e *Engine) emitStats(em *obs.Emit) {
+	s := e.Stats()
+	c := func(name, help string, v uint64) {
+		em.Counter("gauntlet_"+name, help, nil, float64(v))
+	}
+	g := func(name, help string, v float64) {
+		em.Gauge("gauntlet_"+name, help, nil, v)
+	}
+	c("programs_generated_total", "Programs materialized (generation + mutation).", s.Generated)
+	c("programs_mutated_total", "Programs produced by corpus mutation (subset of generated).", s.Mutated)
+	c("programs_compiled_total", "Programs that survived every pass.", s.Compiled)
+	c("programs_clean_total", "Programs the oracle found bug-free.", s.Clean)
+	c("findings_crash_total", "Crash findings (raw, pre-dedup).", s.Crashes)
+	c("findings_invalid_transform_total", "Invalid-transform findings (raw, pre-dedup).", s.InvalidTransforms)
+	c("findings_miscompilation_total", "Miscompilation findings (raw, pre-dedup).", s.Miscompilations)
+	c("findings_mismatch_total", "Packet-mismatch findings (raw, pre-dedup).", s.Mismatches)
+	c("findings_unique_total", "Unique findings after dedup.", s.UniqueFindings)
+	c("findings_duplicate_total", "Findings dropped as duplicates.", s.Duplicates)
+	c("tool_errors_compile_total", "Compile-stage tool limitations.", s.CompileErrors)
+	c("tool_errors_oracle_total", "Oracle-stage tool limitations.", s.OracleErrors)
+	c("mutants_invalid_total", "Mutants rejected by the type checker.", s.MutateInvalid)
+	c("mutants_stale_total", "Mutants rejected as behaviourally stale.", s.MutateStale)
+	c("reduce_predicate_calls_total", "Reduction predicate invocations that ran.", s.ReducePredicateCalls)
+	c("reduce_serial_calls_total", "Serial-equivalent reduction candidates consumed.", s.ReduceSerialCalls)
+	c("reduce_probes_launched_total", "Speculative reduction probes launched.", s.ReduceProbesLaunched)
+	c("reduce_probes_wasted_total", "Speculative reduction probes discarded.", s.ReduceProbesWasted)
+	c("quarantined_total", "Units contained by the supervisor (panics, stalls, exhausted ladders).", s.Quarantined)
+	c("stalls_total", "Stage stalls abandoned by the watchdog.", s.Stalls)
+	c("oracle_timeouts_total", "Inspections that exhausted the oracle escalation ladder.", s.Timeouts)
+	c("unknown_verdicts_total", "Equivalence queries degraded to Unknown.", s.UnknownVerdicts)
+	c("oracle_retries_total", "Inspections retried at doubled budgets.", s.OracleRetries)
+	c("records_dropped_total", "JSONL/journal records the embedding process failed to persist.", s.RecordsDropped)
+	c("cache_block_hits_total", "Block-formula cache hits.", s.BlockHits)
+	c("cache_block_misses_total", "Block-formula cache misses.", s.BlockMisses)
+	c("cache_verdict_hits_total", "Verdict cache hits.", s.VerdictHits)
+	c("cache_verdict_misses_total", "Verdict cache misses.", s.VerdictMisses)
+	c("queries_simplified_total", "Equivalence queries answered by simplification alone.", s.SimpResolved)
+	c("tapes_compiled_total", "Miters compiled to bit-parallel tapes.", s.TapesCompiled)
+	c("concolic_falsified_total", "Equivalence queries falsified concretely before any solver session.", s.ConcolicFalsified)
+	c("concolic_packets_total", "Concrete assignments executed by tapes.", s.ConcolicPackets)
+	c("cex_replay_hits_total", "Reduction queries decided by counterexample replay.", s.CexReplayHits)
+	c("solver_calls_avoided_total", "Queries that skipped the solver outright.", s.SolverCallsAvoided)
+	c("gates_built_total", "Structural gates encoded fresh (process-wide).", s.GatesBuilt)
+	c("gates_reused_total", "Gate constructions answered by an existing literal (process-wide).", s.GatesReused)
+	c("corpus_admitted_total", "Programs admitted to the corpus.", s.Corpus.Admitted)
+	c("corpus_rejected_total", "Programs rejected by corpus admission.", s.Corpus.Rejected)
+	c("corpus_evicted_total", "Seeds evicted from the corpus.", s.Corpus.Evicted)
+	g("corpus_seeds", "Seeds currently in the corpus.", float64(s.Corpus.Seeds))
+	g("corpus_edges", "Distinct coverage edges observed.", float64(s.Corpus.Edges))
+	g("corpus_fingerprints", "Distinct coverage fingerprints observed.", float64(s.Corpus.Fingerprints))
+	g("epoch", "Current epoch index.", float64(s.Epoch))
+	g("epoch_programs", "Programs folded during the current epoch.", float64(s.EpochProgramCount))
+	g("interner_entries", "Current epoch's interned-term count.", float64(s.Interner.Entries))
+	g("interner_bytes_estimate", "Current epoch's interner memory estimate.", float64(s.Interner.BytesEstimate))
+	g("simp_cache_entries", "Current epoch's simplification-memo entries.", float64(s.Simp.Entries))
+	g("programs_per_sec", "Generation throughput over the run so far.", s.ProgramsPerSec)
+}
+
+// Health is the engine's liveness view, keyed off round-fold progress:
+// the collector folds a round every SyncInterval programs, so a
+// pipeline that stops folding while Running is wedged. LastProgress is
+// the wall-clock time of the most recent fold (Run start before the
+// first fold); zero before Run.
+type Health struct {
+	Running        bool      `json:"running"`
+	ProgramsFolded uint64    `json:"programs_folded"`
+	LastProgress   time.Time `json:"last_progress"`
+}
+
+// Health snapshots liveness. Safe from any goroutine at any time.
+func (e *Engine) Health() Health {
+	h := Health{ProgramsFolded: e.programsFolded.Load()}
+	h.Running = e.startNano.Load() != 0 && e.endNano.Load() == 0
+	if lf := e.lastFoldNano.Load(); lf != 0 {
+		h.LastProgress = time.Unix(0, lf)
+	}
+	return h
+}
+
+// NoteDroppedRecord counts one persistence failure in the embedding
+// process (a JSONL or journal record that could not be written), so
+// sink sickness shows up in Stats and on /statusz instead of only on
+// stderr.
+func (e *Engine) NoteDroppedRecord() { e.recordsDropped.Add(1) }
 
 // rotateEpoch retires the current epoch and installs a fresh smt context
 // + validation cache. Called only from the collector at a fold boundary;
@@ -759,6 +973,7 @@ func (e *Engine) Stats() Stats {
 		Timeouts:             e.timeouts.Load(),
 		UnknownVerdicts:      e.unknownVerdicts.Load(),
 		OracleRetries:        e.oracleRetries.Load(),
+		RecordsDropped:       e.recordsDropped.Load(),
 		Corpus:               e.corpus.Stats(),
 	}
 	// Load the epoch pointer and sum the retired counter handles under
@@ -828,6 +1043,12 @@ type unit struct {
 	// collector (the round-fold barrier counts slots, and a missing
 	// record would deadlock the fold), but no program is compiled.
 	skip bool
+	// prov is the provenance trace under construction: each stage fills
+	// its fields in, and whichever stage produces a finding attaches the
+	// pointer. Nil for skipped units. A unit produces at most one
+	// finding (crash-family XOR oracle), so the pointer is never shared
+	// between two findings.
+	prov *Provenance
 }
 
 // task is one scheduled program slot: fresh grammar generation from the
@@ -921,8 +1142,9 @@ func originOf(mutated bool) string {
 // stale ones with the corpus's observed-fingerprint set (a mutant whose
 // AST profile was already tested would spend an oracle slot re-proving a
 // known verdict). Exhausted tasks fall back to fresh generation, so every
-// slot yields exactly one program.
-func (e *Engine) materialize(t task) (*ast.Program, *coverage.Profile, bool) {
+// slot yields exactly one program. The returned names are the applied
+// mutators (provenance), empty for fresh generation.
+func (e *Engine) materialize(t task) (*ast.Program, *coverage.Profile, []string, bool) {
 	if t.mutate {
 		r := rand.New(rand.NewSource(t.rngSeed))
 		var donor *ast.Program
@@ -930,7 +1152,7 @@ func (e *Engine) materialize(t task) (*ast.Program, *coverage.Profile, bool) {
 			donor = t.donor.Program
 		}
 		for try := 0; try < 4; try++ {
-			m, _, ok := mutate.Program(r, t.base.Program, donor, e.cfg.MaxMutations)
+			m, names, ok := mutate.Program(r, t.base.Program, donor, e.cfg.MaxMutations)
 			if !ok {
 				break
 			}
@@ -945,10 +1167,10 @@ func (e *Engine) materialize(t task) (*ast.Program, *coverage.Profile, bool) {
 			}
 			// Hand the profile downstream: the compile stage folds the
 			// pass trace into it rather than re-walking the AST.
-			return m, prof, true
+			return m, prof, names, true
 		}
 	}
-	return e.cfg.Generate(t.slot), nil, false
+	return e.cfg.Generate(t.slot), nil, nil, false
 }
 
 // Run executes the pipeline until the seed range is exhausted or ctx is
@@ -959,6 +1181,9 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	e.startNano.Store(time.Now().UnixNano())
+	// Liveness baseline: a run that has not folded its first round yet is
+	// "in progress since start", not wedged.
+	e.lastFoldNano.Store(time.Now().UnixNano())
 	defer func() { e.endNano.Store(time.Now().UnixNano()) }()
 
 	workers := e.cfg.Workers
@@ -1027,15 +1252,24 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 			defer genWG.Done()
 			for t := range taskCh {
 				u := unit{seed: t.slot, baseID: -1}
+				var names []string
+				genStart := time.Now()
 				err, fault, cancelled := supervise(ctx, e.cfg.StageTimeout, func() error {
 					if err := e.injectFault(ctx, "generate", t.slot); err != nil {
 						return err
 					}
-					u.prog, u.prof, u.mutated = e.materialize(t)
+					u.prog, u.prof, names, u.mutated = e.materialize(t)
 					return nil
 				})
 				if cancelled {
 					return
+				}
+				// Latency is measured around supervise, in this goroutine:
+				// an abandoned stalled closure may still be writing, so
+				// nothing it touches is read on the fault path.
+				genElapsed := time.Since(genStart)
+				if m := e.metrics; m != nil {
+					m.stageDur[stageGenerate].ObserveShard(w, genElapsed)
 				}
 				e.generated.Add(1)
 				switch {
@@ -1055,6 +1289,13 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 					if u.mutated {
 						e.mutated.Add(1)
 						u.baseID = t.base.ID
+					}
+					u.prov = &Provenance{
+						Slot:       t.slot,
+						Round:      (t.slot - e.cfg.StartSeed) / roundSize,
+						Origin:     originOf(u.mutated),
+						Mutations:  names,
+						GenerateNs: genElapsed.Nanoseconds(),
 					}
 				}
 				if !send(ctx, genCh, u) {
@@ -1180,6 +1421,9 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 					}
 				}
 				e.programsFolded.Add(uint64(len(recs)))
+				// Liveness heartbeat: wall-clock only, feeds Health, never
+				// a scheduling decision.
+				e.lastFoldNano.Store(time.Now().UnixNano())
 				oracleExpected[next] = nOracle
 				next++
 				// Epoch rotation shares the admission fold's
@@ -1271,6 +1515,7 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 				var out Outcome
 				var prof *coverage.Profile
 				var astFP uint64
+				compStart := time.Now()
 				err, fault, cancelled := supervise(ctx, e.cfg.StageTimeout, func() error {
 					if err := e.injectFault(ctx, "compile", u.seed); err != nil {
 						return err
@@ -1294,12 +1539,19 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 				if cancelled {
 					return
 				}
+				compElapsed := time.Since(compStart)
+				if m := e.metrics; m != nil {
+					m.stageDur[stageCompile].ObserveShard(w, compElapsed)
+				}
 				if fault != nil {
 					e.quarantine("compile", u.seed, originOf(u.mutated), u.prog, fault)
 					if !send(ctx, covCh, covRec{slot: u.seed, baseID: -1}) {
 						return
 					}
 					continue
+				}
+				if u.prov != nil {
+					u.prov.CompileNs = compElapsed.Nanoseconds()
 				}
 				if err != nil {
 					// fn returns out.Err, so this only rewrites it when the
@@ -1320,21 +1572,23 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 					e.crashes.Add(1)
 					rec.finding = &Finding{
 						Kind: FindingCrash, Seed: u.seed, Backend: e.cfg.Backend.String(),
-						Pass:     out.Crash.Pass,
-						Detail:   fmt.Sprintf("crash in %s: %s", out.Crash.Pass, out.Crash.Msg),
-						Origin:   originOf(u.mutated),
-						Program:  u.prog,
-						crashMsg: out.Crash.Msg,
+						Pass:       out.Crash.Pass,
+						Detail:     fmt.Sprintf("crash in %s: %s", out.Crash.Pass, out.Crash.Msg),
+						Origin:     originOf(u.mutated),
+						Program:    u.prog,
+						Provenance: u.prov,
+						crashMsg:   out.Crash.Msg,
 					}
 				case out.Invalid != nil:
 					e.invalids.Add(1)
 					rec.finding = &Finding{
 						Kind: FindingInvalidTransform, Seed: u.seed, Backend: e.cfg.Backend.String(),
-						Pass:     out.Invalid.Pass,
-						Detail:   out.Invalid.Error(),
-						Origin:   originOf(u.mutated),
-						Program:  u.prog,
-						crashMsg: out.Invalid.Error(),
+						Pass:       out.Invalid.Pass,
+						Detail:     out.Invalid.Error(),
+						Origin:     originOf(u.mutated),
+						Program:    u.prog,
+						Provenance: u.prov,
+						crashMsg:   out.Invalid.Error(),
 					}
 				}
 				if !send(ctx, covCh, rec) {
@@ -1368,15 +1622,37 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 			defer oracleWG.Done()
 			for u := range compCh {
 				out := Outcome{Result: u.res}
+				// Per-unit oracle copy (InspectLadder copies again for its
+				// ladder rungs anyway): the QueryObs hook accumulates this
+				// unit's resolution-tier counts for provenance. The tiers
+				// map is goroutine-private — queries run sequentially inside
+				// one inspection — and is read only on the success path,
+				// never after a fault abandons the closure.
+				oc := *e.oracle
+				var tiers map[string]uint64
+				oc.QueryObs = func(tier string, d time.Duration) {
+					if tiers == nil {
+						tiers = make(map[string]uint64, 4)
+					}
+					tiers[tier]++
+					if m := e.metrics; m != nil {
+						m.observeQuery(tier, d)
+					}
+				}
+				oracleStart := time.Now()
 				err, fault, cancelled := supervise(ctx, e.cfg.StageTimeout, func() error {
 					if err := e.injectFault(ctx, "oracle", u.seed); err != nil {
 						return err
 					}
-					e.oracle.InspectLadder(ctx, &out)
+					oc.InspectLadder(ctx, &out)
 					return nil
 				})
 				if cancelled {
 					return
+				}
+				oracleElapsed := time.Since(oracleStart)
+				if m := e.metrics; m != nil {
+					m.stageDur[stageOracle].ObserveShard(w, oracleElapsed)
 				}
 				// Every unit reports exactly one orRec — finding or not,
 				// quarantined or not — so the collector's one-round-late
@@ -1396,6 +1672,10 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 				}
 				if err != nil {
 					out = Outcome{Result: u.res, Err: err}
+				}
+				if u.prov != nil {
+					u.prov.OracleNs = oracleElapsed.Nanoseconds()
+					u.prov.QueryTiers = tiers
 				}
 				if out.Unknowns > 0 {
 					e.unknownVerdicts.Add(uint64(out.Unknowns))
@@ -1418,19 +1698,21 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 					e.miscompiles.Add(1)
 					cand = &Finding{
 						Kind: FindingMiscompilation, Seed: u.seed, Backend: e.cfg.Backend.String(),
-						Pass:    out.Failures[0].PassB,
-						Detail:  out.Failures[0].String(),
-						Origin:  originOf(u.mutated),
-						Program: u.prog,
-						cex:     out.Failures[0].Counterexample,
+						Pass:       out.Failures[0].PassB,
+						Detail:     out.Failures[0].String(),
+						Origin:     originOf(u.mutated),
+						Program:    u.prog,
+						Provenance: u.prov,
+						cex:        out.Failures[0].Counterexample,
 					}
 				case len(out.Mismatches) > 0:
 					e.mismatches.Add(1)
 					cand = &Finding{
 						Kind: FindingMismatch, Seed: u.seed, Backend: e.cfg.Backend.String(),
-						Detail:  out.Mismatches[0],
-						Origin:  originOf(u.mutated),
-						Program: u.prog,
+						Detail:     out.Mismatches[0],
+						Origin:     originOf(u.mutated),
+						Program:    u.prog,
+						Provenance: u.prov,
 					}
 					if len(out.MismatchCases) > 0 {
 						mc := out.MismatchCases[0]
@@ -1469,20 +1751,34 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 		perPass := map[string]int{}
 		order := int64(0)
 		for f := range candCh {
+			var dedupStart time.Time
+			if e.metrics != nil {
+				dedupStart = time.Now()
+			}
+			dup := false
 			if f.Kind == FindingCrash || f.Kind == FindingInvalidTransform {
 				f.Fingerprint = crashFingerprint(f.Kind, f.Pass, f.crashMsg)
 				if seen[f.Fingerprint] {
-					e.duplicates.Add(1)
-					continue
+					dup = true
+				} else {
+					seen[f.Fingerprint] = true
 				}
-				seen[f.Fingerprint] = true
 			} else {
 				key := fmt.Sprintf("%d\x00%s", f.Kind, f.Pass)
 				if perPass[key] >= e.cfg.MaxReducePerPass {
-					e.duplicates.Add(1)
-					continue
+					dup = true
+				} else {
+					perPass[key]++
 				}
-				perPass[key]++
+			}
+			if m := e.metrics; m != nil {
+				// Classification only; the (blocking) handoff to the
+				// reducer is backpressure, not dedup latency.
+				m.stageDur[stageDedup].Observe(time.Since(dedupStart))
+			}
+			if dup {
+				e.duplicates.Add(1)
+				continue
 			}
 			f.order = order
 			order++
@@ -1501,6 +1797,7 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 			defer redWG.Done()
 			for f := range redCh {
 				var got Finding
+				reduceStart := time.Now()
 				err, fault, cancelled := supervise(ctx, e.cfg.StageTimeout, func() error {
 					if err := e.injectFault(ctx, "reduce", f.Seed); err != nil {
 						return err
@@ -1510,6 +1807,9 @@ func (e *Engine) Run(ctx context.Context) []Finding {
 				})
 				if cancelled {
 					return
+				}
+				if m := e.metrics; m != nil {
+					m.stageDur[stageReduce].ObserveShard(w, time.Since(reduceStart))
 				}
 				out := f
 				if err == nil && fault == nil {
@@ -1623,12 +1923,25 @@ func (e *Engine) reduceFinding(ctx context.Context, f Finding) Finding {
 	}
 	opts := e.cfg.ReduceOpts
 	opts.Gate = e.reduceGate
+	reduceStart := time.Now()
 	prog, rs := reduce.ReduceStats(ctx, f.Program, e.keepPredicate(f), opts)
 	e.reduceSerial.Add(uint64(rs.SerialCalls))
 	e.probesLaunched.Add(uint64(rs.Launched))
 	e.probesWasted.Add(uint64(rs.Wasted))
 	f.Program = prog
 	f.SizeAfter = reduce.Size(f.Program)
+	if f.Provenance != nil {
+		// Clone before writing: the fault path emits the pre-reduce
+		// finding, which shares the incoming pointer — and an abandoned
+		// (stalled) invocation of this function may still be executing
+		// here, so it must never write through shared state.
+		p := *f.Provenance
+		p.ReduceNs = time.Since(reduceStart).Nanoseconds()
+		p.ReduceSerialCalls = rs.SerialCalls
+		p.ReduceProbesLaunched = rs.Launched
+		p.ReduceProbesWasted = rs.Wasted
+		f.Provenance = &p
+	}
 	return f
 }
 
@@ -1649,6 +1962,14 @@ func (e *Engine) reduceFinding(ctx context.Context, f Finding) Finding {
 // — the oracle, its caches and the counters are all concurrency-safe.
 func (e *Engine) keepPredicate(f Finding) reduce.PredicateCtx {
 	o := e.oracle
+	if m := e.metrics; m != nil {
+		// Reduction-phase equivalence queries feed the per-tier latency
+		// histograms too (metrics only — the finding's provenance tier
+		// counts cover its oracle-stage inspection).
+		oc := *e.oracle
+		oc.QueryObs = m.observeQuery
+		o = &oc
+	}
 	switch f.Kind {
 	case FindingCrash:
 		return func(_ context.Context, cand *ast.Program) bool {

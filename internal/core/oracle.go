@@ -52,6 +52,10 @@ type Oracle struct {
 	// validate.Concolic). Reduction predicates use WithHints to thread a
 	// finding's counterexample through it.
 	Concolic validate.Concolic
+	// QueryObs, when non-nil, receives one callback per equivalence
+	// query with the resolution tier that answered it and its latency
+	// (see validate.Options.QueryObs). Observation-only.
+	QueryObs func(tier string, d time.Duration)
 	// Timeout is the wall-clock watchdog for one Examine's inspection
 	// (0 = none). MaxConflicts bounds conflicts, not time — one
 	// pathological miter can stall a worker for minutes inside a single
@@ -148,7 +152,7 @@ func (o *Oracle) Inspect(ctx context.Context, out *Outcome) {
 	cache := o.cache()
 	if o.Validate {
 		verdicts, err := validate.SnapshotsContext(ctx, out.Result,
-			validate.Options{MaxConflicts: o.MaxConflicts, Cache: cache, Concolic: o.Concolic})
+			validate.Options{MaxConflicts: o.MaxConflicts, Cache: cache, Concolic: o.Concolic, QueryObs: o.QueryObs})
 		// Verdicts gathered before a deadline still count: Sat ones are
 		// findings, Unknown ones are weakened-coverage accounting.
 		for _, v := range verdicts {

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// AdminConfig wires the admin server's endpoints to the process being
+// observed. Every field is optional; an unset endpoint serves a
+// minimal static response instead of 404ing, so probes configured
+// before the engine exists stay green.
+type AdminConfig struct {
+	// Metrics backs /metrics (Prometheus text exposition format).
+	Metrics *Registry
+	// Status returns the /statusz payload, rendered as indented JSON.
+	Status func() any
+	// Health backs /healthz: nil ⇒ 200 "ok", non-nil ⇒ 503 with the
+	// error text. Liveness semantics (what counts as wedged) belong to
+	// the caller.
+	Health func() error
+}
+
+// Admin is a running admin HTTP server. It binds eagerly (so a bad
+// address fails fast at startup, not at first scrape) and shuts down
+// gracefully, draining in-flight scrapes.
+type Admin struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartAdmin binds addr (host:port; ":0" picks a free port) and serves
+// /metrics, /statusz, /healthz and /debug/pprof/* until Shutdown.
+func StartAdmin(addr string, cfg AdminConfig) (*Admin, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if cfg.Metrics != nil {
+			_ = cfg.Metrics.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var payload any = map[string]string{"status": "no status hook registered"}
+		if cfg.Status != nil {
+			payload = cfg.Status()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(payload); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if cfg.Health != nil {
+			if err := cfg.Health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	// Explicit pprof routes on our private mux; importing net/http/pprof
+	// also touches http.DefaultServeMux, which we never serve.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "p4gauntlet admin: /metrics /statusz /healthz /debug/pprof/")
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	a := &Admin{srv: srv, ln: ln}
+	go func() {
+		// ErrServerClosed is the normal Shutdown path; any other serve
+		// error leaves the admin plane dark but must not take down the
+		// fuzzing process.
+		_ = srv.Serve(ln)
+	}()
+	return a, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (a *Admin) Addr() string { return a.ln.Addr().String() }
+
+// Shutdown gracefully stops the server, draining in-flight requests
+// until ctx expires.
+func (a *Admin) Shutdown(ctx context.Context) error { return a.srv.Shutdown(ctx) }

@@ -1,0 +1,105 @@
+package obs_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"gauntlet/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestAdminEndpoints starts an admin server on a free port and probes
+// every route: metrics exposition, statusz JSON, healthz flipping
+// between 200 and 503 with the health hook, the pprof index, and the
+// root catalog line.
+func TestAdminEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("admin_test_total", "probe", nil).Add(3)
+	var healthErr error
+	admin, err := obs.StartAdmin("127.0.0.1:0", obs.AdminConfig{
+		Metrics: reg,
+		Status:  func() any { return map[string]int{"answer": 42} },
+		Health:  func() error { return healthErr },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := admin.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	base := "http://" + admin.Addr()
+
+	if code, body := get(t, base+"/metrics"); code != 200 || !strings.Contains(body, "admin_test_total 3") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if code, body := get(t, base+"/statusz"); code != 200 || !strings.Contains(body, `"answer": 42`) {
+		t.Errorf("/statusz = %d %q", code, body)
+	}
+	if code, body := get(t, base+"/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q, want 200 ok", code, body)
+	}
+	healthErr = errors.New("pipeline wedged")
+	if code, body := get(t, base+"/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "pipeline wedged") {
+		t.Errorf("/healthz with error = %d %q, want 503 with reason", code, body)
+	}
+	healthErr = nil
+	if code, body := get(t, base+"/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d (body %d bytes)", code, len(body))
+	}
+	if code, body := get(t, base+"/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("/ = %d %q", code, body)
+	}
+	if code, _ := get(t, base+"/nope"); code != 404 {
+		t.Errorf("/nope = %d, want 404", code)
+	}
+}
+
+// TestAdminNilHooks: an admin plane with no hooks serves placeholders,
+// never 404s, so probes configured before the engine exists stay green.
+func TestAdminNilHooks(t *testing.T) {
+	admin, err := obs.StartAdmin("127.0.0.1:0", obs.AdminConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Shutdown(context.Background())
+	base := "http://" + admin.Addr()
+	if code, _ := get(t, base+"/metrics"); code != 200 {
+		t.Errorf("/metrics = %d", code)
+	}
+	if code, body := get(t, base+"/statusz"); code != 200 || !strings.Contains(body, "no status hook") {
+		t.Errorf("/statusz = %d %q", code, body)
+	}
+	if code, _ := get(t, base+"/healthz"); code != 200 {
+		t.Errorf("/healthz = %d", code)
+	}
+}
+
+// TestAdminBadAddr: a bad address fails at StartAdmin, not at first
+// scrape.
+func TestAdminBadAddr(t *testing.T) {
+	if _, err := obs.StartAdmin("256.0.0.1:bad", obs.AdminConfig{}); err == nil {
+		t.Fatal("StartAdmin on a bad address succeeded")
+	}
+}

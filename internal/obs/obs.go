@@ -1,0 +1,456 @@
+// Package obs is the engine's introspection plane: a small,
+// dependency-free metrics registry (counters, gauges, and
+// deterministic log-bucketed latency histograms) plus an HTTP admin
+// server (admin.go) that exposes it.
+//
+// The package follows the same "isolate first, then share" discipline
+// as the engine it observes: every hot-path metric is sharded so
+// concurrent writers never contend on a cache line, and shards are
+// merged only on snapshot-on-read (a scrape or an explicit Snapshot
+// call). Because histogram buckets are a pure function of the observed
+// duration (bucket index = bit length of the nanosecond count) and
+// shard merging is element-wise addition — associative and commutative
+// — the merged view of a given event stream is identical at any worker
+// count and any interleaving.
+//
+// Instrumentation must never perturb the system under observation:
+// nothing in this package blocks a writer, allocates on the Observe
+// path, or reads the clock on the caller's behalf.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	randv2 "math/rand/v2"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Labels names one metric series within a family. Keys and values are
+// rendered in Prometheus text exposition format; a nil or empty map
+// means the unlabelled series.
+type Labels map[string]string
+
+// histBuckets is the number of finite log2 buckets. Bucket i counts
+// observations whose nanosecond value has bit length i, i.e. values in
+// [2^(i-1), 2^i), so its cumulative upper bound is (2^i - 1) ns.
+// Bucket 40 tops out at ~18 minutes; anything slower lands in the
+// overflow (+Inf) bucket. One extra slot holds the overflow count.
+const histBuckets = 40
+
+// bucketOf maps a duration to its histogram bucket index.
+// Deterministic: depends only on the observed value, never on the
+// observer. Negative durations clamp to bucket 0.
+func bucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(d))
+	if i > histBuckets {
+		return histBuckets + 1 // overflow → +Inf
+	}
+	return i
+}
+
+// HistSnapshot is a merged, immutable view of a histogram: per-bucket
+// counts (index histBuckets+1 is the +Inf overflow bucket) and the sum
+// of observed nanoseconds.
+type HistSnapshot struct {
+	Counts [histBuckets + 2]uint64
+	SumNs  uint64
+}
+
+// Count returns the total number of observations.
+func (s HistSnapshot) Count() uint64 {
+	var n uint64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// Merge returns the element-wise sum of two snapshots. Merge is
+// associative and commutative, so folding any partition of an event
+// stream in any order yields the same result.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	for i, c := range o.Counts {
+		s.Counts[i] += c
+	}
+	s.SumNs += o.SumNs
+	return s
+}
+
+// histShard is one writer-private slice of a histogram. Padded
+// implicitly by being allocated as distinct structs in a slice of
+// pointers.
+type histShard struct {
+	counts [histBuckets + 2]atomic.Uint64
+	sumNs  atomic.Uint64
+}
+
+// Histogram is a sharded log-bucketed latency histogram. Writers pick
+// a shard (either explicitly, keyed by worker index, or cheaply at
+// random) and bump two atomics; readers merge all shards into a
+// HistSnapshot.
+type Histogram struct {
+	shards []*histShard
+}
+
+func newHistogram(shards int) *Histogram {
+	if shards < 1 {
+		shards = 1
+	}
+	h := &Histogram{shards: make([]*histShard, shards)}
+	for i := range h.shards {
+		h.shards[i] = new(histShard)
+	}
+	return h
+}
+
+// Observe records one duration on an arbitrary shard. The shard choice
+// affects only write contention, never the merged snapshot.
+func (h *Histogram) Observe(d time.Duration) {
+	i := 0
+	if n := len(h.shards); n > 1 {
+		i = int(randv2.Uint64() % uint64(n))
+	}
+	h.ObserveShard(i, d)
+}
+
+// ObserveShard records one duration on the shard keyed by worker index
+// w (mod shard count). Per-worker sharding keeps hot loops free of
+// cross-core cache-line bouncing.
+func (h *Histogram) ObserveShard(w int, d time.Duration) {
+	s := h.shards[w%len(h.shards)]
+	s.counts[bucketOf(d)].Add(1)
+	if d > 0 {
+		s.sumNs.Add(uint64(d))
+	}
+}
+
+// Snapshot merges all shards into one immutable view.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var out HistSnapshot
+	for _, s := range h.shards {
+		for i := range s.counts {
+			out.Counts[i] += s.counts[i].Load()
+		}
+		out.SumNs += s.sumNs.Load()
+	}
+	return out
+}
+
+// Counter is a sharded monotonically increasing counter.
+type Counter struct {
+	shards []atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	i := 0
+	if s := len(c.shards); s > 1 {
+		i = int(randv2.Uint64() % uint64(s))
+	}
+	c.shards[i].Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value merges all shards.
+func (c *Counter) Value() uint64 {
+	var n uint64
+	for i := range c.shards {
+		n += c.shards[i].Load()
+	}
+	return n
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(floatBits(v)) }
+
+// Add atomically adds v.
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, floatBits(bitsFloat(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return bitsFloat(g.bits.Load()) }
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
+
+// Emit receives point-in-time series from a registered collector
+// during a gather. Collectors are how pre-existing snapshot-style
+// state (e.g. core.Stats) joins the registry without double-counting.
+type Emit struct {
+	fams map[string]*gatherFamily
+}
+
+// Counter emits a monotonically increasing collector series.
+func (e *Emit) Counter(name, help string, labels Labels, v float64) {
+	e.emit(name, help, "counter", labels, v)
+}
+
+// Gauge emits an instantaneous collector series.
+func (e *Emit) Gauge(name, help string, labels Labels, v float64) {
+	e.emit(name, help, "gauge", labels, v)
+}
+
+func (e *Emit) emit(name, help, typ string, labels Labels, v float64) {
+	f := e.fams[name]
+	if f == nil {
+		f = &gatherFamily{name: name, help: help, typ: typ}
+		e.fams[name] = f
+	}
+	f.series = append(f.series, gatherSeries{labels: canonLabels(labels), value: v})
+}
+
+// Registry holds metric families and collectors. All methods are safe
+// for concurrent use; registration of an already-registered
+// (name, labels) series returns the existing instrument, so packages
+// can re-register idempotently.
+type Registry struct {
+	mu         sync.Mutex
+	families   map[string]*family
+	collectors []func(*Emit)
+	shards     int
+}
+
+type family struct {
+	name, help, typ string
+	series          map[string]*instrument // key: canonical label rendering
+}
+
+type instrument struct {
+	labels string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// NewRegistry returns an empty registry whose sharded instruments use
+// one shard per scheduler thread (clamped to [1, 64]).
+func NewRegistry() *Registry {
+	shards := runtime.GOMAXPROCS(0)
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > 64 {
+		shards = 64
+	}
+	return &Registry{families: make(map[string]*family), shards: shards}
+}
+
+func (r *Registry) lookup(name, help, typ string, labels Labels) *instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*instrument)}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	key := canonLabels(labels)
+	ins := f.series[key]
+	if ins == nil {
+		ins = &instrument{labels: key}
+		switch typ {
+		case "counter":
+			ins.c = &Counter{shards: make([]atomic.Uint64, r.shards)}
+		case "gauge":
+			ins.g = &Gauge{}
+		case "histogram":
+			ins.h = newHistogram(r.shards)
+		}
+		f.series[key] = ins
+	}
+	return ins
+}
+
+// Counter registers (or finds) a counter series.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	return r.lookup(name, help, "counter", labels).c
+}
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	return r.lookup(name, help, "gauge", labels).g
+}
+
+// Histogram registers (or finds) a log-bucketed latency histogram
+// series with the registry's default shard count.
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
+	return r.lookup(name, help, "histogram", labels).h
+}
+
+// Collect registers fn to be invoked on every gather (scrape). The
+// collector emits point-in-time series that are merged with the eager
+// instruments; emitting into an eagerly registered family name panics
+// at render time, so collectors should own distinct names.
+func (r *Registry) Collect(fn func(*Emit)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+type gatherSeries struct {
+	labels string
+	value  float64
+	hist   *HistSnapshot
+}
+
+type gatherFamily struct {
+	name, help, typ string
+	series          []gatherSeries
+}
+
+// gather snapshots every eager instrument and runs every collector,
+// returning families sorted by name with series sorted by labels.
+func (r *Registry) gather() []*gatherFamily {
+	r.mu.Lock()
+	fams := make(map[string]*gatherFamily, len(r.families))
+	for name, f := range r.families {
+		gf := &gatherFamily{name: name, help: f.help, typ: f.typ}
+		for _, ins := range f.series {
+			gs := gatherSeries{labels: ins.labels}
+			switch {
+			case ins.c != nil:
+				gs.value = float64(ins.c.Value())
+			case ins.g != nil:
+				gs.value = ins.g.Value()
+			case ins.h != nil:
+				snap := ins.h.Snapshot()
+				gs.hist = &snap
+			}
+			gf.series = append(gf.series, gs)
+		}
+		fams[name] = gf
+	}
+	collectors := make([]func(*Emit), len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+
+	em := &Emit{fams: fams}
+	for _, fn := range collectors {
+		fn(em)
+	}
+
+	out := make([]*gatherFamily, 0, len(fams))
+	for _, gf := range fams {
+		sort.Slice(gf.series, func(i, j int) bool { return gf.series[i].labels < gf.series[j].labels })
+		out = append(out, gf)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4). Output ordering is deterministic: families
+// by name, series by canonical label rendering, histogram buckets by
+// ascending upper bound with only occupied buckets plus the mandatory
+// +Inf emitted.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range r.gather() {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			if s.hist != nil {
+				writeHistSeries(&b, f.name, s.labels, *s.hist)
+				continue
+			}
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatValue(s.value))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHistSeries(b *strings.Builder, name, labels string, h HistSnapshot) {
+	cum := uint64(0)
+	for i := 0; i <= histBuckets; i++ {
+		if h.Counts[i] == 0 {
+			continue
+		}
+		cum += h.Counts[i]
+		le := strconv.FormatFloat(float64(uint64(1)<<uint(i)-1)/1e9, 'g', -1, 64)
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLabel(labels, "le", le), cum)
+	}
+	cum += h.Counts[histBuckets+1]
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLabel(labels, "le", "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, formatValue(float64(h.SumNs)/1e9))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, cum)
+}
+
+// withLabel splices an extra label pair into an already-rendered label
+// set. The extra pair goes last; Prometheus imposes no label order.
+func withLabel(labels, k, v string) string {
+	pair := k + `="` + escapeLabel(v) + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// canonLabels renders labels in sorted-key order so that logically
+// equal label sets map to the same series key and render identically.
+func canonLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

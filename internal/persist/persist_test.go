@@ -167,3 +167,80 @@ func TestWriteQuarantine(t *testing.T) {
 		t.Fatalf("witness source not written: %v", err)
 	}
 }
+
+// TestJournalProvenanceCompat: the provenance field is additive. New
+// records round-trip the full trace; journal lines written before the
+// provenance schema existed (no "provenance" key) replay with a nil
+// Provenance instead of erroring — a resumed daemon must re-read its
+// own history regardless of which version wrote it.
+func TestJournalProvenanceCompat(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rich := core.Finding{
+		Seed: 42, Detail: "d", Fingerprint: 777,
+		Provenance: &core.Provenance{
+			Slot: 42, Round: 1, Origin: "mutate",
+			Mutations:  []string{"swap-tables"},
+			GenerateNs: 100, CompileNs: 200, OracleNs: 300,
+			QueryTiers: map[string]uint64{"cdcl": 2, "simplified": 5},
+		},
+	}
+	if err := st.AppendFinding(rich); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A legacy record, appended raw: exactly what a pre-provenance build
+	// wrote.
+	legacy := `{"kind":"crash","seed":9,"backend":"v1model","pass":"LegacyPass","detail":"legacy","fingerprint":424242}`
+	f, err := os.OpenFile(filepath.Join(dir, "journal.jsonl"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(legacy + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	fps, n, err := st2.KnownFindings()
+	if err != nil {
+		t.Fatalf("replay over mixed-version journal: %v", err)
+	}
+	if n != 2 || len(fps) != 2 || fps[0] != 777 || fps[1] != 424242 {
+		t.Fatalf("replayed %d records %v, want [777 424242]", n, fps)
+	}
+	var got []core.Finding
+	if _, err := Replay(filepath.Join(dir, "journal.jsonl"), func(line []byte) error {
+		var f core.Finding
+		if err := json.Unmarshal(line, &f); err != nil {
+			return err
+		}
+		got = append(got, f)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got[1].Provenance != nil {
+		t.Errorf("legacy record grew a provenance: %+v", got[1].Provenance)
+	}
+	p := got[0].Provenance
+	if p == nil {
+		t.Fatal("new record lost its provenance")
+	}
+	if p.Slot != 42 || p.Origin != "mutate" || len(p.Mutations) != 1 ||
+		p.GenerateNs != 100 || p.CompileNs != 200 || p.OracleNs != 300 ||
+		p.QueryTiers["cdcl"] != 2 || p.QueryTiers["simplified"] != 5 {
+		t.Errorf("provenance round-trip mismatch: %+v", p)
+	}
+}

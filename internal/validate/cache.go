@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gauntlet/internal/p4/ast"
 	"gauntlet/internal/p4/printer"
@@ -293,9 +294,23 @@ func (c *Cache) blockForm(prog *ast.Program, consts uint64, d ast.Decl) (*sym.Bl
 // falsify it before any solver.Session is built. Tape-found verdicts ARE
 // cached: the witness is a pure function of (seed, miter structure,
 // rounds), so every worker that would compute it computes the same one.
-func (c *Cache) equivalent(ctx context.Context, a, b *sym.Block, maxConflicts int, con Concolic) (bool, smt.Assignment, solver.Status) {
+func (c *Cache) equivalent(ctx context.Context, a, b *sym.Block, opts Options) (bool, smt.Assignment, solver.Status) {
+	maxConflicts, con := opts.MaxConflicts, opts.Concolic
+	// Tier attribution is observation-only: the clock is read exactly
+	// once on entry and once per resolved query, and only when a
+	// QueryObs hook is installed — the unobserved path pays a nil check.
+	var start time.Time
+	if opts.QueryObs != nil {
+		start = time.Now()
+	}
+	tier := func(t string) {
+		if opts.QueryObs != nil {
+			opts.QueryObs(t, time.Since(start))
+		}
+	}
 	if a == b {
 		// Same interned formula object: equal by construction.
+		tier(TierSimplified)
 		return true, nil, solver.Unsat
 	}
 	eq := sym.Equivalent(a, b)
@@ -304,6 +319,7 @@ func (c *Cache) equivalent(ctx context.Context, a, b *sym.Block, maxConflicts in
 		// the sides pointer-equal, or word-level simplification collapsed
 		// their differences. Either way the query never reaches a solver.
 		c.counters.simpResolved.Add(1)
+		tier(TierSimplified)
 		return true, nil, solver.Unsat
 	}
 	// sym.Equivalent returns the simplified miter, so this ID is the
@@ -315,6 +331,7 @@ func (c *Cache) equivalent(ctx context.Context, a, b *sym.Block, maxConflicts in
 	c.mu.RUnlock()
 	if ok {
 		c.counters.verdictHits.Add(1)
+		tier(TierCacheHit)
 		return e.equivalent, e.counterexample, e.status
 	}
 	var tp *smt.Tape
@@ -324,6 +341,7 @@ func (c *Cache) equivalent(ctx context.Context, a, b *sym.Block, maxConflicts in
 		for _, h := range con.Hints {
 			if h != nil && tp.EvalOnce(h) == 0 {
 				c.counters.replayHits.Add(1)
+				tier(TierHintReplay)
 				return false, tp.Restrict(h), solver.Sat
 			}
 		}
@@ -333,8 +351,12 @@ func (c *Cache) equivalent(ctx context.Context, a, b *sym.Block, maxConflicts in
 	c.counters.concolicPackets.Add(cr.Packets)
 	if cr.Falsified {
 		c.counters.concolicFalsified.Add(1)
-	} else if tp != nil {
-		c.counters.solverFallbacks.Add(1)
+		tier(TierConcolic)
+	} else {
+		if tp != nil {
+			c.counters.solverFallbacks.Add(1)
+		}
+		tier(TierCDCL)
 	}
 	c.counters.verdictMisses.Add(1)
 	c.mu.Lock()

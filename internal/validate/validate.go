@@ -9,6 +9,7 @@ package validate
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"gauntlet/internal/compiler"
 	"gauntlet/internal/p4/ast"
@@ -61,7 +62,32 @@ type Options struct {
 	// under every equivalence query. The zero value enables it with the
 	// default budget.
 	Concolic Concolic
+	// QueryObs, when non-nil, is invoked once per equivalence query with
+	// the resolution tier that answered it (Tier* constants) and the
+	// query's wall-clock latency. Observation-only: the hook must not
+	// block, and installing it changes cost, never verdicts. It may be
+	// called from many goroutines concurrently.
+	QueryObs func(tier string, d time.Duration)
 }
+
+// Resolution tiers, cheapest first: the layer of the solver stack that
+// answered an equivalence query. Reported via Options.QueryObs.
+const (
+	// TierSimplified: pointer-equal interned formulas, or a miter that
+	// word-level simplification collapsed to constant true.
+	TierSimplified = "simplified"
+	// TierCacheHit: answered by the shared verdict cache.
+	TierCacheHit = "cache-hit"
+	// TierHintReplay: a caller-provided counterexample hint replayed
+	// through the tape falsified the query (reduction fast path).
+	TierHintReplay = "hint-replay"
+	// TierConcolic: a deterministic concrete batch through the
+	// bit-parallel tape falsified the query before any solver session.
+	TierConcolic = "concolic-falsified"
+	// TierCDCL: the full CDCL solver ran (including Unknown verdicts on
+	// budget exhaustion).
+	TierCDCL = "cdcl"
+)
 
 // DefaultConcolicRounds is the concrete budget per fresh equivalence
 // query: rounds × 64 packets through the compiled tape before the solver
@@ -191,7 +217,7 @@ func SnapshotsContext(ctx context.Context, res *compiler.Result, opts Options) (
 				continue // block introduced by the pass (not in subset)
 			}
 			v := Verdict{PassA: prevPass, PassB: snap.Pass, Block: name}
-			v.Equivalent, v.Counterexample, v.Status = cache.equivalent(ctx, a, b, opts.MaxConflicts, opts.Concolic)
+			v.Equivalent, v.Counterexample, v.Status = cache.equivalent(ctx, a, b, opts)
 			out = append(out, v)
 		}
 		prevForms, prevPass, prevHash = forms, snap.Pass, snap.Hash
@@ -229,7 +255,7 @@ func Pair(a, b *ast.Program, opts Options) ([]Verdict, error) {
 			continue
 		}
 		v := Verdict{PassA: "A", PassB: "B", Block: name}
-		v.Equivalent, v.Counterexample, v.Status = cache.equivalent(context.Background(), formsA[name], fb, opts.MaxConflicts, opts.Concolic)
+		v.Equivalent, v.Counterexample, v.Status = cache.equivalent(context.Background(), formsA[name], fb, opts)
 		out = append(out, v)
 	}
 	return out, nil

@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # bench_trajectory.sh — run the validation-hot-path, corpus-engine,
-# serve-mode, resilience, concolic and speculative-reduction benchmark
-# suite and emit BENCH_8.json (programs/sec, ns/equivalence-query,
-# gate-reuse %, corpus admission rate and coverage-fingerprint counts
-# for generation vs mutation mode, per-epoch context bytes for the
-# rotating engine, the robustness layer's throughput overhead, the
-# concolic fast path's falsification rate, packets/sec and on-vs-off
-# per-query cost, and the speculative reducer's speedup and wasted-probe
-# ratio over exact serial ddmin).
+# serve-mode, resilience, concolic, speculative-reduction and
+# introspection benchmark suite and emit BENCH_9.json (programs/sec,
+# ns/equivalence-query, gate-reuse %, corpus admission rate and
+# coverage-fingerprint counts for generation vs mutation mode, per-epoch
+# context bytes for the rotating engine, the robustness layer's
+# throughput overhead, the concolic fast path's falsification rate,
+# packets/sec and on-vs-off per-query cost, the speculative reducer's
+# speedup and wasted-probe ratio over exact serial ddmin, and the
+# metrics registry's throughput overhead).
 #
 # The JSON conversion doubles as a smoke gate: it exits nonzero when a
 # headline benchmark is missing, the structural-hash path reports a zero
@@ -18,9 +19,10 @@
 # fuzz throughput, the concolic tape falsifies nothing on the
 # defect-seeded workload, the fast path costs more than 5% over
 # solver-only ns/equivalence-query, a speculatively reduced witness
-# differs from the serial reduction by even one byte, or speculative
+# differs from the serial reduction by even one byte, speculative
 # reduction misses its core-count-scaled speedup floor (≥2x on 8+
-# procs; overhead-only bounds on fewer).
+# procs; overhead-only bounds on fewer), or installing the metrics
+# registry costs more than 5% of uninstrumented fuzz throughput.
 #
 #   BENCHTIME=5x scripts/bench_trajectory.sh      # more iterations
 #   scripts/bench_trajectory.sh                   # default 2x
@@ -28,8 +30,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-2x}"
-pattern='EquivalenceQuery|Sec52_PipelineThroughput|Table2_BugSummary|EngineFuzz|GateReuse|CorpusFuzz|ServeEpochs|ResilientFuzz|ConcolicFalsify|ParallelReduce'
-artifact="BENCH_8.json"
+pattern='EquivalenceQuery|Sec52_PipelineThroughput|Table2_BugSummary|EngineFuzz|GateReuse|CorpusFuzz|ServeEpochs|ResilientFuzz|ConcolicFalsify|ParallelReduce|ObsOverhead'
+artifact="BENCH_9.json"
 out="$(mktemp)"
 # On any failure, remove the scratch file AND any partially-written
 # artifact: a truncated BENCH_*.json must never survive to be read as a

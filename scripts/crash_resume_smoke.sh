@@ -10,9 +10,17 @@
 #      then SIGKILL it. No shutdown path runs: whatever the journal and
 #      the last checkpoint hold is all that survives, exactly like a
 #      crash.
+#   2a. While the daemon lives, probe its admin plane: /healthz must
+#      answer 200 "ok" and /metrics must serve Prometheus text — the
+#      introspection endpoints have to be reachable on a real socket,
+#      under real fault injection, not just in httptest.
 #   3. Resume from the state directory with a bounded budget. The resumed
 #      run must pick up past the checkpoint watermark and report no
-#      finding fingerprint the first incarnation already journaled.
+#      finding fingerprint the first incarnation already journaled —
+#      including a legacy pre-provenance journal record spliced in
+#      between the incarnations, which must parse and dedup like any
+#      other (the provenance field is additive, old journals replay
+#      unchanged).
 #
 # (In-process goroutine-leak and finding-set-invariance checks live in
 # the race-enabled chaos tests in internal/core; this script covers the
@@ -25,10 +33,17 @@ trap 'rm -rf "$dir"' EXIT
 bin="$dir/p4gauntlet"
 go build -o "$bin" ./cmd/p4gauntlet
 
+# fetch URL: curl when available, wget fallback (CI images vary).
+fetch() {
+  if command -v curl >/dev/null 2>&1; then curl -sf "$1"; else wget -qO- "$1"; fi
+}
+
+port=$((20000 + RANDOM % 20000))
 echo "--- phase 1: serve under injected faults, then SIGHUP + SIGKILL"
 "$bin" -mode serve -seed 7 -reduce=false -state "$dir/state" \
   -epoch-programs 48 -checkpoint-programs 16 -stats-interval 2s \
   -stage-timeout 2s -inject-every 7 -inject-seed 3 -inject-stall 5s \
+  -http "127.0.0.1:$port" \
   -jsonl "$dir/run1.jsonl" 2>"$dir/run1.err" &
 pid=$!
 sleep 25
@@ -37,6 +52,26 @@ if ! kill -0 "$pid" 2>/dev/null; then
   cat "$dir/run1.err"
   exit 1
 fi
+
+echo "--- phase 2a: probe the admin plane on the live daemon"
+health=$(fetch "http://127.0.0.1:$port/healthz" || true)
+if [ "$health" != "ok" ]; then
+  echo "FAIL: /healthz answered '${health:-nothing}', want 'ok'"
+  cat "$dir/run1.err"
+  exit 1
+fi
+fetch "http://127.0.0.1:$port/metrics" > "$dir/metrics.txt" \
+  || { echo "FAIL: /metrics unreachable"; cat "$dir/run1.err"; exit 1; }
+grep -q '^gauntlet_programs_generated_total ' "$dir/metrics.txt" \
+  || { echo "FAIL: /metrics is missing gauntlet_programs_generated_total"; head "$dir/metrics.txt"; exit 1; }
+grep -q '^# TYPE gauntlet_stage_duration_seconds histogram' "$dir/metrics.txt" \
+  || { echo "FAIL: /metrics is missing the stage-latency histogram"; head "$dir/metrics.txt"; exit 1; }
+fetch "http://127.0.0.1:$port/statusz" > "$dir/statusz.json" \
+  || { echo "FAIL: /statusz unreachable"; exit 1; }
+grep -q '"mode": "serve"' "$dir/statusz.json" \
+  || { echo "FAIL: /statusz payload malformed"; head "$dir/statusz.json"; exit 1; }
+echo "phase 2a ok: /healthz, /metrics and /statusz live"
+
 kill -HUP "$pid"
 sleep 5
 kill -9 "$pid"
@@ -54,7 +89,13 @@ if [ "$quar" -eq 0 ]; then
 fi
 echo "phase 1 ok: $quar quarantine records, checkpoint present"
 
-echo "--- phase 2: resume from the killed daemon's state"
+echo "--- phase 3: resume from the killed daemon's state"
+# Splice a legacy pre-provenance finding record (no "provenance" key)
+# into the journal: resume must re-read it without error and treat its
+# fingerprint as already reported.
+legacy_fp=424242424242
+echo "{\"kind\":\"crash\",\"seed\":999999,\"backend\":\"v1model\",\"pass\":\"LegacyPass\",\"detail\":\"legacy record\",\"fingerprint\":$legacy_fp}" \
+  >> "$dir/state/journal.jsonl"
 "$bin" -mode fuzz -seeds 64 -reduce=false -resume "$dir/state" \
   -jsonl "$dir/run2.jsonl" 2>"$dir/run2.err" \
   || { echo "FAIL: resume run failed"; cat "$dir/run2.err"; exit 1; }
@@ -74,5 +115,9 @@ if [ "$dups" -ne 0 ]; then
   comm -12 <(fp "$dir/run1.jsonl") <(fp "$dir/run2.jsonl")
   exit 1
 fi
-echo "phase 2 ok: resumed at slot $watermark, no re-reported findings"
+if grep -q "\"fingerprint\":$legacy_fp" "$dir/run2.jsonl" 2>/dev/null; then
+  echo "FAIL: resume re-reported the spliced legacy fingerprint"
+  exit 1
+fi
+echo "phase 3 ok: resumed at slot $watermark, no re-reported findings (legacy record included)"
 echo "crash-resume smoke: PASS"
