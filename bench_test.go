@@ -15,13 +15,14 @@ import (
 	"gauntlet/internal/bugs"
 	"gauntlet/internal/compiler"
 	"gauntlet/internal/core"
+	"gauntlet/internal/fleet"
 	"gauntlet/internal/generator"
+	"gauntlet/internal/obs"
 	"gauntlet/internal/p4/ast"
 	"gauntlet/internal/p4/eval"
 	"gauntlet/internal/p4/parser"
 	"gauntlet/internal/p4/printer"
 	"gauntlet/internal/p4/types"
-	"gauntlet/internal/obs"
 	"gauntlet/internal/persist"
 	"gauntlet/internal/reduce"
 	"gauntlet/internal/smt"
@@ -886,3 +887,84 @@ func BenchmarkParallelReduce(b *testing.B) {
 
 var parReduceSerialNs float64
 var parReduceSerialOut []string
+
+// BenchmarkFleetFuzz measures what fleet sharding buys and costs: the
+// same fixed-seed, pure-generation workload run directly on one engine,
+// through a coordinator with one in-process worker (the protocol,
+// lease-merge and dedup machinery with zero parallelism to hide it —
+// pure overhead), and with two workers (each engine capped at 2 stage
+// workers, so the second worker adds real cores). The benchjson CI gate
+// scales with the runner: 2 workers must beat 1 by ≥1.6x on 4+ procs and
+// ≥1.1x on 2, while on a single core only the coordinator-overhead bound
+// (fleet-1 within 10% of direct) applies.
+func BenchmarkFleetFuzz(b *testing.B) {
+	const syncInterval, leaseSlots, engineWorkers = 8, 8, 2
+	runCfg := func() fleet.RunConfig {
+		return fleet.RunConfig{
+			Seed:          11,
+			SyncInterval:  syncInterval,
+			EngineWorkers: engineWorkers,
+			Reduce:        false,
+		}
+	}
+	fleetRun := func(b *testing.B, workers int) float64 {
+		for i := 0; i < b.N; i++ {
+			coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+				Run:        runCfg(),
+				StartSeed:  int64(i) * fuzzBatch,
+				Seeds:      fuzzBatch,
+				LeaseSlots: leaseSlots,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ws := make([]fleet.WorkerConfig, workers)
+			for j := range ws {
+				ws[j] = fleet.WorkerConfig{Name: fmt.Sprintf("w%d", j)}
+			}
+			if err := fleet.RunLocal(context.Background(), coord, ws); err != nil {
+				b.Fatal(err)
+			}
+			if fs := coord.Findings(); len(fs) > 0 {
+				b.Fatalf("reference pipeline produced findings: %+v", fs[0])
+			}
+		}
+		rate := float64(b.N*fuzzBatch) / b.Elapsed().Seconds()
+		b.ReportMetric(rate, "programs/sec")
+		return rate
+	}
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := core.DefaultEngineConfig()
+			cfg.StartSeed = int64(i) * fuzzBatch
+			cfg.Seeds = fuzzBatch
+			cfg.Seed = 11
+			cfg.MutateRatio = 0
+			cfg.SyncInterval = syncInterval
+			cfg.Workers = engineWorkers
+			cfg.Reduce = false
+			cfg.Passes = compiler.DefaultPasses()
+			engine := core.NewEngine(cfg)
+			if findings := engine.Run(context.Background()); len(findings) > 0 {
+				b.Fatalf("reference pipeline produced findings: %+v", findings[0])
+			}
+		}
+		fleetDirectRate = float64(b.N*fuzzBatch) / b.Elapsed().Seconds()
+		b.ReportMetric(fleetDirectRate, "programs/sec")
+	})
+	b.Run("workers-1", func(b *testing.B) {
+		fleet1Rate = fleetRun(b, 1)
+		if fleetDirectRate > 0 {
+			b.ReportMetric((1-fleet1Rate/fleetDirectRate)*100, "overhead-%")
+		}
+	})
+	b.Run("workers-2", func(b *testing.B) {
+		rate := fleetRun(b, 2)
+		if fleet1Rate > 0 {
+			b.ReportMetric(rate/fleet1Rate, "x-vs-1worker")
+		}
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "procs")
+	})
+}
+
+var fleetDirectRate, fleet1Rate float64

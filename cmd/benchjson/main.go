@@ -1,5 +1,5 @@
 // Command benchjson converts `go test -bench` output (read from stdin)
-// into the repository's benchmark-trajectory artifact (BENCH_9.json,
+// into the repository's benchmark-trajectory artifact (BENCH_10.json,
 // written to stdout): one JSON object with the raw per-benchmark numbers
 // plus the headline metrics the trajectory tracks — programs/sec through
 // the validation pipeline, ns per equivalence query, the structural
@@ -21,13 +21,16 @@
 // falsification rate on the defect-seeded workload, the concolic
 // stage costing more than 5% over solver-only ns/equivalence-query, a
 // speculatively reduced witness differing by even one byte from the
-// serial reduction, or speculative reduction falling below its
-// core-count-scaled speedup floor exit nonzero, so a regression fails
-// the workflow instead of silently flattening the trajectory.
+// serial reduction, speculative reduction falling below its
+// core-count-scaled speedup floor, the fleet coordinator costing more
+// than 10% of direct-engine throughput with one worker, or a two-worker
+// fleet falling below its core-count-scaled speedup floor over one
+// worker exit nonzero, so a regression fails the workflow instead of
+// silently flattening the trajectory.
 //
 // Usage:
 //
-//	go test -run=NONE -bench='...' . | go run ./cmd/benchjson > BENCH_9.json
+//	go test -run=NONE -bench='...' . | go run ./cmd/benchjson > BENCH_10.json
 package main
 
 import (
@@ -46,7 +49,7 @@ type Bench struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Artifact is the BENCH_9.json schema.
+// Artifact is the BENCH_10.json schema.
 type Artifact struct {
 	// Headline trajectory metrics.
 	ProgramsPerSec      float64 `json:"programs_per_sec"`
@@ -118,6 +121,21 @@ type Artifact struct {
 	ReduceWastedProbesPct    float64 `json:"reduce_wasted_probes_pct"`
 	ReduceWitnessDiff        float64 `json:"reduce_witness_diff"`
 	ReduceProcs              float64 `json:"reduce_procs"`
+
+	// Fleet sharding metrics (BenchmarkFleetFuzz): the same fixed-seed,
+	// pure-generation campaign run directly on one engine, through a
+	// coordinator with one worker (protocol + lease-merge machinery as
+	// pure overhead), and with two workers. The overhead gate bounds the
+	// one-worker tax at 10% of direct throughput; the speedup gate scales
+	// with the runner — two workers must beat one by ≥1.6x on 4+ procs
+	// and ≥1.1x on 2+, while a single-core runner has no parallelism to
+	// surface and only the overhead gate applies.
+	FleetDirectProgramsPerSec   float64 `json:"fleet_direct_programs_per_sec"`
+	Fleet1WorkerProgramsPerSec  float64 `json:"fleet_1worker_programs_per_sec"`
+	Fleet2WorkersProgramsPerSec float64 `json:"fleet_2workers_programs_per_sec"`
+	Fleet2WorkersXVs1           float64 `json:"fleet_2workers_x_vs_1worker"`
+	FleetCoordOverheadPct       float64 `json:"fleet_coordinator_overhead_pct"`
+	FleetProcs                  float64 `json:"fleet_procs"`
 
 	// Raw parses, keyed by benchmark name (GOMAXPROCS suffix stripped).
 	Benchmarks map[string]Bench `json:"benchmarks"`
@@ -305,6 +323,18 @@ func main() {
 		art.ReduceWitnessDiff = b.Metrics["witness-diff"]
 		art.ReduceProcs = b.Metrics["procs"]
 	}
+	if b, ok := get("BenchmarkFleetFuzz/direct"); ok {
+		art.FleetDirectProgramsPerSec = b.Metrics["programs/sec"]
+	}
+	if b, ok := get("BenchmarkFleetFuzz/workers-1"); ok {
+		art.Fleet1WorkerProgramsPerSec = b.Metrics["programs/sec"]
+		art.FleetCoordOverheadPct = b.Metrics["overhead-%"]
+	}
+	if b, ok := get("BenchmarkFleetFuzz/workers-2"); ok {
+		art.Fleet2WorkersProgramsPerSec = b.Metrics["programs/sec"]
+		art.Fleet2WorkersXVs1 = b.Metrics["x-vs-1worker"]
+		art.FleetProcs = b.Metrics["procs"]
+	}
 	if len(missing) > 0 {
 		fatalf("missing headline benchmarks: %s", strings.Join(missing, ", "))
 	}
@@ -358,6 +388,29 @@ func main() {
 			art.ReduceSpec8XVsSerial, art.ReduceProcs,
 			art.ReduceSpec8NsPerWitness, art.ReduceSerialNsPerWitness,
 			art.ReduceWastedProbesPct, reduceFloor)
+	}
+
+	// The fleet-sharding gates. Running the campaign through the
+	// coordinator with a single worker exercises the protocol, the lease
+	// table, delta shipping and the canonical-order merge with no
+	// parallelism to hide them, so that arm bounds the machinery's cost.
+	// The scaling floor only engages where a second worker has real cores
+	// to run on.
+	if art.FleetCoordOverheadPct > 10 {
+		fatalf("fleet coordinator costs %.1f%% of direct-engine throughput with one worker (%.1f vs %.1f programs/sec): above the 10%% gate",
+			art.FleetCoordOverheadPct, art.Fleet1WorkerProgramsPerSec, art.FleetDirectProgramsPerSec)
+	}
+	fleetFloor := 0.0
+	switch {
+	case art.FleetProcs >= 4:
+		fleetFloor = 1.6
+	case art.FleetProcs >= 2:
+		fleetFloor = 1.1
+	}
+	if fleetFloor > 0 && art.Fleet2WorkersXVs1 < fleetFloor {
+		fatalf("two-worker fleet is %.2fx one worker on %.0f procs (%.1f vs %.1f programs/sec): below the %.1fx floor",
+			art.Fleet2WorkersXVs1, art.FleetProcs,
+			art.Fleet2WorkersProgramsPerSec, art.Fleet1WorkerProgramsPerSec, fleetFloor)
 	}
 
 	out, err := json.MarshalIndent(art, "", "  ")

@@ -44,9 +44,24 @@
 // keyed off round-fold progress — a wedged pipeline reports 503) and
 // /debug/pprof/*. The listener drains gracefully when the run ends.
 //
+// Coordinator/worker mode shards a bounded campaign across processes:
+// the coordinator (-mode coordinator -listen ADDR) partitions the seed
+// stream into work leases, each worker (-mode worker -connect ADDR) runs
+// the unchanged streaming engine over its leases, and the coordinator
+// merges results in canonical lease order with fleet-wide fingerprint
+// dedup — so for a fixed -seeds budget the fleet's findings, witnesses
+// and report order are identical to a single-process run at any worker
+// count. Leases held by lost or hung workers expire and re-issue;
+// -fleet N forks N local workers for one-command scale-out; -state /
+// -resume give the coordinator the same journal/checkpoint crash
+// resilience as serve mode. Fleet campaigns are pure-generation
+// (-mutate-ratio must be 0): lease replay must not depend on cross-lease
+// corpus state.
+//
 // Usage:
 //
-//	p4gauntlet [-mode campaign|levels|fuzz|serve] [-seeds N] [-workers N]
+//	p4gauntlet [-mode campaign|levels|fuzz|serve|coordinator|worker]
+//	           [-seeds N] [-workers N]
 //	           [-duration D] [-backend v1model|tna] [-jsonl FILE]
 //	           [-packets] [-reduce] [-reduce-workers N] [-start N] [-seed N]
 //	           [-mutate-ratio F] [-corpus DIR] [-stats-interval D]
@@ -54,6 +69,8 @@
 //	           [-checkpoint-programs N] [-stage-timeout D]
 //	           [-oracle-timeout D] [-http ADDR] [-inject-every N]
 //	           [-inject-seed N] [-inject-stages LIST] [-inject-stall D]
+//	           [-listen ADDR] [-connect ADDR] [-fleet N] [-lease-slots N]
+//	           [-lease-timeout D] [-worker-name NAME] [-defects LIST]
 package main
 
 import (
@@ -68,6 +85,8 @@ import (
 	"syscall"
 	"time"
 
+	"gauntlet/internal/bugs"
+	"gauntlet/internal/compiler"
 	"gauntlet/internal/core"
 	"gauntlet/internal/corpus"
 	"gauntlet/internal/faultinject"
@@ -103,29 +122,46 @@ func main() {
 	injectSeed := flag.Int64("inject-seed", 1, "fault-injection plan seed (with -inject-every)")
 	injectStages := flag.String("inject-stages", "generate,compile,oracle,reduce", "comma-separated stages to inject into (with -inject-every)")
 	injectStall := flag.Duration("inject-stall", 5*time.Second, "injected stall duration (with -inject-every); set above -stage-timeout to exercise abandonment")
+	listen := flag.String("listen", "", "coordinator mode: accept worker connections on ADDR (host:port, or a socket path containing '/')")
+	connect := flag.String("connect", "", "worker mode: dial the coordinator at ADDR (retrying while it boots)")
+	fleetN := flag.Int("fleet", 0, "coordinator mode: fork N local worker processes of this binary against -listen (0 = external workers only)")
+	leaseSlots := flag.Int64("lease-slots", 0, "coordinator mode: seeds per work lease; must be a multiple of the engine sync interval (0 = 4 sync intervals)")
+	leaseTimeout := flag.Duration("lease-timeout", 0, "coordinator mode: re-issue a lease not completed within D — set above a lease's worst-case wall clock (0 = 2m)")
+	workerName := flag.String("worker-name", "", "worker mode: name for logs and per-worker metrics (default worker-PID)")
+	defects := flag.String("defects", "", "comma-separated bug registry IDs to instrument into the pipeline (fuzz/coordinator mode; the CI smoke harness's known-defect seeding)")
 	flag.Parse()
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	ff := fuzzFlags{
+		seeds: *seeds, start: *start, seed: *seed, workers: *workers, duration: *duration,
+		backend: *backend, jsonl: *jsonl, packets: *packets, reduce: *doReduce, concolic: *concolic,
+		reduceWorkers: *reduceWorkers,
+		mutateRatio: *mutateRatio, corpusDir: *corpusDir, statsInterval: *statsInterval,
+		epochPrograms: *epochPrograms,
+		stateDir:      *stateDir, resumeDir: *resumeDir, checkpointPrograms: *checkpointPrograms,
+		stageTimeout: *stageTimeout, oracleTimeout: *oracleTimeout,
+		httpAddr:    *httpAddr,
+		injectEvery: *injectEvery, injectSeed: *injectSeed,
+		injectStages: *injectStages, injectStall: *injectStall,
+		defects:  *defects,
+		explicit: explicit,
+	}
+	fl := fleetFlags{
+		listen: *listen, connect: *connect, forkWorkers: *fleetN,
+		leaseSlots: *leaseSlots, leaseTimeout: *leaseTimeout, workerName: *workerName,
+	}
 
 	switch *mode {
 	case "campaign":
 		campaign()
 	case "levels":
 		fmt.Print(core.RunLevelStudy(int(*seeds)).Render())
+	case "coordinator":
+		coordinatorMain(ff, fl)
+	case "worker":
+		workerMain(fl)
 	case "fuzz", "serve":
-		ff := fuzzFlags{
-			seeds: *seeds, start: *start, seed: *seed, workers: *workers, duration: *duration,
-			backend: *backend, jsonl: *jsonl, packets: *packets, reduce: *doReduce, concolic: *concolic,
-			reduceWorkers: *reduceWorkers,
-			mutateRatio: *mutateRatio, corpusDir: *corpusDir, statsInterval: *statsInterval,
-			epochPrograms: *epochPrograms,
-			stateDir:      *stateDir, resumeDir: *resumeDir, checkpointPrograms: *checkpointPrograms,
-			stageTimeout: *stageTimeout, oracleTimeout: *oracleTimeout,
-			httpAddr:    *httpAddr,
-			injectEvery: *injectEvery, injectSeed: *injectSeed,
-			injectStages: *injectStages, injectStall: *injectStall,
-			explicit: explicit,
-		}
 		if *mode == "serve" {
 			// Serve is fuzz shaped for multi-day runs: unbounded seed
 			// stream, bounded memory, observable by default.
@@ -213,6 +249,7 @@ type fuzzFlags struct {
 	injectSeed         int64
 	injectStages       string
 	injectStall        time.Duration
+	defects            string
 	explicit           map[string]bool
 }
 
@@ -253,6 +290,22 @@ func fuzz(ff fuzzFlags) {
 	default:
 		fmt.Fprintf(os.Stderr, "p4gauntlet: unknown backend %q (want v1model or tna)\n", ff.backend)
 		os.Exit(2)
+	}
+	// -defects instruments registry bugs into the pipeline — the same
+	// known-defect seeding the fleet smoke harness uses, so a
+	// single-process baseline run is directly comparable to a fleet run.
+	if ff.defects != "" {
+		reg := bugs.Load()
+		var active []*bugs.Bug
+		for _, id := range splitDefects(ff.defects) {
+			b := reg.ByID(id)
+			if b == nil {
+				fmt.Fprintf(os.Stderr, "p4gauntlet: -defects: registry has no bug %q\n", id)
+				os.Exit(2)
+			}
+			active = append(active, b)
+		}
+		cfg.Passes = bugs.Instrument(compiler.DefaultPasses(), active)
 	}
 	if ff.corpusDir != "" {
 		c := corpus.New(0)

@@ -274,6 +274,31 @@
 // scripts/crash_resume_smoke.sh drives the whole loop (inject, SIGKILL,
 // resume) in CI.
 //
+// # Fleet scale
+//
+// internal/fleet shards one campaign across processes — one box or many
+// — without changing what it computes. A coordinator slices the master
+// seed stream into leases aligned to the engine's SyncInterval; workers
+// (p4gauntlet -mode worker -connect ADDR) run one bounded core.Engine
+// per lease with MutateRatio 0, so every lease is a pure function of
+// its seeds; and the coordinator (p4gauntlet -mode coordinator -listen
+// ADDR, -fleet N to fork a local fleet) completes leases
+// first-result-wins but releases them only behind a contiguous-prefix
+// watermark, re-deduplicating findings by their stable fingerprints and
+// refolding each lease's corpus delta (corpus.DeltaSet) in canonical
+// order. The consequence, race-tested and smoke-tested at the real
+// process boundary: finding set, witness bytes, report order and merged
+// corpus are byte-identical to a single process at any worker count.
+// The protocol is a minimal length-prefixed JSON stream (stdlib only);
+// workers receive all campaign configuration over the wire. Worker loss
+// — connection drop, hang past the lease timeout, kill -9 — returns the
+// lease to pending for re-issue; the coordinator owns the single
+// persist journal/checkpoint, and -resume restores watermark, corpus
+// and journal-seeded dedup so even a coordinator kill -9 re-reports
+// nothing. faultinject.LinkPlan extends deterministic fault injection
+// to the fleet link (pure (seed, lease) → drop/delay/sever), driving
+// the chaos tests and the fleet_smoke.sh CI job.
+//
 // # Observability
 //
 // The introspection plane (internal/obs) makes a live daemon — or a
@@ -339,17 +364,21 @@
 // fraction falsified concretely); and BenchmarkParallelReduce the
 // speculative reducer against exact serial ddmin on harvested crash
 // witnesses (speedup, wasted-probe ratio, and a witness-diff count that
-// must be zero); and BenchmarkObsOverhead the introspection plane's
-// cost (plain vs metrics-registry-instrumented on the same workload).
-// scripts/bench_trajectory.sh runs the
-// headline set and writes BENCH_9.json; its benchjson gate fails CI on a
+// must be zero); BenchmarkObsOverhead the introspection plane's
+// cost (plain vs metrics-registry-instrumented on the same workload);
+// and BenchmarkFleetFuzz the fleet coordinator's overhead and scaling
+// (direct engine vs one-worker fleet vs two-worker fleet on the same
+// campaign). scripts/bench_trajectory.sh runs the headline set and
+// writes BENCH_10.json; its benchjson gate fails CI on a
 // zero gate-reuse rate, mutation-mode throughput below half of
 // generation-mode, per-epoch context bytes growing more than 15%
 // epoch-over-epoch, a resilience overhead above 5%, a zero concrete
 // falsification rate, the concolic stage costing more than 5% over
 // solver-only per equivalence query, any speculative-reduction witness
 // diff, speculative reduction below its core-count-scaled speedup
-// floor, or an introspection overhead above 5%:
+// floor, an introspection overhead above 5%, a fleet coordinator
+// overhead above 10% at one worker, or a two-worker fleet below its
+// core-count-scaled speedup floor over one worker:
 //
-//	go test -bench='ValidateIncremental|Sec52|EngineFuzz|GateReuse|CorpusFuzz|ServeEpochs|ResilientFuzz|ConcolicFalsify|ParallelReduce|ObsOverhead' .
+//	go test -bench='ValidateIncremental|Sec52|EngineFuzz|GateReuse|CorpusFuzz|ServeEpochs|ResilientFuzz|ConcolicFalsify|ParallelReduce|ObsOverhead|FleetFuzz' .
 package gauntlet

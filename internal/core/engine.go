@@ -348,6 +348,12 @@ type EngineConfig struct {
 	Obs *obs.Registry
 }
 
+// DefaultSyncInterval is the corpus admission round size when
+// EngineConfig.SyncInterval is zero. Exported because the fleet layer's
+// lease lengths must be multiples of the effective round size for
+// lease-local fold boundaries to coincide with global ones.
+const DefaultSyncInterval = 32
+
 // DefaultEngineConfig mirrors the sequential fuzz loop's settings on the
 // streaming engine: v1model programs, validation oracle, auto-reduction.
 func DefaultEngineConfig() EngineConfig {
@@ -672,7 +678,7 @@ func NewEngine(cfg EngineConfig) *Engine {
 		cfg.MaxMutations = 3
 	}
 	if cfg.SyncInterval <= 0 {
-		cfg.SyncInterval = 32
+		cfg.SyncInterval = DefaultSyncInterval
 	}
 	if cfg.MutateRatio < 0 {
 		cfg.MutateRatio = 0

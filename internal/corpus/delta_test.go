@@ -1,0 +1,203 @@
+package corpus_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gauntlet/internal/corpus"
+	"gauntlet/internal/coverage"
+	"gauntlet/internal/generator"
+	"gauntlet/internal/p4/ast"
+)
+
+// shardInput is one slot's generated program and profile, precomputed so
+// every fold in the test replays identical inputs.
+type shardInput struct {
+	prog *ast.Program
+	prof *coverage.Profile
+}
+
+func makeInputs(n int) []shardInput {
+	out := make([]shardInput, n)
+	for i := range out {
+		prog := generator.Generate(generator.DefaultConfig(int64(i)))
+		out[i] = shardInput{prog: prog, prof: coverage.OfProgram(prog)}
+	}
+	return out
+}
+
+// fold replays inputs through a corpus the way a fleet worker's engine
+// does: record the program's AST fingerprint, then offer it for
+// admission.
+func fold(c *corpus.Corpus, inputs []shardInput) {
+	for _, in := range inputs {
+		c.RecordProgram(in.prof.Fingerprint())
+		c.Add(in.prog, in.prof)
+	}
+}
+
+// shardDeltas partitions inputs into contiguous leases of leaseLen and
+// folds each on a fresh delta-logging shard corpus, the fleet worker
+// shape: every lease starts cold, over-admits relative to the global edge
+// set, and ships its admission log.
+func shardDeltas(inputs []shardInput, leaseLen, maxSeeds int) []*corpus.Delta {
+	var out []*corpus.Delta
+	for start := 0; start < len(inputs); start += leaseLen {
+		end := start + leaseLen
+		if end > len(inputs) {
+			end = len(inputs)
+		}
+		shard := corpus.New(maxSeeds)
+		shard.EnableDeltaLog()
+		fold(shard, inputs[start:end])
+		out = append(out, shard.ExportDelta())
+	}
+	return out
+}
+
+func corpusKey(c *corpus.Corpus) string {
+	return fmt.Sprintf("fps=%v stats=%+v", c.Fingerprints(), c.Stats())
+}
+
+// TestDeltaMergeMatchesSingleFold: folding shard deltas through a
+// DeltaSet must reproduce the single-process corpus exactly — seed set,
+// fingerprints, and every lifetime counter including rejections — for any
+// shard count, any arrival order, and with duplicated deliveries
+// (at-least-once replay). This is the fleet merge's correctness property:
+// arrival order cannot change the merged corpus.
+func TestDeltaMergeMatchesSingleFold(t *testing.T) {
+	const n, leaseLen, maxSeeds = 96, 12, 6
+	inputs := makeInputs(n)
+
+	ref := corpus.New(maxSeeds)
+	fold(ref, inputs)
+	want := corpusKey(ref)
+	if ref.Stats().Rejected == 0 || ref.Stats().Evicted == 0 {
+		t.Fatalf("weak reference fold (stats %+v): the test needs rejections and evictions to be meaningful", ref.Stats())
+	}
+
+	deltas := shardDeltas(inputs, leaseLen, maxSeeds)
+	if len(deltas) < 4 {
+		t.Fatalf("only %d leases; need several to permute", len(deltas))
+	}
+
+	// A worker's local gate must over-admit, never under-admit: its edge
+	// set at any slot is a subset of the global fold's.
+	var shipped int
+	for _, d := range deltas {
+		shipped += len(d.Seeds)
+	}
+	if uint64(shipped) < ref.Stats().Admitted {
+		t.Fatalf("shards shipped %d candidates, fewer than the %d globally admitted", shipped, ref.Stats().Admitted)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 8; trial++ {
+		order := rng.Perm(len(deltas))
+		merged := corpus.New(maxSeeds)
+		set := corpus.NewDeltaSet(merged, 0)
+		for _, lease := range order {
+			if err := set.Offer(int64(lease), deltas[lease]); err != nil {
+				t.Fatal(err)
+			}
+			// Idempotence: every delivery repeats (at-least-once).
+			if err := set.Offer(int64(lease), deltas[lease]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := set.Applied(); got != int64(len(deltas)) {
+			t.Fatalf("trial %d (order %v): %d of %d leases folded", trial, order, got, len(deltas))
+		}
+		if got := corpusKey(merged); got != want {
+			t.Errorf("trial %d (order %v): merged corpus diverges from single fold:\nwant %s\ngot  %s", trial, order, want, got)
+		}
+	}
+}
+
+// TestDeltaMergeShardCountInvariant: 1 shard per lease vs 1 shard for the
+// whole stream must merge to the same corpus — worker count is not
+// observable in the merged state.
+func TestDeltaMergeShardCountInvariant(t *testing.T) {
+	const n, maxSeeds = 96, 6
+	inputs := makeInputs(n)
+	for _, leaseLen := range []int{n, n / 4, n / 8} {
+		deltas := shardDeltas(inputs, leaseLen, maxSeeds)
+		merged := corpus.New(maxSeeds)
+		set := corpus.NewDeltaSet(merged, 0)
+		for i, d := range deltas {
+			if err := set.Offer(int64(i), d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ref := corpus.New(maxSeeds)
+		fold(ref, inputs)
+		if got, want := corpusKey(merged), corpusKey(ref); got != want {
+			t.Errorf("leaseLen %d: merged corpus diverges:\nwant %s\ngot  %s", leaseLen, want, got)
+		}
+	}
+}
+
+// TestDeltaSetConcurrent: concurrent Offer calls — the coordinator's
+// connection handlers racing — must still fold in canonical order (run
+// under -race in CI).
+func TestDeltaSetConcurrent(t *testing.T) {
+	const n, leaseLen, maxSeeds = 96, 8, 6
+	inputs := makeInputs(n)
+	deltas := shardDeltas(inputs, leaseLen, maxSeeds)
+	ref := corpus.New(maxSeeds)
+	fold(ref, inputs)
+	want := corpusKey(ref)
+
+	merged := corpus.New(maxSeeds)
+	set := corpus.NewDeltaSet(merged, 0)
+	var wg sync.WaitGroup
+	for i, d := range deltas {
+		wg.Add(1)
+		go func(lease int64, d *corpus.Delta) {
+			defer wg.Done()
+			if err := set.Offer(lease, d); err != nil {
+				t.Error(err)
+			}
+		}(int64(i), d)
+	}
+	wg.Wait()
+	if got := set.Applied(); got != int64(len(deltas)) {
+		t.Fatalf("%d of %d leases folded", got, len(deltas))
+	}
+	if got := corpusKey(merged); got != want {
+		t.Errorf("concurrent merge diverges:\nwant %s\ngot  %s", want, got)
+	}
+}
+
+// TestDeltaSetResumeStart: a DeltaSet started at a resume watermark must
+// ignore replays of already-folded leases and fold from the watermark on.
+func TestDeltaSetResumeStart(t *testing.T) {
+	const n, leaseLen, maxSeeds = 48, 12, 6
+	inputs := makeInputs(n)
+	deltas := shardDeltas(inputs, leaseLen, maxSeeds)
+
+	// The "checkpoint": leases 0 and 1 already folded.
+	resumed := corpus.New(maxSeeds)
+	set0 := corpus.NewDeltaSet(resumed, 0)
+	for i := 0; i < 2; i++ {
+		if err := set0.Offer(int64(i), deltas[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	set := corpus.NewDeltaSet(resumed, 2)
+	for i := len(deltas) - 1; i >= 0; i-- { // replay everything, reversed
+		if err := set.Offer(int64(i), deltas[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := set.Applied(); got != int64(len(deltas)) {
+		t.Fatalf("%d of %d leases folded after resume", got, len(deltas))
+	}
+	ref := corpus.New(maxSeeds)
+	fold(ref, inputs)
+	if got, want := corpusKey(resumed), corpusKey(ref); got != want {
+		t.Errorf("resumed merge diverges:\nwant %s\ngot  %s", want, got)
+	}
+}

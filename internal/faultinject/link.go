@@ -1,0 +1,116 @@
+package faultinject
+
+import (
+	"hash/fnv"
+	"sync/atomic"
+	"time"
+)
+
+// LinkFault is one injected coordinator↔worker link fault, decided per
+// lease: Drop swallows the worker's result frame (the lease expires and
+// re-issues), Sever closes the connection after the lease runs (every
+// lease the connection still holds returns to pending), Delay stalls the
+// result send (exercises the expiry/duplicate-result path when it
+// exceeds the lease timeout).
+type LinkFault struct {
+	Drop  bool
+	Sever bool
+	Delay time.Duration
+}
+
+// LinkPlan decides link faults purely from (plan seed, lease ID), the
+// fleet-link analogue of Plan's (seed, stage, slot) decision: a chaos
+// run is replayable — the same plan severs the same leases on any
+// worker count or arrival order — and enumerable, so a test can assert
+// the re-issue machinery absorbed every planned fault.
+type LinkPlan struct {
+	// Seed keys the decision hash.
+	Seed int64
+	// DropEvery / SeverEvery / DelayEvery inject at leases whose hash is
+	// ≡ 0 (mod Every): on average one lease in Every. 0 disables that
+	// fault class. A lease matching several classes suffers all of them
+	// (delay, then drop, then sever — the worker applies them in that
+	// order).
+	DropEvery, SeverEvery, DelayEvery int64
+	// DelayFor is the injected delay (0 = 2s).
+	DelayFor time.Duration
+
+	drops, severs, delays atomic.Uint64
+}
+
+// hash mixes (seed, class, lease) into the decision word — FNV-1a, the
+// same construction Plan uses, so decisions are stable across processes.
+func (p *LinkPlan) hash(class string, lease int64) uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(p.Seed) >> (8 * i))
+		buf[8+i] = byte(uint64(lease) >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(class))
+	return h.Sum64()
+}
+
+func (p *LinkPlan) hit(class string, every, lease int64) bool {
+	return every > 0 && p.hash(class, lease)%uint64(every) == 0
+}
+
+// At is the pure decision: the faults this plan injects on lease's
+// result path, if any.
+func (p *LinkPlan) At(lease int64) LinkFault {
+	f := LinkFault{
+		Drop:  p.hit("drop", p.DropEvery, lease),
+		Sever: p.hit("sever", p.SeverEvery, lease),
+	}
+	if p.hit("delay", p.DelayEvery, lease) {
+		f.Delay = p.DelayFor
+		if f.Delay <= 0 {
+			f.Delay = 2 * time.Second
+		}
+	}
+	return f
+}
+
+// Faulted reports whether lease suffers any fault — the test-side "this
+// lease must have been re-issued" predicate.
+func (p *LinkPlan) Faulted(lease int64) bool {
+	f := p.At(lease)
+	return f.Drop || f.Sever || f.Delay > 0
+}
+
+// Leases enumerates the lease IDs in [0, n) the plan faults.
+func (p *LinkPlan) Leases(n int64) []int64 {
+	var out []int64
+	for id := int64(0); id < n; id++ {
+		if p.Faulted(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Hook adapts the plan to the fleet worker's link-fault hook, counting
+// fired faults (a lease is only consulted when a worker actually
+// completes it, so containment proofs compare against Fired, not the
+// plan).
+func (p *LinkPlan) Hook() func(lease int64) LinkFault {
+	return func(lease int64) LinkFault {
+		f := p.At(lease)
+		if f.Drop {
+			p.drops.Add(1)
+		}
+		if f.Sever {
+			p.severs.Add(1)
+		}
+		if f.Delay > 0 {
+			p.delays.Add(1)
+		}
+		return f
+	}
+}
+
+// FiredLink reports how many injected link faults executed, by class.
+func (p *LinkPlan) FiredLink() (drops, severs, delays uint64) {
+	return p.drops.Load(), p.severs.Load(), p.delays.Load()
+}

@@ -1,0 +1,84 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLinkPlanPure: the fault decision is a pure function of (seed,
+// lease) — two plans with the same parameters agree everywhere, which is
+// what makes a chaos run replayable across worker counts and processes.
+func TestLinkPlanPure(t *testing.T) {
+	mk := func() *LinkPlan {
+		return &LinkPlan{Seed: 42, DropEvery: 3, SeverEvery: 5, DelayEvery: 7, DelayFor: time.Second}
+	}
+	a, b := mk(), mk()
+	for lease := int64(0); lease < 500; lease++ {
+		if a.At(lease) != b.At(lease) {
+			t.Fatalf("lease %d: identical plans disagree: %+v vs %+v", lease, a.At(lease), b.At(lease))
+		}
+		if a.At(lease) != a.At(lease) {
+			t.Fatalf("lease %d: repeated decision differs", lease)
+		}
+	}
+}
+
+// TestLinkPlanEnumerable: Leases agrees with Faulted, the rates land near
+// 1-in-Every, and the per-class hashes are independent (a drop lease is
+// not automatically a sever lease).
+func TestLinkPlanEnumerable(t *testing.T) {
+	p := &LinkPlan{Seed: 9, DropEvery: 4, SeverEvery: 4}
+	const n = 1000
+	faulted := p.Leases(n)
+	if len(faulted) == 0 || len(faulted) == n {
+		t.Fatalf("degenerate plan: %d of %d leases faulted", len(faulted), n)
+	}
+	seen := make(map[int64]bool, len(faulted))
+	for _, id := range faulted {
+		seen[id] = true
+	}
+	var drops, severs, both int
+	for id := int64(0); id < n; id++ {
+		f := p.At(id)
+		if (f.Drop || f.Sever) != seen[id] {
+			t.Fatalf("lease %d: Faulted/Leases disagree with At", id)
+		}
+		if f.Drop {
+			drops++
+		}
+		if f.Sever {
+			severs++
+		}
+		if f.Drop && f.Sever {
+			both++
+		}
+	}
+	// Rates: binomial(1000, 1/4) stays within ±1/3 of the mean with
+	// overwhelming probability; this is a determinism check, not a
+	// statistics test.
+	for name, got := range map[string]int{"drop": drops, "sever": severs} {
+		if got < n/6 || got > n/2 {
+			t.Errorf("%s fired on %d of %d leases, want roughly 1 in 4", name, got, n)
+		}
+	}
+	if both == drops || both == severs {
+		t.Errorf("classes are correlated: %d drops, %d severs, %d both", drops, severs, both)
+	}
+}
+
+// TestLinkPlanHookCounts: the worker-side hook counts fired faults by
+// class, so a chaos test can assert every executed fault was absorbed.
+func TestLinkPlanHookCounts(t *testing.T) {
+	p := &LinkPlan{Seed: 1, DropEvery: 1, DelayEvery: 1, DelayFor: time.Millisecond}
+	hook := p.Hook()
+	for lease := int64(0); lease < 5; lease++ {
+		f := hook(lease)
+		if !f.Drop || f.Delay != time.Millisecond {
+			t.Fatalf("lease %d: every-lease plan did not fire: %+v", lease, f)
+		}
+	}
+	drops, severs, delays := p.FiredLink()
+	if drops != 5 || severs != 0 || delays != 5 {
+		t.Errorf("fired = %d/%d/%d, want 5 drops, 0 severs, 5 delays", drops, severs, delays)
+	}
+}

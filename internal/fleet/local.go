@@ -1,0 +1,67 @@
+package fleet
+
+import (
+	"context"
+	"net"
+	"sync"
+)
+
+// RunLocal runs the coordinator with len(workers) in-process workers over
+// net.Pipe connections — the one-command scale-out path for tests and
+// benchmarks (the CLI's -fleet mode forks real worker processes over a
+// unix socket instead; the protocol and merge machinery are identical).
+// It returns when the campaign completes, a worker that was not severed
+// by fault injection fails, or ctx is cancelled. Severed workers simply
+// leave the fleet; their leases re-issue to the survivors.
+func RunLocal(ctx context.Context, c *Coordinator, workers []WorkerConfig) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := c.background(ctx)
+	defer stop()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(workers))
+	for _, w := range workers {
+		coordEnd, workerEnd := net.Pipe()
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if err := c.HandleConn(ctx, coordEnd); err != nil {
+				c.cfg.Logf("fleet: local connection: %v", err)
+			}
+		}()
+		go func(w WorkerConfig) {
+			defer wg.Done()
+			if err := RunWorker(ctx, workerEnd, w); err != nil && err != ErrSevered && ctx.Err() == nil {
+				select {
+				case errCh <- err:
+				default:
+				}
+			}
+		}(w)
+	}
+
+	var err error
+	select {
+	case <-c.Done():
+	case err = <-errCh:
+		// A worker error that races campaign completion (its pipe closed
+		// during teardown) is not a failure.
+		select {
+		case <-c.Done():
+			err = nil
+		default:
+		}
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	// Tear the pipes down and wait for every goroutine: cancel closes the
+	// table (unblocking acquirers) and the workers' AfterFunc closes their
+	// pipe ends (unblocking reads).
+	cancel()
+	wg.Wait()
+	if err == nil {
+		err = c.Err()
+	}
+	return err
+}

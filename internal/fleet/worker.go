@@ -1,0 +1,208 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"gauntlet/internal/bugs"
+	"gauntlet/internal/compiler"
+	"gauntlet/internal/core"
+	"gauntlet/internal/corpus"
+	"gauntlet/internal/faultinject"
+	"gauntlet/internal/generator"
+	"gauntlet/internal/validate"
+)
+
+// ErrSevered is returned by RunWorker when an injected link fault closed
+// the connection (the chaos harness's expected outcome, not a bug).
+var ErrSevered = errors.New("fleet: link severed by fault injection")
+
+// WorkerConfig parameterizes one worker process (or goroutine).
+type WorkerConfig struct {
+	// Name identifies the worker in logs and the per-worker lease-latency
+	// series ("" = "worker").
+	Name string
+	// LinkFault, when set, is consulted after each lease completes and
+	// before its result is sent — the deterministic fleet-link
+	// fault-injection point (faultinject.LinkPlan.Hook). Delay sleeps,
+	// Drop swallows the result, Sever closes the connection.
+	LinkFault func(lease int64) faultinject.LinkFault
+	// Logf, when set, receives worker progress lines.
+	Logf func(format string, args ...any)
+}
+
+// engineConfigForLease builds the lease-ranged engine configuration: the
+// existing engine, unchanged, over [lease.Start, lease.Start+lease.Count)
+// with a fresh delta-logging corpus and the worker-lifetime validation
+// cache. MutateRatio stays zero — fleet runs are pure-generation, which
+// is what makes a lease replayable without cross-lease corpus state.
+func engineConfigForLease(run *RunConfig, lease Lease, cache *validate.Cache) (core.EngineConfig, *corpus.Corpus, error) {
+	cfg := core.DefaultEngineConfig()
+	cfg.StartSeed = lease.Start
+	cfg.Seeds = lease.Count
+	cfg.Seed = run.Seed
+	cfg.MutateRatio = 0
+	cfg.SyncInterval = run.SyncInterval
+	cfg.Workers = run.EngineWorkers
+	cfg.PacketTests = run.PacketTests
+	cfg.BlackBox = run.BlackBox
+	cfg.ConcolicOff = run.ConcolicOff
+	if run.MaxConflicts > 0 {
+		cfg.MaxConflicts = run.MaxConflicts
+	}
+	cfg.Reduce = run.Reduce
+	if run.ReduceMaxRounds > 0 {
+		cfg.ReduceOpts.MaxRounds = run.ReduceMaxRounds
+	}
+	if run.ReduceMaxPredicateCalls > 0 {
+		cfg.ReduceOpts.MaxPredicateCalls = run.ReduceMaxPredicateCalls
+	}
+	cfg.MaxReducePerPass = run.MaxReducePerPass
+	cfg.Cache = cache
+	cfg.StageTimeout = time.Duration(run.StageTimeoutMs) * time.Millisecond
+	cfg.OracleTimeout = time.Duration(run.OracleTimeoutMs) * time.Millisecond
+	switch run.Backend {
+	case "", "v1model":
+		cfg.Backend = generator.V1Model
+	case "tna":
+		cfg.Backend = generator.TNA
+	default:
+		return cfg, nil, fmt.Errorf("fleet: unknown backend %q", run.Backend)
+	}
+	if len(run.Defects) > 0 {
+		reg := bugs.Load()
+		var active []*bugs.Bug
+		for _, id := range run.Defects {
+			b := reg.ByID(id)
+			if b == nil {
+				return cfg, nil, fmt.Errorf("fleet: defect registry has no bug %q", id)
+			}
+			active = append(active, b)
+		}
+		cfg.Passes = bugs.Instrument(compiler.DefaultPasses(), active)
+	}
+	c := corpus.New(run.MaxCorpus)
+	c.EnableDeltaLog()
+	cfg.Corpus = c
+	return cfg, c, nil
+}
+
+// runLease executes one lease with a fresh engine and packages the
+// result: the engine's report stream in its canonical order, the corpus
+// delta, and a stats digest.
+func runLease(ctx context.Context, run *RunConfig, lease Lease, cache *validate.Cache, name string) (*Result, error) {
+	cfg, crp, err := engineConfigForLease(run, lease, cache)
+	if err != nil {
+		return nil, err
+	}
+	e := core.NewEngine(cfg)
+	findings := e.Run(ctx)
+	if err := ctx.Err(); err != nil {
+		return nil, err // cancelled mid-lease: never ship a partial result
+	}
+	s := e.Stats()
+	return &Result{
+		LeaseID:  lease.ID,
+		Worker:   name,
+		Findings: findings,
+		Delta:    crp.ExportDelta(),
+		Stats: ResultStats{
+			Generated:       s.Generated,
+			Crashes:         s.Crashes,
+			Miscompilations: s.Miscompilations,
+			Mismatches:      s.Mismatches,
+			Duplicates:      s.Duplicates,
+			ToolErrors:      s.CompileErrors + s.OracleErrors,
+			Quarantined:     s.Quarantined,
+			ElapsedNs:       s.Elapsed.Nanoseconds(),
+		},
+	}, nil
+}
+
+// RunWorker speaks the worker side of the protocol over conn: hello,
+// config, then lease-run-result until the coordinator drains. The
+// validation cache is worker-lifetime and shared across leases —
+// verdicts are recomputed, never changed, by a cold cache, so sharing
+// affects cost only. Returns nil on a clean drain.
+func RunWorker(ctx context.Context, conn io.ReadWriteCloser, wcfg WorkerConfig) error {
+	defer conn.Close()
+	if wcfg.Name == "" {
+		wcfg.Name = "worker"
+	}
+	logf := wcfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	// Unblock the protocol reads when ctx dies: the engine run is
+	// ctx-aware, but readMsg is not.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	if err := writeMsg(conn, &Envelope{Type: MsgHello, Hello: &Hello{Worker: wcfg.Name, Proto: ProtoVersion}}); err != nil {
+		return err
+	}
+	env, err := readMsg(conn)
+	if err != nil {
+		return fmt.Errorf("fleet: config: %w", err)
+	}
+	if env.Type != MsgConfig || env.Config == nil {
+		return fmt.Errorf("fleet: expected config, got %q", env.Type)
+	}
+	run := env.Config
+	cache := validate.NewCache()
+	for {
+		if err := writeMsg(conn, &Envelope{Type: MsgNeed}); err != nil {
+			return err
+		}
+		env, err := readMsg(conn)
+		if err != nil {
+			return err
+		}
+		switch env.Type {
+		case MsgDrain:
+			logf("fleet: %s drained", wcfg.Name)
+			return nil
+		case MsgLease:
+			if env.Lease == nil {
+				return fmt.Errorf("fleet: lease frame without payload")
+			}
+			lease := *env.Lease
+			logf("fleet: %s running lease %d [%d, %d)", wcfg.Name, lease.ID, lease.Start, lease.Start+lease.Count)
+			res, err := runLease(ctx, run, lease, cache, wcfg.Name)
+			if err != nil {
+				return err
+			}
+			if wcfg.LinkFault != nil {
+				f := wcfg.LinkFault(lease.ID)
+				if f.Delay > 0 {
+					t := time.NewTimer(f.Delay)
+					select {
+					case <-t.C:
+					case <-ctx.Done():
+						t.Stop()
+						return ctx.Err()
+					}
+					t.Stop()
+				}
+				if f.Drop {
+					logf("fleet: %s dropping result for lease %d (injected)", wcfg.Name, lease.ID)
+					if f.Sever {
+						return ErrSevered
+					}
+					continue
+				}
+				if f.Sever {
+					logf("fleet: %s severing link after lease %d (injected)", wcfg.Name, lease.ID)
+					return ErrSevered
+				}
+			}
+			if err := writeMsg(conn, &Envelope{Type: MsgResult, Result: res}); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("fleet: unexpected %q from coordinator", env.Type)
+		}
+	}
+}

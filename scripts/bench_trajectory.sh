@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # bench_trajectory.sh — run the validation-hot-path, corpus-engine,
-# serve-mode, resilience, concolic, speculative-reduction and
-# introspection benchmark suite and emit BENCH_9.json (programs/sec,
+# serve-mode, resilience, concolic, speculative-reduction, fleet and
+# introspection benchmark suite and emit BENCH_10.json (programs/sec,
 # ns/equivalence-query, gate-reuse %, corpus admission rate and
 # coverage-fingerprint counts for generation vs mutation mode, per-epoch
 # context bytes for the rotating engine, the robustness layer's
 # throughput overhead, the concolic fast path's falsification rate,
 # packets/sec and on-vs-off per-query cost, the speculative reducer's
-# speedup and wasted-probe ratio over exact serial ddmin, and the
-# metrics registry's throughput overhead).
+# speedup and wasted-probe ratio over exact serial ddmin, the
+# metrics registry's throughput overhead, and the fleet coordinator's
+# overhead and 2-vs-1-worker scaling).
 #
 # The JSON conversion doubles as a smoke gate: it exits nonzero when a
 # headline benchmark is missing, the structural-hash path reports a zero
@@ -21,8 +22,11 @@
 # solver-only ns/equivalence-query, a speculatively reduced witness
 # differs from the serial reduction by even one byte, speculative
 # reduction misses its core-count-scaled speedup floor (≥2x on 8+
-# procs; overhead-only bounds on fewer), or installing the metrics
-# registry costs more than 5% of uninstrumented fuzz throughput.
+# procs; overhead-only bounds on fewer), installing the metrics
+# registry costs more than 5% of uninstrumented fuzz throughput, the
+# fleet coordinator taxes a one-worker campaign more than 10% over the
+# direct engine, or a two-worker fleet misses its core-count-scaled
+# speedup floor over one worker (≥1.6x on 4+ procs, ≥1.1x on 2).
 #
 #   BENCHTIME=5x scripts/bench_trajectory.sh      # more iterations
 #   scripts/bench_trajectory.sh                   # default 2x
@@ -30,8 +34,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-2x}"
-pattern='EquivalenceQuery|Sec52_PipelineThroughput|Table2_BugSummary|EngineFuzz|GateReuse|CorpusFuzz|ServeEpochs|ResilientFuzz|ConcolicFalsify|ParallelReduce|ObsOverhead'
-artifact="BENCH_9.json"
+pattern='EquivalenceQuery|Sec52_PipelineThroughput|Table2_BugSummary|EngineFuzz|GateReuse|CorpusFuzz|ServeEpochs|ResilientFuzz|ConcolicFalsify|ParallelReduce|ObsOverhead|FleetFuzz'
+artifact="BENCH_10.json"
 out="$(mktemp)"
 # On any failure, remove the scratch file AND any partially-written
 # artifact: a truncated BENCH_*.json must never survive to be read as a
